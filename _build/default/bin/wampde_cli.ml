@@ -1,0 +1,224 @@
+(* wampde_cli: command-line driver for the WaMPDE VCO experiments.
+
+   Subcommands:
+     orbit      unforced periodic steady state of the VCO
+     envelope   WaMPDE envelope run (VCO-A or VCO-B), CSV to stdout
+     transient  brute-force transient run, CSV to stdout
+     quasi      quasiperiodic (periodic-BC) WaMPDE solve
+     waveform   recovered 1-D waveform from an envelope run *)
+
+open Cmdliner
+
+type which = A | B
+
+let which_conv =
+  let parse = function
+    | "a" | "A" | "vco-a" -> Ok A
+    | "b" | "B" | "vco-b" -> Ok B
+    | s -> Error (`Msg (Printf.sprintf "unknown VCO %S (use a or b)" s))
+  in
+  let print ppf w = Format.pp_print_string ppf (match w with A -> "a" | B -> "b") in
+  Arg.conv (parse, print)
+
+let params_of = function
+  | A -> Circuit.Vco.vco_a ()
+  | B -> Circuit.Vco.vco_b ()
+
+let frozen_of = function
+  | A -> Circuit.Vco.default_params ~control:(fun _ -> 1.5) ()
+  | B -> Circuit.Vco.default_params ~damping:1.57 ~force0:4.0e-3 ~control:(fun _ -> 1.5) ()
+
+let default_t_end = function A -> 60. | B -> 300.
+let default_h2 = function A -> 0.4 | B -> 2.
+
+let find_orbit ?(n1 = 25) which =
+  let frozen = frozen_of which in
+  Steady.Oscillator.find (Circuit.Vco.build frozen) ~n1 ~period_hint:(1. /. 0.75)
+    (Circuit.Vco.initial_state frozen)
+
+let which_arg =
+  let doc = "Which VCO: $(b,a) (Figs. 7-9) or $(b,b) (Figs. 10-12)." in
+  Arg.(value & opt which_conv A & info [ "vco" ] ~docv:"A|B" ~doc)
+
+let n1_arg =
+  let doc = "Number of warped-time collocation points (odd)." in
+  Arg.(value & opt int 25 & info [ "n1" ] ~docv:"N" ~doc)
+
+let t_end_arg =
+  let doc = "End of the slow-time window in microseconds (default depends on the VCO)." in
+  Arg.(value & opt (some float) None & info [ "t-end" ] ~docv:"US" ~doc)
+
+let h2_arg =
+  let doc = "Slow time step in microseconds (default depends on the VCO)." in
+  Arg.(value & opt (some float) None & info [ "h2" ] ~docv:"US" ~doc)
+
+let orbit_cmd =
+  let run which n1 =
+    let orbit = find_orbit ~n1 which in
+    Printf.printf "frequency: %.6f MHz\nperiod:    %.6f us\namplitude: %.4f V\n"
+      orbit.Steady.Oscillator.omega
+      (Steady.Oscillator.period orbit)
+      (Steady.Oscillator.amplitude orbit ~component:Circuit.Vco.idx_voltage);
+    Printf.printf "t1,voltage,current,gap,velocity\n";
+    Array.iteri
+      (fun j s ->
+        Printf.printf "%.4f,%.6f,%.6f,%.6f,%.6f\n"
+          (float_of_int j /. float_of_int n1)
+          s.(0) s.(1) s.(2) s.(3))
+      orbit.Steady.Oscillator.grid
+  in
+  let doc = "unforced periodic steady state (collocation with unknown frequency)" in
+  Cmd.v (Cmd.info "orbit" ~doc) Term.(const run $ which_arg $ n1_arg)
+
+let envelope_cmd =
+  let run which n1 t_end h2 =
+    let t_end = Option.value t_end ~default:(default_t_end which) in
+    let h2 = Option.value h2 ~default:(default_h2 which) in
+    let orbit = find_orbit ~n1 which in
+    let dae = Circuit.Vco.build (params_of which) in
+    let options = Wampde.Envelope.default_options ~n1 () in
+    let res = Wampde.Envelope.simulate dae ~options ~t2_end:t_end ~h2 ~init:orbit in
+    let amp = Wampde.Envelope.amplitude_track res ~component:Circuit.Vco.idx_voltage in
+    Printf.printf "t2_us,omega_mhz,amplitude_v,gap_um\n";
+    Array.iteri
+      (fun i t2 ->
+        let gap = res.Wampde.Envelope.slices.(i).(0).(Circuit.Vco.idx_gap) in
+        Printf.printf "%.4f,%.6f,%.6f,%.6f\n" t2 res.Wampde.Envelope.omega.(i) amp.(i) gap)
+      res.Wampde.Envelope.t2
+  in
+  let doc = "WaMPDE envelope run; CSV of local frequency and amplitude vs slow time" in
+  Cmd.v (Cmd.info "envelope" ~doc) Term.(const run $ which_arg $ n1_arg $ t_end_arg $ h2_arg)
+
+let transient_cmd =
+  let pts_arg =
+    let doc = "Time steps per nominal oscillation cycle." in
+    Arg.(value & opt int 100 & info [ "pts-per-cycle" ] ~docv:"N" ~doc)
+  in
+  let stride_arg =
+    let doc = "Output every Nth sample." in
+    Arg.(value & opt int 10 & info [ "stride" ] ~docv:"N" ~doc)
+  in
+  let run which t_end pts stride =
+    let t_end = Option.value t_end ~default:(default_t_end which) in
+    let orbit = find_orbit which in
+    let dae = Circuit.Vco.build (params_of which) in
+    let x0 = Array.init dae.Dae.dim (fun i -> orbit.Steady.Oscillator.grid.(0).(i)) in
+    let traj =
+      Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:t_end
+        ~h:(1.333 /. float_of_int pts) x0
+    in
+    Printf.printf "t_us,voltage_v,gap_um\n";
+    Array.iteri
+      (fun i t ->
+        if i mod stride = 0 then
+          Printf.printf "%.6f,%.6f,%.6f\n" t
+            traj.Transient.states.(i).(Circuit.Vco.idx_voltage)
+            traj.Transient.states.(i).(Circuit.Vco.idx_gap))
+      traj.Transient.times
+  in
+  let doc = "brute-force transient simulation (the paper's baseline); CSV waveform" in
+  Cmd.v
+    (Cmd.info "transient" ~doc)
+    Term.(const run $ which_arg $ t_end_arg $ pts_arg $ stride_arg)
+
+let quasi_cmd =
+  let n2_arg =
+    let doc = "Number of slow-time collocation slices (odd)." in
+    Arg.(value & opt int 15 & info [ "n2" ] ~docv:"N" ~doc)
+  in
+  let gmres_arg =
+    let doc = "Use matrix-free GMRES with block-Jacobi preconditioning." in
+    Arg.(value & flag & info [ "gmres" ] ~doc)
+  in
+  let run n1 n2 gmres =
+    let dae = Circuit.Vco.build (Circuit.Vco.vco_a ()) in
+    let orbit = find_orbit ~n1 A in
+    let options = Wampde.Envelope.default_options ~n1 () in
+    let env = Wampde.Envelope.simulate dae ~options ~t2_end:200. ~h2:0.5 ~init:orbit in
+    let guess = Wampde.Quasiperiodic.guess_from_envelope env ~p2:40. ~n2 ~t_from:160. in
+    let linear_solver = if gmres then `Gmres else `Dense in
+    let sol = Wampde.Quasiperiodic.solve dae ~linear_solver ~options ~p2:40. ~n2 ~guess () in
+    Printf.printf "# residual %.3e, mean frequency %.6f MHz\n"
+      (Wampde.Quasiperiodic.residual_norm dae ~options sol)
+      (Wampde.Quasiperiodic.mean_frequency sol);
+    Printf.printf "t2_us,omega_mhz\n";
+    Array.iteri
+      (fun m t2 -> Printf.printf "%.4f,%.6f\n" t2 sol.Wampde.Quasiperiodic.omega.(m))
+      sol.Wampde.Quasiperiodic.t2
+  in
+  let doc = "quasiperiodic (periodic boundary conditions) WaMPDE solve of VCO-A" in
+  Cmd.v (Cmd.info "quasi" ~doc) Term.(const run $ n1_arg $ n2_arg $ gmres_arg)
+
+let waveform_cmd =
+  let per_cycle_arg =
+    let doc = "Output samples per oscillation cycle." in
+    Arg.(value & opt int 20 & info [ "per-cycle" ] ~docv:"N" ~doc)
+  in
+  let run which n1 t_end h2 per_cycle =
+    let t_end = Option.value t_end ~default:(default_t_end which) in
+    let h2 = Option.value h2 ~default:(default_h2 which) in
+    let orbit = find_orbit ~n1 which in
+    let dae = Circuit.Vco.build (params_of which) in
+    let options = Wampde.Envelope.default_options ~n1 () in
+    let res = Wampde.Envelope.simulate dae ~options ~t2_end:t_end ~h2 ~init:orbit in
+    let times, values =
+      Wampde.Envelope.waveform_samples res ~component:Circuit.Vco.idx_voltage ~per_cycle
+    in
+    Printf.printf "t_us,voltage_v\n";
+    Array.iteri (fun i t -> Printf.printf "%.6f,%.6f\n" t values.(i)) times
+  in
+  let doc = "recovered 1-D waveform x(t) = xhat(phi(t), t) from an envelope run" in
+  Cmd.v
+    (Cmd.info "waveform" ~doc)
+    Term.(const run $ which_arg $ n1_arg $ t_end_arg $ h2_arg $ per_cycle_arg)
+
+let deck_cmd =
+  let deck_arg =
+    let doc = "Netlist deck file (SPICE-flavoured; see Circuit.Parser)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK" ~doc)
+  in
+  let t_end_pos =
+    let doc = "Simulation end time." in
+    Arg.(value & opt float 10. & info [ "t-end" ] ~docv:"T" ~doc)
+  in
+  let steps_arg =
+    let doc = "Number of fixed time steps." in
+    Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"N" ~doc)
+  in
+  let run deck t_end steps =
+    match Circuit.Parser.parse_file deck with
+    | exception Circuit.Parser.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" deck line message;
+      exit 1
+    | net ->
+      let dae = Circuit.Mna.compile net in
+      let x0 =
+        let guess = Circuit.Mna.initial_guess net in
+        let report = Dae.dc_operating_point ~x0:guess dae in
+        if report.Nonlin.Newton.converged then report.Nonlin.Newton.x else guess
+      in
+      let traj =
+        Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:t_end
+          ~h:(t_end /. float_of_int steps)
+          x0
+      in
+      Printf.printf "t";
+      Array.iter (Printf.printf ",%s") dae.Dae.var_names;
+      print_newline ();
+      Array.iteri
+        (fun i t ->
+          Printf.printf "%.6g" t;
+          Array.iter (Printf.printf ",%.6g") traj.Transient.states.(i);
+          print_newline ())
+        traj.Transient.times
+  in
+  let doc = "parse a SPICE-flavoured netlist deck and run a transient simulation (CSV)" in
+  Cmd.v (Cmd.info "deck" ~doc) Term.(const run $ deck_arg $ t_end_pos $ steps_arg)
+
+let () =
+  let doc = "multi-time (WaMPDE) simulation of voltage-controlled oscillators" in
+  let info = Cmd.info "wampde_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ orbit_cmd; envelope_cmd; transient_cmd; quasi_cmd; waveform_cmd; deck_cmd ]))

@@ -1,0 +1,1 @@
+examples/diode_vco.ml: Array Circuit Float Printf Steady Wampde

@@ -1,0 +1,1 @@
+examples/diode_vco.mli:

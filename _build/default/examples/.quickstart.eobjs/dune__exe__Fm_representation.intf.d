@@ -1,0 +1,1 @@
+examples/fm_representation.mli:

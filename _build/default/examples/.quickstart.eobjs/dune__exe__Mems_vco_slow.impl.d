@@ -1,0 +1,1 @@
+examples/mems_vco_slow.ml: Array Circuit Dae Float List Printf Sigproc Steady Sys Transient Wampde

@@ -1,0 +1,1 @@
+examples/mems_vco_slow.mli:

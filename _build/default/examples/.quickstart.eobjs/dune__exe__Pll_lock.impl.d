@@ -1,0 +1,1 @@
+examples/pll_lock.ml: Array Circuit Float Printf Sigproc Transient

@@ -1,0 +1,1 @@
+examples/pll_lock.mli:

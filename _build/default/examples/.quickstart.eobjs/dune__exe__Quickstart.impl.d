@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Dae Float List Printf Sigproc Steady Wampde

@@ -1,0 +1,1 @@
+examples/stability.ml: Array Circuit Complex Dae Float Linalg Printf Steady

@@ -1,0 +1,1 @@
+examples/vco_fm.ml: Array Circuit Dae Float Printf Steady Sys Transient Wampde

@@ -1,0 +1,1 @@
+examples/vco_fm.mli:

@@ -1,0 +1,1 @@
+lib/circuit/diode_vco.ml: Float Mna

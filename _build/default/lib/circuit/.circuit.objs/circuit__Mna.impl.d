@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Dae Float Hashtbl Linalg List Mat Printf String

@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Char Float List Mna Option Printf String

@@ -1,0 +1,1 @@
+lib/circuit/vco.ml: Float Mna Nonlin

@@ -1,0 +1,1 @@
+lib/circuit/vco.mli: Dae Linalg Mna Vec

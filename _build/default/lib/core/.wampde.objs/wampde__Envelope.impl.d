@@ -1,0 +1,1 @@
+lib/core/envelope.ml: Array Complex Dae Float Fourier Int Linalg List Lu Mat Nonlin Phase Printf Sigproc Steady Vec

@@ -1,0 +1,1 @@
+lib/core/envelope.mli: Dae Linalg Nonlin Phase Sigproc Steady Vec

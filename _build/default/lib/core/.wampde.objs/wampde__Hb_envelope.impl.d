@@ -1,0 +1,1 @@
+lib/core/hb_envelope.ml: Array Complex Cx Dae Float Fourier Linalg List Nonlin Printf Steady Vec

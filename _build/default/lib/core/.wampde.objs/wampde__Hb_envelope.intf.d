@@ -1,0 +1,1 @@
+lib/core/hb_envelope.mli: Cx Dae Linalg Steady Vec

@@ -1,0 +1,1 @@
+lib/core/hbform.ml: Array Complex Cx Envelope Fourier Linalg

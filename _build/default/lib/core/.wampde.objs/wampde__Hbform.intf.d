@@ -1,0 +1,1 @@
+lib/core/hbform.mli: Cx Envelope Linalg Vec

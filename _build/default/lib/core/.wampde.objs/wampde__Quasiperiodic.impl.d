@@ -1,0 +1,1 @@
+lib/core/quasiperiodic.ml: Array Dae Envelope Float Fourier Gmres Int Linalg Lu Mat Phase Printf Sigproc Vec

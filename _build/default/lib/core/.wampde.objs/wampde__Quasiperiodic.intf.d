@@ -1,0 +1,1 @@
+lib/core/quasiperiodic.mli: Dae Envelope Linalg Vec

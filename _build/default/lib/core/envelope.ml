@@ -1,0 +1,403 @@
+open Linalg
+
+type options = {
+  n1 : int;
+  theta : float;
+  phase : Phase.t;
+  differentiation : [ `Spectral | `Fd4 ];
+  newton : Nonlin.Newton.options;
+}
+
+let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) () =
+  {
+    n1;
+    theta = 0.5;
+    phase;
+    differentiation = `Spectral;
+    newton = { Nonlin.Newton.default_options with max_iterations = 30; residual_tol = 1e-9 };
+  }
+
+type result = {
+  t2 : Vec.t;
+  omega : Vec.t;
+  slices : Vec.t array array;
+  newton_iterations : int;
+  options : options;
+}
+
+(* Flat unknown layout per step: y.(j * n + i) = component i at t1 grid
+   point j; y.(n1 * n) = omega. *)
+
+let diff_matrix options =
+  match options.differentiation with
+  | `Spectral -> Fourier.Series.diff_matrix options.n1
+  | `Fd4 -> Fourier.Series.diff_matrix_fd ~order:4 options.n1
+
+(* g_{j,i}(X, omega, t2) = omega (D Q)_{j,i} + f(t2, X_j)_i : the
+   "spatial" part of the WaMPDE residual at one collocation point. *)
+let eval_g dae ~n1 ~d ~t2 states omega =
+  let n = dae.Dae.dim in
+  let qs = Array.map dae.Dae.q states in
+  let g = Array.make (n1 * n) 0. in
+  for j = 0 to n1 - 1 do
+    let fj = dae.Dae.f ~t:t2 states.(j) in
+    let dj = d.(j) in
+    for i = 0 to n - 1 do
+      let s = ref 0. in
+      for k = 0 to n1 - 1 do
+        s := !s +. (dj.(k) *. qs.(k).(i))
+      done;
+      g.((j * n) + i) <- (omega *. !s) +. fj.(i)
+    done
+  done;
+  g
+
+let unpack ~n1 ~n y = (Array.init n1 (fun j -> Array.sub y (j * n) n), y.(n1 * n))
+
+(* Jacobian cache for the chord (stale-Jacobian) Newton iteration: the
+   collocation Jacobian varies slowly along t2, so one factorization
+   typically serves several slow steps.  Refreshed automatically when
+   the iteration stops contracting. *)
+type jac_cache = { mutable lu : Lu.t option }
+
+let new_cache () = { lu = None }
+
+(* One theta step of size h2 from (states0, omega0, g0) at t2_new. *)
+let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
+  let n = dae.Dae.dim in
+  let n1 = options.n1 in
+  let theta = options.theta in
+  let q0 = Array.map dae.Dae.q states0 in
+  let residual y =
+    let states, omega = unpack ~n1 ~n y in
+    let g = eval_g dae ~n1 ~d ~t2:t2_new states omega in
+    let res = Array.make ((n1 * n) + 1) 0. in
+    for j = 0 to n1 - 1 do
+      let qj = dae.Dae.q states.(j) in
+      for i = 0 to n - 1 do
+        let idx = (j * n) + i in
+        res.(idx) <-
+          qj.(i) -. q0.(j).(i)
+          +. (h2 *. theta *. g.(idx))
+          +. (if theta < 1. then h2 *. (1. -. theta) *. g0.(idx) else 0.)
+      done
+    done;
+    (* phase condition row *)
+    let s = ref 0. in
+    for idx = 0 to (n1 * n) - 1 do
+      s := !s +. (phase_row.(idx) *. y.(idx))
+    done;
+    res.(n1 * n) <- !s;
+    res
+  in
+  let jacobian y =
+    let states, omega = unpack ~n1 ~n y in
+    let qs = Array.map dae.Dae.q states in
+    let cs = Array.map dae.Dae.dq states in
+    let dim = (n1 * n) + 1 in
+    let jac = Mat.zeros dim dim in
+    for j = 0 to n1 - 1 do
+      let gj = dae.Dae.df ~t:t2_new states.(j) in
+      let dj = d.(j) in
+      for k = 0 to n1 - 1 do
+        let djk = dj.(k) in
+        let fast = h2 *. theta *. omega *. djk in
+        for i = 0 to n - 1 do
+          let row = (j * n) + i in
+          for l = 0 to n - 1 do
+            let v = ref (fast *. cs.(k).(i).(l)) in
+            if j = k then v := !v +. cs.(j).(i).(l) +. (h2 *. theta *. gj.(i).(l));
+            if !v <> 0. then jac.(row).((k * n) + l) <- jac.(row).((k * n) + l) +. !v
+          done
+        done
+      done;
+      (* d/d omega: h2 theta (D Q)_j *)
+      for i = 0 to n - 1 do
+        let s = ref 0. in
+        for k = 0 to n1 - 1 do
+          s := !s +. (dj.(k) *. qs.(k).(i))
+        done;
+        jac.((j * n) + i).(n1 * n) <- h2 *. theta *. !s
+      done
+    done;
+    for idx = 0 to (n1 * n) - 1 do
+      jac.(n1 * n).(idx) <- phase_row.(idx)
+    done;
+    jac
+  in
+  let y0 =
+    Vec.init ((n1 * n) + 1) (fun idx ->
+        if idx = n1 * n then omega0 else states0.(idx / n).(idx mod n))
+  in
+  (* chord Newton: reuse the cached factorization while it contracts,
+     refresh it (at the current iterate) when it does not *)
+  let tol = options.newton.Nonlin.Newton.residual_tol in
+  let max_iterations = Int.max 40 options.newton.Nonlin.Newton.max_iterations in
+  let fail rnorm =
+    failwith
+      (Printf.sprintf "Wampde.Envelope: Newton failed at t2 = %.6g (h2 = %.3g, residual %.3e)"
+         t2_new h2 rnorm)
+  in
+  let refresh y =
+    let lu = Lu.factor (jacobian y) in
+    cache.lu <- Some lu;
+    lu
+  in
+  let y = ref y0 in
+  let r = ref (residual y0) in
+  let rnorm = ref (Vec.norm_inf !r) in
+  let fresh = ref false in
+  let iters = ref 0 in
+  (try
+     while !rnorm > tol do
+       if !iters >= max_iterations then fail !rnorm;
+       incr iters;
+       let lu = match cache.lu with Some lu -> lu | None -> refresh !y in
+       let dy = Lu.solve lu !r in
+       let trial = Array.mapi (fun i yi -> yi -. dy.(i)) !y in
+       let rt = residual trial in
+       let rtnorm = Vec.norm_inf rt in
+       if Float.is_finite rtnorm && (rtnorm <= tol || rtnorm < 0.7 *. !rnorm) then begin
+         y := trial;
+         r := rt;
+         rnorm := rtnorm;
+         fresh := false
+       end
+       else if not !fresh then begin
+         (* stale Jacobian stopped contracting: refresh and retry *)
+         ignore (refresh !y);
+         fresh := true
+       end
+       else begin
+         (* fresh Jacobian and still no contraction: damped line search *)
+         let rec backtrack lambda =
+           if lambda < 1e-4 then fail !rnorm
+           else begin
+             let t = Array.mapi (fun i yi -> yi -. (lambda *. dy.(i))) !y in
+             let rl = residual t in
+             let nl = Vec.norm_inf rl in
+             if Float.is_finite nl && nl < !rnorm then begin
+               y := t;
+               r := rl;
+               rnorm := nl
+             end
+             else backtrack (lambda /. 2.)
+           end
+         in
+         backtrack 0.5;
+         (* the next iteration refactors at the new point *)
+         cache.lu <- None;
+         fresh := false
+       end
+     done
+   with Lu.Singular _ -> fail !rnorm);
+  let states, omega = unpack ~n1 ~n !y in
+  (states, omega, !iters)
+
+let check_init options (init : Steady.Oscillator.orbit) =
+  if Array.length init.Steady.Oscillator.grid <> options.n1 then
+    invalid_arg "Wampde.Envelope: init grid size differs from options.n1";
+  if options.n1 mod 2 = 0 then invalid_arg "Wampde.Envelope: n1 must be odd"
+
+(* The phase condition only pins the solution within its own constraint
+   manifold; starting OFF the manifold can make Newton land on a valid
+   but non-compact solution branch (the paper's footnote 3: choosing a
+   slowly-varying phase condition "is the key to compact numerical
+   representation").  For the Fourier condition we therefore rotate the
+   initial orbit in t1 so that Im Xhat^k_l = 0 holds exactly at t2 = 0;
+   a t1-rotation maps solutions to solutions with unchanged omega. *)
+let align_init options (init : Steady.Oscillator.orbit) =
+  match options.phase with
+  | Phase.Derivative _ -> init
+  | Phase.Fourier { component; harmonic } ->
+    let n1 = options.n1 in
+    let grid = init.Steady.Oscillator.grid in
+    let n = Array.length grid.(0) in
+    let samples = Array.map (fun s -> s.(component)) grid in
+    let coeffs = Fourier.Series.coeffs samples in
+    let x_l = Fourier.Series.harmonic coeffs harmonic in
+    (* sampling at t1 + delta multiplies X_l by e^{2 pi j l delta}; choose
+       delta so the rotated coefficient becomes real *)
+    let delta = -.Complex.arg x_l /. (2. *. Float.pi *. float_of_int harmonic) in
+    if Float.abs delta < 1e-12 then init
+    else begin
+      let rotated =
+        Array.init n1 (fun j ->
+            Vec.init n (fun v ->
+                let var_samples = Array.map (fun s -> s.(v)) grid in
+                Fourier.Series.interp var_samples ~period:1.
+                  ((float_of_int j /. float_of_int n1) +. delta)))
+      in
+      { init with Steady.Oscillator.grid = rotated }
+    end
+
+let simulate dae ~options ~t2_end ~h2 ~init =
+  check_init options init;
+  let init = align_init options init in
+  let n1 = options.n1 and n = dae.Dae.dim in
+  let d = diff_matrix options in
+  let phase_row = Phase.row options.phase ~n1 ~n ~d in
+  let t2s = ref [ 0. ] in
+  let omegas = ref [ init.Steady.Oscillator.omega ] in
+  let slices = ref [ Array.map Array.copy init.Steady.Oscillator.grid ] in
+  let iter_count = ref 0 in
+  let t2 = ref 0. in
+  let states = ref init.Steady.Oscillator.grid and omega = ref init.Steady.Oscillator.omega in
+  let g = ref (eval_g dae ~n1 ~d ~t2:0. !states !omega) in
+  let cache = new_cache () in
+  while !t2 < t2_end -. (1e-9 *. t2_end) do
+    let h = Float.min h2 (t2_end -. !t2) in
+    let t2_new = !t2 +. h in
+    let states', omega', iters =
+      step dae ~options ~cache ~d ~phase_row ~t2_new ~h2:h ~states0:!states ~g0:!g ~omega0:!omega
+    in
+    iter_count := !iter_count + iters;
+    states := states';
+    omega := omega';
+    g := eval_g dae ~n1 ~d ~t2:t2_new states' omega';
+    t2 := t2_new;
+    t2s := t2_new :: !t2s;
+    omegas := omega' :: !omegas;
+    slices := Array.map Array.copy states' :: !slices
+  done;
+  {
+    t2 = Array.of_list (List.rev !t2s);
+    omega = Array.of_list (List.rev !omegas);
+    slices = Array.of_list (List.rev !slices);
+    newton_iterations = !iter_count;
+    options;
+  }
+
+let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~tol ~init () =
+  check_init options init;
+  let init = align_init options init in
+  let n1 = options.n1 and n = dae.Dae.dim in
+  let h2_max = match h2_max with Some h -> h | None -> t2_end /. 5. in
+  let d = diff_matrix options in
+  let phase_row = Phase.row options.phase ~n1 ~n ~d in
+  let t2s = ref [ 0. ] in
+  let omegas = ref [ init.Steady.Oscillator.omega ] in
+  let slices = ref [ Array.map Array.copy init.Steady.Oscillator.grid ] in
+  let iter_count = ref 0 in
+  let t2 = ref 0. in
+  let states = ref init.Steady.Oscillator.grid and omega = ref init.Steady.Oscillator.omega in
+  let g = ref (eval_g dae ~n1 ~d ~t2:0. !states !omega) in
+  let h = ref h2_init in
+  let cache = new_cache () in
+  while !t2 < t2_end -. (1e-9 *. t2_end) do
+    let hstep = Float.min !h (t2_end -. !t2) in
+    let attempt () =
+      let full, om_full, it1 =
+        step dae ~options ~cache ~d ~phase_row ~t2_new:(!t2 +. hstep) ~h2:hstep ~states0:!states
+          ~g0:!g ~omega0:!omega
+      in
+      let mid, om_mid, it2 =
+        step dae ~options ~cache ~d ~phase_row ~t2_new:(!t2 +. (hstep /. 2.)) ~h2:(hstep /. 2.)
+          ~states0:!states ~g0:!g ~omega0:!omega
+      in
+      let g_mid = eval_g dae ~n1 ~d ~t2:(!t2 +. (hstep /. 2.)) mid om_mid in
+      let fine, om_fine, it3 =
+        step dae ~options ~cache ~d ~phase_row ~t2_new:(!t2 +. hstep) ~h2:(hstep /. 2.) ~states0:mid
+          ~g0:g_mid ~omega0:om_mid
+      in
+      iter_count := !iter_count + it1 + it2 + it3;
+      (full, om_full, fine, om_fine)
+    in
+    match attempt () with
+    | exception Failure _ ->
+      h := hstep /. 4.;
+      if !h < h2_min then failwith "Wampde.Envelope.simulate_adaptive: step underflow"
+    | full, om_full, fine, om_fine ->
+      (* relative error estimate; each variable is scaled by its own
+         peak magnitude over the slice so that components passing
+         through zero (and tiny states dominated by Newton solve
+         noise) do not stall the step controller *)
+      let err = ref (Float.abs (om_fine -. om_full) /. Float.max 1e-12 (Float.abs om_fine)) in
+      let comp_scale =
+        Array.init n (fun i ->
+            let peak = ref 1e-9 in
+            for j = 0 to n1 - 1 do
+              peak := Float.max !peak (Float.abs fine.(j).(i))
+            done;
+            !peak)
+      in
+      for j = 0 to n1 - 1 do
+        for i = 0 to n - 1 do
+          err := Float.max !err (Float.abs (fine.(j).(i) -. full.(j).(i)) /. comp_scale.(i) /. 3.)
+        done
+      done;
+      if !err <= tol then begin
+        t2 := !t2 +. hstep;
+        states := fine;
+        omega := om_fine;
+        g := eval_g dae ~n1 ~d ~t2:!t2 fine om_fine;
+        t2s := !t2 :: !t2s;
+        omegas := om_fine :: !omegas;
+        slices := Array.map Array.copy fine :: !slices;
+        let grow = if !err = 0. then 2. else Float.min 2. (0.9 *. ((tol /. !err) ** (1. /. 3.))) in
+        h := Float.min h2_max (hstep *. Float.max 1. grow)
+      end
+      else begin
+        h := hstep *. Float.max 0.1 (0.9 *. ((tol /. !err) ** (1. /. 3.)));
+        if !h < h2_min then failwith "Wampde.Envelope.simulate_adaptive: step underflow"
+      end
+  done;
+  {
+    t2 = Array.of_list (List.rev !t2s);
+    omega = Array.of_list (List.rev !omegas);
+    slices = Array.of_list (List.rev !slices);
+    newton_iterations = !iter_count;
+    options;
+  }
+
+(* ---------- post-processing ---------- *)
+
+let warping result = Sigproc.Warp.of_samples ~times:result.t2 ~omega:result.omega
+
+let slice result ~index ~component =
+  Array.map (fun state -> state.(component)) result.slices.(index)
+
+let eval_bivariate result ~component ~t1 ~t2 =
+  let m = Array.length result.t2 in
+  (* locate the t2 interval *)
+  let idx =
+    if t2 <= result.t2.(0) then 0
+    else if t2 >= result.t2.(m - 1) then m - 2
+    else begin
+      let lo = ref 0 and hi = ref (m - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if result.t2.(mid) <= t2 then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  in
+  let ta = result.t2.(idx) and tb = result.t2.(idx + 1) in
+  let wa = Fourier.Series.interp (slice result ~index:idx ~component) ~period:1. t1 in
+  let wb = Fourier.Series.interp (slice result ~index:(idx + 1) ~component) ~period:1. t1 in
+  let frac = if tb = ta then 0. else Float.max 0. (Float.min 1. ((t2 -. ta) /. (tb -. ta))) in
+  wa +. (frac *. (wb -. wa))
+
+let eval_waveform result ~component t =
+  let w = warping result in
+  let tau = Sigproc.Warp.phi w t in
+  eval_bivariate result ~component ~t1:(Float.rem tau 1.) ~t2:t
+
+let waveform_samples result ~component ~per_cycle =
+  let w = warping result in
+  let cycles = Sigproc.Warp.total_cycles w in
+  let m = Array.length result.t2 in
+  let t_end = result.t2.(m - 1) in
+  let total = Int.max 2 (int_of_float (Float.ceil (cycles *. float_of_int per_cycle))) in
+  let times = Vec.linspace 0. t_end total in
+  let values = Vec.map (fun t -> eval_waveform result ~component t) times in
+  (times, values)
+
+let amplitude_track result ~component =
+  Array.mapi
+    (fun m _ ->
+      let s = slice result ~index:m ~component in
+      let hi = Array.fold_left Float.max neg_infinity s in
+      let lo = Array.fold_left Float.min infinity s in
+      (hi -. lo) /. 2.)
+    result.slices

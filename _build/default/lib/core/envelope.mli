@@ -1,0 +1,93 @@
+(** WaMPDE envelope-following simulation (Section 4's
+    initial-condition mode — the solver behind the paper's VCO
+    experiments, Figs. 7–12).
+
+    The two-scale WaMPDE (eq. (16))
+
+    [omega(t2) dq(xhat)/dt1 + dq(xhat)/dt2 + f(t2, xhat) = 0]
+
+    is discretized by collocation on an odd uniform [t1] grid (period
+    1; spectral or 4th-order finite-difference differentiation) and
+    advanced in [t2] with the theta method.  Each step solves, by
+    damped Newton, for the [n1] grid states {e and} the local
+    frequency [omega], closed by a {!Phase} condition.
+
+    The [t1] axis is warped: [xhat] has period exactly 1, so [omega]
+    is the instantaneous oscillation frequency in cycles per time
+    unit. *)
+
+open Linalg
+
+type options = {
+  n1 : int;  (** odd number of [t1] collocation points *)
+  theta : float;  (** 1 = backward Euler, 0.5 = trapezoidal *)
+  phase : Phase.t;
+  differentiation : [ `Spectral | `Fd4 ];  (** [t1] derivative scheme *)
+  newton : Nonlin.Newton.options;
+}
+
+(** [default_options ()] — [n1 = 25], trapezoidal, derivative phase
+    condition on component 0, spectral differentiation. *)
+val default_options : ?n1:int -> ?phase:Phase.t -> unit -> options
+
+type result = {
+  t2 : Vec.t;  (** accepted slow-time points (including [t2 = 0]) *)
+  omega : Vec.t;  (** local frequency at each [t2] point *)
+  slices : Vec.t array array;
+      (** [slices.(m).(j)] is the state at [(t1_j, t2_m)] with
+          [t1_j = j / n1] *)
+  newton_iterations : int;  (** total inner Newton iterations *)
+  options : options;
+}
+
+(** [simulate dae ~options ~t2_end ~h2 ~init] advances the envelope
+    from the unforced steady state [init] (typically from
+    {!Steady.Oscillator.find} with the forcing frozen at its [t = 0]
+    value) to [t2_end] with fixed slow step [h2].
+
+    Raises [Failure] if a step's Newton iteration fails. *)
+val simulate :
+  Dae.t -> options:options -> t2_end:float -> h2:float -> init:Steady.Oscillator.orbit -> result
+
+(** [simulate_adaptive dae ~options ~t2_end ~h2_init ?h2_min ?h2_max ~tol ~init]
+    adapts the slow step by step-halving comparison of the state
+    slices (relative tolerance [tol]). *)
+val simulate_adaptive :
+  Dae.t ->
+  ?h2_min:float ->
+  ?h2_max:float ->
+  options:options ->
+  t2_end:float ->
+  h2_init:float ->
+  tol:float ->
+  init:Steady.Oscillator.orbit ->
+  unit ->
+  result
+
+(** {1 Post-processing (eq. (17))} *)
+
+(** [warping result] is [phi(t) = integral omega], the bent-path map. *)
+val warping : result -> Sigproc.Warp.t
+
+(** [eval_bivariate result ~component ~t1 ~t2] evaluates the bivariate
+    waveform: trigonometric interpolation along [t1] (period 1),
+    linear interpolation along [t2]. *)
+val eval_bivariate : result -> component:int -> t1:float -> t2:float -> float
+
+(** [eval_waveform result ~component t] is the recovered 1-D solution
+    [x(t) = xhat(phi(t) mod 1, t)]. *)
+val eval_waveform : result -> component:int -> float -> float
+
+(** [waveform_samples result ~component ~per_cycle] samples
+    {!eval_waveform} densely enough for [per_cycle] points per
+    oscillation cycle, returning [(times, values)]. *)
+val waveform_samples : result -> component:int -> per_cycle:int -> Vec.t * Vec.t
+
+(** [amplitude_track result ~component] is, per accepted [t2] point,
+    half the peak-to-peak excursion of the component along [t1]:
+    the amplitude-modulation envelope (paper Figs. 8 vs 11). *)
+val amplitude_track : result -> component:int -> Vec.t
+
+(** [slice result ~index ~component] extracts the [t1] waveform of a
+    component at accepted step [index]. *)
+val slice : result -> index:int -> component:int -> Vec.t

@@ -1,0 +1,180 @@
+open Linalg
+
+type result = {
+  t2 : Vec.t;
+  omega : Vec.t;
+  coeffs : Cx.Cvec.t array array;
+  harmonics : int;
+}
+
+let two_pi = 2. *. Float.pi
+
+(* Real packing of one slow step's unknowns:
+   y.((v * nn) + 0)        = X_0 (real)
+   y.((v * nn) + 2i - 1)   = Re X_i   (i = 1..m)
+   y.((v * nn) + 2i)       = Im X_i
+   y.(n * nn)              = omega
+   where nn = 2 m + 1. *)
+
+let coeffs_of_packed ~n ~m y =
+  let nn = (2 * m) + 1 in
+  Array.init n (fun v ->
+      let base = v * nn in
+      Array.init nn (fun idx ->
+          let i = idx - m in
+          if i = 0 then Cx.cx y.(base) 0.
+          else begin
+            let a = abs i in
+            let re = y.(base + (2 * a) - 1) and im = y.(base + (2 * a)) in
+            if i > 0 then Cx.cx re im else Cx.cx re (-.im)
+          end))
+
+let pack_coeffs ~n ~m coeffs omega =
+  let nn = (2 * m) + 1 in
+  let y = Array.make ((n * nn) + 1) 0. in
+  for v = 0 to n - 1 do
+    let base = v * nn in
+    y.(base) <- Cx.re coeffs.(v).(m);
+    for i = 1 to m do
+      y.(base + (2 * i) - 1) <- Cx.re coeffs.(v).(m + i);
+      y.(base + (2 * i)) <- Cx.im coeffs.(v).(m + i)
+    done
+  done;
+  y.(n * nn) <- omega;
+  y
+
+let synthesize ~n ~m coeffs =
+  let nn = (2 * m) + 1 in
+  Array.init nn (fun j ->
+      Vec.init n (fun v ->
+          Fourier.Series.eval coeffs.(v) ~period:1. (float_of_int j /. float_of_int nn)))
+
+(* complex g_i = 2 pi j i omega Q_i + F_i, packed to real the same way
+   as the unknowns *)
+let eval_g dae ~n ~m ~t2 coeffs omega =
+  let nn = (2 * m) + 1 in
+  let states = synthesize ~n ~m coeffs in
+  let qs = Array.map dae.Dae.q states in
+  let fs = Array.map (fun st -> dae.Dae.f ~t:t2 st) states in
+  let g = Array.make (n * nn) 0. in
+  for v = 0 to n - 1 do
+    let q_coeffs = Fourier.Series.coeffs (Array.map (fun q -> q.(v)) qs) in
+    let f_coeffs = Fourier.Series.coeffs (Array.map (fun f -> f.(v)) fs) in
+    let base = v * nn in
+    for i = 0 to m do
+      let jw = Cx.cx 0. (two_pi *. float_of_int i *. omega) in
+      let gi = Complex.add (Complex.mul jw q_coeffs.(m + i)) f_coeffs.(m + i) in
+      if i = 0 then g.(base) <- Cx.re gi
+      else begin
+        g.(base + (2 * i) - 1) <- Cx.re gi;
+        g.(base + (2 * i)) <- Cx.im gi
+      end
+    done
+  done;
+  g
+
+(* q coefficients only, packed *)
+let eval_q_packed dae ~n ~m coeffs =
+  let nn = (2 * m) + 1 in
+  let states = synthesize ~n ~m coeffs in
+  let qs = Array.map dae.Dae.q states in
+  let out = Array.make (n * nn) 0. in
+  for v = 0 to n - 1 do
+    let q_coeffs = Fourier.Series.coeffs (Array.map (fun q -> q.(v)) qs) in
+    let base = v * nn in
+    for i = 0 to m do
+      if i = 0 then out.(base) <- Cx.re q_coeffs.(m)
+      else begin
+        out.(base + (2 * i) - 1) <- Cx.re q_coeffs.(m + i);
+        out.(base + (2 * i)) <- Cx.im q_coeffs.(m + i)
+      end
+    done
+  done;
+  out
+
+let simulate dae ~harmonics:m ?(phase_component = 0) ?(phase_harmonic = 1) ~t2_end ~h2 ~init
+    () =
+  let n = dae.Dae.dim in
+  let nn = (2 * m) + 1 in
+  if Array.length init.Steady.Oscillator.grid <> nn then
+    invalid_arg "Hb_envelope.simulate: init grid must have 2 harmonics + 1 points";
+  if phase_harmonic < 1 || phase_harmonic > m then
+    invalid_arg "Hb_envelope.simulate: phase harmonic out of range";
+  let theta = 0.5 in
+  (* initial coefficients from the orbit's time-domain grid *)
+  let coeffs0 =
+    Array.init n (fun v ->
+        Fourier.Series.coeffs
+          (Array.map (fun s -> s.(v)) init.Steady.Oscillator.grid))
+  in
+  (* rotate the phase so Im X_phase = 0 initially: shift t1 by delta with
+     X_i -> X_i e^{-2 pi j i delta} *)
+  let x_l = coeffs0.(phase_component).(m + phase_harmonic) in
+  let delta = Complex.arg x_l /. (two_pi *. float_of_int phase_harmonic) in
+  let coeffs0 =
+    Array.map
+      (fun per_var ->
+        Array.mapi
+          (fun idx c ->
+            let i = idx - m in
+            Complex.mul c (Cx.cis (-.two_pi *. float_of_int i *. delta)))
+          per_var)
+      coeffs0
+  in
+  let phase_slot = (phase_component * nn) + (2 * phase_harmonic) in
+  let omega0 = init.Steady.Oscillator.omega in
+  let t2s = ref [ 0. ] and omegas = ref [ omega0 ] in
+  let coeff_hist = ref [ Array.map Array.copy coeffs0 ] in
+  let t2 = ref 0. in
+  let coeffs = ref coeffs0 and omega = ref omega0 in
+  let g = ref (eval_g dae ~n ~m ~t2:0. !coeffs !omega) in
+  while !t2 < t2_end -. (1e-9 *. t2_end) do
+    let h = Float.min h2 (t2_end -. !t2) in
+    let t2_new = !t2 +. h in
+    let q0 = eval_q_packed dae ~n ~m !coeffs in
+    let g0 = !g in
+    let residual y =
+      let c = coeffs_of_packed ~n ~m y in
+      let om = y.(n * nn) in
+      let qy = eval_q_packed dae ~n ~m c in
+      let gy = eval_g dae ~n ~m ~t2:t2_new c om in
+      let res = Array.make ((n * nn) + 1) 0. in
+      for idx = 0 to (n * nn) - 1 do
+        res.(idx) <-
+          qy.(idx) -. q0.(idx) +. (h *. theta *. gy.(idx))
+          +. (h *. (1. -. theta) *. g0.(idx))
+      done;
+      (* phase condition: Im Xhat^k_l = 0 is just one unknown slot *)
+      res.(n * nn) <- y.(phase_slot);
+      res
+    in
+    let options =
+      { Nonlin.Newton.default_options with max_iterations = 30; residual_tol = 1e-9 }
+    in
+    let y0 = pack_coeffs ~n ~m !coeffs !omega in
+    let report = Nonlin.Newton.solve ~options ~residual y0 in
+    if not report.Nonlin.Newton.converged then
+      failwith
+        (Printf.sprintf "Hb_envelope.simulate: Newton failed at t2 = %.6g (residual %.3e)"
+           t2_new report.Nonlin.Newton.residual_norm);
+    coeffs := coeffs_of_packed ~n ~m report.Nonlin.Newton.x;
+    omega := report.Nonlin.Newton.x.(n * nn);
+    g := eval_g dae ~n ~m ~t2:t2_new !coeffs !omega;
+    t2 := t2_new;
+    t2s := t2_new :: !t2s;
+    omegas := !omega :: !omegas;
+    coeff_hist := Array.map Array.copy !coeffs :: !coeff_hist
+  done;
+  {
+    t2 = Array.of_list (List.rev !t2s);
+    omega = Array.of_list (List.rev !omegas);
+    coeffs = Array.of_list (List.rev !coeff_hist);
+    harmonics = m;
+  }
+
+let eval_coefficient result ~step ~component ~harmonic =
+  result.coeffs.(step).(component).(result.harmonics + harmonic)
+
+let waveform_slice result ~step ~component ~n =
+  let c = result.coeffs.(step).(component) in
+  Vec.init n (fun j -> Fourier.Series.eval c ~period:1. (float_of_int j /. float_of_int n))

@@ -1,0 +1,17 @@
+open Linalg
+
+let coefficient_tracks (result : Envelope.result) ~component =
+  Array.mapi
+    (fun idx _ ->
+      Fourier.Series.coeffs (Envelope.slice result ~index:idx ~component))
+    result.Envelope.slices
+
+let harmonic_magnitude result ~component ~harmonic =
+  let tracks = coefficient_tracks result ~component in
+  Array.map (fun c -> Complex.norm (Fourier.Series.harmonic c harmonic)) tracks
+
+let phase_condition_residual result ~component ~harmonic =
+  let tracks = coefficient_tracks result ~component in
+  Array.map (fun c -> Cx.im (Fourier.Series.harmonic c harmonic)) tracks
+
+let reconstruct coeffs t1 = Fourier.Series.eval coeffs ~period:1. t1

@@ -1,0 +1,32 @@
+(** Frequency-domain (harmonic-balance) view of WaMPDE results.
+
+    The paper's eq. (18) expands the bivariate waveform in a Fourier
+    series along the warped time, [xhat = sum_i Xhat_i(t2) e^{j i t1}];
+    its eq. (19) solves for the coefficient functions [Xhat_i(t2)].
+    The solvers here collocate in the time domain (mathematically
+    equivalent), and this module converts their output into the
+    coefficient view: per-harmonic envelope tracks that show how the
+    spectrum of the oscillation evolves along the slow time. *)
+
+open Linalg
+
+(** [coefficient_tracks result ~component] returns, for each accepted
+    [t2] point, the centered Fourier coefficients of the component's
+    [t1] waveform (index [i + M] holds harmonic [i], [M = n1/2]). *)
+val coefficient_tracks : Envelope.result -> component:int -> Cx.Cvec.t array
+
+(** [harmonic_magnitude result ~component ~harmonic] is the magnitude
+    track [|Xhat_harmonic(t2)|] over the run — e.g. [harmonic:1] is
+    (half) the fundamental amplitude envelope, [harmonic:3] tracks
+    waveform-shape change. *)
+val harmonic_magnitude : Envelope.result -> component:int -> harmonic:int -> Vec.t
+
+(** [phase_condition_residual result ~component ~harmonic] evaluates
+    [Im Xhat_harmonic(t2)] along the run: identically ~0 when the run
+    used the corresponding {!Phase.Fourier} condition, and a direct
+    check of eq. (20). *)
+val phase_condition_residual : Envelope.result -> component:int -> harmonic:int -> Vec.t
+
+(** [reconstruct coeffs t1] evaluates the series at warped time [t1]
+    (period 1). *)
+val reconstruct : Cx.Cvec.t -> float -> float

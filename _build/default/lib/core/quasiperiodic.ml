@@ -1,0 +1,263 @@
+open Linalg
+
+type solution = { p2 : float; t2 : Vec.t; omega : Vec.t; slices : Vec.t array array }
+
+type linear_solver = [ `Dense | `Gmres ]
+
+(* Unknown layout: for slice m in 0..n2-1, block of size (n1 * n + 1):
+   y.((m * bs) + (j * n) + i) = component i at (t1_j, t2_m);
+   y.((m * bs) + n1 * n) = omega at t2_m. *)
+
+let diff1 (options : Envelope.options) =
+  match options.Envelope.differentiation with
+  | `Spectral -> Fourier.Series.diff_matrix options.Envelope.n1
+  | `Fd4 -> Fourier.Series.diff_matrix_fd ~order:4 options.Envelope.n1
+
+let residual_fn dae ~(options : Envelope.options) ~p2 ~n2 ~d1 ~d2 ~phase_row y =
+  let n = dae.Dae.dim in
+  let n1 = options.Envelope.n1 in
+  let bs = (n1 * n) + 1 in
+  let state m j = Array.sub y ((m * bs) + (j * n)) n in
+  let omega m = y.((m * bs) + (n1 * n)) in
+  (* precompute q at every grid point *)
+  let qs = Array.init n2 (fun m -> Array.init n1 (fun j -> dae.Dae.q (state m j))) in
+  let res = Array.make (n2 * bs) 0. in
+  for m = 0 to n2 - 1 do
+    let t2m = p2 *. float_of_int m /. float_of_int n2 in
+    let om = omega m in
+    for j = 0 to n1 - 1 do
+      let fj = dae.Dae.f ~t:t2m (state m j) in
+      for i = 0 to n - 1 do
+        let fast = ref 0. in
+        for k = 0 to n1 - 1 do
+          fast := !fast +. (d1.(j).(k) *. qs.(m).(k).(i))
+        done;
+        let slow = ref 0. in
+        for p = 0 to n2 - 1 do
+          slow := !slow +. (d2.(m).(p) *. qs.(p).(j).(i))
+        done;
+        res.((m * bs) + (j * n) + i) <- (om *. !fast) +. (!slow /. p2) +. fj.(i)
+      done
+    done;
+    (* phase row for slice m *)
+    let s = ref 0. in
+    for idx = 0 to (n1 * n) - 1 do
+      s := !s +. (phase_row.(idx) *. y.((m * bs) + idx))
+    done;
+    res.((m * bs) + (n1 * n)) <- !s
+  done;
+  res
+
+(* Dense Jacobian assembly. *)
+let jacobian_fn dae ~(options : Envelope.options) ~p2 ~n2 ~d1 ~d2 ~phase_row y =
+  let n = dae.Dae.dim in
+  let n1 = options.Envelope.n1 in
+  let bs = (n1 * n) + 1 in
+  let dim = n2 * bs in
+  let state m j = Array.sub y ((m * bs) + (j * n)) n in
+  let omega m = y.((m * bs) + (n1 * n)) in
+  let qs = Array.init n2 (fun m -> Array.init n1 (fun j -> dae.Dae.q (state m j))) in
+  let cs = Array.init n2 (fun m -> Array.init n1 (fun j -> dae.Dae.dq (state m j))) in
+  let jac = Mat.zeros dim dim in
+  for m = 0 to n2 - 1 do
+    let t2m = p2 *. float_of_int m /. float_of_int n2 in
+    let om = omega m in
+    for j = 0 to n1 - 1 do
+      let gj = dae.Dae.df ~t:t2m (state m j) in
+      for i = 0 to n - 1 do
+        let row = (m * bs) + (j * n) + i in
+        (* fast-derivative and local f terms: within slice m *)
+        for k = 0 to n1 - 1 do
+          let djk = d1.(j).(k) in
+          for l = 0 to n - 1 do
+            let v = ref (om *. djk *. cs.(m).(k).(i).(l)) in
+            if k = j then v := !v +. gj.(i).(l);
+            if !v <> 0. then
+              jac.(row).((m * bs) + (k * n) + l) <- jac.(row).((m * bs) + (k * n) + l) +. !v
+          done
+        done;
+        (* slow-derivative coupling: same grid point j across slices *)
+        for p = 0 to n2 - 1 do
+          let dmp = d2.(m).(p) /. p2 in
+          if dmp <> 0. then
+            for l = 0 to n - 1 do
+              let v = dmp *. cs.(p).(j).(i).(l) in
+              if v <> 0. then
+                jac.(row).((p * bs) + (j * n) + l) <- jac.(row).((p * bs) + (j * n) + l) +. v
+            done
+        done;
+        (* d / d omega_m *)
+        let s = ref 0. in
+        for k = 0 to n1 - 1 do
+          s := !s +. (d1.(j).(k) *. qs.(m).(k).(i))
+        done;
+        jac.(row).((m * bs) + (n1 * n)) <- !s
+      done
+    done;
+    let prow = (m * bs) + (n1 * n) in
+    for idx = 0 to (n1 * n) - 1 do
+      jac.(prow).((m * bs) + idx) <- phase_row.(idx)
+    done
+  done;
+  jac
+
+let pack sol =
+  let n2 = Array.length sol.slices in
+  let n1 = Array.length sol.slices.(0) in
+  let n = Array.length sol.slices.(0).(0) in
+  let bs = (n1 * n) + 1 in
+  Vec.init (n2 * bs) (fun idx ->
+      let m = idx / bs and r = idx mod bs in
+      if r = n1 * n then sol.omega.(m) else sol.slices.(m).(r / n).(r mod n))
+
+let unpack ~p2 ~n1 ~n ~n2 y =
+  let bs = (n1 * n) + 1 in
+  {
+    p2;
+    t2 = Vec.init n2 (fun m -> p2 *. float_of_int m /. float_of_int n2);
+    omega = Vec.init n2 (fun m -> y.((m * bs) + (n1 * n)));
+    slices =
+      Array.init n2 (fun m -> Array.init n1 (fun j -> Array.sub y ((m * bs) + (j * n)) n));
+  }
+
+let solve dae ?(linear_solver = `Dense) ?(max_iterations = 25) ?(tol = 1e-8)
+    ~(options : Envelope.options) ~p2 ~n2 ~guess () =
+  let n = dae.Dae.dim in
+  let n1 = options.Envelope.n1 in
+  if n1 mod 2 = 0 || n2 mod 2 = 0 then
+    invalid_arg "Quasiperiodic.solve: n1 and n2 must be odd";
+  if Array.length guess.slices <> n2 || Array.length guess.slices.(0) <> n1 then
+    invalid_arg "Quasiperiodic.solve: guess grid mismatch";
+  let d1 = diff1 options in
+  let d2 = Fourier.Series.diff_matrix n2 in
+  let phase_row = Phase.row options.Envelope.phase ~n1 ~n ~d:d1 in
+  let residual y = residual_fn dae ~options ~p2 ~n2 ~d1 ~d2 ~phase_row y in
+  let bs = (n1 * n) + 1 in
+  let y = ref (pack guess) in
+  let r = ref (residual !y) in
+  let rnorm = ref (Vec.norm_inf !r) in
+  let iters = ref 0 in
+  while !rnorm > tol && !iters < max_iterations do
+    let jac = jacobian_fn dae ~options ~p2 ~n2 ~d1 ~d2 ~phase_row !y in
+    let dy =
+      match linear_solver with
+      | `Dense -> Lu.solve (Lu.factor jac) !r
+      | `Gmres ->
+        (* block-Jacobi preconditioner: LU of each slice-diagonal block *)
+        let blocks =
+          Array.init n2 (fun m ->
+              Lu.factor (Mat.init bs bs (fun a b -> jac.((m * bs) + a).((m * bs) + b))))
+        in
+        let m_inv v =
+          let out = Array.make (n2 * bs) 0. in
+          for m = 0 to n2 - 1 do
+            let seg = Array.sub v (m * bs) bs in
+            let sol = Lu.solve blocks.(m) seg in
+            Array.blit sol 0 out (m * bs) bs
+          done;
+          out
+        in
+        let result =
+          Gmres.solve ~matvec:(fun v -> Mat.matvec jac v) ~m_inv ~restart:60 ~tol:1e-10 !r
+        in
+        if not result.Gmres.converged then
+          failwith "Quasiperiodic.solve: GMRES failed to converge";
+        result.Gmres.x
+    in
+    (* damped update *)
+    let rec try_step lambda =
+      if lambda < 1e-3 then failwith "Quasiperiodic.solve: line search failed"
+      else begin
+        let trial = Array.mapi (fun i yi -> yi -. (lambda *. dy.(i))) !y in
+        let rt = residual trial in
+        let nt = Vec.norm_inf rt in
+        if Float.is_finite nt && (nt < !rnorm || nt <= tol) then (trial, rt, nt)
+        else try_step (lambda /. 2.)
+      end
+    in
+    let trial, rt, nt = try_step 1. in
+    y := trial;
+    r := rt;
+    rnorm := nt;
+    incr iters
+  done;
+  if !rnorm > tol then
+    failwith
+      (Printf.sprintf "Quasiperiodic.solve: no convergence (residual %.3e after %d iterations)"
+         !rnorm !iters);
+  unpack ~p2 ~n1 ~n ~n2 !y
+
+let guess_from_envelope (result : Envelope.result) ~p2 ~n2 ~t_from =
+  let n1 = Array.length result.Envelope.slices.(0) in
+  let n = Array.length result.Envelope.slices.(0).(0) in
+  let sample_at t =
+    (* locate nearest envelope step *)
+    let m = Array.length result.Envelope.t2 in
+    let best = ref 0 in
+    for i = 1 to m - 1 do
+      if
+        Float.abs (result.Envelope.t2.(i) -. t) < Float.abs (result.Envelope.t2.(!best) -. t)
+      then best := i
+    done;
+    !best
+  in
+  let slices =
+    Array.init n2 (fun m ->
+        let t = t_from +. (p2 *. float_of_int m /. float_of_int n2) in
+        let idx = sample_at t in
+        Array.init n1 (fun j -> Array.copy result.Envelope.slices.(idx).(j)))
+  in
+  let omega =
+    Vec.init n2 (fun m ->
+        let t = t_from +. (p2 *. float_of_int m /. float_of_int n2) in
+        result.Envelope.omega.(sample_at t))
+  in
+  ignore n;
+  {
+    p2;
+    t2 = Vec.init n2 (fun m -> p2 *. float_of_int m /. float_of_int n2);
+    omega;
+    slices;
+  }
+
+let residual_norm dae ~(options : Envelope.options) sol =
+  let n = dae.Dae.dim in
+  let n1 = options.Envelope.n1 in
+  let n2 = Array.length sol.slices in
+  let d1 = diff1 options in
+  let d2 = Fourier.Series.diff_matrix n2 in
+  let phase_row = Phase.row options.Envelope.phase ~n1 ~n ~d:d1 in
+  let res = residual_fn dae ~options ~p2:sol.p2 ~n2 ~d1 ~d2 ~phase_row (pack sol) in
+  let bs = (n1 * n) + 1 in
+  let worst = ref 0. in
+  Array.iteri
+    (fun idx v -> if idx mod bs <> n1 * n then worst := Float.max !worst (Float.abs v))
+    res;
+  !worst
+
+let mean_frequency sol = Vec.mean sol.omega
+
+let eval_waveform sol ~component ~t_max t =
+  (* build a warping over [0, t_max] from the periodic omega *)
+  let n_samples = Int.max 64 (int_of_float (Float.ceil (t_max /. sol.p2 *. 64.))) in
+  let times = Vec.linspace 0. t_max n_samples in
+  let omega_interp tt =
+    let tau = Float.rem tt sol.p2 in
+    let tau = if tau < 0. then tau +. sol.p2 else tau in
+    (* trig interpolation of the periodic omega samples *)
+    Fourier.Series.interp sol.omega ~period:sol.p2 tau
+  in
+  let w = Sigproc.Warp.of_samples ~times ~omega:(Vec.map omega_interp times) in
+  let tau1 = Float.rem (Sigproc.Warp.phi w t) 1. in
+  let t2 = Float.rem t sol.p2 in
+  (* bilinear in t2 between slices, trig in t1 *)
+  let n2 = Array.length sol.slices in
+  let ft = t2 /. sol.p2 *. float_of_int n2 in
+  let m0 = int_of_float ft mod n2 in
+  let m1 = (m0 + 1) mod n2 in
+  let frac = ft -. Float.of_int (int_of_float ft) in
+  let value m =
+    let samples = Array.map (fun s -> s.(component)) sol.slices.(m) in
+    Fourier.Series.interp samples ~period:1. tau1
+  in
+  ((1. -. frac) *. value m0) +. (frac *. value m1)

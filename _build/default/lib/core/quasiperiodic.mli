@@ -1,0 +1,64 @@
+(** WaMPDE with periodic boundary conditions in [t2] (paper Section
+    4.1): directly computes quasiperiodic (FM and AM) steady states of
+    forced oscillators without following any transient.
+
+    With [b(t2)] of period [p2], both the bivariate waveform
+    ([(1, p2)]-periodic) and the local frequency ([p2]-periodic) are
+    solved for on an [n1 x n2] grid: collocation along both axes with
+    trigonometric differentiation, one phase-condition row per [t2]
+    slice (eq. (20) holding at every [t2]), and Newton on the coupled
+    system of [n2 (n1 n + 1)] unknowns.
+
+    The linear systems may be solved densely (LU) or matrix-free with
+    GMRES and a block-Jacobi (slice-diagonal) preconditioner — the
+    paper's pointer to iterative methods [Saa96] for large systems. *)
+
+open Linalg
+
+type solution = {
+  p2 : float;  (** slow period *)
+  t2 : Vec.t;  (** slice times [m p2 / n2] *)
+  omega : Vec.t;  (** local frequency per slice *)
+  slices : Vec.t array array;  (** [slices.(m).(j)]: state at [(t1_j, t2_m)] *)
+}
+
+type linear_solver = [ `Dense | `Gmres ]
+
+(** [solve dae ~options ~p2 ~n2 ~guess ()] solves the two-periodic
+    WaMPDE.  [options] supplies [n1], the phase condition and the
+    differentiation scheme (its [theta] is ignored — there is no
+    time-stepping here).  [guess] provides initial slices and
+    frequencies, most naturally a settled {!Envelope} run sampled over
+    one slow period (see {!guess_from_envelope}).  Raises [Failure] if
+    Newton does not converge. *)
+val solve :
+  Dae.t ->
+  ?linear_solver:linear_solver ->
+  ?max_iterations:int ->
+  ?tol:float ->
+  options:Envelope.options ->
+  p2:float ->
+  n2:int ->
+  guess:solution ->
+  unit ->
+  solution
+
+(** [guess_from_envelope result ~p2 ~n2 ~t_from] samples a (settled)
+    envelope run on the [n2] slice times [t_from + m p2 / n2],
+    producing a starting guess. *)
+val guess_from_envelope : Envelope.result -> p2:float -> n2:int -> t_from:float -> solution
+
+(** [residual_norm dae ~options sol] evaluates the two-periodic WaMPDE
+    residual's infinity norm (phase rows excluded). *)
+val residual_norm : Dae.t -> options:Envelope.options -> solution -> float
+
+(** [eval_waveform sol ~component ~cycles t] recovers the univariate
+    solution from the quasiperiodic form: [phi] is integrated from the
+    periodic [omega] starting at [t = 0].  [cycles] caps nothing — it
+    is the sampling span hint used to build the internal warping and
+    must cover [t]. *)
+val eval_waveform : solution -> component:int -> t_max:float -> float -> float
+
+(** [mean_frequency sol] is the [t2]-average of the local frequency
+    (the paper's [omega_0] in eq. (21)). *)
+val mean_frequency : solution -> float

@@ -1,0 +1,63 @@
+(** Differential-algebraic systems in the charge/flux form of the
+    paper's eq. (12):
+
+    [d/dt q(x(t)) + f(t, x(t)) = 0]
+
+    where the forcing [b(t)] of the paper is folded into [f] with a
+    sign flip ([f_here (t, x) = f_paper (x) - b (t)]).  In the circuit
+    context [x] collects node voltages and branch currents, [q] the
+    charges and fluxes, and [f] the resistive terms.
+
+    For the WaMPDE the time argument of [f] is the {e slow} (unwarped)
+    time scale [t2]; systems intended for warped simulation must keep
+    all fast dynamics autonomous inside [f]'s state dependence. *)
+
+open Linalg
+
+type t = {
+  dim : int;  (** state dimension *)
+  q : Vec.t -> Vec.t;  (** charge/flux function *)
+  f : t:float -> Vec.t -> Vec.t;  (** resistive term including forcing *)
+  dq : Vec.t -> Mat.t;  (** [C(x) = dq/dx] *)
+  df : t:float -> Vec.t -> Mat.t;  (** [G(t, x) = df/dx] *)
+  var_names : string array;  (** length [dim], for reporting *)
+}
+
+(** [make ~dim ~q ~f ()] builds a system; omitted Jacobians fall back
+    to forward finite differences of [q] and [f].  [var_names]
+    defaults to [x0, x1, ...].  Raises [Invalid_argument] if supplied
+    [var_names] has the wrong length. *)
+val make :
+  dim:int ->
+  q:(Vec.t -> Vec.t) ->
+  f:(t:float -> Vec.t -> Vec.t) ->
+  ?dq:(Vec.t -> Mat.t) ->
+  ?df:(t:float -> Vec.t -> Mat.t) ->
+  ?var_names:string array ->
+  unit ->
+  t
+
+(** [of_ode ~dim ~rhs ()] wraps an explicit ODE [x' = rhs t x] as a DAE
+    with [q = identity], [f = -rhs].  [drhs], if given, is the ODE
+    Jacobian. *)
+val of_ode :
+  dim:int ->
+  rhs:(t:float -> Vec.t -> Vec.t) ->
+  ?drhs:(t:float -> Vec.t -> Mat.t) ->
+  ?var_names:string array ->
+  unit ->
+  t
+
+(** [residual dae ~t ~xdot x] is [dq/dx (x) xdot + f (t, x)], the DAE
+    residual for a given state derivative estimate. *)
+val residual : t -> t:float -> xdot:Vec.t -> Vec.t -> Vec.t
+
+(** [consistent_derivative dae ~t x] solves [C(x) xdot = -f(t, x)] for
+    the state derivative at a consistent point.  Raises [Failure] when
+    [C(x)] is singular (a genuinely algebraic constraint); use an
+    implicit integrator in that case. *)
+val consistent_derivative : t -> t:float -> Vec.t -> Vec.t
+
+(** [dc_operating_point ?x0 dae] solves [f(t0, x) = 0] (with
+    [t0 = 0.]): the DC equilibrium with all dynamic elements frozen. *)
+val dc_operating_point : ?x0:Vec.t -> t -> Nonlin.Newton.report

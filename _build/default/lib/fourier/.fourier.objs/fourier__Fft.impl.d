@@ -1,0 +1,1 @@
+lib/fourier/fft.ml: Array Complex Cx Float Linalg

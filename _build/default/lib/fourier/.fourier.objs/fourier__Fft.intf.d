@@ -1,0 +1,1 @@
+lib/fourier/fft.mli: Cx Linalg Vec

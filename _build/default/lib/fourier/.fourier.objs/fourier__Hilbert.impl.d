@@ -1,0 +1,1 @@
+lib/fourier/hilbert.ml: Array Complex Cx Fft Float Linalg

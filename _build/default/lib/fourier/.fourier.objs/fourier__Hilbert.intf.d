@@ -1,0 +1,1 @@
+lib/fourier/hilbert.mli: Cx Linalg Vec

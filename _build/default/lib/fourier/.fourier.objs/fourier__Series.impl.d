@@ -1,0 +1,1 @@
+lib/fourier/series.ml: Array Complex Cx Fft Float Linalg Mat Printf Vec

@@ -1,0 +1,1 @@
+lib/fourier/series.mli: Cx Linalg Mat Vec

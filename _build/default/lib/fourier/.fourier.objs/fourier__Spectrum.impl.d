@@ -1,0 +1,1 @@
+lib/fourier/spectrum.ml: Array Complex Fft Float Int Linalg Vec

@@ -1,0 +1,1 @@
+lib/fourier/spectrum.mli: Linalg Vec

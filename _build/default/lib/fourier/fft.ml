@@ -1,0 +1,142 @@
+open Linalg
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* In-place iterative radix-2 Cooley-Tukey on separate re/im arrays.
+   [sign] is -1 for the forward transform, +1 for the inverse. *)
+let radix2_inplace re im sign =
+  let n = Array.length re in
+  (* bit reversal permutation *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let rec carry m =
+      if m land !j <> 0 then begin
+        j := !j lxor m;
+        carry (m lsr 1)
+      end
+      else j := !j lor m
+    in
+    carry (n lsr 1)
+  done;
+  (* butterflies *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = float_of_int sign *. 2. *. Float.pi /. float_of_int !len in
+    let wr = cos theta and wi = sin theta in
+    let start = ref 0 in
+    while !start < n do
+      let cur_r = ref 1. and cur_i = ref 0. in
+      for k = 0 to half - 1 do
+        let a = !start + k and b = !start + k + half in
+        let tr = (re.(b) *. !cur_r) -. (im.(b) *. !cur_i) in
+        let ti = (re.(b) *. !cur_i) +. (im.(b) *. !cur_r) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti;
+        let nr = (!cur_r *. wr) -. (!cur_i *. wi) in
+        cur_i := (!cur_r *. wi) +. (!cur_i *. wr);
+        cur_r := nr
+      done;
+      start := !start + !len
+    done;
+    len := !len * 2
+  done
+
+let of_parts re im = Array.init (Array.length re) (fun i -> Cx.cx re.(i) im.(i))
+
+let to_parts (x : Cx.Cvec.t) =
+  (Array.map Cx.re x, Array.map Cx.im x)
+
+let radix2 x sign =
+  let re, im = to_parts x in
+  radix2_inplace re im sign;
+  of_parts re im
+
+(* Bluestein's chirp-z transform: expresses an arbitrary-size DFT as a
+   convolution, evaluated with power-of-two FFTs. *)
+let bluestein x sign =
+  let n = Array.length x in
+  let m = next_power_of_two ((2 * n) - 1) in
+  (* chirp weights w_j = e^{sign * i pi j^2 / n } *)
+  let chirp_re = Array.make n 0. and chirp_im = Array.make n 0. in
+  for j = 0 to n - 1 do
+    (* j^2 mod 2n avoids precision loss for large j *)
+    let jsq = j * j mod (2 * n) in
+    let theta = float_of_int sign *. Float.pi *. float_of_int jsq /. float_of_int n in
+    chirp_re.(j) <- cos theta;
+    chirp_im.(j) <- sin theta
+  done;
+  let are = Array.make m 0. and aim = Array.make m 0. in
+  for j = 0 to n - 1 do
+    let xr = Cx.re x.(j) and xi = Cx.im x.(j) in
+    are.(j) <- (xr *. chirp_re.(j)) -. (xi *. chirp_im.(j));
+    aim.(j) <- (xr *. chirp_im.(j)) +. (xi *. chirp_re.(j))
+  done;
+  let bre = Array.make m 0. and bim = Array.make m 0. in
+  bre.(0) <- chirp_re.(0);
+  bim.(0) <- -.chirp_im.(0);
+  for j = 1 to n - 1 do
+    bre.(j) <- chirp_re.(j);
+    bim.(j) <- -.chirp_im.(j);
+    bre.(m - j) <- chirp_re.(j);
+    bim.(m - j) <- -.chirp_im.(j)
+  done;
+  radix2_inplace are aim (-1);
+  radix2_inplace bre bim (-1);
+  (* pointwise product *)
+  for j = 0 to m - 1 do
+    let pr = (are.(j) *. bre.(j)) -. (aim.(j) *. bim.(j)) in
+    let pi = (are.(j) *. bim.(j)) +. (aim.(j) *. bre.(j)) in
+    are.(j) <- pr;
+    aim.(j) <- pi
+  done;
+  radix2_inplace are aim 1;
+  let scale = 1. /. float_of_int m in
+  Array.init n (fun k ->
+      let cr = are.(k) *. scale and ci = aim.(k) *. scale in
+      Cx.cx
+        ((cr *. chirp_re.(k)) -. (ci *. chirp_im.(k)))
+        ((cr *. chirp_im.(k)) +. (ci *. chirp_re.(k))))
+
+let transform x sign =
+  let n = Array.length x in
+  if n <= 1 then Array.copy x
+  else if is_power_of_two n then radix2 x sign
+  else bluestein x sign
+
+let fft x = transform x (-1)
+
+let ifft x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let y = transform x 1 in
+    let s = 1. /. float_of_int n in
+    Array.map (fun z -> Cx.scale s z) y
+  end
+
+let fft_real x = fft (Cx.Cvec.of_real x)
+
+let dft x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let s = ref Complex.zero in
+      for j = 0 to n - 1 do
+        let w = Cx.cis (-2. *. Float.pi *. float_of_int (j * k mod n) /. float_of_int n) in
+        s := Complex.add !s (Complex.mul x.(j) w)
+      done;
+      !s)

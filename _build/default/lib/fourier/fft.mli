@@ -1,0 +1,28 @@
+(** Fast Fourier transforms.
+
+    Power-of-two sizes use an iterative radix-2 Cooley–Tukey transform;
+    every other size is handled with Bluestein's chirp-z algorithm, so
+    [fft] is O(n log n) for all [n].  The forward transform uses the
+    engineering sign convention [X_k = sum_j x_j e^{-2 pi i j k / n}];
+    [ifft] divides by [n]. *)
+
+open Linalg
+
+(** [fft x] is the forward discrete Fourier transform of [x]. *)
+val fft : Cx.Cvec.t -> Cx.Cvec.t
+
+(** [ifft x] is the inverse transform; [ifft (fft x) = x]. *)
+val ifft : Cx.Cvec.t -> Cx.Cvec.t
+
+(** [fft_real x] is [fft] of a real signal. *)
+val fft_real : Vec.t -> Cx.Cvec.t
+
+(** [dft x] is the naive O(n^2) transform, kept as a reference
+    implementation for testing. *)
+val dft : Cx.Cvec.t -> Cx.Cvec.t
+
+(** [is_power_of_two n] is true when [n] is a positive power of two. *)
+val is_power_of_two : int -> bool
+
+(** [next_power_of_two n] is the smallest power of two [>= n]. *)
+val next_power_of_two : int -> int

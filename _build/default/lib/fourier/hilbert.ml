@@ -1,0 +1,49 @@
+open Linalg
+
+let analytic x =
+  let n = Array.length x in
+  if n < 4 then invalid_arg "Hilbert.analytic: too few samples";
+  let spec = Fft.fft_real x in
+  (* one-sided spectrum: keep DC (and Nyquist for even n), double the
+     positive frequencies, zero the negative ones *)
+  let half = n / 2 in
+  let filtered =
+    Array.mapi
+      (fun k z ->
+        if k = 0 then z
+        else if n mod 2 = 0 && k = half then z
+        else if k < half || (n mod 2 = 1 && k = half) then
+          if k <= (n - 1) / 2 then Cx.scale 2. z else Complex.zero
+        else Complex.zero)
+      spec
+  in
+  Fft.ifft filtered
+
+let transform x = Cx.Cvec.imag_part (analytic x)
+
+let envelope x = Array.map Complex.norm (analytic x)
+
+let unwrapped_phase x =
+  let z = analytic x in
+  let n = Array.length z in
+  let phase = Array.make n 0. in
+  phase.(0) <- Complex.arg z.(0);
+  for i = 1 to n - 1 do
+    let raw = Complex.arg z.(i) in
+    let prev = phase.(i - 1) in
+    (* unwrap: choose the branch closest to the previous sample *)
+    let d = raw -. Float.rem prev (2. *. Float.pi) in
+    let d =
+      if d > Float.pi then d -. (2. *. Float.pi)
+      else if d < -.Float.pi then d +. (2. *. Float.pi)
+      else d
+    in
+    phase.(i) <- prev +. d
+  done;
+  phase
+
+let instantaneous_frequency ~dt x =
+  let phase = unwrapped_phase x in
+  let n = Array.length phase in
+  Array.init (n - 2) (fun i ->
+      (phase.(i + 2) -. phase.(i)) /. (2. *. dt) /. (2. *. Float.pi))

@@ -1,0 +1,30 @@
+(** Discrete Hilbert transform and analytic-signal analysis.
+
+    Provides an alternative, zero-crossing-free estimator of amplitude
+    envelope and instantaneous frequency: the analytic signal
+    [z = x + i H x] has [|z|] as envelope and [d arg z / dt / 2 pi]
+    as instantaneous frequency.  Most accurate for narrowband signals
+    whose length is close to an integer number of cycles. *)
+
+open Linalg
+
+(** [analytic x] is the analytic signal of a real signal (FFT method:
+    negative frequencies zeroed, positive doubled). *)
+val analytic : Vec.t -> Cx.Cvec.t
+
+(** [transform x] is the Hilbert transform [H x] (the imaginary part
+    of the analytic signal). *)
+val transform : Vec.t -> Vec.t
+
+(** [envelope x] is the instantaneous amplitude [|analytic x|]. *)
+val envelope : Vec.t -> Vec.t
+
+(** [unwrapped_phase x] is the continuous instantaneous phase of the
+    analytic signal, in radians. *)
+val unwrapped_phase : Vec.t -> Vec.t
+
+(** [instantaneous_frequency ~dt x] is the derivative of the unwrapped
+    phase over [2 pi dt]: one frequency sample per interior point
+    (length [n - 2], central differences; end effects from the FFT
+    window make the first/last few samples unreliable). *)
+val instantaneous_frequency : dt:float -> Vec.t -> Vec.t

@@ -1,0 +1,63 @@
+(** Real Fourier series on uniform periodic grids.
+
+    A real signal sampled at [t_j = j T / n] ([j = 0..n-1], [n = 2M+1]
+    odd) is represented by centered complex coefficients [c_i],
+    [i = -M..M], stored at array index [i + M], such that
+
+    [x(t) = sum_i c_i e^{2 pi i I t / T}].
+
+    These grids and the spectral differentiation matrix are the
+    discrete backbone of the WaMPDE t1 axis (the truncated series of
+    the paper's eq. (19)). *)
+
+open Linalg
+
+(** [coeffs x] computes centered coefficients from odd-length samples.
+    Raises [Invalid_argument] on even length. *)
+val coeffs : Vec.t -> Cx.Cvec.t
+
+(** [harmonic coeffs i] is [c_i] for [i] in [-M..M]. *)
+val harmonic : Cx.Cvec.t -> int -> Cx.c
+
+(** [eval coeffs ~period t] evaluates the series at time [t] (real
+    part; the imaginary part is O(eps) for coefficients of a real
+    signal). *)
+val eval : Cx.Cvec.t -> period:float -> float -> float
+
+(** [synthesize coeffs n] samples the series on the [n]-point uniform
+    grid of one period. *)
+val synthesize : Cx.Cvec.t -> int -> Vec.t
+
+(** [derivative coeffs ~period] are the coefficients of [dx/dt]. *)
+val derivative : Cx.Cvec.t -> period:float -> Cx.Cvec.t
+
+(** [interp x ~period t] trigonometric interpolation of odd-length
+    samples [x] at arbitrary [t]. *)
+val interp : Vec.t -> period:float -> float -> float
+
+(** [resample x n] re-samples odd-length samples onto an [n]-point
+    uniform grid by trigonometric interpolation. *)
+val resample : Vec.t -> int -> Vec.t
+
+(** [diff_matrix n] is the [n x n] spectral differentiation matrix for
+    period-1 signals on the uniform grid ([n] odd): [(diff_matrix n) x]
+    is the exact derivative of the degree-M trigonometric interpolant
+    at the grid points. *)
+val diff_matrix : int -> Mat.t
+
+(** [diff_matrix_fd ~order n] is a central-finite-difference periodic
+    differentiation matrix for period-1 grids; [order] is 2 or 4. *)
+val diff_matrix_fd : order:int -> int -> Mat.t
+
+(** [truncation_error x ~keep] is the relative l2 error committed by
+    dropping all harmonics with [|i| > keep] from the samples [x]. *)
+val truncation_error : Vec.t -> keep:int -> float
+
+(** [harmonics_needed ~tol x] is the smallest [keep] such that
+    [truncation_error x ~keep <= tol] (at most [M]). *)
+val harmonics_needed : tol:float -> Vec.t -> int
+
+(** [total_harmonic_distortion coeffs] is the THD relative to the
+    fundamental: the rms of harmonics 2 and above over the magnitude of
+    harmonic 1. *)
+val total_harmonic_distortion : Cx.Cvec.t -> float

@@ -1,0 +1,41 @@
+open Linalg
+
+let magnitudes x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let spec = Fft.fft_real x in
+    let half = (n / 2) + 1 in
+    Vec.init half (fun k -> Complex.norm spec.(k) /. float_of_int n)
+  end
+
+let frequencies ~dt n =
+  let half = (n / 2) + 1 in
+  Vec.init half (fun k -> float_of_int k /. (float_of_int n *. dt))
+
+let hann n =
+  Vec.init n (fun i ->
+      0.5 *. (1. -. cos (2. *. Float.pi *. float_of_int i /. float_of_int (Int.max 1 (n - 1)))))
+
+let dominant_frequency ~dt x =
+  let n = Array.length x in
+  if n < 4 then invalid_arg "Spectrum.dominant_frequency: too few samples";
+  let w = hann n in
+  let windowed = Vec.map2 (fun a b -> a *. b) x w in
+  let mags = magnitudes windowed in
+  let half = Array.length mags in
+  let peak = ref 1 in
+  for k = 2 to half - 2 do
+    if mags.(k) > mags.(!peak) then peak := k
+  done;
+  let k = !peak in
+  let safe_log m = log (Float.max m 1e-300) in
+  let delta =
+    if k <= 0 || k >= half - 1 then 0.
+    else begin
+      let a = safe_log mags.(k - 1) and b = safe_log mags.(k) and c = safe_log mags.(k + 1) in
+      let denom = a -. (2. *. b) +. c in
+      if Float.abs denom < 1e-12 then 0. else 0.5 *. (a -. c) /. denom
+    end
+  in
+  (float_of_int k +. delta) /. (float_of_int n *. dt)

@@ -1,0 +1,19 @@
+(** Simple spectral analysis of uniformly sampled real signals. *)
+
+open Linalg
+
+(** [magnitudes x] is the one-sided magnitude spectrum [|X_k| / n] for
+    [k = 0 .. n/2] (DC and positive frequencies). *)
+val magnitudes : Vec.t -> Vec.t
+
+(** [frequencies ~dt n] are the frequencies (in cycles per time unit)
+    of the one-sided bins of an [n]-sample signal at spacing [dt]. *)
+val frequencies : dt:float -> int -> Vec.t
+
+(** [hann n] is the Hann window of length [n]. *)
+val hann : int -> Vec.t
+
+(** [dominant_frequency ~dt x] estimates the frequency of the strongest
+    non-DC component, refined by parabolic interpolation of the log
+    magnitudes of the peak bin and its neighbours. *)
+val dominant_frequency : dt:float -> Vec.t -> float

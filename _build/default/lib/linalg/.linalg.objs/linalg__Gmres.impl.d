@@ -1,0 +1,1 @@
+lib/linalg/gmres.ml: Array Float Mat Vec

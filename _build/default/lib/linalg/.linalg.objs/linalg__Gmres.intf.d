@@ -1,0 +1,1 @@
+lib/linalg/gmres.mli: Mat Vec

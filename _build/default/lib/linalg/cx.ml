@@ -1,0 +1,149 @@
+type c = Complex.t
+
+let cx re im : c = { Complex.re; im }
+let re (z : c) = z.Complex.re
+let im (z : c) = z.Complex.im
+let polar r theta = Complex.polar r theta
+let cis theta = Complex.polar 1. theta
+let scale a (z : c) = cx (a *. z.Complex.re) (a *. z.Complex.im)
+let approx_equal ?(tol = 1e-9) a b = Complex.norm (Complex.sub a b) <= tol
+
+module Cvec = struct
+  type t = c array
+
+  let make n (x : c) = Array.make n x
+  let zeros n = Array.make n Complex.zero
+  let init = Array.init
+  let copy = Array.copy
+  let of_real v = Array.map (fun x -> cx x 0.) v
+  let real_part v = Array.map re v
+  let imag_part v = Array.map im v
+
+  let check name u v =
+    if Array.length u <> Array.length v then invalid_arg ("Cx.Cvec." ^ name ^ ": length mismatch")
+
+  let add u v =
+    check "add" u v;
+    Array.mapi (fun i ui -> Complex.add ui v.(i)) u
+
+  let sub u v =
+    check "sub" u v;
+    Array.mapi (fun i ui -> Complex.sub ui v.(i)) u
+
+  let scale a v = Array.map (Complex.mul a) v
+
+  let dot u v =
+    check "dot" u v;
+    let s = ref Complex.zero in
+    for i = 0 to Array.length u - 1 do
+      s := Complex.add !s (Complex.mul (Complex.conj u.(i)) v.(i))
+    done;
+    !s
+
+  let norm2 v = sqrt (re (dot v v))
+  let norm_inf v = Array.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 0. v
+
+  let approx_equal ?(tol = 1e-9) u v =
+    Array.length u = Array.length v
+    &&
+    let ok = ref true in
+    for i = 0 to Array.length u - 1 do
+      if Complex.norm (Complex.sub u.(i) v.(i)) > tol then ok := false
+    done;
+    !ok
+end
+
+module Cmat = struct
+  type t = c array array
+
+  let make r cnum (x : c) = Array.init r (fun _ -> Array.make cnum x)
+  let zeros r cnum = make r cnum Complex.zero
+  let init r cnum f = Array.init r (fun i -> Array.init cnum (fun j -> f i j))
+  let identity n = init n n (fun i j -> if i = j then Complex.one else Complex.zero)
+  let rows m = Array.length m
+  let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+  let copy m = Array.map Array.copy m
+
+  let mul a b =
+    if cols a <> rows b then invalid_arg "Cx.Cmat.mul: dimension mismatch";
+    let r = rows a and n = cols a and cnum = cols b in
+    let m = zeros r cnum in
+    for i = 0 to r - 1 do
+      for k = 0 to n - 1 do
+        let aik = a.(i).(k) in
+        if aik <> Complex.zero then
+          for j = 0 to cnum - 1 do
+            m.(i).(j) <- Complex.add m.(i).(j) (Complex.mul aik b.(k).(j))
+          done
+      done
+    done;
+    m
+
+  let matvec m v =
+    if cols m <> Array.length v then invalid_arg "Cx.Cmat.matvec: dimension mismatch";
+    Array.init (rows m) (fun i ->
+        let s = ref Complex.zero in
+        for j = 0 to Array.length v - 1 do
+          s := Complex.add !s (Complex.mul m.(i).(j) v.(j))
+        done;
+        !s)
+end
+
+module Clu = struct
+  type t = { lu : c array array; perm : int array }
+
+  exception Singular of int
+
+  let factor a =
+    let n = Cmat.rows a in
+    if Cmat.cols a <> n then invalid_arg "Cx.Clu.factor: matrix not square";
+    let lu = Cmat.copy a in
+    let perm = Array.init n (fun i -> i) in
+    for k = 0 to n - 1 do
+      let pivot = ref k in
+      for i = k + 1 to n - 1 do
+        if Complex.norm lu.(i).(k) > Complex.norm lu.(!pivot).(k) then pivot := i
+      done;
+      if !pivot <> k then begin
+        let tmp = lu.(k) in
+        lu.(k) <- lu.(!pivot);
+        lu.(!pivot) <- tmp;
+        let tp = perm.(k) in
+        perm.(k) <- perm.(!pivot);
+        perm.(!pivot) <- tp
+      end;
+      let pkk = lu.(k).(k) in
+      if Complex.norm pkk = 0. then raise (Singular k);
+      for i = k + 1 to n - 1 do
+        let m = Complex.div lu.(i).(k) pkk in
+        lu.(i).(k) <- m;
+        if m <> Complex.zero then
+          for j = k + 1 to n - 1 do
+            lu.(i).(j) <- Complex.sub lu.(i).(j) (Complex.mul m lu.(k).(j))
+          done
+      done
+    done;
+    { lu; perm }
+
+  let solve { lu; perm } b =
+    let n = Array.length lu in
+    if Array.length b <> n then invalid_arg "Cx.Clu.solve: dimension mismatch";
+    let x = Array.init n (fun i -> b.(perm.(i))) in
+    for i = 1 to n - 1 do
+      let s = ref x.(i) in
+      for j = 0 to i - 1 do
+        s := Complex.sub !s (Complex.mul lu.(i).(j) x.(j))
+      done;
+      x.(i) <- !s
+    done;
+    for i = n - 1 downto 0 do
+      let s = ref x.(i) in
+      for j = i + 1 to n - 1 do
+        s := Complex.sub !s (Complex.mul lu.(i).(j) x.(j))
+      done;
+      x.(i) <- Complex.div !s lu.(i).(i)
+    done;
+    x
+
+  let solve_dense a b = solve (factor a) b
+end

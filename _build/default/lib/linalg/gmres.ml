@@ -1,0 +1,97 @@
+type result = { x : Vec.t; residual_norm : float; iterations : int; converged : bool }
+
+(* Restarted GMRES with modified Gram-Schmidt Arnoldi and Givens
+   rotations applied to the Hessenberg matrix as it is built, so the
+   least-squares problem is solved incrementally. *)
+let solve ~matvec ?m_inv ?x0 ?(restart = 50) ?max_iter ?(tol = 1e-10) b =
+  let n = Array.length b in
+  let precond = match m_inv with Some f -> f | None -> Array.copy in
+  let max_iter = match max_iter with Some m -> m | None -> 10 * restart in
+  let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0. in
+  let bnorm = Vec.norm2 b in
+  let target = tol *. Float.max bnorm 1e-300 in
+  let total_iters = ref 0 in
+  let rec cycle x =
+    let r =
+      let ax = matvec x in
+      Vec.sub b ax
+    in
+    let beta = Vec.norm2 r in
+    if beta <= target || !total_iters >= max_iter then (x, beta)
+    else begin
+      let m = restart in
+      (* Krylov basis vectors (preconditioned space) *)
+      let v = Array.make (m + 1) [||] in
+      v.(0) <- Vec.scale (1. /. beta) r;
+      let h = Array.init (m + 1) (fun _ -> Array.make m 0.) in
+      let cs = Array.make m 0. and sn = Array.make m 0. in
+      let g = Array.make (m + 1) 0. in
+      g.(0) <- beta;
+      let k_done = ref 0 in
+      (try
+         for j = 0 to m - 1 do
+           if !total_iters >= max_iter then raise Exit;
+           incr total_iters;
+           let zj = precond v.(j) in
+           let w = matvec zj in
+           (* modified Gram-Schmidt *)
+           for i = 0 to j do
+             let hij = Vec.dot v.(i) w in
+             h.(i).(j) <- hij;
+             Vec.axpy ~a:(-.hij) ~x:v.(i) w
+           done;
+           let hj1 = Vec.norm2 w in
+           h.(j + 1).(j) <- hj1;
+           (* apply previous Givens rotations to the new column *)
+           for i = 0 to j - 1 do
+             let t = (cs.(i) *. h.(i).(j)) +. (sn.(i) *. h.(i + 1).(j)) in
+             h.(i + 1).(j) <- (-.sn.(i) *. h.(i).(j)) +. (cs.(i) *. h.(i + 1).(j));
+             h.(i).(j) <- t
+           done;
+           (* new rotation to zero h.(j+1).(j) *)
+           let denom = Float.hypot h.(j).(j) h.(j + 1).(j) in
+           if denom = 0. then begin
+             cs.(j) <- 1.;
+             sn.(j) <- 0.
+           end
+           else begin
+             cs.(j) <- h.(j).(j) /. denom;
+             sn.(j) <- h.(j + 1).(j) /. denom
+           end;
+           h.(j).(j) <- (cs.(j) *. h.(j).(j)) +. (sn.(j) *. h.(j + 1).(j));
+           h.(j + 1).(j) <- 0.;
+           g.(j + 1) <- -.sn.(j) *. g.(j);
+           g.(j) <- cs.(j) *. g.(j);
+           k_done := j + 1;
+           if hj1 = 0. || Float.abs g.(j + 1) <= target then raise Exit;
+           v.(j + 1) <- Vec.scale (1. /. hj1) w
+         done
+       with Exit -> ());
+      let k = !k_done in
+      if k = 0 then (x, beta)
+      else begin
+        (* back-substitute the k x k triangular system *)
+        let y = Array.make k 0. in
+        for i = k - 1 downto 0 do
+          let s = ref g.(i) in
+          for j = i + 1 to k - 1 do
+            s := !s -. (h.(i).(j) *. y.(j))
+          done;
+          y.(i) <- !s /. h.(i).(i)
+        done;
+        let x' = Array.copy x in
+        for j = 0 to k - 1 do
+          if y.(j) <> 0. then begin
+            let zj = precond v.(j) in
+            Vec.axpy ~a:y.(j) ~x:zj x'
+          end
+        done;
+        let res = Vec.norm2 (Vec.sub b (matvec x')) in
+        if res <= target || !total_iters >= max_iter then (x', res) else cycle x'
+      end
+    end
+  in
+  let x, res = cycle x in
+  { x; residual_norm = res; iterations = !total_iters; converged = res <= target }
+
+let solve_mat a ?tol b = solve ~matvec:(fun v -> Mat.matvec a v) ?tol b

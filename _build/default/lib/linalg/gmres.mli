@@ -1,0 +1,35 @@
+(** Restarted GMRES (Saad) for real linear systems, matrix-free.
+
+    The operator is supplied as a function; an optional right
+    preconditioner [m_inv] approximates [A^{-1}].  Used by the WaMPDE
+    quasiperiodic solver for large coupled systems, per the paper's
+    reference to iterative linear techniques [Saa96]. *)
+
+type result = {
+  x : Vec.t;  (** approximate solution *)
+  residual_norm : float;  (** final true-residual 2-norm *)
+  iterations : int;  (** total inner iterations performed *)
+  converged : bool;  (** [residual_norm <= tol * ||b||] *)
+}
+
+(** [solve ~matvec ?m_inv ?x0 ?restart ?max_iter ?tol b] solves
+    [A x = b] where [matvec v] computes [A v].
+
+    @param m_inv right preconditioner: [m_inv v] approximates [A^{-1} v]
+    @param x0 initial guess (default zero)
+    @param restart Krylov subspace dimension before restart (default 50)
+    @param max_iter total inner-iteration budget (default [10 * restart])
+    @param tol relative residual tolerance (default 1e-10) *)
+val solve :
+  matvec:(Vec.t -> Vec.t) ->
+  ?m_inv:(Vec.t -> Vec.t) ->
+  ?x0:Vec.t ->
+  ?restart:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  Vec.t ->
+  result
+
+(** [solve_mat a b] is {!solve} with [matvec] taken from the dense
+    matrix [a]; convenient for tests. *)
+val solve_mat : Mat.t -> ?tol:float -> Vec.t -> result

@@ -1,0 +1,123 @@
+type t = { lu : float array array; perm : int array; sign : float }
+
+exception Singular of int
+
+(* Doolittle factorization with partial pivoting; [lu] stores L (unit
+   diagonal, below) and U (on and above the diagonal). *)
+let factor a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.factor: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.(i).(k) > Float.abs lu.(!pivot).(k) then pivot := i
+    done;
+    if !pivot <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!pivot);
+      lu.(!pivot) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tp;
+      sign := -. !sign
+    end;
+    let pkk = lu.(k).(k) in
+    if pkk = 0. then raise (Singular k);
+    let rk = lu.(k) in
+    for i = k + 1 to n - 1 do
+      let ri = lu.(i) in
+      let m = Array.unsafe_get ri k /. pkk in
+      Array.unsafe_set ri k m;
+      if m <> 0. then
+        for j = k + 1 to n - 1 do
+          Array.unsafe_set ri j
+            (Array.unsafe_get ri j -. (m *. Array.unsafe_get rk j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let dim { lu; _ } = Array.length lu
+
+let solve_inplace { lu; perm; _ } b =
+  let n = Array.length lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  (* apply permutation *)
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution, L has unit diagonal *)
+  for i = 1 to n - 1 do
+    let row = lu.(i) in
+    let s = ref (Array.unsafe_get x i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Array.unsafe_get row j *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set x i !s
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let row = lu.(i) in
+    let s = ref (Array.unsafe_get x i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Array.unsafe_get row j *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set x i (!s /. Array.unsafe_get row i)
+  done;
+  Array.blit x 0 b 0 n
+
+let solve lu b =
+  let x = Array.copy b in
+  solve_inplace lu x;
+  x
+
+let solve_matrix lu b =
+  let n = dim lu in
+  if Mat.rows b <> n then invalid_arg "Lu.solve_matrix: dimension mismatch";
+  let cols = Mat.cols b in
+  let x = Mat.zeros n cols in
+  let col = Array.make n 0. in
+  for j = 0 to cols - 1 do
+    for i = 0 to n - 1 do
+      col.(i) <- b.(i).(j)
+    done;
+    solve_inplace lu col;
+    for i = 0 to n - 1 do
+      x.(i).(j) <- col.(i)
+    done
+  done;
+  x
+
+let det { lu; sign; _ } =
+  let n = Array.length lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. lu.(i).(i)
+  done;
+  !d
+
+let inverse lu = solve_matrix lu (Mat.identity (dim lu))
+
+let solve_dense a b = solve (factor a) b
+
+(* Hager-style one-sided estimate: ||A||_inf * max ||A^-1 e_i||_inf over a
+   few probe vectors.  A cheap lower bound, good enough for diagnostics. *)
+let condition_estimate a =
+  let n = Mat.rows a in
+  let f = factor a in
+  let norm_a = Mat.norm_inf a in
+  let best = ref 0. in
+  let probes = Int.min n 5 in
+  for p = 0 to probes - 1 do
+    let i = p * Int.max 1 (n / Int.max 1 probes) in
+    let e = Array.make n 0. in
+    e.(Int.min i (n - 1)) <- 1.;
+    solve_inplace f e;
+    best := Float.max !best (Vec.norm_inf e)
+  done;
+  (* also probe the all-ones vector, which often excites the worst mode *)
+  let ones = Array.make n 1. in
+  solve_inplace f ones;
+  best := Float.max !best (Vec.norm_inf ones /. float_of_int n);
+  norm_a *. !best

@@ -1,0 +1,41 @@
+(** LU factorization with partial pivoting, and direct linear solves.
+
+    The factorization is the workhorse behind every Newton iteration in
+    the transient, steady-state and WaMPDE solvers. *)
+
+type t
+(** A factored matrix [P A = L U]. *)
+
+exception Singular of int
+(** Raised (with the offending pivot column) when a pivot is exactly
+    zero, i.e. the matrix is numerically singular. *)
+
+(** [factor a] factors a square matrix.  [a] is not modified.
+    Raises [Singular] if a zero pivot is met and [Invalid_argument]
+    if [a] is not square. *)
+val factor : Mat.t -> t
+
+(** [dim lu] is the dimension of the factored matrix. *)
+val dim : t -> int
+
+(** [solve lu b] solves [A x = b]. *)
+val solve : t -> Vec.t -> Vec.t
+
+(** [solve_inplace lu b] solves [A x = b] overwriting [b] with [x]. *)
+val solve_inplace : t -> Vec.t -> unit
+
+(** [solve_matrix lu b] solves [A X = B] column by column. *)
+val solve_matrix : t -> Mat.t -> Mat.t
+
+(** [det lu] is the determinant of the factored matrix. *)
+val det : t -> float
+
+(** [inverse lu] is the explicit inverse (prefer [solve]). *)
+val inverse : t -> Mat.t
+
+(** [solve_dense a b] is [solve (factor a) b]. *)
+val solve_dense : Mat.t -> Vec.t -> Vec.t
+
+(** [condition_estimate a] is a cheap lower-bound estimate of the
+    infinity-norm condition number, via one factor + a few solves. *)
+val condition_estimate : Mat.t -> float

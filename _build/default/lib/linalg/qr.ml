@@ -1,0 +1,127 @@
+(* Householder QR: reflectors stored in the lower trapezoid of [a],
+   scalar factors in [beta], diagonal of R in [rdiag]. *)
+type t = { a : float array array; beta : float array; rdiag : float array }
+
+let factor a0 =
+  let m = Mat.rows a0 and n = Mat.cols a0 in
+  if m < n then invalid_arg "Qr.factor: need rows >= cols";
+  let a = Mat.copy a0 in
+  let beta = Array.make n 0. and rdiag = Array.make n 0. in
+  for k = 0 to n - 1 do
+    (* Householder vector for column k *)
+    let norm = ref 0. in
+    for i = k to m - 1 do
+      norm := !norm +. (a.(i).(k) *. a.(i).(k))
+    done;
+    let norm = sqrt !norm in
+    if norm = 0. then begin
+      beta.(k) <- 0.;
+      rdiag.(k) <- 0.
+    end
+    else begin
+      let alpha = if a.(k).(k) >= 0. then -.norm else norm in
+      let v0 = a.(k).(k) -. alpha in
+      a.(k).(k) <- v0;
+      (* beta = 2 / (v^T v) with v = column k below the diagonal *)
+      let vtv = ref 0. in
+      for i = k to m - 1 do
+        vtv := !vtv +. (a.(i).(k) *. a.(i).(k))
+      done;
+      beta.(k) <- (if !vtv = 0. then 0. else 2. /. !vtv);
+      rdiag.(k) <- alpha;
+      (* apply reflector to the remaining columns *)
+      for j = k + 1 to n - 1 do
+        let s = ref 0. in
+        for i = k to m - 1 do
+          s := !s +. (a.(i).(k) *. a.(i).(j))
+        done;
+        let s = beta.(k) *. !s in
+        for i = k to m - 1 do
+          a.(i).(j) <- a.(i).(j) -. (s *. a.(i).(k))
+        done
+      done
+    end
+  done;
+  { a; beta; rdiag }
+
+let cols { a; _ } = Mat.cols a
+let rows { a; _ } = Mat.rows a
+
+let r qr =
+  let n = cols qr in
+  Mat.init n n (fun i j ->
+      if i = j then qr.rdiag.(i) else if j > i then qr.a.(i).(j) else 0.)
+
+(* apply Q^T to a length-m vector in place *)
+let apply_qt qr b =
+  let m = rows qr and n = cols qr in
+  for k = 0 to n - 1 do
+    if qr.beta.(k) <> 0. then begin
+      let s = ref 0. in
+      for i = k to m - 1 do
+        s := !s +. (qr.a.(i).(k) *. b.(i))
+      done;
+      let s = qr.beta.(k) *. !s in
+      for i = k to m - 1 do
+        b.(i) <- b.(i) -. (s *. qr.a.(i).(k))
+      done
+    end
+  done
+
+(* apply Q to a length-m vector in place (reflectors in reverse) *)
+let apply_q qr b =
+  let m = rows qr and n = cols qr in
+  for k = n - 1 downto 0 do
+    if qr.beta.(k) <> 0. then begin
+      let s = ref 0. in
+      for i = k to m - 1 do
+        s := !s +. (qr.a.(i).(k) *. b.(i))
+      done;
+      let s = qr.beta.(k) *. !s in
+      for i = k to m - 1 do
+        b.(i) <- b.(i) -. (s *. qr.a.(i).(k))
+      done
+    end
+  done
+
+let q qr =
+  let m = rows qr and n = cols qr in
+  Mat.init m n (fun i j ->
+      ignore i;
+      ignore j;
+      0.)
+  |> fun qmat ->
+  for j = 0 to n - 1 do
+    let e = Array.make m 0. in
+    e.(j) <- 1.;
+    apply_q qr e;
+    for i = 0 to m - 1 do
+      qmat.(i).(j) <- e.(i)
+    done
+  done;
+  qmat
+
+let solve qr b =
+  let m = rows qr and n = cols qr in
+  if Array.length b <> m then invalid_arg "Qr.solve: dimension mismatch";
+  let y = Array.copy b in
+  apply_qt qr y;
+  (* back substitution on R *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    if qr.rdiag.(i) = 0. then failwith "Qr.solve: rank-deficient matrix";
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (qr.a.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s /. qr.rdiag.(i)
+  done;
+  x
+
+let lstsq a b = solve (factor a) b
+
+let polyfit ~degree xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Qr.polyfit: length mismatch";
+  if Array.length xs < degree + 1 then invalid_arg "Qr.polyfit: not enough points";
+  let vander = Mat.init (Array.length xs) (degree + 1) (fun i j -> xs.(i) ** float_of_int j) in
+  lstsq vander ys

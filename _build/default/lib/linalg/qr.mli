@@ -1,0 +1,27 @@
+(** Householder QR factorization and linear least squares. *)
+
+type t
+(** A factored [m x n] matrix ([m >= n]) with orthonormal [Q] implicit
+    in Householder reflectors. *)
+
+(** [factor a] factors [a] ([rows >= cols]).  Raises [Invalid_argument]
+    when [rows < cols]. *)
+val factor : Mat.t -> t
+
+(** [r qr] is the upper-triangular [n x n] factor. *)
+val r : t -> Mat.t
+
+(** [q qr] materializes the thin [m x n] orthonormal factor. *)
+val q : t -> Mat.t
+
+(** [solve qr b] solves the least-squares problem [min ||A x - b||_2].
+    Raises [Failure] if [R] is singular (rank-deficient [A]). *)
+val solve : t -> Vec.t -> Vec.t
+
+(** [lstsq a b] is [solve (factor a) b]. *)
+val lstsq : Mat.t -> Vec.t -> Vec.t
+
+(** [polyfit ~degree xs ys] fits a polynomial of the given degree in
+    the least-squares sense and returns coefficients [c0..cd]
+    (constant first). *)
+val polyfit : degree:int -> Vec.t -> Vec.t -> Vec.t

@@ -1,0 +1,98 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  row_start : int array;  (* length n_rows + 1 *)
+  col_index : int array;
+  values : float array;
+}
+
+let of_triplets ~rows ~cols entries =
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Sparse.of_triplets: index out of range")
+    entries;
+  (* sum duplicates via a per-row association *)
+  let tables = Array.init rows (fun _ -> Hashtbl.create 4) in
+  List.iter
+    (fun (i, j, v) ->
+      let tbl = tables.(i) in
+      Hashtbl.replace tbl j (v +. Option.value (Hashtbl.find_opt tbl j) ~default:0.))
+    entries;
+  let row_start = Array.make (rows + 1) 0 in
+  for i = 0 to rows - 1 do
+    row_start.(i + 1) <- row_start.(i) + Hashtbl.length tables.(i)
+  done;
+  let total = row_start.(rows) in
+  let col_index = Array.make total 0 and values = Array.make total 0. in
+  for i = 0 to rows - 1 do
+    let cols_sorted =
+      List.sort compare (Hashtbl.fold (fun j v acc -> (j, v) :: acc) tables.(i) [])
+    in
+    List.iteri
+      (fun k (j, v) ->
+        col_index.(row_start.(i) + k) <- j;
+        values.(row_start.(i) + k) <- v)
+      cols_sorted
+  done;
+  { n_rows = rows; n_cols = cols; row_start; col_index; values }
+
+let of_dense a =
+  let triplets = ref [] in
+  for i = 0 to Mat.rows a - 1 do
+    for j = 0 to Mat.cols a - 1 do
+      if a.(i).(j) <> 0. then triplets := (i, j, a.(i).(j)) :: !triplets
+    done
+  done;
+  of_triplets ~rows:(Mat.rows a) ~cols:(Mat.cols a) !triplets
+
+let rows m = m.n_rows
+let cols m = m.n_cols
+let nnz m = Array.length m.values
+
+let matvec m v =
+  if Array.length v <> m.n_cols then invalid_arg "Sparse.matvec: dimension mismatch";
+  Array.init m.n_rows (fun i ->
+      let s = ref 0. in
+      for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+        s := !s +. (m.values.(k) *. v.(m.col_index.(k)))
+      done;
+      !s)
+
+let tmatvec m v =
+  if Array.length v <> m.n_rows then invalid_arg "Sparse.tmatvec: dimension mismatch";
+  let out = Array.make m.n_cols 0. in
+  for i = 0 to m.n_rows - 1 do
+    let vi = v.(i) in
+    if vi <> 0. then
+      for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+        out.(m.col_index.(k)) <- out.(m.col_index.(k)) +. (m.values.(k) *. vi)
+      done
+  done;
+  out
+
+let to_dense m =
+  let a = Mat.zeros m.n_rows m.n_cols in
+  for i = 0 to m.n_rows - 1 do
+    for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+      a.(i).(m.col_index.(k)) <- a.(i).(m.col_index.(k)) +. m.values.(k)
+    done
+  done;
+  a
+
+let diagonal m =
+  let n = Int.min m.n_rows m.n_cols in
+  Array.init n (fun i ->
+      let d = ref 0. in
+      for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+        if m.col_index.(k) = i then d := !d +. m.values.(k)
+      done;
+      !d)
+
+let jacobi_preconditioner m =
+  let d = diagonal m in
+  Array.iter (fun x -> if x = 0. then failwith "Sparse.jacobi_preconditioner: zero diagonal") d;
+  fun v ->
+    if Array.length v <> Array.length d then
+      invalid_arg "Sparse.jacobi_preconditioner: dimension mismatch";
+    Array.mapi (fun i x -> x /. d.(i)) v

@@ -1,0 +1,39 @@
+(** Sparse matrices in compressed-sparse-row (CSR) form.
+
+    Built from coordinate triplets (duplicates are summed, as produced
+    naturally by device stamping); used with {!Gmres} for large
+    systems. *)
+
+type t
+
+(** [of_triplets ~rows ~cols entries] builds a CSR matrix from
+    [(i, j, value)] triplets.  Out-of-range indices raise
+    [Invalid_argument]. *)
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+
+(** [of_dense a] converts a dense matrix, dropping exact zeros. *)
+val of_dense : Mat.t -> t
+
+(** [rows m], [cols m] — dimensions. *)
+val rows : t -> int
+
+val cols : t -> int
+
+(** [nnz m] is the number of stored entries. *)
+val nnz : t -> int
+
+(** [matvec m v] is [m * v]. *)
+val matvec : t -> Vec.t -> Vec.t
+
+(** [tmatvec m v] is [m^T * v]. *)
+val tmatvec : t -> Vec.t -> Vec.t
+
+(** [to_dense m] materializes the matrix. *)
+val to_dense : t -> Mat.t
+
+(** [diagonal m] extracts the main diagonal (square matrices). *)
+val diagonal : t -> Vec.t
+
+(** [jacobi_preconditioner m] is [v -> v ./ diag m], for use as
+    [Gmres.solve ~m_inv].  Raises [Failure] on a zero diagonal entry. *)
+val jacobi_preconditioner : t -> Vec.t -> Vec.t

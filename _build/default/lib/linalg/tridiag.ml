@@ -1,0 +1,41 @@
+let solve ~lower ~diag ~upper rhs =
+  let n = Array.length diag in
+  if Array.length rhs <> n || Array.length lower <> n - 1 || Array.length upper <> n - 1 then
+    invalid_arg "Tridiag.solve: band length mismatch";
+  let c' = Array.make (Int.max 0 (n - 1)) 0. in
+  let d' = Array.make n 0. in
+  if diag.(0) = 0. then failwith "Tridiag.solve: zero pivot";
+  if n > 1 then c'.(0) <- upper.(0) /. diag.(0);
+  d'.(0) <- rhs.(0) /. diag.(0);
+  for i = 1 to n - 1 do
+    let denom = diag.(i) -. (lower.(i - 1) *. (if i - 1 < n - 1 then c'.(i - 1) else 0.)) in
+    if denom = 0. then failwith "Tridiag.solve: zero pivot";
+    if i < n - 1 then c'.(i) <- upper.(i) /. denom;
+    d'.(i) <- (rhs.(i) -. (lower.(i - 1) *. d'.(i - 1))) /. denom
+  done;
+  let x = Array.make n 0. in
+  x.(n - 1) <- d'.(n - 1);
+  for i = n - 2 downto 0 do
+    x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+  done;
+  x
+
+(* Cyclic variant via Sherman-Morrison: write A = B + u v^T with
+   u = (gamma, 0..0, corner_low)^T and v = (1, 0..0, corner_high/gamma)^T,
+   where B is tridiagonal with modified first and last diagonal entries. *)
+let solve_cyclic ~lower ~diag ~upper ~corner_low ~corner_high rhs =
+  let n = Array.length diag in
+  if n < 3 then invalid_arg "Tridiag.solve_cyclic: n < 3";
+  let gamma = -.diag.(0) in
+  let diag' = Array.copy diag in
+  diag'.(0) <- diag.(0) -. gamma;
+  diag'.(n - 1) <- diag.(n - 1) -. (corner_low *. corner_high /. gamma);
+  let y = solve ~lower ~diag:diag' ~upper rhs in
+  let u = Array.make n 0. in
+  u.(0) <- gamma;
+  u.(n - 1) <- corner_low;
+  let z = solve ~lower ~diag:diag' ~upper u in
+  let vy = y.(0) +. (corner_high /. gamma *. y.(n - 1)) in
+  let vz = z.(0) +. (corner_high /. gamma *. z.(n - 1)) in
+  let factor = vy /. (1. +. vz) in
+  Array.init n (fun i -> y.(i) -. (factor *. z.(i)))

@@ -1,0 +1,16 @@
+(** Tridiagonal and cyclic-tridiagonal solves (Thomas algorithm and the
+    Sherman–Morrison variant for periodic coupling). *)
+
+(** [solve ~lower ~diag ~upper rhs] solves the tridiagonal system with
+    the given bands.  [lower] and [upper] have length [n - 1], [diag]
+    and [rhs] length [n].  Raises [Failure] on a zero pivot (no
+    pivoting is performed; intended for diagonally dominant systems
+    arising from 1-D discretizations). *)
+val solve : lower:Vec.t -> diag:Vec.t -> upper:Vec.t -> Vec.t -> Vec.t
+
+(** [solve_cyclic ~lower ~diag ~upper ~corner_low ~corner_high rhs]
+    solves the cyclic tridiagonal system with additional corner entries
+    [A.(0).(n-1) = corner_high] and [A.(n-1).(0) = corner_low], via
+    Sherman–Morrison.  All bands as in {!solve}. *)
+val solve_cyclic :
+  lower:Vec.t -> diag:Vec.t -> upper:Vec.t -> corner_low:float -> corner_high:float -> Vec.t -> Vec.t

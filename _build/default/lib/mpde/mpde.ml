@@ -1,0 +1,203 @@
+open Linalg
+
+type system = { dae : Dae.t; p1 : float; b_fast : t1:float -> t2:float -> Vec.t }
+
+type result = { t2 : Vec.t; slices : Vec.t array array; p1 : float }
+
+let newton_options =
+  { Nonlin.Newton.default_options with max_iterations = 50; residual_tol = 1e-9 }
+
+let unpack ~n1 ~n y = Array.init n1 (fun j -> Array.sub y (j * n) n)
+let pack grid =
+  let n1 = Array.length grid and n = Array.length grid.(0) in
+  Vec.init (n1 * n) (fun idx -> grid.(idx / n).(idx mod n))
+
+(* g_{j,i} = (1/p1) (D Q)_{j,i} + f(t2, X_j)_i + b_fast(t1_j, t2)_i *)
+let eval_g sys ~n1 ~d ~t2 states =
+  let dae = sys.dae in
+  let n = dae.Dae.dim in
+  let qs = Array.map dae.Dae.q states in
+  let g = Array.make (n1 * n) 0. in
+  for j = 0 to n1 - 1 do
+    let t1j = sys.p1 *. float_of_int j /. float_of_int n1 in
+    let fj = dae.Dae.f ~t:t2 states.(j) in
+    let bj = sys.b_fast ~t1:t1j ~t2 in
+    let dj = d.(j) in
+    for i = 0 to n - 1 do
+      let s = ref 0. in
+      for k = 0 to n1 - 1 do
+        s := !s +. (dj.(k) *. qs.(k).(i))
+      done;
+      g.((j * n) + i) <- (!s /. sys.p1) +. fj.(i) +. bj.(i)
+    done
+  done;
+  g
+
+let g_jacobian sys ~n1 ~d ~t2 states =
+  let dae = sys.dae in
+  let n = dae.Dae.dim in
+  let cs = Array.map dae.Dae.dq states in
+  let jac = Mat.zeros (n1 * n) (n1 * n) in
+  for j = 0 to n1 - 1 do
+    let gj = dae.Dae.df ~t:t2 states.(j) in
+    for k = 0 to n1 - 1 do
+      let djk = d.(j).(k) /. sys.p1 in
+      if djk <> 0. || j = k then
+        for i = 0 to n - 1 do
+          for l = 0 to n - 1 do
+            let v = (djk *. cs.(k).(i).(l)) +. (if j = k then gj.(i).(l) else 0.) in
+            if v <> 0. then
+              jac.((j * n) + i).((k * n) + l) <- jac.((j * n) + i).((k * n) + l) +. v
+          done
+        done
+    done
+  done;
+  jac
+
+let periodic_initial sys ~n1 ~guess =
+  if n1 mod 2 = 0 then invalid_arg "Mpde.periodic_initial: n1 must be odd";
+  let n = sys.dae.Dae.dim in
+  let d = Fourier.Series.diff_matrix n1 in
+  let residual y = eval_g sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
+  let jacobian y = g_jacobian sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
+  let report = Nonlin.Newton.solve ~options:newton_options ~jacobian ~residual (pack guess) in
+  if not report.Nonlin.Newton.converged then
+    failwith "Mpde.periodic_initial: Newton failed";
+  unpack ~n1 ~n report.Nonlin.Newton.x
+
+let simulate sys ~n1 ~t2_end ~h2 ~init =
+  if n1 mod 2 = 0 then invalid_arg "Mpde.simulate: n1 must be odd";
+  let dae = sys.dae in
+  let n = dae.Dae.dim in
+  if Array.length init <> n1 then invalid_arg "Mpde.simulate: init size <> n1";
+  let d = Fourier.Series.diff_matrix n1 in
+  let theta = 0.5 in
+  let t2s = ref [ 0. ] and slices = ref [ Array.map Array.copy init ] in
+  let t2 = ref 0. and states = ref init in
+  let g = ref (eval_g sys ~n1 ~d ~t2:0. !states) in
+  while !t2 < t2_end -. (1e-9 *. t2_end) do
+    let h = Float.min h2 (t2_end -. !t2) in
+    let t2_new = !t2 +. h in
+    let q0 = Array.map dae.Dae.q !states in
+    let g0 = !g in
+    let residual y =
+      let st = unpack ~n1 ~n y in
+      let gy = eval_g sys ~n1 ~d ~t2:t2_new st in
+      let res = Array.make (n1 * n) 0. in
+      for j = 0 to n1 - 1 do
+        let qj = dae.Dae.q st.(j) in
+        for i = 0 to n - 1 do
+          let idx = (j * n) + i in
+          res.(idx) <-
+            qj.(i) -. q0.(j).(i) +. (h *. theta *. gy.(idx)) +. (h *. (1. -. theta) *. g0.(idx))
+        done
+      done;
+      res
+    in
+    let jacobian y =
+      let st = unpack ~n1 ~n y in
+      let jg = g_jacobian sys ~n1 ~d ~t2:t2_new st in
+      let cs = Array.map dae.Dae.dq st in
+      let jac = Mat.zeros (n1 * n) (n1 * n) in
+      for j = 0 to n1 - 1 do
+        for i = 0 to n - 1 do
+          let row = (j * n) + i in
+          for k = 0 to n1 - 1 do
+            for l = 0 to n - 1 do
+              let col = (k * n) + l in
+              let v = (h *. theta *. jg.(row).(col)) +. (if j = k then cs.(j).(i).(l) else 0.) in
+              if v <> 0. then jac.(row).(col) <- jac.(row).(col) +. v
+            done
+          done
+        done
+      done;
+      jac
+    in
+    let report = Nonlin.Newton.solve ~options:newton_options ~jacobian ~residual (pack !states) in
+    if not report.Nonlin.Newton.converged then
+      failwith (Printf.sprintf "Mpde.simulate: Newton failed at t2 = %.6g" t2_new);
+    states := unpack ~n1 ~n report.Nonlin.Newton.x;
+    g := eval_g sys ~n1 ~d ~t2:t2_new !states;
+    t2 := t2_new;
+    t2s := t2_new :: !t2s;
+    slices := Array.map Array.copy !states :: !slices
+  done;
+  {
+    t2 = Array.of_list (List.rev !t2s);
+    slices = Array.of_list (List.rev !slices);
+    p1 = sys.p1;
+  }
+
+let quasiperiodic sys ~n1 ~n2 ~p2 ~guess =
+  if n1 mod 2 = 0 || n2 mod 2 = 0 then invalid_arg "Mpde.quasiperiodic: n1, n2 must be odd";
+  let dae = sys.dae in
+  let n = dae.Dae.dim in
+  if Array.length guess <> n2 then invalid_arg "Mpde.quasiperiodic: guess size <> n2";
+  let d1 = Fourier.Series.diff_matrix n1 in
+  let d2 = Fourier.Series.diff_matrix n2 in
+  let block = n1 * n in
+  let dim = n2 * block in
+  let pack2 () =
+    Vec.init dim (fun idx ->
+        let m = idx / block and r = idx mod block in
+        guess.(m).(r / n).(r mod n))
+  in
+  let unpack2 y =
+    Array.init n2 (fun m -> Array.init n1 (fun j -> Array.sub y ((m * block) + (j * n)) n))
+  in
+  let residual y =
+    let st = unpack2 y in
+    let res = Array.make dim 0. in
+    for m = 0 to n2 - 1 do
+      let t2m = p2 *. float_of_int m /. float_of_int n2 in
+      let gm = eval_g sys ~n1 ~d:d1 ~t2:t2m st.(m) in
+      (* slow derivative: (1/p2) sum_p d2.(m).(p) q(X^p_j) *)
+      let qs = Array.map (fun slice -> Array.map dae.Dae.q slice) st in
+      for j = 0 to n1 - 1 do
+        for i = 0 to n - 1 do
+          let s = ref 0. in
+          for p = 0 to n2 - 1 do
+            s := !s +. (d2.(m).(p) *. qs.(p).(j).(i))
+          done;
+          res.((m * block) + (j * n) + i) <- gm.((j * n) + i) +. (!s /. p2)
+        done
+      done
+    done;
+    res
+  in
+  let report =
+    Nonlin.Newton.solve
+      ~options:{ newton_options with max_iterations = 80 }
+      ~residual (pack2 ())
+  in
+  if not report.Nonlin.Newton.converged then failwith "Mpde.quasiperiodic: Newton failed";
+  let st = unpack2 report.Nonlin.Newton.x in
+  {
+    t2 = Vec.init n2 (fun m -> p2 *. float_of_int m /. float_of_int n2);
+    slices = st;
+    p1 = sys.p1;
+  }
+
+let eval_bivariate res ~component ~t1 ~t2 =
+  let m = Array.length res.t2 in
+  let idx =
+    if t2 <= res.t2.(0) then 0
+    else if t2 >= res.t2.(m - 1) then m - 2
+    else begin
+      let lo = ref 0 and hi = ref (m - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if res.t2.(mid) <= t2 then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  in
+  let slice_values i = Array.map (fun s -> s.(component)) res.slices.(i) in
+  let wa = Fourier.Series.interp (slice_values idx) ~period:res.p1 t1 in
+  let wb = Fourier.Series.interp (slice_values (idx + 1)) ~period:res.p1 t1 in
+  let ta = res.t2.(idx) and tb = res.t2.(idx + 1) in
+  let frac = if tb = ta then 0. else Float.max 0. (Float.min 1. ((t2 -. ta) /. (tb -. ta))) in
+  wa +. (frac *. (wb -. wa))
+
+let eval_waveform res ~component t =
+  eval_bivariate res ~component ~t1:(Float.rem t res.p1) ~t2:t

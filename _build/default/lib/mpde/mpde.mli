@@ -1,0 +1,55 @@
+(** The plain (unwarped) MPDE of [BWLBG96, Roy97, Roy99] for {e
+    non-autonomous} systems with two widely separated time scales —
+    the method the WaMPDE generalizes, kept as a baseline.
+
+    For [d/dt q(x) + f(t, x) = 0] with fast forcing of known period
+    [p1] and slow dynamics, the MPDE reads
+
+    [dq(xhat)/dt1 + dq(xhat)/dt2 + f_slow(t2, xhat) + b_fast(t1, t2) = 0]
+
+    and univariate solutions are recovered along the diagonal
+    [x(t) = xhat(t mod p1, t)].
+
+    Because both axes are unwarped, the MPDE cannot represent FM
+    compactly (paper Section 3, Figs. 4–5); the [fig5]/[mpdefm]
+    benches quantify this failure against the warped form. *)
+
+open Linalg
+
+type system = {
+  dae : Dae.t;  (** autonomous/slow part: [f]'s time argument is [t2] *)
+  p1 : float;  (** fast forcing period *)
+  b_fast : t1:float -> t2:float -> Vec.t;  (** fast forcing term *)
+}
+
+type result = {
+  t2 : Vec.t;
+  slices : Vec.t array array;  (** [slices.(m).(j)]: state at [(t1_j, t2_m)] *)
+  p1 : float;
+}
+
+(** [simulate sys ~n1 ~t2_end ~h2 ~init] — envelope-following MPDE:
+    collocation (odd [n1], spectral differentiation) along [t1],
+    trapezoidal time-stepping along [t2] from the initial fast
+    steady-state guess [init] (grid of [n1] states).  Raises [Failure]
+    on Newton failure. *)
+val simulate : system -> n1:int -> t2_end:float -> h2:float -> init:Vec.t array -> result
+
+(** [periodic_initial sys ~n1 ~guess] solves the fast-periodic steady
+    state at frozen [t2 = 0] ([dq/dt2] dropped): the natural initial
+    condition for {!simulate}. *)
+val periodic_initial : system -> n1:int -> guess:Vec.t array -> Vec.t array
+
+(** [quasiperiodic sys ~n1 ~n2 ~p2 ~guess] solves the biperiodic
+    steady state on an [n1 x n2] grid (both odd), with slow period
+    [p2]: the AM-quasiperiodic solution of Section 3.  [guess] is an
+    [n2]-array of [n1]-arrays of states. *)
+val quasiperiodic : system -> n1:int -> n2:int -> p2:float -> guess:Vec.t array array -> result
+
+(** [eval_bivariate res ~component ~t1 ~t2] interpolates the stored
+    bivariate grid (trigonometric in [t1], linear in [t2]). *)
+val eval_bivariate : result -> component:int -> t1:float -> t2:float -> float
+
+(** [eval_waveform res ~component t] recovers the univariate solution
+    along the diagonal path [x(t) = xhat(t mod p1, t)]. *)
+val eval_waveform : result -> component:int -> float -> float

@@ -1,0 +1,1 @@
+lib/nonlin/broyden.ml: Array Fdjac Float Linalg Lu Mat Newton Vec

@@ -1,0 +1,1 @@
+lib/nonlin/broyden.mli: Linalg Mat Newton Vec

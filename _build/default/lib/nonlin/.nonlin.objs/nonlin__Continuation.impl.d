@@ -1,0 +1,1 @@
+lib/nonlin/continuation.ml: Array Float Linalg List Newton Vec

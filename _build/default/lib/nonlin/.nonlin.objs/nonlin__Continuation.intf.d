@@ -1,0 +1,1 @@
+lib/nonlin/continuation.mli: Linalg Newton Vec

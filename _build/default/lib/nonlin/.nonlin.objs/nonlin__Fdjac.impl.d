@@ -1,0 +1,1 @@
+lib/nonlin/fdjac.ml: Array Float Linalg Mat Vec

@@ -1,0 +1,1 @@
+lib/nonlin/fdjac.mli: Linalg Mat Vec

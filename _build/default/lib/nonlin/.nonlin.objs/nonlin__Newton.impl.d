@@ -1,0 +1,1 @@
+lib/nonlin/newton.ml: Array Fdjac Float Linalg Lu Printf Vec

@@ -1,0 +1,1 @@
+lib/nonlin/newton.mli: Linalg Mat Vec

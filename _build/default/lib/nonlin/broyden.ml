@@ -1,0 +1,81 @@
+open Linalg
+
+(* Maintains the Jacobian approximation B and its LU factorization;
+   refactors whenever the rank-one updated step fails to reduce the
+   residual. *)
+let solve ?(max_iterations = 100) ?(residual_tol = 1e-10) ?jacobian ~residual x0 =
+  let jac = match jacobian with Some j -> j | None -> fun x -> Fdjac.jacobian residual x in
+  let x = ref (Array.copy x0) in
+  let r = ref (residual !x) in
+  let rnorm = ref (Vec.norm_inf !r) in
+  let b = ref (jac !x) in
+  let fresh = ref true in
+  let finish ~iterations ~converged ~reason : Newton.report =
+    { Newton.x = !x; residual_norm = !rnorm; iterations; converged; reason }
+  in
+  let rec iterate k =
+    if !rnorm <= residual_tol then finish ~iterations:k ~converged:true ~reason:None
+    else if k >= max_iterations then
+      finish ~iterations:k ~converged:false ~reason:(Some Newton.Iteration_limit)
+    else begin
+      match Lu.factor !b with
+      | exception Lu.Singular _ ->
+        if !fresh then finish ~iterations:k ~converged:false ~reason:(Some Newton.Singular_jacobian)
+        else begin
+          b := jac !x;
+          fresh := true;
+          iterate k
+        end
+      | factored ->
+        let dx = Lu.solve factored !r in
+        Vec.scale_inplace (-1.) dx;
+        let trial = Vec.add !x dx in
+        let rt = residual trial in
+        let rtnorm = Vec.norm_inf rt in
+        if Float.is_finite rtnorm && rtnorm < !rnorm then begin
+          (* good Broyden update: B += (dr - B dx) dx^T / (dx . dx) *)
+          let bdx = Mat.matvec !b dx in
+          let dr = Vec.sub rt !r in
+          let denom = Vec.dot dx dx in
+          if denom > 0. then begin
+            let u = Vec.init (Array.length dr) (fun i -> (dr.(i) -. bdx.(i)) /. denom) in
+            for i = 0 to Mat.rows !b - 1 do
+              for j = 0 to Mat.cols !b - 1 do
+                !b.(i).(j) <- !b.(i).(j) +. (u.(i) *. dx.(j))
+              done
+            done
+          end;
+          x := trial;
+          r := rt;
+          rnorm := rtnorm;
+          fresh := false;
+          iterate (k + 1)
+        end
+        else if not !fresh then begin
+          b := jac !x;
+          fresh := true;
+          iterate (k + 1)
+        end
+        else begin
+          (* fresh Jacobian and still no progress: damped fallback *)
+          let rec backtrack lambda =
+            if lambda < 1e-4 then None
+            else begin
+              let t = Array.mapi (fun i xi -> xi +. (lambda *. dx.(i))) !x in
+              let rtl = residual t in
+              let nl = Vec.norm_inf rtl in
+              if Float.is_finite nl && nl < !rnorm then Some (t, rtl, nl) else backtrack (lambda /. 2.)
+            end
+          in
+          match backtrack 0.5 with
+          | None -> finish ~iterations:k ~converged:false ~reason:(Some Newton.Line_search_failed)
+          | Some (t, rtl, nl) ->
+            x := t;
+            r := rtl;
+            rnorm := nl;
+            b := jac !x;
+            iterate (k + 1)
+        end
+    end
+  in
+  iterate 0

@@ -1,0 +1,18 @@
+(** Broyden's (good) quasi-Newton method.
+
+    Useful when Jacobian evaluations dominate: the Jacobian is built
+    once (by finite differences unless supplied) and then rank-one
+    updated.  Falls back to a fresh Jacobian when progress stalls. *)
+
+open Linalg
+
+(** [solve ?max_iterations ?residual_tol ?jacobian ~residual x0]
+    returns a {!Newton.report}-style record via the Newton module's
+    type. *)
+val solve :
+  ?max_iterations:int ->
+  ?residual_tol:float ->
+  ?jacobian:(Vec.t -> Mat.t) ->
+  residual:(Vec.t -> Vec.t) ->
+  Vec.t ->
+  Newton.report

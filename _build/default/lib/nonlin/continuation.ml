@@ -1,0 +1,41 @@
+open Linalg
+
+type point = { lambda : float; x : Vec.t }
+
+let trace ?options ?(initial_step = 0.1) ?(min_step = 1e-6) ?(max_step = infinity) ~residual
+    ~from_ ~to_ x0 =
+  if from_ = to_ then begin
+    let r = Newton.solve ?options ~residual:(residual to_) x0 in
+    if not r.Newton.converged then failwith "Continuation.trace: corrector failed at start";
+    [ { lambda = to_; x = r.Newton.x } ]
+  end
+  else begin
+    let dir = if to_ > from_ then 1. else -1. in
+    let span = Float.abs (to_ -. from_) in
+    let rec go lambda x step acc =
+      if step < min_step then failwith "Continuation.trace: step underflow"
+      else begin
+        let next = lambda +. (dir *. Float.min step (Float.min max_step span)) in
+        let next = if dir *. (next -. to_) >= 0. then to_ else next in
+        let r = Newton.solve ?options ~residual:(residual next) x in
+        if r.Newton.converged then begin
+          let acc = { lambda = next; x = r.Newton.x } :: acc in
+          if next = to_ then List.rev acc
+          else begin
+            (* grow the step when Newton converged comfortably *)
+            let step' = if r.Newton.iterations <= 3 then step *. 1.7 else step in
+            go next r.Newton.x (Float.min step' max_step) acc
+          end
+        end
+        else go lambda x (step /. 2.) acc
+      end
+    in
+    go from_ (Array.copy x0) initial_step []
+  end
+
+let solve_at ?options ?initial_step ?min_step ?max_step ~residual ~from_ ~to_ x0 =
+  match
+    List.rev (trace ?options ?initial_step ?min_step ?max_step ~residual ~from_ ~to_ x0)
+  with
+  | [] -> failwith "Continuation.solve_at: empty trace"
+  | { x; _ } :: _ -> x

@@ -1,0 +1,40 @@
+(** Natural-parameter continuation.
+
+    Tracks a solution branch of [F(x, lambda) = 0] from [lambda_from]
+    to [lambda_to], adapting the parameter step to Newton behaviour.
+    Used to walk oscillator solutions from easy operating points to
+    hard ones (e.g. ramping nonlinearity strength or forcing
+    amplitude). *)
+
+open Linalg
+
+type point = { lambda : float; x : Vec.t }
+
+(** [trace ?options ?initial_step ?min_step ?max_step ~residual ~from_ ~to_ x0]
+    returns the list of accepted continuation points ending exactly at
+    [to_].  [residual lambda x] evaluates [F(x, lambda)].
+
+    Raises [Failure] if the step shrinks below [min_step] without the
+    corrector converging. *)
+val trace :
+  ?options:Newton.options ->
+  ?initial_step:float ->
+  ?min_step:float ->
+  ?max_step:float ->
+  residual:(float -> Vec.t -> Vec.t) ->
+  from_:float ->
+  to_:float ->
+  Vec.t ->
+  point list
+
+(** [solve_at ...] is [trace] returning only the final solution. *)
+val solve_at :
+  ?options:Newton.options ->
+  ?initial_step:float ->
+  ?min_step:float ->
+  ?max_step:float ->
+  residual:(float -> Vec.t -> Vec.t) ->
+  from_:float ->
+  to_:float ->
+  Vec.t ->
+  Vec.t

@@ -1,0 +1,54 @@
+open Linalg
+
+let sqrt_eps = sqrt epsilon_float
+let cbrt_eps = Float.pow epsilon_float (1. /. 3.)
+
+let step ?typical x j base =
+  let typ = match typical with Some t -> Float.abs t.(j) | None -> 1. in
+  let h = base *. Float.max (Float.abs x.(j)) typ in
+  (* round h so that x + h - x is exactly representable *)
+  let xh = x.(j) +. h in
+  xh -. x.(j)
+
+let jacobian ?typical f x =
+  let n = Array.length x in
+  let f0 = f x in
+  let m = Array.length f0 in
+  let jac = Mat.zeros m n in
+  let xp = Array.copy x in
+  for j = 0 to n - 1 do
+    let h = step ?typical x j sqrt_eps in
+    xp.(j) <- x.(j) +. h;
+    let fj = f xp in
+    xp.(j) <- x.(j);
+    for i = 0 to m - 1 do
+      jac.(i).(j) <- (fj.(i) -. f0.(i)) /. h
+    done
+  done;
+  jac
+
+let jacobian_central ?typical f x =
+  let n = Array.length x in
+  let xp = Array.copy x in
+  let cols =
+    Array.init n (fun j ->
+        let h = step ?typical x j cbrt_eps in
+        xp.(j) <- x.(j) +. h;
+        let fp = f xp in
+        xp.(j) <- x.(j) -. h;
+        let fm = f xp in
+        xp.(j) <- x.(j);
+        Array.map2 (fun a b -> (a -. b) /. (2. *. h)) fp fm)
+  in
+  let m = Array.length cols.(0) in
+  Mat.init m n (fun i j -> cols.(j).(i))
+
+let directional f x v =
+  let vnorm = Vec.norm_inf v in
+  if vnorm = 0. then Array.make (Array.length (f x)) 0.
+  else begin
+    let h = sqrt_eps *. Float.max 1. (Vec.norm_inf x) /. vnorm in
+    let xp = Array.mapi (fun i xi -> xi +. (h *. v.(i))) x in
+    let fp = f xp and f0 = f x in
+    Array.map2 (fun a b -> (a -. b) /. h) fp f0
+  end

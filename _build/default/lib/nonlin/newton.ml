@@ -1,0 +1,108 @@
+open Linalg
+
+type options = {
+  max_iterations : int;
+  residual_tol : float;
+  step_tol : float;
+  min_damping : float;
+  x_scale : Vec.t option;
+}
+
+let default_options =
+  { max_iterations = 50; residual_tol = 1e-10; step_tol = 1e-12; min_damping = 1e-4; x_scale = None }
+
+type failure_reason = Singular_jacobian | Line_search_failed | Iteration_limit
+
+type report = {
+  x : Vec.t;
+  residual_norm : float;
+  iterations : int;
+  converged : bool;
+  reason : failure_reason option;
+}
+
+let scaled_norm options v =
+  match options.x_scale with
+  | Some scale -> Vec.weighted_norm ~scale v
+  | None -> Vec.norm_inf v
+
+let solve ?(options = default_options) ?jacobian ~residual x0 =
+  let jac = match jacobian with Some j -> j | None -> fun x -> Fdjac.jacobian residual x in
+  let x = ref (Array.copy x0) in
+  let r = ref (residual !x) in
+  let rnorm = ref (Vec.norm_inf !r) in
+  let finish ~iterations ~converged ~reason =
+    { x = !x; residual_norm = !rnorm; iterations; converged; reason }
+  in
+  let rec iterate k =
+    if !rnorm <= options.residual_tol then finish ~iterations:k ~converged:true ~reason:None
+    else if k >= options.max_iterations then
+      finish ~iterations:k ~converged:false ~reason:(Some Iteration_limit)
+    else begin
+      match Lu.factor (jac !x) with
+      | exception Lu.Singular _ ->
+        finish ~iterations:k ~converged:false ~reason:(Some Singular_jacobian)
+      | factored ->
+        let dx = Lu.solve factored !r in
+        Vec.scale_inplace (-1.) dx;
+        (* backtracking line search: accept a step that reduces ||r|| *)
+        let rec backtrack lambda =
+          if lambda < options.min_damping then None
+          else begin
+            let trial = Array.mapi (fun i xi -> xi +. (lambda *. dx.(i))) !x in
+            let rt = residual trial in
+            let rtnorm = Vec.norm_inf rt in
+            if Float.is_finite rtnorm && (rtnorm < !rnorm || rtnorm <= options.residual_tol) then
+              Some (trial, rt, rtnorm, lambda)
+            else backtrack (lambda /. 2.)
+          end
+        in
+        (match backtrack 1. with
+         | None -> finish ~iterations:k ~converged:false ~reason:(Some Line_search_failed)
+         | Some (trial, rt, rtnorm, lambda) ->
+           let step_norm = scaled_norm options dx *. lambda in
+           x := trial;
+           r := rt;
+           rnorm := rtnorm;
+           if !rnorm <= options.residual_tol then
+             finish ~iterations:(k + 1) ~converged:true ~reason:None
+           else if step_norm <= options.step_tol then
+             (* update negligible: declare convergence if the residual is
+                small in a relative sense, otherwise report a stall *)
+             finish ~iterations:(k + 1)
+               ~converged:(!rnorm <= sqrt options.residual_tol)
+               ~reason:(if !rnorm <= sqrt options.residual_tol then None else Some Line_search_failed)
+           else iterate (k + 1))
+    end
+  in
+  iterate 0
+
+let solve_exn ?options ?jacobian ~residual x0 =
+  let report = solve ?options ?jacobian ~residual x0 in
+  if report.converged then report.x
+  else begin
+    let reason =
+      match report.reason with
+      | Some Singular_jacobian -> "singular Jacobian"
+      | Some Line_search_failed -> "line search failed"
+      | Some Iteration_limit -> "iteration limit"
+      | None -> "unknown"
+    in
+    failwith
+      (Printf.sprintf "Newton.solve_exn: no convergence (%s; residual %.3e after %d iterations)"
+         reason report.residual_norm report.iterations)
+  end
+
+let scalar ?(tol = 1e-12) ?(max_iterations = 60) f df x0 =
+  let rec go x k =
+    let fx = f x in
+    if Float.abs fx <= tol then x
+    else if k >= max_iterations then
+      failwith (Printf.sprintf "Newton.scalar: no convergence (f = %.3e)" fx)
+    else begin
+      let d = df x in
+      if d = 0. then failwith "Newton.scalar: zero derivative";
+      go (x -. (fx /. d)) (k + 1)
+    end
+  in
+  go x0 0

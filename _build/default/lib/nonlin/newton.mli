@@ -1,0 +1,53 @@
+(** Damped Newton–Raphson for square nonlinear systems.
+
+    This is the inner solver of every implicit time step, shooting
+    update and WaMPDE collocation solve in the repository. *)
+
+open Linalg
+
+type options = {
+  max_iterations : int;  (** Newton iteration budget (default 50) *)
+  residual_tol : float;  (** absolute residual infinity-norm tolerance *)
+  step_tol : float;  (** scaled update infinity-norm tolerance *)
+  min_damping : float;  (** smallest line-search damping factor *)
+  x_scale : Vec.t option;  (** per-variable magnitudes for norms *)
+}
+
+val default_options : options
+
+type failure_reason =
+  | Singular_jacobian
+  | Line_search_failed  (** damping hit [min_damping] without progress *)
+  | Iteration_limit
+
+type report = {
+  x : Vec.t;
+  residual_norm : float;
+  iterations : int;
+  converged : bool;
+  reason : failure_reason option;  (** [None] when converged *)
+}
+
+(** [solve ?options ?jacobian ~residual x0] finds [x] with
+    [residual x ~ 0].  When [jacobian] is omitted a forward
+    finite-difference Jacobian is used.  An Armijo-style backtracking
+    line search on the residual norm globalizes the iteration. *)
+val solve :
+  ?options:options ->
+  ?jacobian:(Vec.t -> Mat.t) ->
+  residual:(Vec.t -> Vec.t) ->
+  Vec.t ->
+  report
+
+(** [solve_exn ?options ?jacobian ~residual x0] is [solve] but raises
+    [Failure] with a diagnostic when the iteration does not converge. *)
+val solve_exn :
+  ?options:options ->
+  ?jacobian:(Vec.t -> Mat.t) ->
+  residual:(Vec.t -> Vec.t) ->
+  Vec.t ->
+  Vec.t
+
+(** [scalar ?tol ?max_iterations f df x0] is 1-D Newton for convenience
+    (root of [f] with derivative [df]). *)
+val scalar : ?tol:float -> ?max_iterations:int -> (float -> float) -> (float -> float) -> float -> float

@@ -1,0 +1,1 @@
+lib/sigproc/bivariate.ml: Array Float Int Linalg Mat Vec

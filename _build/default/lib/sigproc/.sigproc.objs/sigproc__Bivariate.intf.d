@@ -1,0 +1,1 @@
+lib/sigproc/bivariate.mli: Linalg Mat

@@ -1,0 +1,1 @@
+lib/sigproc/envelope.ml: Array Float Linalg List Vec

@@ -1,0 +1,1 @@
+lib/sigproc/envelope.mli: Linalg Vec

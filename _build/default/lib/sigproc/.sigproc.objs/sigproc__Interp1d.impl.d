@@ -1,0 +1,1 @@
+lib/sigproc/interp1d.ml: Array Float Lazy Linalg Vec

@@ -1,0 +1,1 @@
+lib/sigproc/interp1d.mli: Linalg Vec

@@ -1,0 +1,1 @@
+lib/sigproc/spectrogram.ml: Array Float Fourier Linalg Mat Vec

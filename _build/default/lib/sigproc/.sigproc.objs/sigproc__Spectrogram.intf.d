@@ -1,0 +1,1 @@
+lib/sigproc/spectrogram.mli: Linalg Mat Vec

@@ -1,0 +1,1 @@
+lib/sigproc/warp.ml: Array Interp1d Linalg Vec

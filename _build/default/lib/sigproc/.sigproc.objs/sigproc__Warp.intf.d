@@ -1,0 +1,1 @@
+lib/sigproc/warp.mli: Linalg Vec

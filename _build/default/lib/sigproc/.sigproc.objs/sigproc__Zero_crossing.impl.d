@@ -1,0 +1,1 @@
+lib/sigproc/zero_crossing.ml: Array Float Int Linalg List Vec

@@ -1,0 +1,1 @@
+lib/sigproc/zero_crossing.mli: Linalg Vec

@@ -1,0 +1,32 @@
+open Linalg
+
+let peaks ~times x =
+  let n = Array.length x in
+  if Array.length times <> n then invalid_arg "Envelope.peaks: length mismatch";
+  let out = ref [] in
+  for i = 1 to n - 2 do
+    if x.(i) > x.(i - 1) && x.(i) >= x.(i + 1) then begin
+      (* parabolic refinement through (i-1, i, i+1) assuming near-uniform spacing *)
+      let a = x.(i - 1) and b = x.(i) and c = x.(i + 1) in
+      let denom = a -. (2. *. b) +. c in
+      let delta = if Float.abs denom < 1e-300 then 0. else 0.5 *. (a -. c) /. denom in
+      let delta = Float.max (-0.5) (Float.min 0.5 delta) in
+      let h = (times.(i + 1) -. times.(i - 1)) /. 2. in
+      let tp = times.(i) +. (delta *. h) in
+      let vp = b -. (0.25 *. (a -. c) *. delta) in
+      out := (tp, vp) :: !out
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let amplitude ~times x =
+  let rect = Vec.map Float.abs x in
+  let ps = peaks ~times rect in
+  (Array.map fst ps, Array.map snd ps)
+
+let amplitude_range ~times x =
+  let _, amps = amplitude ~times x in
+  if Array.length amps = 0 then (Float.nan, Float.nan)
+  else
+    ( Array.fold_left Float.min infinity amps,
+      Array.fold_left Float.max neg_infinity amps )

@@ -1,0 +1,17 @@
+(** Amplitude envelopes of oscillatory waveforms. *)
+
+open Linalg
+
+(** [peaks ~times x] returns the [(time, value)] pairs of strict local
+    maxima of [x], refined by parabolic interpolation through each
+    maximum and its neighbours. *)
+val peaks : times:Vec.t -> Vec.t -> (float * float) array
+
+(** [amplitude ~times x] is the envelope of [|x|]: peak times and peak
+    magnitudes of the rectified signal. *)
+val amplitude : times:Vec.t -> Vec.t -> Vec.t * Vec.t
+
+(** [amplitude_range ~times x] is [(min, max)] of the rectified peak
+    values; a cheap summary of amplitude modulation depth.  Returns
+    [(nan, nan)] when no peaks exist. *)
+val amplitude_range : times:Vec.t -> Vec.t -> float * float

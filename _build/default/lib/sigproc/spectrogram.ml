@@ -1,0 +1,51 @@
+open Linalg
+
+type t = { times : Vec.t; frequencies : Vec.t; magnitudes : Mat.t }
+
+let compute ~dt ~window ~hop x =
+  let n = Array.length x in
+  if window < 8 then invalid_arg "Spectrogram.compute: window too short";
+  if hop < 1 then invalid_arg "Spectrogram.compute: hop must be positive";
+  if n < window then invalid_arg "Spectrogram.compute: signal shorter than one window";
+  let n_windows = ((n - window) / hop) + 1 in
+  let hann = Fourier.Spectrum.hann window in
+  let magnitudes =
+    Array.init n_windows (fun w ->
+        let start = w * hop in
+        let seg = Vec.init window (fun i -> x.(start + i) *. hann.(i)) in
+        Fourier.Spectrum.magnitudes seg)
+  in
+  {
+    times =
+      Vec.init n_windows (fun w ->
+          dt *. (float_of_int (w * hop) +. (float_of_int window /. 2.)));
+    frequencies = Fourier.Spectrum.frequencies ~dt window;
+    magnitudes;
+  }
+
+let ridge spec =
+  let n_windows = Array.length spec.times in
+  let freqs =
+    Vec.init n_windows (fun w ->
+        let mags = spec.magnitudes.(w) in
+        let half = Array.length mags in
+        let peak = ref 1 in
+        for k = 2 to half - 2 do
+          if mags.(k) > mags.(!peak) then peak := k
+        done;
+        let k = !peak in
+        let safe_log m = log (Float.max m 1e-300) in
+        let delta =
+          if k <= 0 || k >= half - 1 then 0.
+          else begin
+            let a = safe_log mags.(k - 1)
+            and b = safe_log mags.(k)
+            and c = safe_log mags.(k + 1) in
+            let denom = a -. (2. *. b) +. c in
+            if Float.abs denom < 1e-12 then 0. else 0.5 *. (a -. c) /. denom
+          end
+        in
+        let df = spec.frequencies.(1) -. spec.frequencies.(0) in
+        (float_of_int k +. delta) *. df)
+  in
+  (spec.times, freqs)

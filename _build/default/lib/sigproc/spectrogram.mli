@@ -1,0 +1,22 @@
+(** Short-time Fourier transform: the classical way to {e see}
+    frequency modulation in a 1-D waveform, used to cross-check the
+    WaMPDE's local-frequency output against transient simulations. *)
+
+open Linalg
+
+type t = {
+  times : Vec.t;  (** window-center times *)
+  frequencies : Vec.t;  (** one-sided bin frequencies *)
+  magnitudes : Mat.t;  (** [magnitudes.(ti).(fi)] *)
+}
+
+(** [compute ~dt ~window ~hop x] computes a Hann-windowed STFT of a
+    real signal sampled at spacing [dt]; [window] is the window length
+    in samples, [hop] the distance between window starts.  Raises
+    [Invalid_argument] if the signal is shorter than one window. *)
+val compute : dt:float -> window:int -> hop:int -> Vec.t -> t
+
+(** [ridge spec] extracts the dominant-frequency ridge: for each
+    window, the parabolic-refined frequency of the strongest non-DC
+    bin.  Returns [(times, frequencies)]. *)
+val ridge : t -> Vec.t * Vec.t

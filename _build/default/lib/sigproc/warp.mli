@@ -1,0 +1,36 @@
+(** Time warping: the map [phi (t) = integral_0^t omega (s) ds] of the
+    paper's eq. (17), built from sampled local-frequency output of the
+    WaMPDE (or any positive rate function).
+
+    [omega] is in cycles per time unit, so [phi] advances by 1 per
+    oscillation cycle; the warped fast time [t1 = phi (t)] is used
+    modulo 1 when evaluating period-1 bivariate forms. *)
+
+open Linalg
+
+type t
+
+(** [of_samples ~times ~omega] builds the warping from samples of the
+    local frequency.  [omega] must be strictly positive.  Raises
+    [Invalid_argument] on non-positive samples or length mismatch. *)
+val of_samples : times:Vec.t -> omega:Vec.t -> t
+
+(** [of_function ~t0 ~t1 ~n omega] samples an analytic rate function
+    on [n] uniform points. *)
+val of_function : t0:float -> t1:float -> n:int -> (float -> float) -> t
+
+(** [phi w t] is the accumulated warped time (cycles since [t0]). *)
+val phi : t -> float -> float
+
+(** [omega w t] is the (interpolated) local frequency at [t]. *)
+val omega : t -> float -> float
+
+(** [unwarp w tau] inverts [phi]: the unwarped time [t] at which
+    [phi t = tau].  Raises [Failure] outside the sampled span. *)
+val unwarp : t -> float -> float
+
+(** [total_cycles w] is [phi] at the end of the sampled span. *)
+val total_cycles : t -> float
+
+(** [span w] is the sampled time span. *)
+val span : t -> float * float

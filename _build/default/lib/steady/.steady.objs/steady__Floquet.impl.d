@@ -1,0 +1,1 @@
+lib/steady/floquet.ml: Array Complex Cx Dae Eig Float Linalg Mat Oscillator Shooting

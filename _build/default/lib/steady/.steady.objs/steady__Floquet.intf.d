@@ -1,0 +1,1 @@
+lib/steady/floquet.mli: Cx Dae Linalg Mat Oscillator Vec

@@ -1,0 +1,1 @@
+lib/steady/hb.ml: Array Complex Cx Dae Float Fourier Linalg Mat Printf Transient Vec

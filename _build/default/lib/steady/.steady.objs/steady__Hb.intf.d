@@ -1,0 +1,1 @@
+lib/steady/hb.mli: Cx Dae Linalg Vec

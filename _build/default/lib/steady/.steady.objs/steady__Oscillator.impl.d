@@ -1,0 +1,1 @@
+lib/steady/oscillator.ml: Array Dae Float Fourier Int Linalg Mat Nonlin Printf Sigproc Transient Vec

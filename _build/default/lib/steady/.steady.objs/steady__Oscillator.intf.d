@@ -1,0 +1,1 @@
+lib/steady/oscillator.mli: Dae Linalg Vec

@@ -1,0 +1,1 @@
+lib/steady/periodic.ml: Array Dae Fourier Linalg Mat Nonlin Printf Transient Vec

@@ -1,0 +1,1 @@
+lib/steady/periodic.mli: Cx Dae Linalg Vec

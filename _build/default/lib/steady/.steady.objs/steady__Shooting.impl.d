@@ -1,0 +1,1 @@
+lib/steady/shooting.ml: Array Dae Linalg Nonlin Printf Transient Vec

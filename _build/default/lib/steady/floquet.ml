@@ -1,0 +1,53 @@
+open Linalg
+
+type report = {
+  monodromy : Mat.t;
+  multipliers : Cx.Cvec.t;
+  trivial_index : int;
+  largest_nontrivial : float;
+  stable : bool;
+}
+
+let monodromy dae ~period ?(steps_per_period = 400) x0 =
+  let n = dae.Dae.dim in
+  let flow x = Shooting.flow dae ~t0:0. ~t1:period ~steps:steps_per_period x in
+  let cols =
+    Array.init n (fun j ->
+        let h = 1e-6 *. Float.max 1. (Float.abs x0.(j)) in
+        let xp = Array.copy x0 and xm = Array.copy x0 in
+        xp.(j) <- x0.(j) +. h;
+        xm.(j) <- x0.(j) -. h;
+        let fp = flow xp and fm = flow xm in
+        Array.init n (fun i -> (fp.(i) -. fm.(i)) /. (2. *. h)))
+  in
+  Mat.init n n (fun i j -> cols.(j).(i))
+
+let analyze dae ~period ?steps_per_period x0 =
+  let m = monodromy dae ~period ?steps_per_period x0 in
+  let multipliers = Eig.eigenvalues m in
+  let trivial_index = ref 0 in
+  Array.iteri
+    (fun i z ->
+      if
+        Complex.norm (Complex.sub z Complex.one)
+        < Complex.norm (Complex.sub multipliers.(!trivial_index) Complex.one)
+      then trivial_index := i)
+    multipliers;
+  let largest_nontrivial =
+    let worst = ref 0. in
+    Array.iteri
+      (fun i z -> if i <> !trivial_index then worst := Float.max !worst (Complex.norm z))
+      multipliers;
+    !worst
+  in
+  {
+    monodromy = m;
+    multipliers;
+    trivial_index = !trivial_index;
+    largest_nontrivial;
+    stable = largest_nontrivial < 1. -. 1e-6;
+  }
+
+let analyze_orbit dae ?steps_per_period orbit =
+  analyze dae ~period:(Oscillator.period orbit) ?steps_per_period
+    orbit.Oscillator.grid.(0)

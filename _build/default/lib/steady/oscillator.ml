@@ -1,0 +1,143 @@
+open Linalg
+
+type orbit = { omega : float; grid : Vec.t array }
+
+let period orbit = 1. /. orbit.omega
+
+(* Flat layout: y.(j * n + i) = variable i at grid point j; y.(n1 * n) = omega. *)
+let pack grid omega =
+  let n1 = Array.length grid in
+  let n = Array.length grid.(0) in
+  Vec.init ((n1 * n) + 1) (fun idx ->
+      if idx = n1 * n then omega else grid.(idx / n).(idx mod n))
+
+let unpack ~n1 ~n y = (Array.init n1 (fun j -> Array.sub y (j * n) n), y.(n1 * n))
+
+(* Autonomous system: f evaluated at t = 0 (no explicit slow forcing). *)
+let collocation_residual dae ~n1 ~d ~phase_component y =
+  let n = dae.Dae.dim in
+  let states, omega = unpack ~n1 ~n y in
+  let qs = Array.map dae.Dae.q states in
+  let res = Array.make ((n1 * n) + 1) 0. in
+  for j = 0 to n1 - 1 do
+    let fj = dae.Dae.f ~t:0. states.(j) in
+    let dj = d.(j) in
+    for i = 0 to n - 1 do
+      let s = ref 0. in
+      for k = 0 to n1 - 1 do
+        s := !s +. (dj.(k) *. qs.(k).(i))
+      done;
+      res.((j * n) + i) <- (omega *. !s) +. fj.(i)
+    done
+  done;
+  (* phase condition: d x_comp / d t1 at grid point 0 *)
+  let s = ref 0. in
+  for k = 0 to n1 - 1 do
+    s := !s +. (d.(0).(k) *. states.(k).(phase_component))
+  done;
+  res.(n1 * n) <- !s;
+  res
+
+let collocation_jacobian dae ~n1 ~d ~phase_component y =
+  let n = dae.Dae.dim in
+  let states, omega = unpack ~n1 ~n y in
+  let qs = Array.map dae.Dae.q states in
+  let cs = Array.map dae.Dae.dq states in
+  let dim = (n1 * n) + 1 in
+  let jac = Mat.zeros dim dim in
+  for j = 0 to n1 - 1 do
+    let gj = dae.Dae.df ~t:0. states.(j) in
+    let dj = d.(j) in
+    for k = 0 to n1 - 1 do
+      let djk = dj.(k) in
+      if djk <> 0. || j = k then
+        for i = 0 to n - 1 do
+          for l = 0 to n - 1 do
+            let value =
+              (omega *. djk *. cs.(k).(i).(l)) +. (if j = k then gj.(i).(l) else 0.)
+            in
+            if value <> 0. then
+              jac.((j * n) + i).((k * n) + l) <- jac.((j * n) + i).((k * n) + l) +. value
+          done
+        done
+    done;
+    (* d residual / d omega = (D Q)_j *)
+    for i = 0 to n - 1 do
+      let s = ref 0. in
+      for k = 0 to n1 - 1 do
+        s := !s +. (dj.(k) *. qs.(k).(i))
+      done;
+      jac.((j * n) + i).(n1 * n) <- !s
+    done
+  done;
+  for k = 0 to n1 - 1 do
+    jac.(n1 * n).((k * n) + phase_component) <- d.(0).(k)
+  done;
+  jac
+
+let solve dae ~n1 ~guess ~omega_guess ~phase_component =
+  if n1 mod 2 = 0 then invalid_arg "Oscillator.solve: n1 must be odd";
+  let n = dae.Dae.dim in
+  let d = Fourier.Series.diff_matrix n1 in
+  let residual y = collocation_residual dae ~n1 ~d ~phase_component y in
+  let jacobian y = collocation_jacobian dae ~n1 ~d ~phase_component y in
+  let options = { Nonlin.Newton.default_options with max_iterations = 80; residual_tol = 1e-9 } in
+  let report = Nonlin.Newton.solve ~options ~jacobian ~residual (pack guess omega_guess) in
+  if not report.Nonlin.Newton.converged then
+    failwith
+      (Printf.sprintf "Oscillator.solve: Newton failed (residual %.3e after %d iterations)"
+         report.Nonlin.Newton.residual_norm report.Nonlin.Newton.iterations);
+  let grid, omega = unpack ~n1 ~n report.Nonlin.Newton.x in
+  if omega <= 0. then failwith "Oscillator.solve: converged to non-positive frequency";
+  { omega; grid }
+
+let find dae ~n1 ?(phase_component = 0) ?(warmup_cycles = 30) ?(transient_steps_per_cycle = 100)
+    ~period_hint x0 =
+  let h = period_hint /. float_of_int transient_steps_per_cycle in
+  let t_end = period_hint *. float_of_int (warmup_cycles + 4) in
+  let traj = Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:t_end ~h x0 in
+  let comp = Transient.component traj phase_component in
+  let mean = Vec.mean comp in
+  let centered = Vec.map (fun x -> x -. mean) comp in
+  let crossings = Sigproc.Zero_crossing.upward ~times:traj.Transient.times centered in
+  let m = Array.length crossings in
+  if m < 4 then failwith "Oscillator.find: too few oscillation cycles in warm-up transient";
+  (* average the last few settled periods *)
+  let avg_over = Int.min 5 (m - 1) in
+  let period =
+    (crossings.(m - 1) -. crossings.(m - 1 - avg_over)) /. float_of_int avg_over
+  in
+  (* sample one period ending at the last crossing *)
+  let t_start = crossings.(m - 1) -. period in
+  let raw =
+    Array.init n1 (fun j ->
+        let t = t_start +. (period *. float_of_int j /. float_of_int n1) in
+        Vec.init dae.Dae.dim (fun i -> Transient.interpolate traj i t))
+  in
+  (* rotate so the phase component peaks at grid index 0 *)
+  let peak = ref 0 in
+  for j = 1 to n1 - 1 do
+    if raw.(j).(phase_component) > raw.(!peak).(phase_component) then peak := j
+  done;
+  let guess = Array.init n1 (fun j -> raw.((j + !peak) mod n1)) in
+  solve dae ~n1 ~guess ~omega_guess:(1. /. period) ~phase_component
+
+let component orbit i = Array.map (fun s -> s.(i)) orbit.grid
+
+let eval orbit ~component:i t =
+  let samples = component orbit i in
+  Fourier.Series.interp samples ~period:1. (orbit.omega *. t)
+
+let amplitude orbit ~component:i =
+  let samples = component orbit i in
+  let hi = Array.fold_left Float.max neg_infinity samples in
+  let lo = Array.fold_left Float.min infinity samples in
+  (hi -. lo) /. 2.
+
+let residual_norm dae orbit =
+  let n1 = Array.length orbit.grid in
+  let d = Fourier.Series.diff_matrix n1 in
+  let y = pack orbit.grid orbit.omega in
+  let res = collocation_residual dae ~n1 ~d ~phase_component:0 y in
+  (* exclude the phase row *)
+  Vec.norm_inf (Array.sub res 0 (Array.length res - 1))

@@ -1,0 +1,58 @@
+(** Periodic steady state of {e unforced autonomous} oscillators:
+    unknown waveform {e and} unknown frequency, pinned by a phase
+    condition — exactly the [t2]-independent special case of the
+    WaMPDE, and the initial condition generator for its envelope
+    solver.
+
+    Solves [omega (D Q)_j + f(x_j) = 0] (period-1 warped grid,
+    [omega] in cycles per time unit) together with the phase condition
+    [d x_comp / d t1 (0) = 0] (the chosen component peaks at [t1 = 0]). *)
+
+open Linalg
+
+type orbit = {
+  omega : float;  (** oscillation frequency, cycles per time unit *)
+  grid : Vec.t array;  (** one period sampled on the odd uniform grid *)
+}
+
+(** [period orbit] is [1 / omega]. *)
+val period : orbit -> float
+
+(** [solve dae ~n1 ~guess ~omega_guess ~phase_component] polishes a
+    grid guess by Newton on the collocation + phase system.  Raises
+    [Failure] when Newton fails (e.g. the guess is not near a limit
+    cycle, or the system has no stable oscillation). *)
+val solve :
+  Dae.t -> n1:int -> guess:Vec.t array -> omega_guess:float -> phase_component:int -> orbit
+
+(** [find dae ~n1 ?phase_component ?warmup_cycles ?transient_steps_per_cycle
+     ~period_hint x0] runs the full pipeline: transient warm-up from
+    [x0] for [warmup_cycles] estimated periods, period estimation from
+    upward zero crossings of the phase component (after removing its
+    mean), resampling of the last cycle onto the grid, rotation so the
+    component peaks at [t1 = 0], and Newton polish.  [period_hint]
+    seeds the warm-up length. *)
+val find :
+  Dae.t ->
+  n1:int ->
+  ?phase_component:int ->
+  ?warmup_cycles:int ->
+  ?transient_steps_per_cycle:int ->
+  period_hint:float ->
+  Vec.t ->
+  orbit
+
+(** [eval orbit ~component t] evaluates the steady-state waveform at
+    (unwarped) time [t >= 0], i.e. at warped phase [omega t]. *)
+val eval : orbit -> component:int -> float -> float
+
+(** [component orbit i] is variable [i] on the grid. *)
+val component : orbit -> int -> Vec.t
+
+(** [amplitude orbit ~component] is half the peak-to-peak excursion of
+    the component over one period. *)
+val amplitude : orbit -> component:int -> float
+
+(** [residual_norm dae orbit] is the collocation residual's infinity
+    norm (phase row excluded). *)
+val residual_norm : Dae.t -> orbit -> float

@@ -1,0 +1,44 @@
+(** Periodic steady state of {e forced (non-autonomous)} DAEs by
+    spectral collocation in time — mathematically equivalent to
+    harmonic balance with [n/2] harmonics, assembled on an odd uniform
+    grid over one period.
+
+    Solves [1/T (D Q)_j + f(t_j, x_j) = 0] for the grid values [x_j],
+    where [D] is the period-1 trigonometric differentiation matrix and
+    [Q] stacks [q(x_j)]. *)
+
+open Linalg
+
+type solution = {
+  period : float;
+  grid : Vec.t array;  (** [grid.(j)] is the state at [t_j = j T / n1] *)
+}
+
+(** [solve dae ~period ~n1 ~guess] finds the [period]-periodic steady
+    state.  [n1] must be odd.  [guess] supplies grid-point initial
+    values (a single vector replicated by {!solve_flat} convenience
+    wrappers, or per-point states).  Raises [Failure] if Newton does
+    not converge. *)
+val solve : Dae.t -> period:float -> n1:int -> guess:Vec.t array -> solution
+
+(** [solve_from_transient dae ~period ~n1 ~warmup_periods x0] first
+    integrates [warmup_periods] periods of transient to approach the
+    steady state, samples the last period onto the grid, and polishes
+    with {!solve}. *)
+val solve_from_transient :
+  Dae.t -> period:float -> n1:int -> warmup_periods:int -> Vec.t -> solution
+
+(** [eval sol ~component t] evaluates one state variable at time [t]
+    by trigonometric interpolation (periodic in [t]). *)
+val eval : solution -> component:int -> float -> float
+
+(** [component sol i] is variable [i] sampled on the grid. *)
+val component : solution -> int -> Vec.t
+
+(** [fourier_coefficients sol ~component] are the centered Fourier
+    coefficients of the variable over one period. *)
+val fourier_coefficients : solution -> component:int -> Cx.Cvec.t
+
+(** [residual_norm dae sol] is the infinity norm of the collocation
+    residual — a direct a-posteriori quality check. *)
+val residual_norm : Dae.t -> solution -> float

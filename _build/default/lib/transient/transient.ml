@@ -1,0 +1,162 @@
+open Linalg
+
+type method_ = Backward_euler | Trapezoidal | Bdf2 | Rk4
+
+type trajectory = { times : float array; states : Vec.t array }
+
+let newton_options =
+  { Nonlin.Newton.default_options with max_iterations = 40; residual_tol = 1e-10 }
+
+let theta_step dae ~theta ~t ~h x =
+  let q0 = dae.Dae.q x in
+  let f0 = if theta < 1. then dae.Dae.f ~t x else [||] in
+  let t1 = t +. h in
+  (* residual scaled by h (i.e. q(y) - q0 + h (theta f1 + (1-theta) f0))
+     so its magnitude tracks q, not q/h: keeps the Newton tolerance
+     meaningful for arbitrarily small steps. *)
+  let residual y =
+    let qy = dae.Dae.q y in
+    let fy = dae.Dae.f ~t:t1 y in
+    Vec.init dae.Dae.dim (fun i ->
+        qy.(i) -. q0.(i)
+        +. (h *. theta *. fy.(i))
+        +. (if theta < 1. then h *. (1. -. theta) *. f0.(i) else 0.))
+  in
+  let jacobian y =
+    let c = dae.Dae.dq y in
+    let g = dae.Dae.df ~t:t1 y in
+    Mat.init dae.Dae.dim dae.Dae.dim (fun i j -> c.(i).(j) +. (h *. theta *. g.(i).(j)))
+  in
+  let report = Nonlin.Newton.solve ~options:newton_options ~jacobian ~residual x in
+  if report.Nonlin.Newton.converged then report.Nonlin.Newton.x
+  else
+    failwith
+      (Printf.sprintf "Transient.theta_step: Newton failed at t = %.6g (h = %.3g, residual %.3e)" t
+         h report.Nonlin.Newton.residual_norm)
+
+(* BDF2 with the previous two accepted points (fixed step):
+   (3 q(x2) - 4 q(x1) + q(x0)) / (2h) + f(t2, x2) = 0 *)
+let bdf2_step dae ~t ~h ~x_prev x =
+  let q1 = dae.Dae.q x and q0 = dae.Dae.q x_prev in
+  let t2 = t +. h in
+  let residual y =
+    let qy = dae.Dae.q y in
+    let fy = dae.Dae.f ~t:t2 y in
+    Vec.init dae.Dae.dim (fun i ->
+        ((1.5 *. qy.(i)) -. (2. *. q1.(i)) +. (0.5 *. q0.(i))) +. (h *. fy.(i)))
+  in
+  let jacobian y =
+    let c = dae.Dae.dq y in
+    let g = dae.Dae.df ~t:t2 y in
+    Mat.init dae.Dae.dim dae.Dae.dim (fun i j -> (1.5 *. c.(i).(j)) +. (h *. g.(i).(j)))
+  in
+  let report = Nonlin.Newton.solve ~options:newton_options ~jacobian ~residual x in
+  if report.Nonlin.Newton.converged then report.Nonlin.Newton.x
+  else failwith (Printf.sprintf "Transient.bdf2_step: Newton failed at t = %.6g" t)
+
+(* classical explicit RK4 on the semi-explicit form
+   xdot = -C(x)^{-1} f(t, x); valid only when dq/dx is invertible
+   everywhere along the trajectory (no purely algebraic constraints). *)
+let rk4_step dae ~t ~h x =
+  let deriv tt y = Dae.consistent_derivative dae ~t:tt y in
+  let k1 = deriv t x in
+  let k2 = deriv (t +. (h /. 2.)) (Vec.init (Array.length x) (fun i -> x.(i) +. (h /. 2. *. k1.(i)))) in
+  let k3 = deriv (t +. (h /. 2.)) (Vec.init (Array.length x) (fun i -> x.(i) +. (h /. 2. *. k2.(i)))) in
+  let k4 = deriv (t +. h) (Vec.init (Array.length x) (fun i -> x.(i) +. (h *. k3.(i)))) in
+  Vec.init (Array.length x) (fun i ->
+      x.(i) +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+
+let integrate dae ~method_ ~t0 ~t1 ~h x0 =
+  if h <= 0. then invalid_arg "Transient.integrate: h <= 0";
+  if t1 < t0 then invalid_arg "Transient.integrate: t1 < t0";
+  let times = ref [ t0 ] and states = ref [ Array.copy x0 ] in
+  let prev = ref None in
+  let t = ref t0 and x = ref (Array.copy x0) in
+  while !t < t1 -. (1e-12 *. Float.max 1. (Float.abs t1)) do
+    let step = Float.min h (t1 -. !t) in
+    let x' =
+      match method_ with
+      | Backward_euler -> theta_step dae ~theta:1. ~t:!t ~h:step !x
+      | Trapezoidal -> theta_step dae ~theta:0.5 ~t:!t ~h:step !x
+      | Bdf2 ->
+        (match !prev with
+         | None -> theta_step dae ~theta:0.5 ~t:!t ~h:step !x
+         | Some xp -> bdf2_step dae ~t:!t ~h:step ~x_prev:xp !x)
+      | Rk4 -> rk4_step dae ~t:!t ~h:step !x
+    in
+    prev := Some !x;
+    x := x';
+    t := !t +. step;
+    times := !t :: !times;
+    states := Array.copy x' :: !states
+  done;
+  { times = Array.of_list (List.rev !times); states = Array.of_list (List.rev !states) }
+
+let integrate_adaptive dae ~t0 ~t1 ?h0 ?(h_min = 1e-14) ?h_max ~tol x0 =
+  let span = t1 -. t0 in
+  if span < 0. then invalid_arg "Transient.integrate_adaptive: t1 < t0";
+  let h_max = match h_max with Some h -> h | None -> span /. 10. in
+  let h0 = match h0 with Some h -> h | None -> span /. 1000. in
+  let times = ref [ t0 ] and states = ref [ Array.copy x0 ] in
+  let t = ref t0 and x = ref (Array.copy x0) and h = ref h0 in
+  while !t < t1 -. (1e-12 *. Float.max 1. (Float.abs t1)) do
+    let step = Float.min !h (t1 -. !t) in
+    let attempt () =
+      let full = theta_step dae ~theta:0.5 ~t:!t ~h:step !x in
+      let half = theta_step dae ~theta:0.5 ~t:!t ~h:(step /. 2.) !x in
+      let fine = theta_step dae ~theta:0.5 ~t:(!t +. (step /. 2.)) ~h:(step /. 2.) half in
+      (full, fine)
+    in
+    match attempt () with
+    | exception Failure _ ->
+      h := step /. 4.;
+      if !h < h_min then failwith "Transient.integrate_adaptive: step underflow (Newton failure)"
+    | full, fine ->
+      (* trapezoidal is order 2: Richardson error of the fine solution *)
+      let scale = Vec.init dae.Dae.dim (fun i -> Float.max (Float.abs fine.(i)) 1e-8) in
+      let err = Vec.weighted_norm ~scale (Vec.sub fine full) /. 3. in
+      if err <= tol then begin
+        (* accept the extrapolated solution *)
+        let accepted = Vec.init dae.Dae.dim (fun i -> fine.(i) +. ((fine.(i) -. full.(i)) /. 3.)) in
+        x := accepted;
+        t := !t +. step;
+        times := !t :: !times;
+        states := Array.copy accepted :: !states;
+        let grow = if err = 0. then 2. else Float.min 2. (0.9 *. ((tol /. err) ** (1. /. 3.))) in
+        h := Float.min h_max (step *. Float.max 1. grow)
+      end
+      else begin
+        let shrink = Float.max 0.1 (0.9 *. ((tol /. err) ** (1. /. 3.))) in
+        h := step *. shrink;
+        if !h < h_min then failwith "Transient.integrate_adaptive: step underflow"
+      end
+  done;
+  { times = Array.of_list (List.rev !times); states = Array.of_list (List.rev !states) }
+
+let component traj i = Array.map (fun s -> s.(i)) traj.states
+
+let interpolate traj i t =
+  let n = Array.length traj.times in
+  if n = 0 then invalid_arg "Transient.interpolate: empty trajectory";
+  if t <= traj.times.(0) then traj.states.(0).(i)
+  else if t >= traj.times.(n - 1) then traj.states.(n - 1).(i)
+  else begin
+    (* binary search for the bracketing interval *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if traj.times.(mid) <= t then lo := mid else hi := mid
+    done;
+    let ta = traj.times.(!lo) and tb = traj.times.(!hi) in
+    let xa = traj.states.(!lo).(i) and xb = traj.states.(!hi).(i) in
+    if tb = ta then xa else xa +. ((xb -. xa) *. (t -. ta) /. (tb -. ta))
+  end
+
+let resample traj i ~times = Array.map (interpolate traj i) times
+
+let final traj =
+  let n = Array.length traj.states in
+  if n = 0 then invalid_arg "Transient.final: empty trajectory";
+  traj.states.(n - 1)
+
+let steps traj = Int.max 0 (Array.length traj.times - 1)

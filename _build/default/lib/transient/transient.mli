@@ -1,0 +1,69 @@
+(** Transient (time-domain initial-value) simulation of DAEs — the
+    paper's baseline, against which the WaMPDE's speed and phase
+    accuracy are compared (Figs. 9 and 12).
+
+    Implicit one-step methods solve, per step of size [h],
+
+    [(q(x1) - q(x0)) / h + theta f(t1, x1) + (1 - theta) f(t0, x0) = 0]
+
+    with [theta = 1] (backward Euler) or [theta = 1/2] (trapezoidal,
+    the circuit-simulation workhorse).  A fixed-leading-coefficient
+    BDF2 and an adaptive trapezoidal driver with Richardson error
+    control are also provided. *)
+
+open Linalg
+
+type method_ =
+  | Backward_euler
+  | Trapezoidal
+  | Bdf2
+  | Rk4
+      (** classical explicit Runge–Kutta on [xdot = -C(x)^{-1} f];
+          requires [dq/dx] invertible (no algebraic constraints) and a
+          non-stiff step *)
+
+type trajectory = {
+  times : float array;
+  states : Vec.t array;  (** [states.(i)] is the state at [times.(i)] *)
+}
+
+(** [theta_step dae ~theta ~t ~h x] advances one implicit theta step
+    from state [x] at time [t].  Raises [Failure] if Newton fails. *)
+val theta_step : Dae.t -> theta:float -> t:float -> h:float -> Vec.t -> Vec.t
+
+(** [integrate dae ~method_ ~t0 ~t1 ~h x0] integrates with fixed step
+    [h] (the final step is shortened to land exactly on [t1]) and
+    returns the full trajectory including the initial point.  BDF2
+    starts with one trapezoidal step. *)
+val integrate : Dae.t -> method_:method_ -> t0:float -> t1:float -> h:float -> Vec.t -> trajectory
+
+(** [integrate_adaptive dae ~t0 ~t1 ?h0 ?h_min ?h_max ~tol x0] is
+    trapezoidal integration with step-doubling (Richardson) local
+    error control at relative tolerance [tol]. *)
+val integrate_adaptive :
+  Dae.t ->
+  t0:float ->
+  t1:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  tol:float ->
+  Vec.t ->
+  trajectory
+
+(** [component traj i] extracts the time series of state variable [i]. *)
+val component : trajectory -> int -> Vec.t
+
+(** [interpolate traj i t] linearly interpolates component [i] at time
+    [t] (clamped to the trajectory's time span). *)
+val interpolate : trajectory -> int -> float -> float
+
+(** [resample traj i ~times] evaluates {!interpolate} at many times. *)
+val resample : trajectory -> int -> times:float array -> Vec.t
+
+(** [final traj] is the last state.  Raises [Invalid_argument] on an
+    empty trajectory. *)
+val final : trajectory -> Vec.t
+
+(** [steps traj] is the number of steps taken (points minus one). *)
+val steps : trajectory -> int

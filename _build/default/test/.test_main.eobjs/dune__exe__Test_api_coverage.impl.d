@@ -1,0 +1,1 @@
+test/test_api_coverage.ml: Alcotest Array Circuit Complex Cx Dae Float Format Fourier Linalg Lu Mat Mpde Sigproc Steady String Vec Wampde

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Circuit Dae Float Fourier Linalg Mat Nonlin Sigproc Steady Transient Vec Wampde

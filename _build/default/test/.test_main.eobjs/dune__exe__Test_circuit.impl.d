@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Dae Float Fourier Gen Linalg Mat Mna Nonlin QCheck QCheck_alcotest Test Transient Vco Vec

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Complex Cx Dae Eig Float Fourier Gmres Linalg Lu Mat Poly Qr Sigproc Sparse Steady Transient Vec

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Array Circuit Dae Gmres Linalg Lu Mat Nonlin Sigproc Steady Transient Vec Wampde

@@ -1,0 +1,1 @@
+test/test_fourier.ml: Alcotest Array Complex Cx Fft Float Fourier Gen Linalg Mat QCheck QCheck_alcotest Series Spectrum Test Vec

@@ -1,0 +1,1 @@
+test/test_hb.ml: Alcotest Array Circuit Dae Float Steady Transient

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Clu Cmat Cvec Cx Float Gen Gmres Linalg Lu Mat QCheck QCheck_alcotest Test Tridiag Vec

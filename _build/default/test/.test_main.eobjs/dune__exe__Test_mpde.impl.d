@@ -1,0 +1,1 @@
+test/test_mpde.ml: Alcotest Array Dae Float List Mpde Transient

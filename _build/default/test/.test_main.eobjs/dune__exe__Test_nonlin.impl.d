@@ -1,0 +1,1 @@
+test/test_nonlin.ml: Alcotest Array Broyden Continuation Fdjac Float Gen Linalg List Mat Newton Nonlin QCheck QCheck_alcotest Test Vec

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Circuit Dae Diode_vco Float Gen Mna Nonlin Parser Printf QCheck QCheck_alcotest Steady Test Transient Wampde

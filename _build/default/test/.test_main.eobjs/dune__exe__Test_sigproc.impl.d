@@ -1,0 +1,1 @@
+test/test_sigproc.ml: Alcotest Array Bivariate Envelope Float Gen Interp1d Linalg QCheck QCheck_alcotest Sigproc Test Vec Warp Zero_crossing

@@ -1,0 +1,1 @@
+test/test_steady.ml: Alcotest Array Circuit Dae Float Fourier Linalg Steady Vco Vec

@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array Dae Float Fourier Gen Linalg Nonlin QCheck QCheck_alcotest Test Transient Vec

@@ -1,0 +1,1 @@
+test/test_wampde.ml: Alcotest Array Circuit Dae Float Fourier Linalg Sigproc Steady Transient Vec Wampde

@@ -1,0 +1,224 @@
+(* Tests for the MNA substrate and the VCO circuit models. *)
+open Linalg
+open Circuit
+
+let approx_tol tol = Alcotest.(check (float tol))
+
+(* RC low-pass driven by a DC source: analytic charging curve. *)
+let rc_lowpass ~r ~c ~vs =
+  let net = Mna.create () in
+  let nin = Mna.node net "in" and nout = Mna.node net "out" in
+  Mna.add net (Mna.vsource ~label:"V1" ~v:(fun _ -> vs) nin Mna.ground);
+  Mna.add net (Mna.resistor ~label:"R1" ~r nin nout);
+  Mna.add net (Mna.capacitor ~label:"C1" ~c nout Mna.ground);
+  (net, nin, nout)
+
+let mna_tests =
+  [
+    Alcotest.test_case "node ids and ground aliases" `Quick (fun () ->
+        let net = Mna.create () in
+        Alcotest.(check int) "gnd" 0 (Mna.node net "gnd");
+        Alcotest.(check int) "0" 0 (Mna.node net "0");
+        Alcotest.(check int) "GROUND" 0 (Mna.node net "GROUND");
+        let a = Mna.node net "a" in
+        Alcotest.(check int) "a twice" a (Mna.node net "a");
+        Alcotest.(check int) "count" 1 (Mna.node_count net));
+    Alcotest.test_case "resistor divider dc" `Quick (fun () ->
+        let net = Mna.create () in
+        let nin = Mna.node net "in" and mid = Mna.node net "mid" in
+        Mna.add net (Mna.vsource ~label:"V" ~v:(fun _ -> 10.) nin Mna.ground);
+        Mna.add net (Mna.resistor ~label:"R1" ~r:1. nin mid);
+        Mna.add net (Mna.resistor ~label:"R2" ~r:3. mid Mna.ground);
+        let dae = Mna.compile net in
+        let report = Dae.dc_operating_point ~x0:(Mna.initial_guess net) dae in
+        Alcotest.(check bool) "converged" true report.Nonlin.Newton.converged;
+        let x = report.Nonlin.Newton.x in
+        approx_tol 1e-9 "v(in)" 10. x.(nin - 1);
+        approx_tol 1e-9 "v(mid)" 7.5 x.(mid - 1));
+    Alcotest.test_case "rc charging curve" `Quick (fun () ->
+        let r = 2. and c = 0.5 and vs = 5. in
+        let net, _, nout = rc_lowpass ~r ~c ~vs in
+        let dae = Mna.compile net in
+        let traj =
+          Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:3. ~h:0.002
+            (Mna.initial_guess net)
+        in
+        let tau = r *. c in
+        let v_expected = vs *. (1. -. exp (-3. /. tau)) in
+        approx_tol 1e-3 "v(out)(3)" v_expected (Transient.interpolate traj (nout - 1) 3.));
+    Alcotest.test_case "analytic jacobians match finite differences" `Quick (fun () ->
+        let p = Vco.vco_a () in
+        let dae = Vco.build p in
+        let x = [| 1.3; -0.2; 0.9; 0.1 |] in
+        let fd_dq = Nonlin.Fdjac.jacobian_central dae.Dae.q x in
+        let fd_df = Nonlin.Fdjac.jacobian_central (fun y -> dae.Dae.f ~t:7. y) x in
+        Alcotest.(check bool) "dq" true (Mat.approx_equal ~tol:1e-5 (dae.Dae.dq x) fd_dq);
+        Alcotest.(check bool) "df" true
+          (Mat.approx_equal ~tol:1e-5 (dae.Dae.df ~t:7. x) fd_df));
+    Alcotest.test_case "kcl: total device current at a 3-way node sums to zero" `Quick
+      (fun () ->
+        (* current divider: source pushes 2 into node with two resistors *)
+        let net = Mna.create () in
+        let a = Mna.node net "a" in
+        Mna.add net (Mna.isource ~label:"I" ~i:(fun _ -> 2.) Mna.ground a);
+        Mna.add net (Mna.resistor ~label:"Ra" ~r:1. a Mna.ground);
+        Mna.add net (Mna.resistor ~label:"Rb" ~r:1. a Mna.ground);
+        let dae = Mna.compile net in
+        let report = Dae.dc_operating_point dae in
+        approx_tol 1e-10 "v(a)" 1. report.Nonlin.Newton.x.(a - 1));
+    Alcotest.test_case "diode rectifies" `Quick (fun () ->
+        let net = Mna.create () in
+        let nin = Mna.node net "in" and nout = Mna.node net "out" in
+        Mna.add net (Mna.vsource ~label:"V" ~v:(fun _ -> 0.8) nin Mna.ground);
+        Mna.add net (Mna.diode ~label:"D" nin nout);
+        Mna.add net (Mna.resistor ~label:"R" ~r:1. nout Mna.ground);
+        let dae = Mna.compile net in
+        let report = Dae.dc_operating_point ~x0:[| 0.8; 0.5; 0. |] dae in
+        Alcotest.(check bool) "converged" true report.Nonlin.Newton.converged;
+        let vout = report.Nonlin.Newton.x.(nout - 1) in
+        Alcotest.(check bool) "forward drop ~0.5-0.7" true (vout > 0.05 && vout < 0.75));
+    Alcotest.test_case "inductor branch equation" `Quick (fun () ->
+        (* V source across L: i(t) = (V/L) t *)
+        let net = Mna.create () in
+        let a = Mna.node net "a" in
+        Mna.add net (Mna.vsource ~label:"V" ~v:(fun _ -> 2.) a Mna.ground);
+        Mna.add net (Mna.inductor ~label:"L" ~l:0.5 a Mna.ground);
+        let dae = Mna.compile net in
+        let traj =
+          Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:1. ~h:0.001
+            (Mna.initial_guess net)
+        in
+        (* x layout: v(a), V.i, L.i *)
+        approx_tol 1e-6 "i_L(1) = V t / L" 4. (Transient.interpolate traj 2 1.));
+    Alcotest.test_case "nonlinear capacitor stores q(v)" `Quick (fun () ->
+        let net = Mna.create () in
+        let a = Mna.node net "a" in
+        Mna.add net
+          (Mna.nonlinear_capacitor ~label:"C" ~q:(fun v -> v +. (0.1 *. (v ** 3.)))
+             ~dq:(fun v -> 1. +. (0.3 *. (v *. v)))
+             a Mna.ground);
+        Mna.add net (Mna.resistor ~label:"R" ~r:1. a Mna.ground);
+        let dae = Mna.compile net in
+        approx_tol 1e-12 "q at v=2" 2.8 (dae.Dae.q [| 2. |]).(0);
+        approx_tol 1e-12 "dq at v=2" 2.2 (dae.Dae.dq [| 2. |]).(0).(0));
+  ]
+
+let vco_tests =
+  [
+    Alcotest.test_case "nominal frequency is 0.75 MHz" `Quick (fun () ->
+        let p = Vco.default_params ~control:(fun _ -> 1.5) () in
+        approx_tol 1e-3 "f" 0.7503 (Vco.nominal_frequency p));
+    Alcotest.test_case "amplitude estimate is 2 V" `Quick (fun () ->
+        let p = Vco.vco_a () in
+        approx_tol 1e-9 "amp" 2. (Vco.amplitude_estimate p));
+    Alcotest.test_case "equilibrium gap at bias is gap0" `Quick (fun () ->
+        let p = Vco.vco_a () in
+        approx_tol 1e-9 "gap" 1. (Vco.equilibrium_gap p 1.5);
+        let pb = Vco.vco_b () in
+        approx_tol 1e-9 "gap b" 1. (Vco.equilibrium_gap pb 1.5));
+    Alcotest.test_case "higher control voltage closes the gap (lower frequency)" `Quick
+      (fun () ->
+        let p = Vco.vco_a () in
+        let g_low = Vco.equilibrium_gap p 1.0 in
+        let g_high = Vco.equilibrium_gap p 2.5 in
+        Alcotest.(check bool) "monotone" true (g_high < 1. && g_low > 1.);
+        Alcotest.(check bool) "freq follows sqrt(gap)" true
+          (Vco.frequency_of_gap p g_high < Vco.frequency_of_gap p g_low));
+    Alcotest.test_case "parallel-plate equilibrium solves force balance" `Quick (fun () ->
+        let p =
+          Vco.default_params ~force_power:2 ~control:(fun _ -> 1.5) ()
+        in
+        let va = p.Vco.varactor in
+        let g = Vco.equilibrium_gap p 2.0 in
+        let balance =
+          (va.Mna.stiffness *. (g -. va.Mna.g_rest)) +. (va.Mna.force0 *. 4.0 /. (g *. g))
+        in
+        approx_tol 1e-9 "balance" 0. balance);
+    Alcotest.test_case "netlist VCO equals hand-coded DAE" `Quick (fun () ->
+        let p = Vco.vco_a () in
+        let dae = Vco.build p in
+        let va = p.Vco.varactor in
+        (* hand-coded: x = [v; iL; g; u] *)
+        let q_hand x =
+          [| va.Mna.c0 *. va.Mna.gap0 *. x.(0) /. x.(2); p.Vco.l *. x.(1); x.(2); va.Mna.mass *. x.(3) |]
+        in
+        let f_hand ~t x =
+          let vc = va.Mna.control t in
+          [|
+            x.(1) +. (-.p.Vco.g1 *. x.(0)) +. (p.Vco.g3 *. (x.(0) ** 3.));
+            -.x.(0);
+            -.x.(3);
+            (va.Mna.damping *. x.(3))
+            +. (va.Mna.stiffness *. (x.(2) -. va.Mna.g_rest))
+            +. (va.Mna.force0 *. vc *. vc);
+          |]
+        in
+        let x = [| 1.7; -0.4; 0.8; 0.05 |] in
+        Alcotest.(check bool) "q" true (Vec.approx_equal ~tol:1e-12 (dae.Dae.q x) (q_hand x));
+        Alcotest.(check bool) "f" true
+          (Vec.approx_equal ~tol:1e-12 (dae.Dae.f ~t:3. x) (f_hand ~t:3. x)));
+    Alcotest.test_case "unforced VCO oscillates near nominal frequency" `Slow (fun () ->
+        let p = Vco.default_params ~control:(fun _ -> 1.5) () in
+        let dae = Vco.build p in
+        let x0 = Vco.initial_state p in
+        let t1 = 20. in
+        let traj =
+          Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1 ~h:(1.333 /. 400.) x0
+        in
+        let v = Transient.component traj 0 in
+        let dt = traj.Transient.times.(1) -. traj.Transient.times.(0) in
+        let f = Fourier.Spectrum.dominant_frequency ~dt v in
+        Alcotest.(check bool) "f ~ 0.75" true (Float.abs (f -. 0.75) < 0.02));
+    Alcotest.test_case "mems gap responds to control voltage step" `Quick (fun () ->
+        (* step the control voltage; gap must move toward the new equilibrium *)
+        let p =
+          Vco.default_params ~damping:1.57
+            ~control:(fun t -> if t < 0.01 then 1.5 else 2.5)
+            ()
+        in
+        let dae = Vco.build p in
+        let x0 = Vco.initial_state p in
+        let traj =
+          Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:400. ~h:0.05 x0
+        in
+        let g_final = Transient.interpolate traj Vco.idx_gap 400. in
+        let g_target = Vco.equilibrium_gap p 2.5 in
+        approx_tol 0.02 "gap settles" g_target g_final);
+  ]
+
+let prop_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"charge neutrality: capacitor charges sum to zero" ~count:30
+         (make
+            Gen.(tup3 (float_range 0.1 10.) (float_range (-5.) 5.) (float_range (-5.) 5.)))
+         (fun (c, v1, v2) ->
+           let net = Mna.create () in
+           let a = Mna.node net "a" and b = Mna.node net "b" in
+           Mna.add net (Mna.capacitor ~label:"C" ~c a b);
+           (* anchor both nodes with resistors so the system is well-posed *)
+           Mna.add net (Mna.resistor ~label:"Ra" ~r:1. a Mna.ground);
+           Mna.add net (Mna.resistor ~label:"Rb" ~r:1. b Mna.ground);
+           let dae = Mna.compile net in
+           let q = dae.Dae.q [| v1; v2 |] in
+           Float.abs (q.(0) +. q.(1)) < 1e-12));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"vco jacobians match fd at random states" ~count:25
+         (make
+            Gen.(
+              tup4 (float_range (-2.5) 2.5) (float_range (-1.) 1.) (float_range 0.4 2.5)
+                (float_range (-0.5) 0.5)))
+         (fun (v, i, g, u) ->
+           let p = Vco.vco_b () in
+           let dae = Vco.build p in
+           let x = [| v; i; g; u |] in
+           let fd_dq = Nonlin.Fdjac.jacobian_central dae.Dae.q x in
+           let fd_df = Nonlin.Fdjac.jacobian_central (fun y -> dae.Dae.f ~t:2. y) x in
+           Mat.approx_equal ~tol:1e-4 (dae.Dae.dq x) fd_dq
+           && Mat.approx_equal ~tol:1e-4 (dae.Dae.df ~t:2. x) fd_df));
+  ]
+
+let suites =
+  [ ("circuit.mna", mna_tests); ("circuit.vco", vco_tests); ("circuit.properties", prop_tests) ]
+

@@ -1,0 +1,127 @@
+(* Failure-injection tests: every solver must fail loudly and
+   informatively, never return garbage silently. *)
+open Linalg
+
+let raises_failure f =
+  try
+    ignore (f ());
+    false
+  with Failure _ -> true
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let check_failure name f = Alcotest.(check bool) name true (raises_failure f)
+let check_invalid name f = Alcotest.(check bool) name true (raises_invalid f)
+
+let tests =
+  [
+    Alcotest.test_case "floating node makes the circuit Jacobian singular" `Quick (fun () ->
+        (* capacitor to nowhere: DC operating point has singular G *)
+        let net = Circuit.Mna.create () in
+        let a = Circuit.Mna.node net "a" in
+        Circuit.Mna.add net (Circuit.Mna.capacitor ~label:"C" ~c:1. a Circuit.Mna.ground);
+        let dae = Circuit.Mna.compile net in
+        let report = Dae.dc_operating_point dae in
+        Alcotest.(check bool) "not converged" false
+          (report.Nonlin.Newton.converged
+          && report.Nonlin.Newton.reason = Some Nonlin.Newton.Singular_jacobian));
+    Alcotest.test_case "transient rejects bad steps" `Quick (fun () ->
+        let dae = Dae.of_ode ~dim:1 ~rhs:(fun ~t:_ x -> [| -.x.(0) |]) () in
+        check_invalid "h <= 0" (fun () ->
+            Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:1. ~h:0. [| 1. |]);
+        check_invalid "t1 < t0" (fun () ->
+            Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:1. ~t1:0. ~h:0.1 [| 1. |]));
+    Alcotest.test_case "rk4 fails on algebraic constraints" `Quick (fun () ->
+        (* singular dq/dx: q = 0 row *)
+        let dae =
+          Dae.make ~dim:1 ~q:(fun _ -> [| 0. |]) ~f:(fun ~t:_ x -> [| x.(0) -. 1. |]) ()
+        in
+        check_failure "consistent_derivative" (fun () ->
+            Transient.integrate dae ~method_:Transient.Rk4 ~t0:0. ~t1:1. ~h:0.1 [| 0. |]));
+    Alcotest.test_case "oscillator solver fails on a non-oscillating system" `Quick (fun () ->
+        (* pure decay never crosses zero: warm-up finds too few cycles *)
+        let decay = Dae.of_ode ~dim:1 ~rhs:(fun ~t:_ x -> [| -.x.(0) |]) () in
+        check_failure "find" (fun () ->
+            Steady.Oscillator.find decay ~n1:15 ~period_hint:1. [| 1. |]));
+    Alcotest.test_case "envelope rejects mismatched init grid" `Quick (fun () ->
+        let p = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+        let dae = Circuit.Vco.build p in
+        let orbit =
+          Steady.Oscillator.find dae ~n1:25 ~period_hint:1.333 (Circuit.Vco.initial_state p)
+        in
+        let options = Wampde.Envelope.default_options ~n1:31 () in
+        check_invalid "n1 mismatch" (fun () ->
+            Wampde.Envelope.simulate dae ~options ~t2_end:1. ~h2:0.5 ~init:orbit));
+    Alcotest.test_case "envelope fails loudly when the step cannot converge" `Quick (fun () ->
+        (* force Newton failure with an absurdly tight iteration budget *)
+        let p = Circuit.Vco.vco_a () in
+        let dae = Circuit.Vco.build p in
+        let p0 = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+        let orbit =
+          Steady.Oscillator.find (Circuit.Vco.build p0) ~n1:25 ~period_hint:1.333
+            (Circuit.Vco.initial_state p0)
+        in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let options =
+          {
+            options with
+            Wampde.Envelope.newton =
+              { options.Wampde.Envelope.newton with Nonlin.Newton.max_iterations = 1;
+                Nonlin.Newton.residual_tol = 1e-15 };
+          }
+        in
+        check_failure "newton budget" (fun () ->
+            Wampde.Envelope.simulate dae ~options ~t2_end:20. ~h2:10. ~init:orbit));
+    Alcotest.test_case "quasiperiodic rejects even grids" `Quick (fun () ->
+        let p = Circuit.Vco.vco_a () in
+        let dae = Circuit.Vco.build p in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let fake =
+          {
+            Wampde.Quasiperiodic.p2 = 40.;
+            t2 = [| 0. |];
+            omega = [| 0.75 |];
+            slices = Array.make 10 (Array.make 25 (Array.make 4 0.));
+          }
+        in
+        check_invalid "even n2" (fun () ->
+            Wampde.Quasiperiodic.solve dae ~options ~p2:40. ~n2:10 ~guess:fake ()));
+    Alcotest.test_case "warp rejects zero or negative rates" `Quick (fun () ->
+        check_invalid "zero" (fun () ->
+            Sigproc.Warp.of_samples ~times:[| 0.; 1. |] ~omega:[| 1.; 0. |]);
+        check_failure "unwarp out of range" (fun () ->
+            let w = Sigproc.Warp.of_function ~t0:0. ~t1:1. ~n:11 (fun _ -> 1.) in
+            Sigproc.Warp.unwarp w 5.));
+    Alcotest.test_case "gmres reports non-convergence honestly" `Quick (fun () ->
+        (* one iteration budget on a hard system *)
+        let n = 30 in
+        let a = Mat.init n n (fun i j -> 1. /. (1. +. float_of_int (abs (i - j)))) in
+        let b = Vec.init n (fun i -> float_of_int (i mod 2)) in
+        let r = Gmres.solve ~matvec:(fun v -> Mat.matvec a v) ~restart:2 ~max_iter:2 ~tol:1e-14 b in
+        Alcotest.(check bool) "flagged" false r.Gmres.converged);
+    Alcotest.test_case "continuation reports step underflow" `Quick (fun () ->
+        (* F(x, lambda) = x^2 + lambda has no real roots past lambda = 0 *)
+        let residual lambda x = [| (x.(0) *. x.(0)) +. lambda |] in
+        check_failure "no branch" (fun () ->
+            Nonlin.Continuation.solve_at ~residual ~from_:(-1.) ~to_:1. [| 1. |]));
+    Alcotest.test_case "parser failures carry context" `Quick (fun () ->
+        Alcotest.(check bool) "line 3" true
+          (try
+             ignore
+               (Circuit.Parser.parse_string "R1 a 0 1\nC1 a 0 1n\nL1 a\n");
+             false
+           with Circuit.Parser.Parse_error { line = 3; _ } -> true));
+    Alcotest.test_case "lu surfaces singularity, not garbage" `Quick (fun () ->
+        let singular = [| [| 1.; 2.; 3. |]; [| 2.; 4.; 6. |]; [| 0.; 1.; 1. |] |] in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Lu.factor singular);
+             false
+           with Lu.Singular _ -> true));
+  ]
+
+let suites = [ ("failure_injection", tests) ]

@@ -1,0 +1,268 @@
+(* Tests for the dense/complex linear algebra substrate. *)
+open Linalg
+
+let approx = Alcotest.(check (float 1e-9))
+let approx_tol tol = Alcotest.(check (float tol))
+
+let vec_tests =
+  [
+    Alcotest.test_case "linspace endpoints" `Quick (fun () ->
+        let v = Vec.linspace 0. 1. 11 in
+        approx "first" 0. v.(0);
+        approx "last" 1. v.(10);
+        approx "step" 0.1 (v.(1) -. v.(0)));
+    Alcotest.test_case "dot orthogonal" `Quick (fun () ->
+        approx "dot" 0. (Vec.dot [| 1.; 0.; -1. |] [| 1.; 5.; 1. |]));
+    Alcotest.test_case "dot compensated" `Quick (fun () ->
+        (* summing 1 and many tiny terms that cancel: naive summation loses them *)
+        let n = 10_000 in
+        let u = Array.make (n + 1) 1. and v = Array.make (n + 1) 1e-16 in
+        u.(0) <- 1.;
+        v.(0) <- 1.;
+        let d = Vec.dot u v in
+        approx_tol 1e-18 "sum" (1. +. (float_of_int n *. 1e-16)) d);
+    Alcotest.test_case "norms" `Quick (fun () ->
+        let v = [| 3.; -4. |] in
+        approx "norm2" 5. (Vec.norm2 v);
+        approx "norm1" 7. (Vec.norm1 v);
+        approx "norm_inf" 4. (Vec.norm_inf v);
+        approx "rms" (5. /. sqrt 2.) (Vec.rms v));
+    Alcotest.test_case "axpy" `Quick (fun () ->
+        let y = [| 1.; 2. |] in
+        Vec.axpy ~a:2. ~x:[| 10.; 20. |] y;
+        Alcotest.(check bool) "eq" true (Vec.approx_equal y [| 21.; 42. |]));
+    Alcotest.test_case "weighted_norm" `Quick (fun () ->
+        approx "wn" 2. (Vec.weighted_norm ~scale:[| 1.; 10. |] [| 2.; 5. |]));
+    Alcotest.test_case "max_abs_index" `Quick (fun () ->
+        Alcotest.(check int) "idx" 1 (Vec.max_abs_index [| 1.; -7.; 3. |]));
+    Alcotest.test_case "mismatched lengths raise" `Quick (fun () ->
+        Alcotest.check_raises "add" (Invalid_argument "Vec.add: length 2 <> 3") (fun () ->
+            ignore (Vec.add [| 1.; 2. |] [| 1.; 2.; 3. |])));
+  ]
+
+let mat_tests =
+  [
+    Alcotest.test_case "identity mul" `Quick (fun () ->
+        let a = Mat.init 3 3 (fun i j -> float_of_int ((i * 3) + j + 1)) in
+        Alcotest.(check bool) "I*A = A" true (Mat.approx_equal (Mat.mul (Mat.identity 3) a) a));
+    Alcotest.test_case "matvec known" `Quick (fun () ->
+        let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+        Alcotest.(check bool)
+          "Av" true
+          (Vec.approx_equal (Mat.matvec a [| 1.; 1. |]) [| 3.; 7. |]));
+    Alcotest.test_case "tmatvec = transpose matvec" `Quick (fun () ->
+        let a = Mat.init 3 4 (fun i j -> float_of_int (i + (2 * j)) -. 2.5) in
+        let v = [| 1.; -2.; 0.5 |] in
+        Alcotest.(check bool)
+          "eq" true
+          (Vec.approx_equal (Mat.tmatvec a v) (Mat.matvec (Mat.transpose a) v)));
+    Alcotest.test_case "mul associativity on small case" `Quick (fun () ->
+        let a = Mat.init 2 3 (fun i j -> float_of_int ((i + 1) * (j + 2)))
+        and b = Mat.init 3 2 (fun i j -> float_of_int (i - j))
+        and c = Mat.init 2 2 (fun i j -> float_of_int ((2 * i) + j)) in
+        Alcotest.(check bool)
+          "(ab)c = a(bc)" true
+          (Mat.approx_equal (Mat.mul (Mat.mul a b) c) (Mat.mul a (Mat.mul b c))));
+    Alcotest.test_case "norm_inf" `Quick (fun () ->
+        approx "norm" 7. (Mat.norm_inf [| [| 1.; -2. |]; [| 3.; 4. |] |]));
+  ]
+
+let lu_tests =
+  [
+    Alcotest.test_case "solve known 2x2" `Quick (fun () ->
+        let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+        let x = Lu.solve_dense a [| 5.; 10. |] in
+        Alcotest.(check bool) "x" true (Vec.approx_equal x [| 1.; 3. |]));
+    Alcotest.test_case "det with pivoting" `Quick (fun () ->
+        let a = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+        approx "det" (-1.) (Lu.det (Lu.factor a)));
+    Alcotest.test_case "inverse" `Quick (fun () ->
+        let a = [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+        let inv = Lu.inverse (Lu.factor a) in
+        Alcotest.(check bool) "A A^-1 = I" true
+          (Mat.approx_equal (Mat.mul a inv) (Mat.identity 2)));
+    Alcotest.test_case "singular raises" `Quick (fun () ->
+        let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Lu.factor a);
+             false
+           with Lu.Singular _ -> true));
+    Alcotest.test_case "condition estimate of identity" `Quick (fun () ->
+        let c = Lu.condition_estimate (Mat.identity 6) in
+        Alcotest.(check bool) "cond ~ 1" true (c >= 0.9 && c <= 1.5));
+    Alcotest.test_case "solve_matrix" `Quick (fun () ->
+        let a = [| [| 3.; 1. |]; [| 1.; 2. |] |] in
+        let x = Lu.solve_matrix (Lu.factor a) (Mat.identity 2) in
+        Alcotest.(check bool) "AX = I" true (Mat.approx_equal (Mat.mul a x) (Mat.identity 2)));
+  ]
+
+let tridiag_tests =
+  [
+    Alcotest.test_case "tridiagonal known" `Quick (fun () ->
+        (* [2 -1; -1 2 -1; -1 2] x = b against dense solve *)
+        let n = 5 in
+        let lower = Array.make (n - 1) (-1.)
+        and upper = Array.make (n - 1) (-1.)
+        and diag = Array.make n 2. in
+        let b = Vec.init n (fun i -> float_of_int (i + 1)) in
+        let x = Tridiag.solve ~lower ~diag ~upper b in
+        let a =
+          Mat.init n n (fun i j ->
+              if i = j then 2. else if abs (i - j) = 1 then -1. else 0.)
+        in
+        Alcotest.(check bool) "vs dense" true
+          (Vec.approx_equal ~tol:1e-10 x (Lu.solve_dense a b)));
+    Alcotest.test_case "cyclic tridiagonal vs dense" `Quick (fun () ->
+        let n = 7 in
+        let lower = Vec.init (n - 1) (fun i -> -1. +. (0.1 *. float_of_int i))
+        and upper = Vec.init (n - 1) (fun i -> -1.2 +. (0.05 *. float_of_int i))
+        and diag = Vec.init n (fun i -> 4. +. (0.3 *. float_of_int i)) in
+        let cl = 0.7 and ch = -0.4 in
+        let b = Vec.init n (fun i -> sin (float_of_int i)) in
+        let a =
+          Mat.init n n (fun i j ->
+              if i = j then diag.(i)
+              else if j = i + 1 then upper.(i)
+              else if j = i - 1 then lower.(j)
+              else if i = 0 && j = n - 1 then ch
+              else if i = n - 1 && j = 0 then cl
+              else 0.)
+        in
+        let x = Tridiag.solve_cyclic ~lower ~diag ~upper ~corner_low:cl ~corner_high:ch b in
+        Alcotest.(check bool) "vs dense" true
+          (Vec.approx_equal ~tol:1e-9 x (Lu.solve_dense a b)));
+  ]
+
+let gmres_tests =
+  [
+    Alcotest.test_case "gmres solves SPD system" `Quick (fun () ->
+        let n = 20 in
+        let a =
+          Mat.init n n (fun i j ->
+              if i = j then 4. else if abs (i - j) = 1 then -1. else 0.)
+        in
+        let xref = Vec.init n (fun i -> cos (float_of_int i)) in
+        let b = Mat.matvec a xref in
+        let r = Gmres.solve_mat a ~tol:1e-12 b in
+        Alcotest.(check bool) "converged" true r.Gmres.converged;
+        Alcotest.(check bool) "solution" true (Vec.approx_equal ~tol:1e-8 r.Gmres.x xref));
+    Alcotest.test_case "gmres with preconditioner converges faster" `Quick (fun () ->
+        let n = 40 in
+        let d = Vec.init n (fun i -> 1. +. float_of_int i) in
+        let a = Mat.init n n (fun i j -> if i = j then d.(i) else 0.01) in
+        let b = Vec.init n (fun i -> float_of_int (i mod 3) -. 1.) in
+        let matvec v = Mat.matvec a v in
+        let plain = Gmres.solve ~matvec ~restart:10 ~tol:1e-10 b in
+        let m_inv v = Vec.init n (fun i -> v.(i) /. d.(i)) in
+        let pre = Gmres.solve ~matvec ~m_inv ~restart:10 ~tol:1e-10 b in
+        Alcotest.(check bool) "pre converged" true pre.Gmres.converged;
+        Alcotest.(check bool) "fewer iters" true (pre.Gmres.iterations <= plain.Gmres.iterations));
+    Alcotest.test_case "gmres nonsymmetric" `Quick (fun () ->
+        let a = [| [| 1.; 2.; 0. |]; [| 0.; 3.; 4. |]; [| 5.; 0.; 6. |] |] in
+        let xref = [| 1.; -1.; 2. |] in
+        let b = Mat.matvec a xref in
+        let r = Gmres.solve_mat a ~tol:1e-13 b in
+        Alcotest.(check bool) "solution" true (Vec.approx_equal ~tol:1e-9 r.Gmres.x xref));
+  ]
+
+let cx_tests =
+  [
+    Alcotest.test_case "complex LU solve" `Quick (fun () ->
+        let open Cx in
+        let a =
+          [|
+            [| cx 2. 1.; cx 0. (-1.) |];
+            [| cx 1. 0.; cx 3. 2. |];
+          |]
+        in
+        let xref = [| cx 1. (-2.); cx 0.5 0.5 |] in
+        let b = Cmat.matvec a xref in
+        let x = Clu.solve_dense a b in
+        Alcotest.(check bool) "x" true (Cvec.approx_equal ~tol:1e-12 x xref));
+    Alcotest.test_case "cis and polar" `Quick (fun () ->
+        let z = Cx.cis (Float.pi /. 2.) in
+        approx "re" 0. (Cx.re z);
+        approx "im" 1. (Cx.im z));
+    Alcotest.test_case "hermitian dot" `Quick (fun () ->
+        let open Cx in
+        let v = [| cx 0. 1.; cx 3. 4. |] in
+        approx "norm^2" 26. (re (Cvec.dot v v));
+        approx "imag zero" 0. (im (Cvec.dot v v)));
+  ]
+
+(* Property-based tests *)
+let prop_tests =
+  let open QCheck in
+  let finite_float = Gen.float_range (-100.) 100. in
+  let vec_gen n = Gen.array_size (Gen.return n) finite_float in
+  let mat_gen n =
+    Gen.map
+      (fun rows ->
+        (* diagonally boost to keep matrices comfortably nonsingular *)
+        Array.mapi
+          (fun i row ->
+            let r = Array.copy row in
+            r.(i) <- r.(i) +. 500.;
+            r)
+          rows)
+      (Gen.array_size (Gen.return n) (vec_gen n))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"lu: A (A \\ b) = b" ~count:60
+         (make (Gen.pair (mat_gen 8) (vec_gen 8)))
+         (fun (a, b) ->
+           let x = Lu.solve_dense a b in
+           Vec.approx_equal ~tol:1e-6 (Mat.matvec a x) b));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"lu: det(A) * det(A^-1) = 1" ~count:30 (make (mat_gen 5)) (fun a ->
+           let f = Lu.factor a in
+           let inv = Lu.inverse f in
+           Float.abs ((Lu.det f *. Lu.det (Lu.factor inv)) -. 1.) < 1e-6));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"gmres matches lu" ~count:30
+         (make (Gen.pair (mat_gen 6) (vec_gen 6)))
+         (fun (a, b) ->
+           let x_lu = Lu.solve_dense a b in
+           let r = Gmres.solve_mat a ~tol:1e-13 b in
+           Vec.approx_equal ~tol:1e-6 r.Gmres.x x_lu));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"vec: triangle inequality" ~count:100
+         (make (Gen.pair (vec_gen 12) (vec_gen 12)))
+         (fun (u, v) -> Vec.norm2 (Vec.add u v) <= Vec.norm2 u +. Vec.norm2 v +. 1e-9));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"mat: (AB)^T = B^T A^T" ~count:40
+         (make (Gen.pair (mat_gen 5) (mat_gen 5)))
+         (fun (a, b) ->
+           Mat.approx_equal ~tol:1e-6
+             (Mat.transpose (Mat.mul a b))
+             (Mat.mul (Mat.transpose b) (Mat.transpose a))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"tridiag matches dense" ~count:40
+         (make
+            (Gen.tup4 (vec_gen 9) (vec_gen 10) (vec_gen 9) (vec_gen 10)))
+         (fun (lower, diag, upper, b) ->
+           let diag = Array.map (fun x -> x +. 300.) diag in
+           let n = Array.length diag in
+           let a =
+             Mat.init n n (fun i j ->
+                 if i = j then diag.(i)
+                 else if j = i + 1 then upper.(i)
+                 else if j = i - 1 then lower.(j)
+                 else 0.)
+           in
+           let x = Tridiag.solve ~lower ~diag ~upper b in
+           Vec.approx_equal ~tol:1e-6 x (Lu.solve_dense a b)));
+  ]
+
+let suites =
+  [
+    ("linalg.vec", vec_tests);
+    ("linalg.mat", mat_tests);
+    ("linalg.lu", lu_tests);
+    ("linalg.tridiag", tridiag_tests);
+    ("linalg.gmres", gmres_tests);
+    ("linalg.cx", cx_tests);
+    ("linalg.properties", prop_tests);
+  ]

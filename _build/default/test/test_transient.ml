@@ -1,0 +1,158 @@
+(* Tests for the DAE abstraction and transient integrators. *)
+open Linalg
+
+let approx_tol tol = Alcotest.(check (float tol))
+let two_pi = 2. *. Float.pi
+
+(* Linear decay x' = -x as a DAE. *)
+let decay = Dae.of_ode ~dim:1 ~rhs:(fun ~t:_ x -> [| -.x.(0) |]) ()
+
+(* Undamped harmonic oscillator x'' + w^2 x = 0 in first-order form. *)
+let harmonic w =
+  Dae.of_ode ~dim:2
+    ~rhs:(fun ~t:_ x -> [| x.(1); -.(w *. w) *. x.(0) |])
+    ~drhs:(fun ~t:_ _ -> [| [| 0.; 1. |]; [| -.(w *. w); 0. |] |])
+    ()
+
+(* LC tank in charge form: q1 = C v, q2 = L i; f = (i, -v).
+   Exercises a nontrivial q(.) with analytic Jacobians. *)
+let lc_tank ~l ~c =
+  Dae.make ~dim:2
+    ~q:(fun x -> [| c *. x.(0); l *. x.(1) |])
+    ~f:(fun ~t:_ x -> [| x.(1); -.x.(0) |])
+    ~dq:(fun _ -> [| [| c; 0. |]; [| 0.; l |] |])
+    ~df:(fun ~t:_ _ -> [| [| 0.; 1. |]; [| 0.; -0. |] |])
+    ~var_names:[| "v"; "i" |]
+    ()
+
+let dae_tests =
+  [
+    Alcotest.test_case "consistent derivative of LC tank" `Quick (fun () ->
+        let dae = lc_tank ~l:2. ~c:0.5 in
+        let xdot = Dae.consistent_derivative dae ~t:0. [| 1.; 3. |] in
+        (* C v' = -i, L i' = v  =>  v' = -i/C = -6, i' = v/L = 0.5 *)
+        approx_tol 1e-12 "v'" (-6.) xdot.(0);
+        approx_tol 1e-12 "i'" 0.5 xdot.(1));
+    Alcotest.test_case "residual vanishes on consistent derivative" `Quick (fun () ->
+        let dae = lc_tank ~l:1.5 ~c:0.3 in
+        let x = [| 0.7; -0.2 |] in
+        let xdot = Dae.consistent_derivative dae ~t:0. x in
+        let r = Dae.residual dae ~t:0. ~xdot x in
+        Alcotest.(check bool) "zero" true (Vec.norm_inf r < 1e-12));
+    Alcotest.test_case "dc operating point of nonlinear resistor divider" `Quick (fun () ->
+        (* f(x) = (x - 5)/1k + x^3 * 1e-3 = 0 *)
+        let dae =
+          Dae.make ~dim:1
+            ~q:(fun _ -> [| 0. |])
+            ~f:(fun ~t:_ x -> [| ((x.(0) -. 5.) /. 1000.) +. (1e-3 *. (x.(0) ** 3.)) |])
+            ()
+        in
+        let report = Dae.dc_operating_point ~x0:[| 1. |] dae in
+        Alcotest.(check bool) "converged" true report.Nonlin.Newton.converged;
+        let x = report.Nonlin.Newton.x.(0) in
+        approx_tol 1e-9 "kcl" 0. (((x -. 5.) /. 1000.) +. (1e-3 *. (x ** 3.))));
+    Alcotest.test_case "fd jacobians are generated when omitted" `Quick (fun () ->
+        let dae =
+          Dae.make ~dim:1 ~q:(fun x -> [| x.(0) ** 2. |]) ~f:(fun ~t:_ x -> [| sin x.(0) |]) ()
+        in
+        approx_tol 1e-5 "dq" 4. (dae.Dae.dq [| 2. |]).(0).(0);
+        approx_tol 1e-5 "df" (cos 2.) (dae.Dae.df ~t:0. [| 2. |]).(0).(0));
+  ]
+
+let transient_tests =
+  [
+    Alcotest.test_case "backward euler decays monotonically" `Quick (fun () ->
+        let traj = Transient.integrate decay ~method_:Transient.Backward_euler ~t0:0. ~t1:1. ~h:0.01 [| 1. |] in
+        let v = Transient.component traj 0 in
+        approx_tol 2e-3 "e^-1" (exp (-1.)) v.(Array.length v - 1);
+        Array.iteri (fun i x -> if i > 0 then Alcotest.(check bool) "mono" true (x < v.(i - 1))) v);
+    Alcotest.test_case "trapezoidal is second order on decay" `Quick (fun () ->
+        let err h =
+          let traj = Transient.integrate decay ~method_:Transient.Trapezoidal ~t0:0. ~t1:1. ~h [| 1. |] in
+          Float.abs ((Transient.final traj).(0) -. exp (-1.))
+        in
+        let ratio = err 0.02 /. err 0.01 in
+        Alcotest.(check bool) "ratio ~ 4" true (ratio > 3.5 && ratio < 4.5));
+    Alcotest.test_case "bdf2 is second order on decay" `Quick (fun () ->
+        let err h =
+          let traj = Transient.integrate decay ~method_:Transient.Bdf2 ~t0:0. ~t1:1. ~h [| 1. |] in
+          Float.abs ((Transient.final traj).(0) -. exp (-1.))
+        in
+        let ratio = err 0.02 /. err 0.01 in
+        Alcotest.(check bool) "ratio ~ 4" true (ratio > 3. && ratio < 5.));
+    Alcotest.test_case "trapezoidal preserves oscillation amplitude" `Quick (fun () ->
+        let dae = harmonic two_pi in
+        (* one full period with 200 steps *)
+        let traj =
+          Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:1. ~h:0.005 [| 1.; 0. |]
+        in
+        let x = Transient.final traj in
+        approx_tol 1e-2 "x back to 1" 1. x.(0);
+        approx_tol 5e-2 "v back to 0" 0. x.(1));
+    Alcotest.test_case "LC tank oscillates at 1/(2 pi sqrt(LC))" `Quick (fun () ->
+        let l = 0.045 and c = 1. in
+        let dae = lc_tank ~l ~c in
+        let f_expected = 1. /. (two_pi *. sqrt (l *. c)) in
+        let t1 = 8. /. f_expected in
+        let h = 1. /. (f_expected *. 400.) in
+        let traj = Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1 ~h [| 1.; 0. |] in
+        let v = Transient.component traj 0 in
+        let dt = traj.Transient.times.(1) -. traj.Transient.times.(0) in
+        let f_est = Fourier.Spectrum.dominant_frequency ~dt v in
+        Alcotest.(check bool) "frequency" true (Float.abs (f_est -. f_expected) /. f_expected < 0.01));
+    Alcotest.test_case "adaptive integrator meets tolerance and adapts" `Quick (fun () ->
+        let dae = harmonic two_pi in
+        let traj = Transient.integrate_adaptive dae ~t0:0. ~t1:2. ~tol:1e-8 [| 1.; 0. |] in
+        let x = Transient.final traj in
+        approx_tol 1e-5 "x(2) = 1" 1. x.(0);
+        (* step sizes must not all be equal *)
+        let dts =
+          Array.init (Transient.steps traj) (fun i ->
+              traj.Transient.times.(i + 1) -. traj.Transient.times.(i))
+        in
+        let dmin = Array.fold_left Float.min infinity dts in
+        let dmax = Array.fold_left Float.max 0. dts in
+        Alcotest.(check bool) "adapted" true (dmax > (1.5 *. dmin)));
+    Alcotest.test_case "interpolate and resample" `Quick (fun () ->
+        let traj = Transient.integrate decay ~method_:Transient.Trapezoidal ~t0:0. ~t1:1. ~h:0.001 [| 1. |] in
+        approx_tol 1e-4 "midpoint" (exp (-0.5)) (Transient.interpolate traj 0 0.5);
+        let r = Transient.resample traj 0 ~times:[| 0.; 0.25; 1. |] in
+        approx_tol 1e-4 "r0" 1. r.(0);
+        approx_tol 1e-4 "r2" (exp (-1.)) r.(2));
+    Alcotest.test_case "forced RC follows steady state" `Quick (fun () ->
+        (* v' = -v + sin t; steady state (sin t - cos t)/2 *)
+        let dae = Dae.of_ode ~dim:1 ~rhs:(fun ~t x -> [| sin t -. x.(0) |]) () in
+        let traj = Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:30. ~h:0.01 [| 0. |] in
+        let v = Transient.final traj in
+        approx_tol 1e-3 "steady" ((sin 30. -. cos 30.) /. 2.) v.(0));
+  ]
+
+let prop_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"linear decay never increases (BE)" ~count:20
+         (make (Gen.float_range 0.001 0.2)) (fun h ->
+           let traj = Transient.integrate decay ~method_:Transient.Backward_euler ~t0:0. ~t1:1. ~h [| 1. |] in
+           let v = Transient.component traj 0 in
+           let ok = ref true in
+           Array.iteri (fun i x -> if i > 0 && x > v.(i - 1) +. 1e-14 then ok := false) v;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"trap energy drift is tiny for harmonic oscillator" ~count:10
+         (make (Gen.float_range 1. 5.)) (fun w ->
+           let dae = harmonic w in
+           let t1 = 4. *. two_pi /. w in
+           let h = t1 /. 4000. in
+           let traj = Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1 ~h [| 1.; 0. |] in
+           let x = Transient.final traj in
+           let energy = ((w *. w) *. (x.(0) ** 2.)) +. (x.(1) ** 2.) in
+           Float.abs (energy -. (w *. w)) /. (w *. w) < 1e-4));
+  ]
+
+let suites =
+  [
+    ("dae", dae_tests);
+    ("transient", transient_tests);
+    ("transient.properties", prop_tests);
+  ]

@@ -1,0 +1,291 @@
+(* Tests for the WaMPDE core: phase conditions, envelope following,
+   recovery along the warped path, and the quasiperiodic solver. *)
+open Linalg
+
+let approx_tol tol = Alcotest.(check (float tol))
+let two_pi = 2. *. Float.pi
+
+(* A "prescribed-FM" LC oscillator for analytic validation: LC tank +
+   cubic negative resistor where the capacitance is an explicit slow
+   function of time, C(t2) = c0 / (1 + m sin(2 pi t2 / p2)).  The local
+   frequency must track 1 / (2 pi sqrt(L C(t2))) quasi-statically. *)
+let prescribed_fm ~l ~c0 ~m ~p2 =
+  let c t = c0 /. (1. +. (m *. sin (two_pi *. t /. p2))) in
+  let g1 = 1.0 and g3 = 1. /. 3. in
+  Dae.make ~dim:2
+    ~q:(fun _ -> [| 0.; 0. |])
+    (* dummy; replaced below *)
+    ~f:(fun ~t:_ _ -> [| 0.; 0. |])
+    ()
+  |> fun _ ->
+  Dae.make ~dim:2
+    ~q:(fun x -> [| x.(0); l *. x.(1) |])
+    (* NOTE: capacitor charge is written as C(t2) v only through f to keep
+       q time-independent: we use the equivalent form
+       C(t2) dv/dt = -(iL + inl(v)) <=> dv/dt = -(iL + inl(v)) / C(t2) *)
+    ~f:(fun ~t x ->
+      let inl = (-.g1 *. x.(0)) +. (g3 *. (x.(0) ** 3.)) in
+      [| (x.(1) +. inl) /. c t; -.x.(0) |])
+    ~dq:(fun _ -> [| [| 1.; 0. |]; [| 0.; l |] |])
+    ~df:(fun ~t x ->
+      let dinl = -.g1 +. (3. *. g3 *. x.(0) *. x.(0)) in
+      [| [| dinl /. c t; 1. /. c t |]; [| -1.; 0. |] |])
+    ()
+
+let vco_a_setup () =
+  let p = Circuit.Vco.vco_a () in
+  let dae = Circuit.Vco.build p in
+  let p0 = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+  let dae0 = Circuit.Vco.build p0 in
+  let orbit =
+    Steady.Oscillator.find dae0 ~n1:25 ~period_hint:1.333 (Circuit.Vco.initial_state p0)
+  in
+  (dae, orbit)
+
+let phase_tests =
+  [
+    Alcotest.test_case "derivative row annihilates even waveforms" `Quick (fun () ->
+        let n1 = 15 and n = 2 in
+        let d = Fourier.Series.diff_matrix n1 in
+        let row = Wampde.Phase.row (Wampde.Phase.Derivative 0) ~n1 ~n ~d in
+        (* x0(t1) = cos(2 pi t1) has zero derivative at t1 = 0 *)
+        let x =
+          Vec.init (n1 * n) (fun idx ->
+              if idx mod n = 0 then cos (two_pi *. float_of_int (idx / n) /. float_of_int n1)
+              else 0.42)
+        in
+        approx_tol 1e-9 "zero" 0. (Vec.dot row x));
+    Alcotest.test_case "fourier row computes Im of coefficient" `Quick (fun () ->
+        let n1 = 15 and n = 1 in
+        let d = Fourier.Series.diff_matrix n1 in
+        let row =
+          Wampde.Phase.row (Wampde.Phase.Fourier { component = 0; harmonic = 1 }) ~n1 ~n ~d
+        in
+        (* sin has Im c1 = -1/2, cos has Im c1 = 0; the row is scaled by
+           n1 to keep it O(1) in the Newton system *)
+        let sine = Vec.init n1 (fun j -> sin (two_pi *. float_of_int j /. float_of_int n1)) in
+        let cosine = Vec.init n1 (fun j -> cos (two_pi *. float_of_int j /. float_of_int n1)) in
+        approx_tol 1e-9 "sin" (-0.5 *. float_of_int n1) (Vec.dot row sine);
+        approx_tol 1e-9 "cos" 0. (Vec.dot row cosine));
+    Alcotest.test_case "bad component rejected" `Quick (fun () ->
+        let d = Fourier.Series.diff_matrix 5 in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Wampde.Phase.row (Wampde.Phase.Derivative 3) ~n1:5 ~n:2 ~d);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let envelope_tests =
+  [
+    Alcotest.test_case "constant forcing keeps the unforced orbit" `Quick (fun () ->
+        (* VCO with frozen control: envelope must stay at the initial orbit
+           with constant omega *)
+        let p = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+        let dae = Circuit.Vco.build p in
+        let orbit =
+          Steady.Oscillator.find dae ~n1:25 ~period_hint:1.333 (Circuit.Vco.initial_state p)
+        in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let res = Wampde.Envelope.simulate dae ~options ~t2_end:10. ~h2:0.5 ~init:orbit in
+        Array.iter
+          (fun om -> approx_tol 1e-5 "omega constant" orbit.Steady.Oscillator.omega om)
+          res.Wampde.Envelope.omega;
+        (* slices should not drift *)
+        let last = res.Wampde.Envelope.slices.(Array.length res.Wampde.Envelope.slices - 1) in
+        for j = 0 to 24 do
+          approx_tol 1e-4 "slice stable" orbit.Steady.Oscillator.grid.(j).(0) last.(j).(0)
+        done);
+    Alcotest.test_case "prescribed C(t2): local frequency tracks 1/(2 pi sqrt(LC))" `Quick
+      (fun () ->
+        let l = 0.045 and c0 = 1.0 and m = 0.3 and p2 = 400. in
+        let dae = prescribed_fm ~l ~c0 ~m ~p2 in
+        let orbit = Steady.Oscillator.find dae ~n1:25 ~period_hint:1.333 [| 2.; 0. |] in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let res = Wampde.Envelope.simulate dae ~options ~t2_end:p2 ~h2:2. ~init:orbit in
+        (* slow forcing (p2 = 400 >> mechanical/none) => quasi-static *)
+        Array.iteri
+          (fun i t2 ->
+            if i mod 20 = 0 then begin
+              let c = c0 /. (1. +. (m *. sin (two_pi *. t2 /. p2))) in
+              let f_lc = 1. /. (two_pi *. sqrt (l *. c)) in
+              let rel =
+                Float.abs (res.Wampde.Envelope.omega.(i) -. f_lc) /. f_lc
+              in
+              Alcotest.(check bool) "within 1%" true (rel < 0.01)
+            end)
+          res.Wampde.Envelope.t2);
+    Alcotest.test_case "VCO-A: frequency swings by a factor of ~3 (fig 7)" `Slow (fun () ->
+        let dae, orbit = vco_a_setup () in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let res = Wampde.Envelope.simulate dae ~options ~t2_end:60. ~h2:0.4 ~init:orbit in
+        let om = res.Wampde.Envelope.omega in
+        let omin = Array.fold_left Float.min infinity om in
+        let omax = Array.fold_left Float.max neg_infinity om in
+        Alcotest.(check bool) "ratio in [2, 3.5]" true
+          (omax /. omin > 2.0 && omax /. omin < 3.5);
+        approx_tol 0.01 "starts at 0.748" 0.748 om.(0));
+    Alcotest.test_case "VCO-A: waveform matches transient (fig 9)" `Slow (fun () ->
+        let dae, orbit = vco_a_setup () in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let res = Wampde.Envelope.simulate dae ~options ~t2_end:60. ~h2:0.4 ~init:orbit in
+        let x0 = Array.init 4 (fun i -> orbit.Steady.Oscillator.grid.(0).(i)) in
+        let traj =
+          Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:60.
+            ~h:(1.333 /. 1000.) x0
+        in
+        let worst = ref 0. in
+        for k = 0 to 600 do
+          let t = 0.1 *. float_of_int k in
+          let vw = Wampde.Envelope.eval_waveform res ~component:0 t in
+          let vt = Transient.interpolate traj 0 t in
+          worst := Float.max !worst (Float.abs (vw -. vt))
+        done;
+        (* |v| ~ 2.2 V: agreement within a few percent over 45 cycles *)
+        Alcotest.(check bool) "close waveforms" true (!worst < 0.1));
+    Alcotest.test_case "theta = 1 (BE) also converges, less accurately" `Quick (fun () ->
+        let dae, orbit = vco_a_setup () in
+        let opt_trap = Wampde.Envelope.default_options ~n1:25 () in
+        let opt_be = { opt_trap with Wampde.Envelope.theta = 1. } in
+        let trap = Wampde.Envelope.simulate dae ~options:opt_trap ~t2_end:10. ~h2:0.25 ~init:orbit in
+        let be = Wampde.Envelope.simulate dae ~options:opt_be ~t2_end:10. ~h2:0.25 ~init:orbit in
+        let last a = a.(Array.length a - 1) in
+        (* both land near each other; BE is dissipative so allow 2% *)
+        let rel =
+          Float.abs (last be.Wampde.Envelope.omega -. last trap.Wampde.Envelope.omega)
+          /. last trap.Wampde.Envelope.omega
+        in
+        Alcotest.(check bool) "BE close to trap" true (rel < 0.02));
+    Alcotest.test_case "fd4 differentiation agrees with spectral" `Quick (fun () ->
+        let dae, orbit0 = vco_a_setup () in
+        ignore orbit0;
+        (* need an orbit on a denser grid for FD4 accuracy *)
+        let p0 = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+        let dae0 = Circuit.Vco.build p0 in
+        let orbit =
+          Steady.Oscillator.find dae0 ~n1:51 ~period_hint:1.333 (Circuit.Vco.initial_state p0)
+        in
+        let opt_sp = Wampde.Envelope.default_options ~n1:51 () in
+        let opt_fd = { opt_sp with Wampde.Envelope.differentiation = `Fd4 } in
+        let sp = Wampde.Envelope.simulate dae ~options:opt_sp ~t2_end:8. ~h2:0.25 ~init:orbit in
+        let fd = Wampde.Envelope.simulate dae ~options:opt_fd ~t2_end:8. ~h2:0.25 ~init:orbit in
+        let last a = a.(Array.length a - 1) in
+        let rel =
+          Float.abs (last fd.Wampde.Envelope.omega -. last sp.Wampde.Envelope.omega)
+          /. last sp.Wampde.Envelope.omega
+        in
+        Alcotest.(check bool) "fd4 close" true (rel < 0.02));
+    Alcotest.test_case "adaptive matches fixed step" `Quick (fun () ->
+        let dae, orbit = vco_a_setup () in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let fixed = Wampde.Envelope.simulate dae ~options ~t2_end:12. ~h2:0.1 ~init:orbit in
+        let adaptive =
+          Wampde.Envelope.simulate_adaptive dae ~options ~t2_end:12. ~h2_init:0.5 ~tol:1e-6
+            ~init:orbit ()
+        in
+        let last a = a.(Array.length a - 1) in
+        let rel =
+          Float.abs (last adaptive.Wampde.Envelope.omega -. last fixed.Wampde.Envelope.omega)
+          /. last fixed.Wampde.Envelope.omega
+        in
+        Alcotest.(check bool) "same omega" true (rel < 1e-3));
+    Alcotest.test_case "fourier phase condition gives same frequency" `Quick (fun () ->
+        let dae, orbit = vco_a_setup () in
+        let opt_d = Wampde.Envelope.default_options ~n1:25 () in
+        let opt_f =
+          Wampde.Envelope.default_options ~n1:25
+            ~phase:(Wampde.Phase.Fourier { component = 0; harmonic = 1 })
+            ()
+        in
+        let rd = Wampde.Envelope.simulate dae ~options:opt_d ~t2_end:8. ~h2:0.2 ~init:orbit in
+        let rf = Wampde.Envelope.simulate dae ~options:opt_f ~t2_end:8. ~h2:0.2 ~init:orbit in
+        (* the paper: different compact phase choices give local
+           frequencies differing pointwise only by O(f2) (here
+           f2 = 1/40 MHz), while the accumulated phase (the mean of
+           omega) is phase-condition independent *)
+        let f2 = 1. /. 40. in
+        Array.iteri
+          (fun i om_f ->
+            Alcotest.(check bool) "pointwise O(f2)" true
+              (Float.abs (om_f -. rd.Wampde.Envelope.omega.(i)) < 8. *. f2))
+          rf.Wampde.Envelope.omega;
+        let rel =
+          Float.abs (Vec.mean rf.Wampde.Envelope.omega -. Vec.mean rd.Wampde.Envelope.omega)
+          /. Vec.mean rd.Wampde.Envelope.omega
+        in
+        Alcotest.(check bool) "mean omega agrees" true (rel < 1e-3));
+  ]
+
+let quasi_tests =
+  [
+    Alcotest.test_case "VCO-A FM-quasiperiodic steady state" `Slow (fun () ->
+        let dae, orbit = vco_a_setup () in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let env = Wampde.Envelope.simulate dae ~options ~t2_end:200. ~h2:0.5 ~init:orbit in
+        let guess = Wampde.Quasiperiodic.guess_from_envelope env ~p2:40. ~n2:15 ~t_from:160. in
+        let sol = Wampde.Quasiperiodic.solve dae ~options ~p2:40. ~n2:15 ~guess () in
+        Alcotest.(check bool) "residual small" true
+          (Wampde.Quasiperiodic.residual_norm dae ~options sol < 1e-7);
+        (* omega is genuinely periodic and modulated *)
+        let om = sol.Wampde.Quasiperiodic.omega in
+        let omin = Array.fold_left Float.min infinity om in
+        let omax = Array.fold_left Float.max neg_infinity om in
+        Alcotest.(check bool) "fm present" true (omax /. omin > 1.5));
+    Alcotest.test_case "quasiperiodic waveform recovery matches envelope" `Slow (fun () ->
+        let dae, orbit = vco_a_setup () in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let env = Wampde.Envelope.simulate dae ~options ~t2_end:240. ~h2:0.5 ~init:orbit in
+        let guess = Wampde.Quasiperiodic.guess_from_envelope env ~p2:40. ~n2:15 ~t_from:160. in
+        let sol = Wampde.Quasiperiodic.solve dae ~options ~p2:40. ~n2:15 ~guess () in
+        (* the recovered quasiperiodic waveform and the settled envelope's
+           recovered waveform describe the same steady state: compare
+           amplitude and frequency content over a slow period *)
+        let times = Array.init 2001 (fun i -> 40. *. float_of_int i /. 2000.) in
+        let vq = Array.map (fun t -> Wampde.Quasiperiodic.eval_waveform sol ~component:0 ~t_max:40. t) times in
+        let amp = Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0. vq in
+        (* the fully developed steady state peaks at ~2.5 V (the mechanical
+           resonance is larger than during the first transient period) *)
+        Alcotest.(check bool) "amplitude" true (amp > 2.2 && amp < 2.8);
+        let crossings = Sigproc.Zero_crossing.cycle_count ~times vq in
+        (* mean frequency ~0.69 MHz -> about 27-28 cycles in 40 us *)
+        Alcotest.(check bool) "cycle count" true (crossings >= 25 && crossings <= 30));
+    Alcotest.test_case "gmres path equals dense path" `Slow (fun () ->
+        let dae, orbit = vco_a_setup () in
+        let options = Wampde.Envelope.default_options ~n1:25 () in
+        let env = Wampde.Envelope.simulate dae ~options ~t2_end:200. ~h2:0.5 ~init:orbit in
+        let guess = Wampde.Quasiperiodic.guess_from_envelope env ~p2:40. ~n2:11 ~t_from:160. in
+        let dense = Wampde.Quasiperiodic.solve dae ~options ~p2:40. ~n2:11 ~guess () in
+        let gmres =
+          Wampde.Quasiperiodic.solve dae ~linear_solver:`Gmres ~options ~p2:40. ~n2:11 ~guess ()
+        in
+        approx_tol 1e-8 "mean freq"
+          (Wampde.Quasiperiodic.mean_frequency dense)
+          (Wampde.Quasiperiodic.mean_frequency gmres));
+  ]
+
+let special_case_tests =
+  [
+    Alcotest.test_case "eq (24) special cases: constant omega0 = w2 is periodic" `Quick
+      (fun () ->
+        (* mode locking / period multiplication as representational special
+           cases of the WaMPDE solution form (paper Section 4.1): build
+           x(t) from eq. (24) with omega(t) == omega0 and check periodicity *)
+        let w2 = 3. in
+        let x_of_t ~w0 t = cos ((two_pi *. w0 *. t) +. 0.3) *. (1. +. (0.5 *. cos (two_pi *. w2 *. t))) in
+        (* omega0 = w2: response periodic with the forcing period 1/w2 *)
+        let locked t = x_of_t ~w0:w2 t in
+        approx_tol 1e-9 "entrained" (locked 0.123) (locked (0.123 +. (1. /. w2)));
+        (* omega0 = w2 / 2: period-2 multiplication *)
+        let divided t = x_of_t ~w0:(w2 /. 2.) t in
+        approx_tol 1e-9 "period doubled" (divided 0.04) (divided (0.04 +. (2. /. w2)));
+        Alcotest.(check bool) "not 1-periodic" true
+          (Float.abs (divided 0.04 -. divided (0.04 +. (1. /. w2))) > 1e-3));
+  ]
+
+let suites =
+  [
+    ("wampde.phase", phase_tests);
+    ("wampde.envelope", envelope_tests);
+    ("wampde.quasiperiodic", quasi_tests);
+    ("wampde.special_cases", special_case_tests);
+  ]
