@@ -11,9 +11,12 @@
 
    See EXPERIMENTS.md for the paper-vs-measured record. *)
 
+module Obs = Wampde_obs
+
 let two_pi = 2. *. Float.pi
 
 let csv = ref false
+let json = ref false
 let only : string option ref = ref None
 
 (* ------------------------------------------------------------------ *)
@@ -545,6 +548,9 @@ let () =
     | "--csv" :: rest ->
       csv := true;
       parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
     | "--only" :: id :: rest ->
       only := Some id;
       parse rest
@@ -563,9 +569,44 @@ let () =
     Printf.eprintf "unknown experiment id; use --list\n";
     exit 1
   end;
+  (* Per-experiment solver-work accounting.  Metrics are reset before
+     each experiment, so shared lazy setups (orbits, envelope runs) are
+     charged to the first experiment that forces them. *)
+  Obs.set_enabled true;
+  let work = ref [] in
   List.iter
-    (fun (_, run) ->
+    (fun (id, run) ->
+      Obs.Metrics.reset ();
+      let t0 = Unix.gettimeofday () in
       run ();
+      let wall = Unix.gettimeofday () -. t0 in
+      let c name = Obs.Metrics.count (Obs.Metrics.counter name) in
+      Printf.printf
+        "%s | solver work: %d newton iters, %d lu factors, %d gmres iters, %d rejects | wall %.2f s\n"
+        id (c "newton.iterations") (c "lu.factor") (c "gmres.iterations")
+        (c "transient.rejects" + c "envelope.rejects")
+        wall;
+      if !json then work := (id, wall, Obs.Metrics.to_json ()) :: !work;
       print_newline ())
     selected;
+  Obs.set_enabled false;
+  if !json then begin
+    let tm = Unix.localtime (Unix.time ()) in
+    let fname =
+      Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+        tm.Unix.tm_mday
+    in
+    let oc = open_out fname in
+    let entries = List.rev !work in
+    let last = List.length entries - 1 in
+    output_string oc "[\n";
+    List.iteri
+      (fun i (id, wall, metrics) ->
+        Printf.fprintf oc "  {\"id\":\"%s\",\"wall_s\":%.6f,\"metrics\":%s}%s\n" id wall metrics
+          (if i = last then "" else ","))
+      entries;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.eprintf "wrote %s\n" fname
+  end;
   if !only = None && not !csv then kernel_timings ()

@@ -8,8 +8,58 @@
      waveform   recovered 1-D waveform from an envelope run *)
 
 open Cmdliner
+module Obs = Wampde_obs
 
 type which = A | B
+
+(* ---------- observability flags (shared by every subcommand) ---------- *)
+
+let metrics_arg =
+  let doc = "Print a solver-work metrics table to stderr when the run finishes." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write span/event telemetry as JSON lines to $(docv) and print a span tree to stderr."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let obs_term = Term.(const (fun metrics trace -> (metrics, trace)) $ metrics_arg $ trace_arg)
+
+(* Enable telemetry around [f] according to the (--metrics, --trace) pair:
+   metrics go to a table on stderr, traces to JSON lines plus a span-tree
+   summary on stderr. With neither flag this is a no-op wrapper. *)
+let with_obs (metrics, trace) f =
+  if not (metrics || trace <> None) then f ()
+  else begin
+    Obs.set_enabled true;
+    let cleanup_trace =
+      match trace with
+      | None -> fun () -> ()
+      | Some file ->
+        let oc =
+          try open_out file
+          with Sys_error msg ->
+            Printf.eprintf "wampde_cli: cannot open trace file: %s\n" msg;
+            exit 1
+        in
+        Obs.Span.set_writer (Some (fun line -> output_string oc line; output_char oc '\n'));
+        Obs.Span.start_recording ();
+        let sub = Obs.Events.subscribe (fun e -> output_string oc (Obs.Events.to_json e); output_char oc '\n') in
+        fun () ->
+          Obs.Events.unsubscribe sub;
+          Obs.Span.set_writer None;
+          let records = Obs.Span.stop_recording () in
+          close_out oc;
+          prerr_string (Obs.Span.tree_summary records)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        cleanup_trace ();
+        if metrics then prerr_string (Obs.Metrics.table ());
+        Obs.set_enabled false)
+      f
+  end
 
 let which_conv =
   let parse = function
@@ -38,7 +88,7 @@ let find_orbit ?(n1 = 25) which =
 
 let which_arg =
   let doc = "Which VCO: $(b,a) (Figs. 7-9) or $(b,b) (Figs. 10-12)." in
-  Arg.(value & opt which_conv A & info [ "vco" ] ~docv:"A|B" ~doc)
+  Arg.(value & opt which_conv A & info [ "vco"; "which" ] ~docv:"A|B" ~doc)
 
 let n1_arg =
   let doc = "Number of warped-time collocation points (odd)." in
@@ -53,7 +103,8 @@ let h2_arg =
   Arg.(value & opt (some float) None & info [ "h2" ] ~docv:"US" ~doc)
 
 let orbit_cmd =
-  let run which n1 =
+  let run obs which n1 =
+    with_obs obs @@ fun () ->
     let orbit = find_orbit ~n1 which in
     Printf.printf "frequency: %.6f MHz\nperiod:    %.6f us\namplitude: %.4f V\n"
       orbit.Steady.Oscillator.omega
@@ -68,10 +119,11 @@ let orbit_cmd =
       orbit.Steady.Oscillator.grid
   in
   let doc = "unforced periodic steady state (collocation with unknown frequency)" in
-  Cmd.v (Cmd.info "orbit" ~doc) Term.(const run $ which_arg $ n1_arg)
+  Cmd.v (Cmd.info "orbit" ~doc) Term.(const run $ obs_term $ which_arg $ n1_arg)
 
 let envelope_cmd =
-  let run which n1 t_end h2 =
+  let run obs which n1 t_end h2 =
+    with_obs obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
@@ -87,7 +139,9 @@ let envelope_cmd =
       res.Wampde.Envelope.t2
   in
   let doc = "WaMPDE envelope run; CSV of local frequency and amplitude vs slow time" in
-  Cmd.v (Cmd.info "envelope" ~doc) Term.(const run $ which_arg $ n1_arg $ t_end_arg $ h2_arg)
+  Cmd.v
+    (Cmd.info "envelope" ~doc)
+    Term.(const run $ obs_term $ which_arg $ n1_arg $ t_end_arg $ h2_arg)
 
 let transient_cmd =
   let pts_arg =
@@ -98,7 +152,8 @@ let transient_cmd =
     let doc = "Output every Nth sample." in
     Arg.(value & opt int 10 & info [ "stride" ] ~docv:"N" ~doc)
   in
-  let run which t_end pts stride =
+  let run obs which t_end pts stride =
+    with_obs obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
     let orbit = find_orbit which in
     let dae = Circuit.Vco.build (params_of which) in
@@ -119,7 +174,7 @@ let transient_cmd =
   let doc = "brute-force transient simulation (the paper's baseline); CSV waveform" in
   Cmd.v
     (Cmd.info "transient" ~doc)
-    Term.(const run $ which_arg $ t_end_arg $ pts_arg $ stride_arg)
+    Term.(const run $ obs_term $ which_arg $ t_end_arg $ pts_arg $ stride_arg)
 
 let quasi_cmd =
   let n2_arg =
@@ -130,7 +185,8 @@ let quasi_cmd =
     let doc = "Use matrix-free GMRES with block-Jacobi preconditioning." in
     Arg.(value & flag & info [ "gmres" ] ~doc)
   in
-  let run n1 n2 gmres =
+  let run obs n1 n2 gmres =
+    with_obs obs @@ fun () ->
     let dae = Circuit.Vco.build (Circuit.Vco.vco_a ()) in
     let orbit = find_orbit ~n1 A in
     let options = Wampde.Envelope.default_options ~n1 () in
@@ -147,14 +203,15 @@ let quasi_cmd =
       sol.Wampde.Quasiperiodic.t2
   in
   let doc = "quasiperiodic (periodic boundary conditions) WaMPDE solve of VCO-A" in
-  Cmd.v (Cmd.info "quasi" ~doc) Term.(const run $ n1_arg $ n2_arg $ gmres_arg)
+  Cmd.v (Cmd.info "quasi" ~doc) Term.(const run $ obs_term $ n1_arg $ n2_arg $ gmres_arg)
 
 let waveform_cmd =
   let per_cycle_arg =
     let doc = "Output samples per oscillation cycle." in
     Arg.(value & opt int 20 & info [ "per-cycle" ] ~docv:"N" ~doc)
   in
-  let run which n1 t_end h2 per_cycle =
+  let run obs which n1 t_end h2 per_cycle =
+    with_obs obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
@@ -170,7 +227,7 @@ let waveform_cmd =
   let doc = "recovered 1-D waveform x(t) = xhat(phi(t), t) from an envelope run" in
   Cmd.v
     (Cmd.info "waveform" ~doc)
-    Term.(const run $ which_arg $ n1_arg $ t_end_arg $ h2_arg $ per_cycle_arg)
+    Term.(const run $ obs_term $ which_arg $ n1_arg $ t_end_arg $ h2_arg $ per_cycle_arg)
 
 let deck_cmd =
   let deck_arg =
@@ -185,7 +242,8 @@ let deck_cmd =
     let doc = "Number of fixed time steps." in
     Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"N" ~doc)
   in
-  let run deck t_end steps =
+  let run obs deck t_end steps =
+    with_obs obs @@ fun () ->
     match Circuit.Parser.parse_file deck with
     | exception Circuit.Parser.Parse_error { line; message } ->
       Printf.eprintf "%s:%d: %s\n" deck line message;
@@ -213,7 +271,7 @@ let deck_cmd =
         traj.Transient.times
   in
   let doc = "parse a SPICE-flavoured netlist deck and run a transient simulation (CSV)" in
-  Cmd.v (Cmd.info "deck" ~doc) Term.(const run $ deck_arg $ t_end_pos $ steps_arg)
+  Cmd.v (Cmd.info "deck" ~doc) Term.(const run $ obs_term $ deck_arg $ t_end_pos $ steps_arg)
 
 let () =
   let doc = "multi-time (WaMPDE) simulation of voltage-controlled oscillators" in

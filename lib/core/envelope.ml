@@ -1,4 +1,10 @@
 open Linalg
+module Obs = Wampde_obs
+
+let c_newton_iters = Obs.Metrics.counter "newton.iterations"
+let c_env_steps = Obs.Metrics.counter "envelope.steps"
+let c_env_rejects = Obs.Metrics.counter "envelope.rejects"
+let c_jac_refresh = Obs.Metrics.counter "envelope.jacobian_refreshes"
 
 type options = {
   n1 : int;
@@ -64,6 +70,10 @@ let new_cache () = { lu = None }
 
 (* One theta step of size h2 from (states0, omega0, g0) at t2_new. *)
 let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
+  Obs.Span.span
+    ~attrs:[ ("t2", Obs.Span.Float t2_new); ("h2", Obs.Span.Float h2) ]
+    "envelope.step"
+  @@ fun () ->
   let n = dae.Dae.dim in
   let n1 = options.n1 in
   let theta = options.theta in
@@ -134,11 +144,15 @@ let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
   let tol = options.newton.Nonlin.Newton.residual_tol in
   let max_iterations = Int.max 40 options.newton.Nonlin.Newton.max_iterations in
   let fail rnorm =
+    Obs.Metrics.incr c_env_rejects;
+    if Obs.Events.active () then
+      Obs.Events.emit (Obs.Events.Step_reject { t = t2_new; h = h2; reason = "newton" });
     failwith
       (Printf.sprintf "Wampde.Envelope: Newton failed at t2 = %.6g (h2 = %.3g, residual %.3e)"
          t2_new h2 rnorm)
   in
   let refresh y =
+    Obs.Metrics.incr c_jac_refresh;
     let lu = Lu.factor (jacobian y) in
     cache.lu <- Some lu;
     lu
@@ -152,6 +166,7 @@ let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
      while !rnorm > tol do
        if !iters >= max_iterations then fail !rnorm;
        incr iters;
+       Obs.Metrics.incr c_newton_iters;
        let lu = match cache.lu with Some lu -> lu | None -> refresh !y in
        let dy = Lu.solve lu !r in
        let trial = Array.mapi (fun i yi -> yi -. dy.(i)) !y in
@@ -161,7 +176,11 @@ let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
          y := trial;
          r := rt;
          rnorm := rtnorm;
-         fresh := false
+         fresh := false;
+         if Obs.Events.active () then
+           Obs.Events.emit
+             (Obs.Events.Newton_iter
+                { solver = "envelope.chord"; k = !iters; residual = rtnorm; damping = 1. })
        end
        else if not !fresh then begin
          (* stale Jacobian stopped contracting: refresh and retry *)
@@ -233,6 +252,15 @@ let align_init options (init : Steady.Oscillator.orbit) =
 
 let simulate dae ~options ~t2_end ~h2 ~init =
   check_init options init;
+  Obs.Span.span
+    ~attrs:
+      [
+        ("n1", Obs.Span.Int options.n1);
+        ("dim", Obs.Span.Int dae.Dae.dim);
+        ("t2", Obs.Span.Float t2_end);
+      ]
+    "envelope.simulate"
+  @@ fun () ->
   let init = align_init options init in
   let n1 = options.n1 and n = dae.Dae.dim in
   let d = diff_matrix options in
@@ -255,6 +283,11 @@ let simulate dae ~options ~t2_end ~h2 ~init =
     states := states';
     omega := omega';
     g := eval_g dae ~n1 ~d ~t2:t2_new states' omega';
+    Obs.Metrics.incr c_env_steps;
+    if Obs.Events.active () then begin
+      Obs.Events.emit (Obs.Events.Step_accept { t = !t2; h });
+      Obs.Events.emit (Obs.Events.Phase_condition { omega = omega'; t2 = t2_new })
+    end;
     t2 := t2_new;
     t2s := t2_new :: !t2s;
     omegas := omega' :: !omegas;
@@ -270,6 +303,15 @@ let simulate dae ~options ~t2_end ~h2 ~init =
 
 let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~tol ~init () =
   check_init options init;
+  Obs.Span.span
+    ~attrs:
+      [
+        ("n1", Obs.Span.Int options.n1);
+        ("dim", Obs.Span.Int dae.Dae.dim);
+        ("t2", Obs.Span.Float t2_end);
+      ]
+    "envelope.simulate_adaptive"
+  @@ fun () ->
   let init = align_init options init in
   let n1 = options.n1 and n = dae.Dae.dim in
   let h2_max = match h2_max with Some h -> h | None -> t2_end /. 5. in
@@ -327,6 +369,12 @@ let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~to
         done
       done;
       if !err <= tol then begin
+        Obs.Metrics.incr c_env_steps;
+        if Obs.Events.active () then begin
+          Obs.Events.emit (Obs.Events.Step_accept { t = !t2; h = hstep });
+          Obs.Events.emit
+            (Obs.Events.Phase_condition { omega = om_fine; t2 = !t2 +. hstep })
+        end;
         t2 := !t2 +. hstep;
         states := fine;
         omega := om_fine;
@@ -338,6 +386,10 @@ let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~to
         h := Float.min h2_max (hstep *. Float.max 1. grow)
       end
       else begin
+        Obs.Metrics.incr c_env_rejects;
+        if Obs.Events.active () then
+          Obs.Events.emit
+            (Obs.Events.Step_reject { t = !t2; h = hstep; reason = "error control" });
         h := hstep *. Float.max 0.1 (0.9 *. ((tol /. !err) ** (1. /. 3.)));
         if !h < h2_min then failwith "Wampde.Envelope.simulate_adaptive: step underflow"
       end

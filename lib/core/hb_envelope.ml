@@ -1,4 +1,5 @@
 open Linalg
+module Obs = Wampde_obs
 
 type result = {
   t2 : Vec.t;
@@ -8,6 +9,8 @@ type result = {
 }
 
 let two_pi = 2. *. Float.pi
+
+let c_steps = Obs.Metrics.counter "hb_envelope.steps"
 
 (* Real packing of one slow step's unknowns:
    y.((v * nn) + 0)        = X_0 (real)
@@ -95,6 +98,15 @@ let eval_q_packed dae ~n ~m coeffs =
 let simulate dae ~harmonics:m ?(phase_component = 0) ?(phase_harmonic = 1) ~t2_end ~h2 ~init
     () =
   let n = dae.Dae.dim in
+  Obs.Span.span
+    ~attrs:
+      [
+        ("harmonics", Obs.Span.Int m);
+        ("dim", Obs.Span.Int n);
+        ("t2", Obs.Span.Float t2_end);
+      ]
+    "hb_envelope.simulate"
+  @@ fun () ->
   let nn = (2 * m) + 1 in
   if Array.length init.Steady.Oscillator.grid <> nn then
     invalid_arg "Hb_envelope.simulate: init grid must have 2 harmonics + 1 points";
@@ -152,14 +164,22 @@ let simulate dae ~harmonics:m ?(phase_component = 0) ?(phase_harmonic = 1) ~t2_e
       { Nonlin.Newton.default_options with max_iterations = 30; residual_tol = 1e-9 }
     in
     let y0 = pack_coeffs ~n ~m !coeffs !omega in
-    let report = Nonlin.Newton.solve ~options ~residual y0 in
-    if not report.Nonlin.Newton.converged then
+    let report = Nonlin.Newton.solve ~options ~label:"hb_envelope" ~residual y0 in
+    if not report.Nonlin.Newton.converged then begin
+      if Obs.Events.active () then
+        Obs.Events.emit (Obs.Events.Step_reject { t = !t2; h; reason = "newton" });
       failwith
         (Printf.sprintf "Hb_envelope.simulate: Newton failed at t2 = %.6g (residual %.3e)"
-           t2_new report.Nonlin.Newton.residual_norm);
+           t2_new report.Nonlin.Newton.residual_norm)
+    end;
     coeffs := coeffs_of_packed ~n ~m report.Nonlin.Newton.x;
     omega := report.Nonlin.Newton.x.(n * nn);
     g := eval_g dae ~n ~m ~t2:t2_new !coeffs !omega;
+    Obs.Metrics.incr c_steps;
+    if Obs.Events.active () then begin
+      Obs.Events.emit (Obs.Events.Step_accept { t = !t2; h });
+      Obs.Events.emit (Obs.Events.Phase_condition { omega = !omega; t2 = t2_new })
+    end;
     t2 := t2_new;
     t2s := t2_new :: !t2s;
     omegas := !omega :: !omegas;

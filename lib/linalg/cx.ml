@@ -94,9 +94,15 @@ module Clu = struct
 
   exception Singular of int
 
+  let c_factor = Wampde_obs.Metrics.counter "lu.factor_complex"
+  let h_dim = Wampde_obs.Metrics.histogram "lu.dim_complex"
+
   let factor a =
     let n = Cmat.rows a in
     if Cmat.cols a <> n then invalid_arg "Cx.Clu.factor: matrix not square";
+    Wampde_obs.Metrics.incr c_factor;
+    Wampde_obs.Metrics.observe h_dim (float_of_int n);
+    if Wampde_obs.Events.active () then Wampde_obs.Events.emit (Wampde_obs.Events.Lu_factor { n });
     let lu = Cmat.copy a in
     let perm = Array.init n (fun i -> i) in
     for k = 0 to n - 1 do

@@ -1,9 +1,16 @@
+module Obs = Wampde_obs
+
 type result = { x : Vec.t; residual_norm : float; iterations : int; converged : bool }
+
+let c_solves = Obs.Metrics.counter "gmres.solves"
+let c_iters = Obs.Metrics.counter "gmres.iterations"
+let h_iters = Obs.Metrics.histogram "gmres.iterations_per_solve"
 
 (* Restarted GMRES with modified Gram-Schmidt Arnoldi and Givens
    rotations applied to the Hessenberg matrix as it is built, so the
    least-squares problem is solved incrementally. *)
 let solve ~matvec ?m_inv ?x0 ?(restart = 50) ?max_iter ?(tol = 1e-10) b =
+  Obs.Span.span ~attrs:[ ("dim", Obs.Span.Int (Array.length b)) ] "gmres.solve" @@ fun () ->
   let n = Array.length b in
   let precond = match m_inv with Some f -> f | None -> Array.copy in
   let max_iter = match max_iter with Some m -> m | None -> 10 * restart in
@@ -62,6 +69,10 @@ let solve ~matvec ?m_inv ?x0 ?(restart = 50) ?max_iter ?(tol = 1e-10) b =
            h.(j + 1).(j) <- 0.;
            g.(j + 1) <- -.sn.(j) *. g.(j);
            g.(j) <- cs.(j) *. g.(j);
+           Obs.Metrics.incr c_iters;
+           if Obs.Events.active () then
+             Obs.Events.emit
+               (Obs.Events.Gmres_iter { k = !total_iters; residual = Float.abs g.(j + 1) });
            k_done := j + 1;
            if hj1 = 0. || Float.abs g.(j + 1) <= target then raise Exit;
            v.(j + 1) <- Vec.scale (1. /. hj1) w
@@ -92,6 +103,8 @@ let solve ~matvec ?m_inv ?x0 ?(restart = 50) ?max_iter ?(tol = 1e-10) b =
     end
   in
   let x, res = cycle x in
+  Obs.Metrics.incr c_solves;
+  Obs.Metrics.observe h_iters (float_of_int !total_iters);
   { x; residual_norm = res; iterations = !total_iters; converged = res <= target }
 
 let solve_mat a ?tol b = solve ~matvec:(fun v -> Mat.matvec a v) ?tol b

@@ -1,12 +1,21 @@
+module Obs = Wampde_obs
+
 type t = { lu : float array array; perm : int array; sign : float }
 
 exception Singular of int
+
+let c_factor = Obs.Metrics.counter "lu.factor"
+let h_dim = Obs.Metrics.histogram "lu.dim"
+let c_solve = Obs.Metrics.counter "lu.solve"
 
 (* Doolittle factorization with partial pivoting; [lu] stores L (unit
    diagonal, below) and U (on and above the diagonal). *)
 let factor a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Lu.factor: matrix not square";
+  Obs.Metrics.incr c_factor;
+  Obs.Metrics.observe h_dim (float_of_int n);
+  if Obs.Events.active () then Obs.Events.emit (Obs.Events.Lu_factor { n });
   let lu = Mat.copy a in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1. in
@@ -45,6 +54,7 @@ let dim { lu; _ } = Array.length lu
 let solve_inplace { lu; perm; _ } b =
   let n = Array.length lu in
   if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  Obs.Metrics.incr c_solve;
   (* apply permutation *)
   let x = Array.init n (fun i -> b.(perm.(i))) in
   (* forward substitution, L has unit diagonal *)

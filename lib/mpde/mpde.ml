@@ -1,8 +1,11 @@
 open Linalg
+module Obs = Wampde_obs
 
 type system = { dae : Dae.t; p1 : float; b_fast : t1:float -> t2:float -> Vec.t }
 
 type result = { t2 : Vec.t; slices : Vec.t array array; p1 : float }
+
+let c_steps = Obs.Metrics.counter "mpde.steps"
 
 let newton_options =
   { Nonlin.Newton.default_options with max_iterations = 50; residual_tol = 1e-9 }
@@ -56,17 +59,33 @@ let g_jacobian sys ~n1 ~d ~t2 states =
 
 let periodic_initial sys ~n1 ~guess =
   if n1 mod 2 = 0 then invalid_arg "Mpde.periodic_initial: n1 must be odd";
+  Obs.Span.span
+    ~attrs:[ ("n1", Obs.Span.Int n1); ("dim", Obs.Span.Int sys.dae.Dae.dim) ]
+    "mpde.periodic_initial"
+  @@ fun () ->
   let n = sys.dae.Dae.dim in
   let d = Fourier.Series.diff_matrix n1 in
   let residual y = eval_g sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
   let jacobian y = g_jacobian sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
-  let report = Nonlin.Newton.solve ~options:newton_options ~jacobian ~residual (pack guess) in
+  let report =
+    Nonlin.Newton.solve ~options:newton_options ~label:"mpde.initial" ~jacobian ~residual
+      (pack guess)
+  in
   if not report.Nonlin.Newton.converged then
     failwith "Mpde.periodic_initial: Newton failed";
   unpack ~n1 ~n report.Nonlin.Newton.x
 
 let simulate sys ~n1 ~t2_end ~h2 ~init =
   if n1 mod 2 = 0 then invalid_arg "Mpde.simulate: n1 must be odd";
+  Obs.Span.span
+    ~attrs:
+      [
+        ("n1", Obs.Span.Int n1);
+        ("dim", Obs.Span.Int sys.dae.Dae.dim);
+        ("t2", Obs.Span.Float t2_end);
+      ]
+    "mpde.simulate"
+  @@ fun () ->
   let dae = sys.dae in
   let n = dae.Dae.dim in
   if Array.length init <> n1 then invalid_arg "Mpde.simulate: init size <> n1";
@@ -113,11 +132,19 @@ let simulate sys ~n1 ~t2_end ~h2 ~init =
       done;
       jac
     in
-    let report = Nonlin.Newton.solve ~options:newton_options ~jacobian ~residual (pack !states) in
-    if not report.Nonlin.Newton.converged then
-      failwith (Printf.sprintf "Mpde.simulate: Newton failed at t2 = %.6g" t2_new);
+    let report =
+      Nonlin.Newton.solve ~options:newton_options ~label:"mpde.step" ~jacobian ~residual
+        (pack !states)
+    in
+    if not report.Nonlin.Newton.converged then begin
+      if Obs.Events.active () then
+        Obs.Events.emit (Obs.Events.Step_reject { t = !t2; h; reason = "newton" });
+      failwith (Printf.sprintf "Mpde.simulate: Newton failed at t2 = %.6g" t2_new)
+    end;
     states := unpack ~n1 ~n report.Nonlin.Newton.x;
     g := eval_g sys ~n1 ~d ~t2:t2_new !states;
+    Obs.Metrics.incr c_steps;
+    if Obs.Events.active () then Obs.Events.emit (Obs.Events.Step_accept { t = !t2; h });
     t2 := t2_new;
     t2s := t2_new :: !t2s;
     slices := Array.map Array.copy !states :: !slices
@@ -130,6 +157,15 @@ let simulate sys ~n1 ~t2_end ~h2 ~init =
 
 let quasiperiodic sys ~n1 ~n2 ~p2 ~guess =
   if n1 mod 2 = 0 || n2 mod 2 = 0 then invalid_arg "Mpde.quasiperiodic: n1, n2 must be odd";
+  Obs.Span.span
+    ~attrs:
+      [
+        ("n1", Obs.Span.Int n1);
+        ("n2", Obs.Span.Int n2);
+        ("dim", Obs.Span.Int sys.dae.Dae.dim);
+      ]
+    "mpde.quasiperiodic"
+  @@ fun () ->
   let dae = sys.dae in
   let n = dae.Dae.dim in
   if Array.length guess <> n2 then invalid_arg "Mpde.quasiperiodic: guess size <> n2";
@@ -168,7 +204,7 @@ let quasiperiodic sys ~n1 ~n2 ~p2 ~guess =
   let report =
     Nonlin.Newton.solve
       ~options:{ newton_options with max_iterations = 80 }
-      ~residual (pack2 ())
+      ~label:"mpde.quasiperiodic" ~residual (pack2 ())
   in
   if not report.Nonlin.Newton.converged then failwith "Mpde.quasiperiodic: Newton failed";
   let st = unpack2 report.Nonlin.Newton.x in

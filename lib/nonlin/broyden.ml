@@ -1,9 +1,14 @@
 open Linalg
+module Obs = Wampde_obs
+
+let c_solves = Obs.Metrics.counter "broyden.solves"
+let c_iters = Obs.Metrics.counter "broyden.iterations"
 
 (* Maintains the Jacobian approximation B and its LU factorization;
    refactors whenever the rank-one updated step fails to reduce the
    residual. *)
 let solve ?(max_iterations = 100) ?(residual_tol = 1e-10) ?jacobian ~residual x0 =
+  Obs.Span.span ~attrs:[ ("dim", Obs.Span.Int (Array.length x0)) ] "broyden.solve" @@ fun () ->
   let jac = match jacobian with Some j -> j | None -> fun x -> Fdjac.jacobian residual x in
   let x = ref (Array.copy x0) in
   let r = ref (residual !x) in
@@ -11,6 +16,11 @@ let solve ?(max_iterations = 100) ?(residual_tol = 1e-10) ?jacobian ~residual x0
   let b = ref (jac !x) in
   let fresh = ref true in
   let finish ~iterations ~converged ~reason : Newton.report =
+    Obs.Metrics.incr c_solves;
+    Obs.Metrics.add c_iters iterations;
+    if Obs.Events.active () then
+      Obs.Events.emit
+        (Obs.Events.Newton_done { solver = "broyden"; iterations; residual = !rnorm; converged });
     { Newton.x = !x; residual_norm = !rnorm; iterations; converged; reason }
   in
   let rec iterate k =
@@ -49,6 +59,9 @@ let solve ?(max_iterations = 100) ?(residual_tol = 1e-10) ?jacobian ~residual x0
           r := rt;
           rnorm := rtnorm;
           fresh := false;
+          if Obs.Events.active () then
+            Obs.Events.emit
+              (Obs.Events.Newton_iter { solver = "broyden"; k = k + 1; residual = rtnorm; damping = 1. });
           iterate (k + 1)
         end
         else if not !fresh then begin

@@ -1,4 +1,5 @@
 open Linalg
+module Obs = Wampde_obs
 
 type options = {
   max_iterations : int;
@@ -26,12 +27,28 @@ let scaled_norm options v =
   | Some scale -> Vec.weighted_norm ~scale v
   | None -> Vec.norm_inf v
 
-let solve ?(options = default_options) ?jacobian ~residual x0 =
+let c_solves = Obs.Metrics.counter "newton.solves"
+let c_iters = Obs.Metrics.counter "newton.iterations"
+let c_failures = Obs.Metrics.counter "newton.failures"
+let h_iters = Obs.Metrics.histogram "newton.iterations_per_solve"
+
+let solve ?(options = default_options) ?(label = "newton") ?jacobian ~residual x0 =
+  Obs.Span.span
+    ~attrs:[ ("label", Obs.Span.Str label); ("dim", Obs.Span.Int (Array.length x0)) ]
+    "newton.solve"
+  @@ fun () ->
   let jac = match jacobian with Some j -> j | None -> fun x -> Fdjac.jacobian residual x in
   let x = ref (Array.copy x0) in
   let r = ref (residual !x) in
   let rnorm = ref (Vec.norm_inf !r) in
   let finish ~iterations ~converged ~reason =
+    Obs.Metrics.incr c_solves;
+    Obs.Metrics.add c_iters iterations;
+    Obs.Metrics.observe h_iters (float_of_int iterations);
+    if not converged then Obs.Metrics.incr c_failures;
+    if Obs.Events.active () then
+      Obs.Events.emit
+        (Obs.Events.Newton_done { solver = label; iterations; residual = !rnorm; converged });
     { x = !x; residual_norm = !rnorm; iterations; converged; reason }
   in
   let rec iterate k =
@@ -64,6 +81,9 @@ let solve ?(options = default_options) ?jacobian ~residual x0 =
            x := trial;
            r := rt;
            rnorm := rtnorm;
+           if Obs.Events.active () then
+             Obs.Events.emit
+               (Obs.Events.Newton_iter { solver = label; k = k + 1; residual = rtnorm; damping = lambda });
            if !rnorm <= options.residual_tol then
              finish ~iterations:(k + 1) ~converged:true ~reason:None
            else if step_norm <= options.step_tol then
@@ -77,8 +97,8 @@ let solve ?(options = default_options) ?jacobian ~residual x0 =
   in
   iterate 0
 
-let solve_exn ?options ?jacobian ~residual x0 =
-  let report = solve ?options ?jacobian ~residual x0 in
+let solve_exn ?options ?label ?jacobian ~residual x0 =
+  let report = solve ?options ?label ?jacobian ~residual x0 in
   if report.converged then report.x
   else begin
     let reason =

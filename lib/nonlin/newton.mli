@@ -28,21 +28,29 @@ type report = {
   reason : failure_reason option;  (** [None] when converged *)
 }
 
-(** [solve ?options ?jacobian ~residual x0] finds [x] with
+(** [solve ?options ?label ?jacobian ~residual x0] finds [x] with
     [residual x ~ 0].  When [jacobian] is omitted a forward
     finite-difference Jacobian is used.  An Armijo-style backtracking
-    line search on the residual norm globalizes the iteration. *)
+    line search on the residual norm globalizes the iteration.
+
+    Telemetry: each call is wrapped in a [newton.solve] span, updates
+    the [newton.*] metrics and emits [Newton_iter] / [Newton_done]
+    events tagged with [label] (default ["newton"]), so callers can
+    distinguish e.g. shooting updates from collocation solves. *)
 val solve :
   ?options:options ->
+  ?label:string ->
   ?jacobian:(Vec.t -> Mat.t) ->
   residual:(Vec.t -> Vec.t) ->
   Vec.t ->
   report
 
-(** [solve_exn ?options ?jacobian ~residual x0] is [solve] but raises
-    [Failure] with a diagnostic when the iteration does not converge. *)
+(** [solve_exn ?options ?label ?jacobian ~residual x0] is [solve] but
+    raises [Failure] with a diagnostic when the iteration does not
+    converge. *)
 val solve_exn :
   ?options:options ->
+  ?label:string ->
   ?jacobian:(Vec.t -> Mat.t) ->
   residual:(Vec.t -> Vec.t) ->
   Vec.t ->

@@ -1,0 +1,395 @@
+(* Solver telemetry: metrics registry, span tracing and typed solver
+   events.  This library sits below every solver layer (it depends only
+   on [unix] for the wall clock), so any module can report work without
+   creating dependency cycles.
+
+   Everything is off by default: counters and events are gated on one
+   global flag, spans on the presence of a sink, so the hot-path cost
+   of an uninstrumented run is a single branch per call site. *)
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+let now = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers (no external dependency)                               *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN/infinity literals; stringify non-finite values. *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.12g" v
+  else Printf.sprintf "\"%s\"" (if Float.is_nan v then "nan" else if v > 0. then "inf" else "-inf")
+
+module Metrics = struct
+  type counter = { mutable n : int }
+  type gauge = { mutable v : float }
+
+  (* log2 buckets: index i counts values in [2^(i-offset), 2^(i-offset+1)) *)
+  let n_buckets = 64
+  let bucket_offset = 16
+
+  type histogram = {
+    counts : int array;
+    mutable total : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  type hist_stats = {
+    count : int;
+    sum : float;
+    min : float;  (** 0 when empty *)
+    max : float;  (** 0 when empty *)
+    mean : float;  (** 0 when empty *)
+    buckets : (float * float * int) list;  (** (lo, hi, count), non-empty buckets only *)
+  }
+
+  type metric = C of counter | G of gauge | H of histogram
+
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+  let counter name =
+    match Hashtbl.find_opt registry name with
+    | Some (C c) -> c
+    | Some _ -> invalid_arg (Printf.sprintf "Wampde_obs.Metrics.counter: %s is not a counter" name)
+    | None ->
+      let c = { n = 0 } in
+      Hashtbl.replace registry name (C c);
+      c
+
+  let gauge name =
+    match Hashtbl.find_opt registry name with
+    | Some (G g) -> g
+    | Some _ -> invalid_arg (Printf.sprintf "Wampde_obs.Metrics.gauge: %s is not a gauge" name)
+    | None ->
+      let g = { v = 0. } in
+      Hashtbl.replace registry name (G g);
+      g
+
+  let histogram name =
+    match Hashtbl.find_opt registry name with
+    | Some (H h) -> h
+    | Some _ ->
+      invalid_arg (Printf.sprintf "Wampde_obs.Metrics.histogram: %s is not a histogram" name)
+    | None ->
+      let h =
+        { counts = Array.make n_buckets 0; total = 0; sum = 0.; min_v = infinity; max_v = neg_infinity }
+      in
+      Hashtbl.replace registry name (H h);
+      h
+
+  let incr c = if !enabled_flag then c.n <- c.n + 1
+  let add c k = if !enabled_flag then c.n <- c.n + k
+  let count c = c.n
+  let set g v = if !enabled_flag then g.v <- v
+  let value g = g.v
+
+  let bucket_index v =
+    if v <= 0. then 0
+    else begin
+      let _, e = Float.frexp v in
+      (* v in [2^(e-1), 2^e) *)
+      let i = e - 1 + bucket_offset in
+      if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+    end
+
+  let bucket_lo i = Float.ldexp 1. (i - bucket_offset)
+
+  let observe h v =
+    if !enabled_flag then begin
+      h.total <- h.total + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v;
+      let i = bucket_index v in
+      h.counts.(i) <- h.counts.(i) + 1
+    end
+
+  let stats h =
+    let buckets = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then buckets := (bucket_lo i, bucket_lo (i + 1), h.counts.(i)) :: !buckets
+    done;
+    {
+      count = h.total;
+      sum = h.sum;
+      min = (if h.total = 0 then 0. else h.min_v);
+      max = (if h.total = 0 then 0. else h.max_v);
+      mean = (if h.total = 0 then 0. else h.sum /. float_of_int h.total);
+      buckets = !buckets;
+    }
+
+  let mean h = if h.total = 0 then 0. else h.sum /. float_of_int h.total
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ m ->
+        match m with
+        | C c -> c.n <- 0
+        | G g -> g.v <- 0.
+        | H h ->
+          Array.fill h.counts 0 n_buckets 0;
+          h.total <- 0;
+          h.sum <- 0.;
+          h.min_v <- infinity;
+          h.max_v <- neg_infinity)
+      registry
+
+  let sorted_names () =
+    Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort String.compare
+
+  let counters () =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt registry name with Some (C c) -> Some (name, c.n) | _ -> None)
+      (sorted_names ())
+
+  let gauges () =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt registry name with Some (G g) -> Some (name, g.v) | _ -> None)
+      (sorted_names ())
+
+  let histograms () =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt registry name with Some (H h) -> Some (name, stats h) | _ -> None)
+      (sorted_names ())
+
+  let table () =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "== solver metrics ==\n";
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt registry name with
+        | Some (C c) -> Printf.bprintf buf "%-34s %14d\n" name c.n
+        | Some (G g) -> Printf.bprintf buf "%-34s %14.6g\n" name g.v
+        | Some (H h) ->
+          let s = stats h in
+          Printf.bprintf buf "%-34s count=%d min=%g max=%g mean=%g\n" name s.count s.min s.max
+            s.mean
+        | None -> ())
+      (sorted_names ());
+    Buffer.contents buf
+
+  let to_json () =
+    let buf = Buffer.create 512 in
+    let field_block label items render =
+      Printf.bprintf buf "\"%s\":{" label;
+      List.iteri
+        (fun i (name, x) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf "\"%s\":%s" (json_escape name) (render x))
+        items;
+      Buffer.add_char buf '}'
+    in
+    Buffer.add_char buf '{';
+    field_block "counters" (counters ()) string_of_int;
+    Buffer.add_char buf ',';
+    field_block "gauges" (gauges ()) json_float;
+    Buffer.add_char buf ',';
+    field_block "histograms" (histograms ()) (fun s ->
+        Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s,\"buckets\":[%s]}"
+          s.count (json_float s.sum) (json_float s.min) (json_float s.max) (json_float s.mean)
+          (String.concat ","
+             (List.map
+                (fun (lo, hi, n) ->
+                  Printf.sprintf "[%s,%s,%d]" (json_float lo) (json_float hi) n)
+                s.buckets)));
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+end
+
+module Events = struct
+  type t =
+    | Newton_iter of { solver : string; k : int; residual : float; damping : float }
+    | Newton_done of { solver : string; iterations : int; residual : float; converged : bool }
+    | Lu_factor of { n : int }
+    | Gmres_iter of { k : int; residual : float }
+    | Step_accept of { t : float; h : float }
+    | Step_reject of { t : float; h : float; reason : string }
+    | Phase_condition of { omega : float; t2 : float }
+
+  type subscription = int
+
+  let subscribers : (int * (t -> unit)) list ref = ref []
+  let next_sub = ref 0
+
+  let subscribe f =
+    let id = !next_sub in
+    incr next_sub;
+    subscribers := !subscribers @ [ (id, f) ];
+    id
+
+  let unsubscribe id = subscribers := List.filter (fun (i, _) -> i <> id) !subscribers
+  let active () = !enabled_flag && !subscribers <> []
+  let emit e = if active () then List.iter (fun (_, f) -> f e) !subscribers
+
+  let to_json e =
+    match e with
+    | Newton_iter { solver; k; residual; damping } ->
+      Printf.sprintf
+        "{\"type\":\"event\",\"event\":\"newton_iter\",\"solver\":\"%s\",\"k\":%d,\"residual\":%s,\"damping\":%s}"
+        (json_escape solver) k (json_float residual) (json_float damping)
+    | Newton_done { solver; iterations; residual; converged } ->
+      Printf.sprintf
+        "{\"type\":\"event\",\"event\":\"newton_done\",\"solver\":\"%s\",\"iterations\":%d,\"residual\":%s,\"converged\":%b}"
+        (json_escape solver) iterations (json_float residual) converged
+    | Lu_factor { n } -> Printf.sprintf "{\"type\":\"event\",\"event\":\"lu_factor\",\"n\":%d}" n
+    | Gmres_iter { k; residual } ->
+      Printf.sprintf "{\"type\":\"event\",\"event\":\"gmres_iter\",\"k\":%d,\"residual\":%s}" k
+        (json_float residual)
+    | Step_accept { t; h } ->
+      Printf.sprintf "{\"type\":\"event\",\"event\":\"step_accept\",\"t\":%s,\"h\":%s}"
+        (json_float t) (json_float h)
+    | Step_reject { t; h; reason } ->
+      Printf.sprintf
+        "{\"type\":\"event\",\"event\":\"step_reject\",\"t\":%s,\"h\":%s,\"reason\":\"%s\"}"
+        (json_float t) (json_float h) (json_escape reason)
+    | Phase_condition { omega; t2 } ->
+      Printf.sprintf "{\"type\":\"event\",\"event\":\"phase_condition\",\"omega\":%s,\"t2\":%s}"
+        (json_float omega) (json_float t2)
+end
+
+module Span = struct
+  type attr = Int of int | Float of float | Str of string
+
+  type record = {
+    id : int;
+    parent : int option;
+    name : string;
+    attrs : (string * attr) list;
+    t_start : float;
+    t_stop : float;
+  }
+
+  let recording = ref false
+  let writer : (string -> unit) option ref = ref None
+  let epoch = ref 0.
+  let next_id = ref 0
+  let stack : (int * float) list ref = ref []
+  let completed : record list ref = ref []
+
+  let tracing () = !recording || !writer <> None
+
+  let attr_json a =
+    match a with Int i -> string_of_int i | Float f -> json_float f | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+  let attrs_json attrs =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, a) -> Printf.sprintf "\"%s\":%s" (json_escape k) (attr_json a)) attrs)
+    ^ "}"
+
+  let parent_json = function None -> "null" | Some p -> string_of_int p
+
+  let mark_start () = if not (tracing ()) then epoch := now ()
+
+  let start_recording () =
+    mark_start ();
+    completed := [];
+    recording := true
+
+  let stop_recording () =
+    recording := false;
+    let records = List.rev !completed in
+    completed := [];
+    records
+
+  let set_writer w =
+    (match w with Some _ -> mark_start () | None -> ());
+    writer := w
+
+  let span ?(attrs = []) name f =
+    if not (tracing ()) then f ()
+    else begin
+      let id = !next_id in
+      incr next_id;
+      let parent = match !stack with (pid, _) :: _ -> Some pid | [] -> None in
+      let t0 = now () -. !epoch in
+      stack := (id, t0) :: !stack;
+      (match !writer with
+       | Some w ->
+         w
+           (Printf.sprintf "{\"type\":\"span_start\",\"id\":%d,\"parent\":%s,\"name\":\"%s\",\"t_s\":%s,\"attrs\":%s}"
+              id (parent_json parent) (json_escape name) (json_float t0) (attrs_json attrs))
+       | None -> ());
+      Fun.protect f ~finally:(fun () ->
+          let t1 = now () -. !epoch in
+          (match !stack with
+           | (sid, _) :: rest when sid = id -> stack := rest
+           | _ -> stack := List.filter (fun (sid, _) -> sid <> id) !stack);
+          (match !writer with
+           | Some w ->
+             w
+               (Printf.sprintf "{\"type\":\"span_stop\",\"id\":%d,\"name\":\"%s\",\"t_s\":%s,\"dur_s\":%s}"
+                  id (json_escape name) (json_float t1) (json_float (t1 -. t0)))
+           | None -> ());
+          if !recording then
+            completed := { id; parent; name; attrs; t_start = t0; t_stop = t1 } :: !completed)
+    end
+
+  (* Aggregate completed spans into a tree keyed by the name path from
+     the root, e.g. envelope.simulate > envelope.step > newton.solve. *)
+  type node = {
+    mutable n_calls : int;
+    mutable total : float;
+    mutable children : (string * node) list;  (* insertion order *)
+  }
+
+  let tree_summary records =
+    let by_id = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace by_id r.id r) records;
+    let rec path r =
+      match r.parent with
+      | None -> [ r.name ]
+      | Some p -> (
+        match Hashtbl.find_opt by_id p with Some pr -> path pr @ [ r.name ] | None -> [ r.name ])
+    in
+    let root = { n_calls = 0; total = 0.; children = [] } in
+    let insert r =
+      let rec go node = function
+        | [] ->
+          node.n_calls <- node.n_calls + 1;
+          node.total <- node.total +. (r.t_stop -. r.t_start)
+        | name :: rest ->
+          let child =
+            match List.assoc_opt name node.children with
+            | Some c -> c
+            | None ->
+              let c = { n_calls = 0; total = 0.; children = [] } in
+              node.children <- node.children @ [ (name, c) ];
+              c
+          in
+          go child rest
+      in
+      go root (path r)
+    in
+    List.iter insert records;
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "== span summary ==\n";
+    let rec print indent (name, node) =
+      Printf.bprintf buf "%s%-*s %8dx %10.4f s\n" indent
+        (Int.max 1 (36 - String.length indent))
+        name node.n_calls node.total;
+      List.iter (print (indent ^ "  ")) node.children
+    in
+    List.iter (print "") root.children;
+    Buffer.contents buf
+end

@@ -1,0 +1,151 @@
+(** Solver telemetry: metrics registry, span tracing and typed solver
+    events.
+
+    This library sits below every solver layer of the repository so
+    that Newton iterations, LU factorizations, GMRES sweeps and slow
+    time-step accept/reject decisions become first-class, inspectable
+    data instead of being discarded.
+
+    Cost model: everything is {e off by default}.  Metrics updates and
+    event dispatch are gated on one global flag ({!set_enabled});
+    spans run the wrapped thunk directly unless a sink is installed.
+    The disabled hot path is a single branch per call site and
+    allocates nothing. *)
+
+(** [set_enabled b] turns metrics collection and event dispatch on or
+    off globally.  Span capture is controlled separately by the
+    presence of a sink (see {!Span.start_recording} and
+    {!Span.set_writer}). *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** Wall-clock seconds (monotonic enough for span durations). *)
+val now : unit -> float
+
+(** Named counters, gauges and log-scale histograms with O(1) updates.
+    Metrics are process-global: looking a name up twice returns the
+    same cell, so instrumented modules can create their handles at
+    module-initialization time. *)
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  (** [counter name] returns the counter registered under [name],
+      creating it on first use.  Raises [Invalid_argument] if [name]
+      is already registered as a different metric kind. *)
+  val counter : string -> counter
+
+  val gauge : string -> gauge
+  val histogram : string -> histogram
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val count : counter -> int
+  val set : gauge -> float -> unit
+  val value : gauge -> float
+
+  (** [observe h v] records [v] into power-of-two (log-scale) buckets;
+      suitable for latencies and iteration counts alike. *)
+  val observe : histogram -> float -> unit
+
+  type hist_stats = {
+    count : int;
+    sum : float;
+    min : float;  (** 0 when empty *)
+    max : float;  (** 0 when empty *)
+    mean : float;  (** 0 when empty *)
+    buckets : (float * float * int) list;  (** (lo, hi, count), non-empty buckets only *)
+  }
+
+  val stats : histogram -> hist_stats
+  val mean : histogram -> float
+
+  (** Zero every registered metric (registrations are kept). *)
+  val reset : unit -> unit
+
+  (** Snapshots, sorted by metric name. *)
+  val counters : unit -> (string * int) list
+
+  val gauges : unit -> (string * float) list
+  val histograms : unit -> (string * hist_stats) list
+
+  (** Human-readable table of every registered metric. *)
+  val table : unit -> string
+
+  (** One JSON object: [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+  val to_json : unit -> string
+end
+
+(** Typed solver events with subscriber callbacks, dispatched in
+    subscription order.  Emission is a no-op (and call sites guarded
+    with {!Events.active} allocate nothing) unless telemetry is
+    enabled and at least one subscriber is installed. *)
+module Events : sig
+  type t =
+    | Newton_iter of { solver : string; k : int; residual : float; damping : float }
+    | Newton_done of { solver : string; iterations : int; residual : float; converged : bool }
+    | Lu_factor of { n : int }
+    | Gmres_iter of { k : int; residual : float }
+    | Step_accept of { t : float; h : float }
+    | Step_reject of { t : float; h : float; reason : string }
+    | Phase_condition of { omega : float; t2 : float }
+
+  type subscription
+
+  val subscribe : (t -> unit) -> subscription
+  val unsubscribe : subscription -> unit
+
+  (** True iff telemetry is enabled and a subscriber is installed.
+      Guard event construction with this to keep the disabled path
+      allocation-free: [if Events.active () then Events.emit (...)]. *)
+  val active : unit -> bool
+
+  val emit : t -> unit
+
+  (** One JSON object per event (single line, no trailing newline). *)
+  val to_json : t -> string
+end
+
+(** Nested wall-clock spans with parent ids and attributes.
+
+    [Span.span "newton.solve" @@ fun () -> ...] times the thunk and
+    records a span when a sink is active; otherwise it just runs the
+    thunk.  Two sinks are available and can be combined: an in-memory
+    recorder ({!start_recording} / {!stop_recording}) for programmatic
+    inspection and tree summaries, and a line writer ({!set_writer})
+    for JSON-lines streams. *)
+module Span : sig
+  type attr = Int of int | Float of float | Str of string
+
+  type record = {
+    id : int;
+    parent : int option;
+    name : string;
+    attrs : (string * attr) list;
+    t_start : float;  (** seconds since tracing began *)
+    t_stop : float;
+  }
+
+  val tracing : unit -> bool
+
+  (** [span ?attrs name f] runs [f] inside a span.  Exceptions
+      propagate; the span is closed either way. *)
+  val span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+
+  val start_recording : unit -> unit
+
+  (** Completed spans in completion order; clears the buffer. *)
+  val stop_recording : unit -> record list
+
+  (** [set_writer (Some w)] streams two JSON lines per span —
+      [span_start] (id, parent, name, attrs, t_s) and [span_stop]
+      (id, t_s, dur_s) — through [w] (one call per line, no trailing
+      newline).  [set_writer None] uninstalls. *)
+  val set_writer : (string -> unit) option -> unit
+
+  (** Aggregate records into a human-readable tree (grouped by name
+      path from the root, with call counts and total seconds). *)
+  val tree_summary : record list -> string
+end

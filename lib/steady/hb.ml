@@ -1,6 +1,10 @@
 open Linalg
+module Obs = Wampde_obs
 
 type solution = { period : float; harmonics : int; coeffs : Cx.Cvec.t array }
+
+let c_iters = Obs.Metrics.counter "hb.iterations"
+let c_solves = Obs.Metrics.counter "hb.solves"
 
 let two_pi = 2. *. Float.pi
 
@@ -117,6 +121,11 @@ let jacobian_of dae ~period ~m z =
   jac
 
 let solve dae ~period ~harmonics:m ~guess =
+  Obs.Span.span
+    ~attrs:[ ("harmonics", Obs.Span.Int m); ("dim", Obs.Span.Int dae.Dae.dim) ]
+    "hb.solve"
+  @@ fun () ->
+  Obs.Metrics.incr c_solves;
   let n = dae.Dae.dim in
   let nn = (2 * m) + 1 in
   if Array.length guess <> nn then invalid_arg "Hb.solve: guess must have 2 harmonics + 1 states";
@@ -150,13 +159,17 @@ let solve dae ~period ~harmonics:m ~guess =
         in
         project_symmetry ~n ~m trial;
         let nt = rnorm trial in
-        if Float.is_finite nt && (nt < !best || nt <= tol) then (trial, nt)
+        if Float.is_finite nt && (nt < !best || nt <= tol) then (trial, nt, lambda)
         else try_lambda (lambda /. 2.)
       end
     in
-    let trial, nt = try_lambda 1. in
+    let trial, nt, lambda = try_lambda 1. in
     current := trial;
-    best := nt
+    best := nt;
+    Obs.Metrics.incr c_iters;
+    if Obs.Events.active () then
+      Obs.Events.emit
+        (Obs.Events.Newton_iter { solver = "hb"; k = !iters; residual = nt; damping = lambda })
   done;
   if !best > tol then
     failwith (Printf.sprintf "Hb.solve: no convergence (residual %.3e)" !best);

@@ -1,4 +1,5 @@
 open Linalg
+module Obs = Wampde_obs
 
 type orbit = { omega : float; grid : Vec.t array }
 
@@ -77,12 +78,18 @@ let collocation_jacobian dae ~n1 ~d ~phase_component y =
 
 let solve dae ~n1 ~guess ~omega_guess ~phase_component =
   if n1 mod 2 = 0 then invalid_arg "Oscillator.solve: n1 must be odd";
+  Obs.Span.span
+    ~attrs:[ ("n1", Obs.Span.Int n1); ("dim", Obs.Span.Int dae.Dae.dim) ]
+    "oscillator.solve"
+  @@ fun () ->
   let n = dae.Dae.dim in
   let d = Fourier.Series.diff_matrix n1 in
   let residual y = collocation_residual dae ~n1 ~d ~phase_component y in
   let jacobian y = collocation_jacobian dae ~n1 ~d ~phase_component y in
   let options = { Nonlin.Newton.default_options with max_iterations = 80; residual_tol = 1e-9 } in
-  let report = Nonlin.Newton.solve ~options ~jacobian ~residual (pack guess omega_guess) in
+  let report =
+    Nonlin.Newton.solve ~options ~label:"oscillator" ~jacobian ~residual (pack guess omega_guess)
+  in
   if not report.Nonlin.Newton.converged then
     failwith
       (Printf.sprintf "Oscillator.solve: Newton failed (residual %.3e after %d iterations)"
@@ -93,6 +100,10 @@ let solve dae ~n1 ~guess ~omega_guess ~phase_component =
 
 let find dae ~n1 ?(phase_component = 0) ?(warmup_cycles = 30) ?(transient_steps_per_cycle = 100)
     ~period_hint x0 =
+  Obs.Span.span
+    ~attrs:[ ("n1", Obs.Span.Int n1); ("dim", Obs.Span.Int dae.Dae.dim) ]
+    "oscillator.find"
+  @@ fun () ->
   let h = period_hint /. float_of_int transient_steps_per_cycle in
   let t_end = period_hint *. float_of_int (warmup_cycles + 4) in
   let traj = Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:t_end ~h x0 in

@@ -1,4 +1,5 @@
 open Linalg
+module Obs = Wampde_obs
 
 type result = { x0 : Vec.t; period : float; iterations : int }
 
@@ -12,6 +13,7 @@ let flow dae ~t0 ~t1 ~steps x0 =
 
 let autonomous dae ?(steps_per_period = 200) ?(phase_component = 0) ?(tol = 1e-8) ~period_guess
     x0 =
+  Obs.Span.span ~attrs:[ ("dim", Obs.Span.Int dae.Dae.dim) ] "shooting.autonomous" @@ fun () ->
   let n = dae.Dae.dim in
   (* unknowns: [x0; period] *)
   let residual y =
@@ -33,7 +35,7 @@ let autonomous dae ?(steps_per_period = 200) ?(phase_component = 0) ?(tol = 1e-8
   let options =
     { Nonlin.Newton.default_options with max_iterations = 40; residual_tol = tol }
   in
-  let report = Nonlin.Newton.solve ~options ~residual y0 in
+  let report = Nonlin.Newton.solve ~options ~label:"shooting.autonomous" ~residual y0 in
   if not report.Nonlin.Newton.converged then
     failwith
       (Printf.sprintf "Shooting.autonomous: Newton failed (residual %.3e)"
@@ -45,6 +47,7 @@ let autonomous dae ?(steps_per_period = 200) ?(phase_component = 0) ?(tol = 1e-8
   }
 
 let forced dae ?(steps_per_period = 200) ?(tol = 1e-8) ~period x0 =
+  Obs.Span.span ~attrs:[ ("dim", Obs.Span.Int dae.Dae.dim) ] "shooting.forced" @@ fun () ->
   let residual x =
     let xt = flow dae ~t0:0. ~t1:period ~steps:steps_per_period x in
     Vec.sub xt x
@@ -52,7 +55,7 @@ let forced dae ?(steps_per_period = 200) ?(tol = 1e-8) ~period x0 =
   let options =
     { Nonlin.Newton.default_options with max_iterations = 40; residual_tol = tol }
   in
-  let report = Nonlin.Newton.solve ~options ~residual x0 in
+  let report = Nonlin.Newton.solve ~options ~label:"shooting.forced" ~residual x0 in
   if not report.Nonlin.Newton.converged then
     failwith
       (Printf.sprintf "Shooting.forced: Newton failed (residual %.3e)"

@@ -1,8 +1,52 @@
 open Linalg
+module Obs = Wampde_obs
 
 type method_ = Backward_euler | Trapezoidal | Bdf2 | Rk4
 
 type trajectory = { times : float array; states : Vec.t array }
+
+type step_failure = {
+  t : float;
+  h : float;
+  residual_norm : float;
+  iterations : int;
+  reason : Nonlin.Newton.failure_reason option;
+}
+
+exception Step_failure of step_failure
+
+let reason_string = function
+  | Some Nonlin.Newton.Singular_jacobian -> "singular Jacobian"
+  | Some Nonlin.Newton.Line_search_failed -> "line search failed"
+  | Some Nonlin.Newton.Iteration_limit -> "iteration limit"
+  | None -> "unknown"
+
+let () =
+  Printexc.register_printer (function
+    | Step_failure { t; h; residual_norm; iterations; reason } ->
+      Some
+        (Printf.sprintf
+           "Transient.Step_failure: Newton failed at t = %.6g (h = %.3g, residual %.3e after %d iterations: %s)"
+           t h residual_norm iterations (reason_string reason))
+    | _ -> None)
+
+let c_steps = Obs.Metrics.counter "transient.steps"
+let c_rejects = Obs.Metrics.counter "transient.rejects"
+
+let step_failed ~t ~h (report : Nonlin.Newton.report) =
+  let failure =
+    {
+      t;
+      h;
+      residual_norm = report.Nonlin.Newton.residual_norm;
+      iterations = report.Nonlin.Newton.iterations;
+      reason = report.Nonlin.Newton.reason;
+    }
+  in
+  Obs.Metrics.incr c_rejects;
+  if Obs.Events.active () then
+    Obs.Events.emit (Obs.Events.Step_reject { t; h; reason = reason_string failure.reason });
+  raise (Step_failure failure)
 
 let newton_options =
   { Nonlin.Newton.default_options with max_iterations = 40; residual_tol = 1e-10 }
@@ -27,12 +71,9 @@ let theta_step dae ~theta ~t ~h x =
     let g = dae.Dae.df ~t:t1 y in
     Mat.init dae.Dae.dim dae.Dae.dim (fun i j -> c.(i).(j) +. (h *. theta *. g.(i).(j)))
   in
-  let report = Nonlin.Newton.solve ~options:newton_options ~jacobian ~residual x in
+  let report = Nonlin.Newton.solve ~options:newton_options ~label:"transient.theta" ~jacobian ~residual x in
   if report.Nonlin.Newton.converged then report.Nonlin.Newton.x
-  else
-    failwith
-      (Printf.sprintf "Transient.theta_step: Newton failed at t = %.6g (h = %.3g, residual %.3e)" t
-         h report.Nonlin.Newton.residual_norm)
+  else step_failed ~t ~h report
 
 (* BDF2 with the previous two accepted points (fixed step):
    (3 q(x2) - 4 q(x1) + q(x0)) / (2h) + f(t2, x2) = 0 *)
@@ -50,9 +91,9 @@ let bdf2_step dae ~t ~h ~x_prev x =
     let g = dae.Dae.df ~t:t2 y in
     Mat.init dae.Dae.dim dae.Dae.dim (fun i j -> (1.5 *. c.(i).(j)) +. (h *. g.(i).(j)))
   in
-  let report = Nonlin.Newton.solve ~options:newton_options ~jacobian ~residual x in
+  let report = Nonlin.Newton.solve ~options:newton_options ~label:"transient.bdf2" ~jacobian ~residual x in
   if report.Nonlin.Newton.converged then report.Nonlin.Newton.x
-  else failwith (Printf.sprintf "Transient.bdf2_step: Newton failed at t = %.6g" t)
+  else step_failed ~t ~h report
 
 (* classical explicit RK4 on the semi-explicit form
    xdot = -C(x)^{-1} f(t, x); valid only when dq/dx is invertible
@@ -69,6 +110,10 @@ let rk4_step dae ~t ~h x =
 let integrate dae ~method_ ~t0 ~t1 ~h x0 =
   if h <= 0. then invalid_arg "Transient.integrate: h <= 0";
   if t1 < t0 then invalid_arg "Transient.integrate: t1 < t0";
+  Obs.Span.span
+    ~attrs:[ ("dim", Obs.Span.Int dae.Dae.dim); ("t1", Obs.Span.Float t1) ]
+    "transient.integrate"
+  @@ fun () ->
   let times = ref [ t0 ] and states = ref [ Array.copy x0 ] in
   let prev = ref None in
   let t = ref t0 and x = ref (Array.copy x0) in
@@ -86,6 +131,8 @@ let integrate dae ~method_ ~t0 ~t1 ~h x0 =
     in
     prev := Some !x;
     x := x';
+    Obs.Metrics.incr c_steps;
+    if Obs.Events.active () then Obs.Events.emit (Obs.Events.Step_accept { t = !t; h = step });
     t := !t +. step;
     times := !t :: !times;
     states := Array.copy x' :: !states
@@ -95,6 +142,10 @@ let integrate dae ~method_ ~t0 ~t1 ~h x0 =
 let integrate_adaptive dae ~t0 ~t1 ?h0 ?(h_min = 1e-14) ?h_max ~tol x0 =
   let span = t1 -. t0 in
   if span < 0. then invalid_arg "Transient.integrate_adaptive: t1 < t0";
+  Obs.Span.span
+    ~attrs:[ ("dim", Obs.Span.Int dae.Dae.dim); ("t1", Obs.Span.Float t1) ]
+    "transient.integrate_adaptive"
+  @@ fun () ->
   let h_max = match h_max with Some h -> h | None -> span /. 10. in
   let h0 = match h0 with Some h -> h | None -> span /. 1000. in
   let times = ref [ t0 ] and states = ref [ Array.copy x0 ] in
@@ -108,7 +159,7 @@ let integrate_adaptive dae ~t0 ~t1 ?h0 ?(h_min = 1e-14) ?h_max ~tol x0 =
       (full, fine)
     in
     match attempt () with
-    | exception Failure _ ->
+    | exception Step_failure _ ->
       h := step /. 4.;
       if !h < h_min then failwith "Transient.integrate_adaptive: step underflow (Newton failure)"
     | full, fine ->
@@ -119,6 +170,8 @@ let integrate_adaptive dae ~t0 ~t1 ?h0 ?(h_min = 1e-14) ?h_max ~tol x0 =
         (* accept the extrapolated solution *)
         let accepted = Vec.init dae.Dae.dim (fun i -> fine.(i) +. ((fine.(i) -. full.(i)) /. 3.)) in
         x := accepted;
+        Obs.Metrics.incr c_steps;
+        if Obs.Events.active () then Obs.Events.emit (Obs.Events.Step_accept { t = !t; h = step });
         t := !t +. step;
         times := !t :: !times;
         states := Array.copy accepted :: !states;
@@ -126,6 +179,9 @@ let integrate_adaptive dae ~t0 ~t1 ?h0 ?(h_min = 1e-14) ?h_max ~tol x0 =
         h := Float.min h_max (step *. Float.max 1. grow)
       end
       else begin
+        Obs.Metrics.incr c_rejects;
+        if Obs.Events.active () then
+          Obs.Events.emit (Obs.Events.Step_reject { t = !t; h = step; reason = "error control" });
         let shrink = Float.max 0.1 (0.9 *. ((tol /. err) ** (1. /. 3.))) in
         h := step *. shrink;
         if !h < h_min then failwith "Transient.integrate_adaptive: step underflow"

@@ -27,8 +27,25 @@ type trajectory = {
   states : Vec.t array;  (** [states.(i)] is the state at [times.(i)] *)
 }
 
+(** Machine-inspectable record of a failed implicit step: the full
+    Newton report plus where in time the step was attempted.  Feeds
+    the [Step_reject] telemetry event. *)
+type step_failure = {
+  t : float;  (** step start time *)
+  h : float;  (** attempted step size *)
+  residual_norm : float;
+  iterations : int;
+  reason : Nonlin.Newton.failure_reason option;
+}
+
+exception Step_failure of step_failure
+
+(** Human-readable form of a failure reason. *)
+val reason_string : Nonlin.Newton.failure_reason option -> string
+
 (** [theta_step dae ~theta ~t ~h x] advances one implicit theta step
-    from state [x] at time [t].  Raises [Failure] if Newton fails. *)
+    from state [x] at time [t].  Raises {!Step_failure} (carrying the
+    full Newton report) if Newton fails. *)
 val theta_step : Dae.t -> theta:float -> t:float -> h:float -> Vec.t -> Vec.t
 
 (** [integrate dae ~method_ ~t0 ~t1 ~h x0] integrates with fixed step

@@ -1,0 +1,202 @@
+(* Telemetry tests: metrics arithmetic, span nesting, event dispatch,
+   the allocation-free disabled path, and end-to-end solver coverage. *)
+module Obs = Wampde_obs
+
+(* Every test runs with a clean, disabled registry and leaves it that
+   way, so telemetry state never leaks into the other suites. *)
+let with_clean f () =
+  Obs.set_enabled false;
+  Obs.Metrics.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+let tests =
+  [
+    Alcotest.test_case "counter and gauge arithmetic" `Quick
+      (with_clean (fun () ->
+           let c = Obs.Metrics.counter "test.counter" in
+           let g = Obs.Metrics.gauge "test.gauge" in
+           (* disabled: updates are dropped *)
+           Obs.Metrics.incr c;
+           Obs.Metrics.set g 3.5;
+           Alcotest.(check int) "disabled counter" 0 (Obs.Metrics.count c);
+           Alcotest.(check (float 0.)) "disabled gauge" 0. (Obs.Metrics.value g);
+           Obs.set_enabled true;
+           Obs.Metrics.incr c;
+           Obs.Metrics.add c 4;
+           Obs.Metrics.set g 3.5;
+           Alcotest.(check int) "enabled counter" 5 (Obs.Metrics.count c);
+           Alcotest.(check (float 0.)) "enabled gauge" 3.5 (Obs.Metrics.value g);
+           (* re-registration returns the same cell *)
+           Obs.Metrics.incr (Obs.Metrics.counter "test.counter");
+           Alcotest.(check int) "same cell" 6 (Obs.Metrics.count c);
+           (* kind mismatch is rejected *)
+           Alcotest.check_raises "kind mismatch"
+             (Invalid_argument "Wampde_obs.Metrics.gauge: test.counter is not a gauge")
+             (fun () -> ignore (Obs.Metrics.gauge "test.counter"));
+           Obs.Metrics.reset ();
+           Alcotest.(check int) "reset" 0 (Obs.Metrics.count c)));
+    Alcotest.test_case "histogram statistics" `Quick
+      (with_clean (fun () ->
+           Obs.set_enabled true;
+           let h = Obs.Metrics.histogram "test.hist" in
+           List.iter (Obs.Metrics.observe h) [ 1.; 2.; 4.; 8. ];
+           let s = Obs.Metrics.stats h in
+           Alcotest.(check int) "count" 4 s.Obs.Metrics.count;
+           Alcotest.(check (float 1e-12)) "sum" 15. s.Obs.Metrics.sum;
+           Alcotest.(check (float 1e-12)) "min" 1. s.Obs.Metrics.min;
+           Alcotest.(check (float 1e-12)) "max" 8. s.Obs.Metrics.max;
+           Alcotest.(check (float 1e-12)) "mean" 3.75 s.Obs.Metrics.mean;
+           Alcotest.(check bool) "log buckets separate powers of two" true
+             (List.length s.Obs.Metrics.buckets = 4);
+           List.iter
+             (fun (lo, hi, n) ->
+               Alcotest.(check int) "one observation per bucket" 1 n;
+               Alcotest.(check bool) "bucket bounds ordered" true (lo < hi))
+             s.Obs.Metrics.buckets));
+    Alcotest.test_case "span nesting, parent ids and tree summary" `Quick
+      (with_clean (fun () ->
+           Obs.Span.start_recording ();
+           let result =
+             Obs.Span.span ~attrs:[ ("dim", Obs.Span.Int 4) ] "outer" @@ fun () ->
+             Obs.Span.span "inner" (fun () -> 41) + 1
+           in
+           let records = Obs.Span.stop_recording () in
+           Alcotest.(check int) "thunk result" 42 result;
+           Alcotest.(check int) "two spans" 2 (List.length records);
+           (* completion order: inner closes first *)
+           let inner = List.nth records 0 and outer = List.nth records 1 in
+           Alcotest.(check string) "inner name" "inner" inner.Obs.Span.name;
+           Alcotest.(check string) "outer name" "outer" outer.Obs.Span.name;
+           Alcotest.(check bool) "outer is root" true (outer.Obs.Span.parent = None);
+           Alcotest.(check bool) "inner parented to outer" true
+             (inner.Obs.Span.parent = Some outer.Obs.Span.id);
+           Alcotest.(check bool) "timestamps nest" true
+             (outer.Obs.Span.t_start <= inner.Obs.Span.t_start
+             && inner.Obs.Span.t_stop <= outer.Obs.Span.t_stop);
+           let summary = Obs.Span.tree_summary records in
+           let contains needle =
+             try ignore (Str.search_forward (Str.regexp_string needle) summary 0); true
+             with Not_found -> false
+           in
+           Alcotest.(check bool) "summary lists both spans" true
+             (contains "outer" && contains "inner")));
+    Alcotest.test_case "span writer emits JSON lines" `Quick
+      (with_clean (fun () ->
+           let buf = Buffer.create 256 in
+           Obs.Span.set_writer (Some (fun line -> Buffer.add_string buf line; Buffer.add_char buf '\n'));
+           Obs.Span.span "written" (fun () -> ());
+           Obs.Span.set_writer None;
+           let out = Buffer.contents buf in
+           let lines = String.split_on_char '\n' (String.trim out) in
+           Alcotest.(check int) "start and stop lines" 2 (List.length lines);
+           List.iter
+             (fun line ->
+               Alcotest.(check bool) "line is a JSON object" true
+                 (String.length line > 1 && line.[0] = '{'
+                 && line.[String.length line - 1] = '}'))
+             lines;
+           let contains needle hay =
+             try ignore (Str.search_forward (Str.regexp_string needle) hay 0); true
+             with Not_found -> false
+           in
+           Alcotest.(check bool) "span_start present" true
+             (contains "\"type\":\"span_start\"" out);
+           Alcotest.(check bool) "span_stop present" true
+             (contains "\"type\":\"span_stop\"" out);
+           Alcotest.(check bool) "name serialized" true (contains "\"written\"" out)));
+    Alcotest.test_case "event subscribers dispatch in order" `Quick
+      (with_clean (fun () ->
+           Obs.set_enabled true;
+           let seen = ref [] in
+           let s1 = Obs.Events.subscribe (fun _ -> seen := "first" :: !seen) in
+           let s2 = Obs.Events.subscribe (fun _ -> seen := "second" :: !seen) in
+           Alcotest.(check bool) "active with subscribers" true (Obs.Events.active ());
+           Obs.Events.emit (Obs.Events.Lu_factor { n = 3 });
+           Alcotest.(check (list string)) "subscription order" [ "first"; "second" ]
+             (List.rev !seen);
+           Obs.Events.unsubscribe s1;
+           seen := [];
+           Obs.Events.emit (Obs.Events.Step_accept { t = 1.; h = 0.5 });
+           Alcotest.(check (list string)) "after unsubscribe" [ "second" ] (List.rev !seen);
+           Obs.Events.unsubscribe s2;
+           Alcotest.(check bool) "inactive without subscribers" false (Obs.Events.active ())));
+    Alcotest.test_case "disabled event path allocates nothing" `Quick
+      (with_clean (fun () ->
+           (* the whole point of the [active ()] guard: with telemetry off,
+              a hot loop over an instrumented call site must not build
+              event records *)
+           let w0 = Gc.minor_words () in
+           for k = 0 to 9_999 do
+             if Obs.Events.active () then
+               Obs.Events.emit
+                 (Obs.Events.Newton_iter
+                    { solver = "guard"; k; residual = 1e-3; damping = 1. })
+           done;
+           let dw = Gc.minor_words () -. w0 in
+           Alcotest.(check bool)
+             (Printf.sprintf "minor words allocated = %.0f" dw)
+             true (dw < 256.)));
+    Alcotest.test_case "theta step raises a typed Step_failure" `Quick
+      (with_clean (fun () ->
+           (* x = c (1 + x^2) with huge c has no real solution, so the
+              implicit step can never converge *)
+           let dae =
+             Dae.of_ode ~dim:1 ~rhs:(fun ~t:_ x -> [| 1e30 *. (1. +. (x.(0) *. x.(0))) |]) ()
+           in
+           match Transient.theta_step dae ~theta:0.5 ~t:0. ~h:1. [| 0. |] with
+           | _ -> Alcotest.fail "expected Step_failure"
+           | exception Transient.Step_failure fr ->
+             Alcotest.(check (float 0.)) "failure time" 0. fr.Transient.t;
+             Alcotest.(check (float 0.)) "failure step" 1. fr.Transient.h;
+             Alcotest.(check bool) "iterations recorded" true (fr.Transient.iterations >= 0);
+             Alcotest.(check bool) "residual recorded" true
+               (Float.is_finite fr.Transient.residual_norm
+               && fr.Transient.residual_norm > 0.);
+             Alcotest.(check bool) "reason is descriptive" true
+               (String.length (Transient.reason_string fr.Transient.reason) > 0
+               && fr.Transient.reason <> None)));
+    Alcotest.test_case "envelope run records solver work" `Slow
+      (with_clean (fun () ->
+           let p0 = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+           let orbit =
+             Steady.Oscillator.find (Circuit.Vco.build p0) ~n1:15 ~period_hint:1.333
+               (Circuit.Vco.initial_state p0)
+           in
+           let dae = Circuit.Vco.build (Circuit.Vco.vco_a ()) in
+           let options = Wampde.Envelope.default_options ~n1:15 () in
+           Obs.set_enabled true;
+           Obs.Metrics.reset ();
+           let accepts = ref 0 and phases = ref 0 in
+           let sub =
+             Obs.Events.subscribe (function
+               | Obs.Events.Step_accept _ -> incr accepts
+               | Obs.Events.Phase_condition { omega; t2 = _ } ->
+                 incr phases;
+                 Alcotest.(check bool) "physical frequency" true (omega > 0.)
+               | _ -> ())
+           in
+           let res =
+             Fun.protect
+               ~finally:(fun () -> Obs.Events.unsubscribe sub)
+               (fun () ->
+                 Wampde.Envelope.simulate dae ~options ~t2_end:2. ~h2:0.5 ~init:orbit)
+           in
+           let count name = Obs.Metrics.count (Obs.Metrics.counter name) in
+           Alcotest.(check bool) "newton iterations counted" true (count "newton.iterations" > 0);
+           Alcotest.(check bool) "lu factorizations counted" true (count "lu.factor" > 0);
+           Alcotest.(check int) "one accept event per slow step"
+             (Array.length res.Wampde.Envelope.t2 - 1)
+             !accepts;
+           Alcotest.(check int) "one phase event per slow step" !accepts !phases;
+           let json = Obs.Metrics.to_json () in
+           Alcotest.(check bool) "metrics serialize" true
+             (try
+                ignore (Str.search_forward (Str.regexp_string "\"newton.iterations\"") json 0);
+                true
+              with Not_found -> false)));
+  ]
+
+let suites = [ ("obs", tests) ]
