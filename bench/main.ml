@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- --only fig7  -- one experiment
      dune exec bench/main.exe -- --csv        -- emit full series as CSV
      dune exec bench/main.exe -- --list       -- list experiment ids
+     dune exec bench/main.exe -- --smoke      -- reduced problem sizes (CI)
+     dune exec bench/main.exe -- --check      -- exit 1 if krylov slower than dense
 
    See EXPERIMENTS.md for the paper-vs-measured record. *)
 
@@ -17,6 +19,8 @@ let two_pi = 2. *. Float.pi
 
 let csv = ref false
 let json = ref false
+let smoke = ref false
+let check = ref false
 let only : string option ref = ref None
 
 (* ------------------------------------------------------------------ *)
@@ -395,6 +399,69 @@ let lock () =
   Printf.printf "lock | omega0 = w2/2 -> 2 T2-periodic (period multiplication): %b\n"
     (periodic ~w0:(w2 /. 2.) ~period:(2. /. w2))
 
+let krylov_bench () =
+  (* dense LU vs matrix-free Newton-Krylov (FFT-diagonalized averaged
+     block preconditioner) on the envelope collocation solves, as the
+     fast-axis grid n1 grows.  The dense path refactors a
+     (n1 n + 1)^2 Jacobian; the Krylov path never assembles it. *)
+  (* Strong modulation (full control swing at h2 = 2 us steps) is the
+     regime the Krylov path is for: the Jacobian changes enough between
+     slow steps that the dense path must refactor nearly every step,
+     and each factorization is O((n1 n)^3).
+     The window stays long even under --smoke (a short window lets the
+     dense chord cache amortize one LU over everything, which is not
+     the regime being compared); smoke just drops the largest sizes. *)
+  let sizes = if !smoke then [ 65; 101 ] else [ 65; 101; 129; 161 ] in
+  let t2_end = 60. in
+  let h2 = 2. in
+  let dae = Circuit.Vco.build (Lazy.force vco_a) in
+  Printf.printf
+    "krylov | envelope solves, dense LU vs matrix-free GMRES (t2_end = %g us, h2 = %g):\n"
+    t2_end h2;
+  let last_ratio = ref 0. in
+  List.iter
+    (fun n1 ->
+      let frozen = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+      let orbit =
+        Steady.Oscillator.find (Circuit.Vco.build frozen) ~n1 ~period_hint:(1. /. 0.75)
+          (Circuit.Vco.initial_state frozen)
+      in
+      let count name = Obs.Metrics.count (Obs.Metrics.counter name) in
+      let run solver =
+        let lu0 = count "lu.factor" and gm0 = count "gmres.iterations" in
+        let t0 = Unix.gettimeofday () in
+        let options = Wampde.Envelope.default_options ~n1 ~solver () in
+        let res = Wampde.Envelope.simulate dae ~options ~t2_end ~h2 ~init:orbit in
+        let wall = Unix.gettimeofday () -. t0 in
+        (res, wall, count "lu.factor" - lu0, count "gmres.iterations" - gm0)
+      in
+      let res_d, t_dense, lu_d, _ = run Linalg.Structured.Dense in
+      let res_k, t_krylov, lu_k, gm_k = run Linalg.Structured.Krylov in
+      let om_d = res_d.Wampde.Envelope.omega and om_k = res_k.Wampde.Envelope.omega in
+      let rel_err = ref 0. in
+      Array.iteri
+        (fun i om ->
+          rel_err := Float.max !rel_err (Float.abs (om_k.(i) -. om) /. Float.abs om))
+        om_d;
+      let ratio = t_dense /. t_krylov in
+      last_ratio := ratio;
+      let unknowns = (n1 * dae.Dae.dim) + 1 in
+      Printf.printf
+        "krylov |   n1 = %3d (%5d unknowns): dense %7.3f s (%d LU), krylov %7.3f s (%d LU, %d gmres iters), speedup %.2fx, omega rel err %.1e\n"
+        n1 unknowns t_dense lu_d t_krylov lu_k gm_k ratio !rel_err;
+      Obs.Metrics.set (Obs.Metrics.gauge (Printf.sprintf "bench.krylov.dense_s.n1_%d" n1)) t_dense;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge (Printf.sprintf "bench.krylov.krylov_s.n1_%d" n1))
+        t_krylov;
+      Obs.Metrics.set (Obs.Metrics.gauge (Printf.sprintf "bench.krylov.speedup.n1_%d" n1)) ratio)
+    sizes;
+  Printf.printf "krylov | (dense work grows as n1^3 per factorization, krylov as n1 log n1)\n";
+  if !check && !last_ratio < 1. then begin
+    Printf.eprintf "krylov check FAILED: krylov slower than dense at largest size (%.2fx)\n"
+      !last_ratio;
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
 (* ------------------------------------------------------------------ *)
@@ -534,6 +601,7 @@ let experiments =
     ("fig11", fig11);
     ("fig12", fig12);
     ("speedup", speedup);
+    ("krylov", krylov_bench);
     ("mpdefm", mpdefm);
     ("lock", lock);
     ("ablation-n1", ablation_n1);
@@ -550,6 +618,12 @@ let () =
       parse rest
     | "--json" :: rest ->
       json := true;
+      parse rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--check" :: rest ->
+      check := true;
       parse rest
     | "--only" :: id :: rest ->
       only := Some id;

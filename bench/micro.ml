@@ -1,0 +1,72 @@
+(* Bechamel microbenchmarks for the linear-algebra kernels behind the
+   matrix-free Newton-Krylov path: dense LU factorization (what the
+   Krylov path avoids), the structured collocation matvec, and one
+   application of the FFT-diagonalized block preconditioner.
+
+   Run with `dune exec bench/micro.exe`; built by `dune build @bench`. *)
+
+open Linalg
+
+let sizes = [ 33; 65; 101 ]
+let n = 4 (* states of the VCO DAE *)
+
+(* envelope-step-like operator with synthetic (diagonally dominant)
+   blocks: representative sparsity-free n x n blocks, circulant D *)
+let make_system n1 =
+  let d = Fourier.Series.diff_matrix n1 in
+  let c_blocks =
+    Array.init n1 (fun k ->
+        Mat.init n n (fun i j ->
+            (if i = j then 2. else 0.) +. (0.3 *. sin (float_of_int ((k * 5) + i + (2 * j))))))
+  in
+  let b_blocks =
+    Array.init n1 (fun k ->
+        Mat.init n n (fun i j ->
+            (if i = j then 5. else 0.) +. (0.4 *. cos (float_of_int ((k * 3) + (2 * i) + j)))))
+  in
+  Structured.make_op ~alpha:0.8 ~d ~c_blocks ~b_blocks
+
+let dense_of n1 =
+  let nd = n1 * n in
+  Mat.init nd nd (fun i j -> (if i = j then 8. else 0.) +. sin (float_of_int ((i * 7) + j)))
+
+let tests =
+  let open Bechamel in
+  List.concat_map
+    (fun n1 ->
+      let op = make_system n1 in
+      let nd = Structured.dim op in
+      let dense = dense_of n1 in
+      let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft op in
+      let v = Array.init nd (fun i -> sin (float_of_int i)) in
+      let out = Array.make nd 0. in
+      [
+        Test.make
+          ~name:(Printf.sprintf "lu_factor_%d" nd)
+          (Staged.stage (fun () -> Lu.factor dense));
+        Test.make
+          ~name:(Printf.sprintf "structured_matvec_%d" nd)
+          (Staged.stage (fun () -> Structured.apply_into op v out));
+        Test.make
+          ~name:(Printf.sprintf "precond_apply_%d" nd)
+          (Staged.stage (fun () -> Structured.precond_apply pc v));
+      ])
+    sizes
+
+let () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "== linalg kernel microbenchmarks (ns/run) ==\n%!";
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Printf.printf "  %-24s %12.0f ns/run\n%!" name t
+          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
+        results)
+    tests

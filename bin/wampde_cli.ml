@@ -121,14 +121,30 @@ let orbit_cmd =
   let doc = "unforced periodic steady state (collocation with unknown frequency)" in
   Cmd.v (Cmd.info "orbit" ~doc) Term.(const run $ obs_term $ which_arg $ n1_arg)
 
+let solver_arg =
+  let doc =
+    "Collocation linear solver: $(b,dense) (assembled Jacobian + LU), $(b,krylov) (matrix-free \
+     GMRES with the FFT-diagonalized block preconditioner) or $(b,auto) (krylov once the system \
+     is large enough)."
+  in
+  let kind =
+    Arg.enum
+      [
+        ("dense", Linalg.Structured.Dense);
+        ("krylov", Linalg.Structured.Krylov);
+        ("auto", Linalg.Structured.auto);
+      ]
+  in
+  Arg.(value & opt kind Linalg.Structured.auto & info [ "solver" ] ~docv:"KIND" ~doc)
+
 let envelope_cmd =
-  let run obs which n1 t_end h2 =
+  let run obs which n1 t_end h2 solver =
     with_obs obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
     let dae = Circuit.Vco.build (params_of which) in
-    let options = Wampde.Envelope.default_options ~n1 () in
+    let options = Wampde.Envelope.default_options ~n1 ~solver () in
     let res = Wampde.Envelope.simulate dae ~options ~t2_end:t_end ~h2 ~init:orbit in
     let amp = Wampde.Envelope.amplitude_track res ~component:Circuit.Vco.idx_voltage in
     Printf.printf "t2_us,omega_mhz,amplitude_v,gap_um\n";
@@ -141,7 +157,7 @@ let envelope_cmd =
   let doc = "WaMPDE envelope run; CSV of local frequency and amplitude vs slow time" in
   Cmd.v
     (Cmd.info "envelope" ~doc)
-    Term.(const run $ obs_term $ which_arg $ n1_arg $ t_end_arg $ h2_arg)
+    Term.(const run $ obs_term $ which_arg $ n1_arg $ t_end_arg $ h2_arg $ solver_arg)
 
 let transient_cmd =
   let pts_arg =

@@ -12,16 +12,32 @@ type options = {
   phase : Phase.t;
   differentiation : [ `Spectral | `Fd4 ];
   newton : Nonlin.Newton.options;
+  solver : Structured.strategy;
 }
 
-let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) () =
+let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) ?(solver = Structured.auto) () =
   {
     n1;
     theta = 0.5;
     phase;
     differentiation = `Spectral;
     newton = { Nonlin.Newton.default_options with max_iterations = 30; residual_tol = 1e-9 };
+    solver;
   }
+
+type step_failure = { t2 : float; h2 : float; residual : float; iterations : int }
+
+exception Step_failure of step_failure
+
+let () =
+  Printexc.register_printer (function
+    | Step_failure { t2; h2; residual; iterations } ->
+      Some
+        (Printf.sprintf
+           "Wampde.Envelope.Step_failure: Newton failed at t2 = %.6g (h2 = %.3g, residual %.3e \
+            after %d iterations)"
+           t2 h2 residual iterations)
+    | _ -> None)
 
 type result = {
   t2 : Vec.t;
@@ -40,11 +56,14 @@ let diff_matrix options =
   | `Fd4 -> Fourier.Series.diff_matrix_fd ~order:4 options.n1
 
 (* g_{j,i}(X, omega, t2) = omega (D Q)_{j,i} + f(t2, X_j)_i : the
-   "spatial" part of the WaMPDE residual at one collocation point. *)
-let eval_g dae ~n1 ~d ~t2 states omega =
+   "spatial" part of the WaMPDE residual at one collocation point.
+   [qs] receives the per-point charges q(X_j) as a side effect so
+   residual assembly can reuse them. *)
+let eval_g_into dae ~n1 ~d ~t2 ~states ~qs ~dst omega =
   let n = dae.Dae.dim in
-  let qs = Array.map dae.Dae.q states in
-  let g = Array.make (n1 * n) 0. in
+  for j = 0 to n1 - 1 do
+    qs.(j) <- dae.Dae.q states.(j)
+  done;
   for j = 0 to n1 - 1 do
     let fj = dae.Dae.f ~t:t2 states.(j) in
     let dj = d.(j) in
@@ -53,23 +72,63 @@ let eval_g dae ~n1 ~d ~t2 states omega =
       for k = 0 to n1 - 1 do
         s := !s +. (dj.(k) *. qs.(k).(i))
       done;
-      g.((j * n) + i) <- (omega *. !s) +. fj.(i)
+      dst.((j * n) + i) <- (omega *. !s) +. fj.(i)
     done
-  done;
+  done
+
+let eval_g dae ~n1 ~d ~t2 states omega =
+  let n = dae.Dae.dim in
+  let qs = Array.make n1 [||] in
+  let g = Array.make (n1 * n) 0. in
+  eval_g_into dae ~n1 ~d ~t2 ~states ~qs ~dst:g omega;
   g
 
 let unpack ~n1 ~n y = (Array.init n1 (fun j -> Array.sub y (j * n) n), y.(n1 * n))
 
-(* Jacobian cache for the chord (stale-Jacobian) Newton iteration: the
-   collocation Jacobian varies slowly along t2, so one factorization
-   typically serves several slow steps.  Refreshed automatically when
-   the iteration stops contracting. *)
+(* Preallocated per-run buffers for the step's hot loops: residual and
+   Jacobian evaluation reuse these instead of re-allocating state
+   slices, charge tables and residual vectors on every Newton
+   iteration. *)
+type scratch = {
+  sc_states : Vec.t array;  (* n1 unpack buffers of length n *)
+  sc_qs : Vec.t array;  (* q(X_j) at the last residual point *)
+  sc_g : Vec.t;  (* spatial residual, n1 * n *)
+  sc_r : Vec.t;  (* accepted residual, n1 * n + 1 *)
+  sc_rt : Vec.t;  (* trial residual *)
+  sc_y : Vec.t;  (* current iterate *)
+  sc_trial : Vec.t;  (* trial iterate *)
+}
+
+let make_scratch ~n1 ~n =
+  let nd = n1 * n in
+  {
+    sc_states = Array.init n1 (fun _ -> Array.make n 0.);
+    sc_qs = Array.make n1 [||];
+    sc_g = Array.make nd 0.;
+    sc_r = Array.make (nd + 1) 0.;
+    sc_rt = Array.make (nd + 1) 0.;
+    sc_y = Array.make (nd + 1) 0.;
+    sc_trial = Array.make (nd + 1) 0.;
+  }
+
+(* Jacobian cache for the chord (stale-Jacobian) Newton iteration on
+   the dense path: the collocation Jacobian varies slowly along t2, so
+   one factorization typically serves several slow steps.  Refreshed
+   automatically when the iteration stops contracting.  The Krylov
+   path instead rebuilds its cheap structured operator every iteration
+   (true Newton-Krylov). *)
+type krylov_op = {
+  kop : Structured.op;
+  kborder_col : Vec.t;
+  kbordered : Structured.bordered;
+}
+
 type jac_cache = { mutable lu : Lu.t option }
 
 let new_cache () = { lu = None }
 
 (* One theta step of size h2 from (states0, omega0, g0) at t2_new. *)
-let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
+let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
   Obs.Span.span
     ~attrs:[ ("t2", Obs.Span.Float t2_new); ("h2", Obs.Span.Float h2) ]
     "envelope.step"
@@ -77,34 +136,45 @@ let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
   let n = dae.Dae.dim in
   let n1 = options.n1 in
   let theta = options.theta in
+  let nd = n1 * n in
   let q0 = Array.map dae.Dae.q states0 in
-  let residual y =
-    let states, omega = unpack ~n1 ~n y in
-    let g = eval_g dae ~n1 ~d ~t2:t2_new states omega in
-    let res = Array.make ((n1 * n) + 1) 0. in
+  let unpack_scratch y =
     for j = 0 to n1 - 1 do
-      let qj = dae.Dae.q states.(j) in
+      Array.blit y (j * n) scratch.sc_states.(j) 0 n
+    done;
+    y.(nd)
+  in
+  (* Writes the step residual at [y] into [dst]; leaves [sc_states] and
+     [sc_qs] holding the unpacked states and charges at [y]. *)
+  let residual_into y dst =
+    let omega = unpack_scratch y in
+    eval_g_into dae ~n1 ~d ~t2:t2_new ~states:scratch.sc_states ~qs:scratch.sc_qs ~dst:scratch.sc_g
+      omega;
+    let g = scratch.sc_g in
+    for j = 0 to n1 - 1 do
+      let qj = scratch.sc_qs.(j) in
+      let q0j = q0.(j) in
       for i = 0 to n - 1 do
         let idx = (j * n) + i in
-        res.(idx) <-
-          qj.(i) -. q0.(j).(i)
+        dst.(idx) <-
+          qj.(i) -. q0j.(i)
           +. (h2 *. theta *. g.(idx))
           +. (if theta < 1. then h2 *. (1. -. theta) *. g0.(idx) else 0.)
       done
     done;
     (* phase condition row *)
     let s = ref 0. in
-    for idx = 0 to (n1 * n) - 1 do
+    for idx = 0 to nd - 1 do
       s := !s +. (phase_row.(idx) *. y.(idx))
     done;
-    res.(n1 * n) <- !s;
-    res
+    dst.(nd) <- !s
   in
   let jacobian y =
-    let states, omega = unpack ~n1 ~n y in
+    let omega = unpack_scratch y in
+    let states = scratch.sc_states in
     let qs = Array.map dae.Dae.q states in
     let cs = Array.map dae.Dae.dq states in
-    let dim = (n1 * n) + 1 in
+    let dim = nd + 1 in
     let jac = Mat.zeros dim dim in
     for j = 0 to n1 - 1 do
       let gj = dae.Dae.df ~t:t2_new states.(j) in
@@ -127,29 +197,22 @@ let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
         for k = 0 to n1 - 1 do
           s := !s +. (dj.(k) *. qs.(k).(i))
         done;
-        jac.((j * n) + i).(n1 * n) <- h2 *. theta *. !s
+        jac.((j * n) + i).(nd) <- h2 *. theta *. !s
       done
     done;
-    for idx = 0 to (n1 * n) - 1 do
-      jac.(n1 * n).(idx) <- phase_row.(idx)
+    for idx = 0 to nd - 1 do
+      jac.(nd).(idx) <- phase_row.(idx)
     done;
     jac
   in
-  let y0 =
-    Vec.init ((n1 * n) + 1) (fun idx ->
-        if idx = n1 * n then omega0 else states0.(idx / n).(idx mod n))
-  in
-  (* chord Newton: reuse the cached factorization while it contracts,
-     refresh it (at the current iterate) when it does not *)
   let tol = options.newton.Nonlin.Newton.residual_tol in
   let max_iterations = Int.max 40 options.newton.Nonlin.Newton.max_iterations in
+  let iters = ref 0 in
   let fail rnorm =
     Obs.Metrics.incr c_env_rejects;
     if Obs.Events.active () then
       Obs.Events.emit (Obs.Events.Step_reject { t = t2_new; h = h2; reason = "newton" });
-    failwith
-      (Printf.sprintf "Wampde.Envelope: Newton failed at t2 = %.6g (h2 = %.3g, residual %.3e)"
-         t2_new h2 rnorm)
+    raise (Step_failure { t2 = t2_new; h2; residual = rnorm; iterations = !iters })
   in
   let refresh y =
     Obs.Metrics.incr c_jac_refresh;
@@ -157,24 +220,115 @@ let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
     cache.lu <- Some lu;
     lu
   in
-  let y = ref y0 in
-  let r = ref (residual y0) in
+  let use_krylov = Structured.use_krylov options.solver ~dim:(nd + 1) in
+  (* Build the matrix-free operator and its FFT-diagonalized
+     averaged-block preconditioner at [y] (the Krylov analogue of
+     [refresh]).  The blocks are evaluated fresh from [y], so the
+     cached operator stays valid while [scratch] mutates.  Returns
+     [None] if the preconditioner degenerates. *)
+  let refresh_krylov y =
+    let omega = unpack_scratch y in
+    let states = scratch.sc_states in
+    let cs = Array.map dae.Dae.dq states in
+    let qs = Array.map dae.Dae.q states in
+    let b_blocks =
+      Array.init n1 (fun j ->
+          let gj = dae.Dae.df ~t:t2_new states.(j) in
+          Mat.init n n (fun i l -> cs.(j).(i).(l) +. (h2 *. theta *. gj.(i).(l))))
+    in
+    let op = Structured.make_op ~alpha:(h2 *. theta *. omega) ~d ~c_blocks:cs ~b_blocks in
+    let border_col = Array.make nd 0. in
+    for j = 0 to n1 - 1 do
+      let dj = d.(j) in
+      for i = 0 to n - 1 do
+        let s = ref 0. in
+        for k = 0 to n1 - 1 do
+          s := !s +. (dj.(k) *. qs.(k).(i))
+        done;
+        border_col.((j * n) + i) <- h2 *. theta *. !s
+      done
+    done;
+    match
+      let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft op in
+      Structured.make_bordered pc ~border_col ~border_row:phase_row
+    with
+    | exception (Cx.Clu.Singular _ | Failure _) -> None
+    | bordered -> Some { kop = op; kborder_col = border_col; kbordered = bordered }
+  in
+  (* GMRES solve against a (possibly stale) cached operator.  The inner
+     tolerance is the inexact-Newton forcing term: the chord iteration
+     only needs a direction accurate to well below its own contraction
+     rate, not to machine precision. *)
+  let krylov_solve kc r =
+    let buf = Array.make (nd + 1) 0. in
+    let matvec v =
+      Structured.apply_bordered_into kc.kop ~border_col:kc.kborder_col ~border_row:phase_row v
+        buf;
+      Array.copy buf
+    in
+    let res =
+      Gmres.solve ~matvec
+        ~m_inv:(Structured.bordered_apply kc.kbordered)
+        ~restart:60 ~max_iter:240 ~tol:1e-6 r
+    in
+    if res.Gmres.converged then Some res.Gmres.x else None
+  in
+  let y = ref scratch.sc_y and trial = ref scratch.sc_trial in
+  let r = ref scratch.sc_r and rt = ref scratch.sc_rt in
+  for j = 0 to n1 - 1 do
+    Array.blit states0.(j) 0 !y (j * n) n
+  done;
+  !y.(nd) <- omega0;
+  residual_into !y !r;
   let rnorm = ref (Vec.norm_inf !r) in
   let fresh = ref false in
-  let iters = ref 0 in
+  let accept () =
+    let ty = !y and tr = !r in
+    y := !trial;
+    trial := ty;
+    r := !rt;
+    rt := tr
+  in
   (try
      while !rnorm > tol do
        if !iters >= max_iterations then fail !rnorm;
        incr iters;
        Obs.Metrics.incr c_newton_iters;
-       let lu = match cache.lu with Some lu -> lu | None -> refresh !y in
-       let dy = Lu.solve lu !r in
-       let trial = Array.mapi (fun i yi -> yi -. dy.(i)) !y in
-       let rt = residual trial in
-       let rtnorm = Vec.norm_inf rt in
+       let dense_fallback () =
+         Structured.fallback_to_dense ();
+         let lu = refresh !y in
+         (Lu.solve lu !r, true)
+       in
+       let dy, is_fresh =
+         if use_krylov then begin
+           (* true Newton-Krylov: rebuild the (cheap) operator and
+              preconditioner at the current iterate every time, so the
+              outer iteration keeps Newton's quadratic convergence.
+              Chord-style operator reuse is a bad trade here -- it buys
+              back a cheap build but pays extra GMRES solves. *)
+           match refresh_krylov !y with
+           | Some kc -> (
+             match krylov_solve kc !r with
+             | Some dy -> (dy, true)
+             | None -> dense_fallback ())
+           | None -> dense_fallback ()
+         end
+         else
+           match cache.lu with
+           | Some lu -> (Lu.solve lu !r, !fresh)
+           | None ->
+             let lu = refresh !y in
+             (Lu.solve lu !r, true)
+       in
+       fresh := is_fresh;
+       let yv = !y and tv = !trial in
+       for i = 0 to nd do
+         tv.(i) <- yv.(i) -. dy.(i)
+       done;
+       residual_into tv !rt;
+       let rtnorm = Vec.norm_inf !rt in
        if Float.is_finite rtnorm && (rtnorm <= tol || rtnorm < 0.7 *. !rnorm) then begin
-         y := trial;
-         r := rt;
+         accept ();
          rnorm := rtnorm;
          fresh := false;
          if Obs.Events.active () then
@@ -192,12 +346,14 @@ let step dae ~options ~cache ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~omega0 =
          let rec backtrack lambda =
            if lambda < 1e-4 then fail !rnorm
            else begin
-             let t = Array.mapi (fun i yi -> yi -. (lambda *. dy.(i))) !y in
-             let rl = residual t in
-             let nl = Vec.norm_inf rl in
+             let yv = !y and tv = !trial in
+             for i = 0 to nd do
+               tv.(i) <- yv.(i) -. (lambda *. dy.(i))
+             done;
+             residual_into tv !rt;
+             let nl = Vec.norm_inf !rt in
              if Float.is_finite nl && nl < !rnorm then begin
-               y := t;
-               r := rl;
+               accept ();
                rnorm := nl
              end
              else backtrack (lambda /. 2.)
@@ -273,11 +429,13 @@ let simulate dae ~options ~t2_end ~h2 ~init =
   let states = ref init.Steady.Oscillator.grid and omega = ref init.Steady.Oscillator.omega in
   let g = ref (eval_g dae ~n1 ~d ~t2:0. !states !omega) in
   let cache = new_cache () in
+  let scratch = make_scratch ~n1 ~n in
   while !t2 < t2_end -. (1e-9 *. t2_end) do
     let h = Float.min h2 (t2_end -. !t2) in
     let t2_new = !t2 +. h in
     let states', omega', iters =
-      step dae ~options ~cache ~d ~phase_row ~t2_new ~h2:h ~states0:!states ~g0:!g ~omega0:!omega
+      step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2:h ~states0:!states ~g0:!g
+        ~omega0:!omega
     in
     iter_count := !iter_count + iters;
     states := states';
@@ -326,27 +484,28 @@ let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~to
   let g = ref (eval_g dae ~n1 ~d ~t2:0. !states !omega) in
   let h = ref h2_init in
   let cache = new_cache () in
+  let scratch = make_scratch ~n1 ~n in
   while !t2 < t2_end -. (1e-9 *. t2_end) do
     let hstep = Float.min !h (t2_end -. !t2) in
     let attempt () =
       let full, om_full, it1 =
-        step dae ~options ~cache ~d ~phase_row ~t2_new:(!t2 +. hstep) ~h2:hstep ~states0:!states
-          ~g0:!g ~omega0:!omega
+        step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new:(!t2 +. hstep) ~h2:hstep
+          ~states0:!states ~g0:!g ~omega0:!omega
       in
       let mid, om_mid, it2 =
-        step dae ~options ~cache ~d ~phase_row ~t2_new:(!t2 +. (hstep /. 2.)) ~h2:(hstep /. 2.)
-          ~states0:!states ~g0:!g ~omega0:!omega
+        step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new:(!t2 +. (hstep /. 2.))
+          ~h2:(hstep /. 2.) ~states0:!states ~g0:!g ~omega0:!omega
       in
       let g_mid = eval_g dae ~n1 ~d ~t2:(!t2 +. (hstep /. 2.)) mid om_mid in
       let fine, om_fine, it3 =
-        step dae ~options ~cache ~d ~phase_row ~t2_new:(!t2 +. hstep) ~h2:(hstep /. 2.) ~states0:mid
-          ~g0:g_mid ~omega0:om_mid
+        step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new:(!t2 +. hstep) ~h2:(hstep /. 2.)
+          ~states0:mid ~g0:g_mid ~omega0:om_mid
       in
       iter_count := !iter_count + it1 + it2 + it3;
       (full, om_full, fine, om_fine)
     in
     match attempt () with
-    | exception Failure _ ->
+    | exception (Failure _ | Step_failure _) ->
       h := hstep /. 4.;
       if !h < h2_min then failwith "Wampde.Envelope.simulate_adaptive: step underflow"
     | full, om_full, fine, om_fine ->

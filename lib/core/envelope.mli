@@ -24,11 +24,27 @@ type options = {
   phase : Phase.t;
   differentiation : [ `Spectral | `Fd4 ];  (** [t1] derivative scheme *)
   newton : Nonlin.Newton.options;
+  solver : Structured.strategy;
+      (** linear-solver path for the collocation Newton systems: dense
+          LU, matrix-free preconditioned GMRES, or size-based [Auto] *)
 }
 
 (** [default_options ()] — [n1 = 25], trapezoidal, derivative phase
-    condition on component 0, spectral differentiation. *)
-val default_options : ?n1:int -> ?phase:Phase.t -> unit -> options
+    condition on component 0, spectral differentiation,
+    [Structured.auto] solver selection. *)
+val default_options : ?n1:int -> ?phase:Phase.t -> ?solver:Structured.strategy -> unit -> options
+
+type step_failure = {
+  t2 : float;  (** slow time of the failed step *)
+  h2 : float;  (** attempted slow step size *)
+  residual : float;  (** last Newton residual infinity-norm *)
+  iterations : int;  (** Newton iterations spent before giving up *)
+}
+
+(** Raised by {!simulate} when a step's Newton iteration fails;
+    {!simulate_adaptive} catches it internally and retries with a
+    smaller step.  Mirrors [Transient.Step_failure]. *)
+exception Step_failure of step_failure
 
 type result = {
   t2 : Vec.t;  (** accepted slow-time points (including [t2 = 0]) *)
@@ -45,7 +61,7 @@ type result = {
     {!Steady.Oscillator.find} with the forcing frozen at its [t = 0]
     value) to [t2_end] with fixed slow step [h2].
 
-    Raises [Failure] if a step's Newton iteration fails. *)
+    Raises {!Step_failure} if a step's Newton iteration fails. *)
 val simulate :
   Dae.t -> options:options -> t2_end:float -> h2:float -> init:Steady.Oscillator.orbit -> result
 

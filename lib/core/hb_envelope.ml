@@ -95,8 +95,18 @@ let eval_q_packed dae ~n ~m coeffs =
   done;
   out
 
-let simulate dae ~harmonics:m ?(phase_component = 0) ?(phase_harmonic = 1) ~t2_end ~h2 ~init
-    () =
+let mat_average mats =
+  let count = Array.length mats in
+  let n = Mat.rows mats.(0) in
+  Mat.init n n (fun r c ->
+      let s = ref 0. in
+      for k = 0 to count - 1 do
+        s := !s +. mats.(k).(r).(c)
+      done;
+      !s /. float_of_int count)
+
+let simulate ?(solver = Structured.auto) dae ~harmonics:m ?(phase_component = 0)
+    ?(phase_harmonic = 1) ~t2_end ~h2 ~init () =
   let n = dae.Dae.dim in
   Obs.Span.span
     ~attrs:
@@ -164,7 +174,74 @@ let simulate dae ~harmonics:m ?(phase_component = 0) ?(phase_harmonic = 1) ~t2_e
       { Nonlin.Newton.default_options with max_iterations = 30; residual_tol = 1e-9 }
     in
     let y0 = pack_coeffs ~n ~m !coeffs !omega in
-    let report = Nonlin.Newton.solve ~options ~label:"hb_envelope" ~residual y0 in
+    (* Matrix-free direction: finite-difference Jacobian-vector products
+       (this solver is the FD reference implementation) preconditioned
+       with the averaged per-harmonic blocks of the theta-step operator,
+       M_i = (1 + h theta j 2 pi i omega) Cbar + h theta Gbar.  The
+       omega slot and phase row are left to GMRES. *)
+    let linear_solve y r =
+      let dense () =
+        let jac = Nonlin.Fdjac.jacobian ~f0:r residual y in
+        Lu.solve (Lu.factor jac) r
+      in
+      let matvec v = Nonlin.Fdjac.directional ~f0:r residual y v in
+      let precond =
+        let c = coeffs_of_packed ~n ~m y in
+        let om = y.(n * nn) in
+        let states = synthesize ~n ~m c in
+        let cs = Array.map dae.Dae.dq states in
+        let gs = Array.map (fun st -> dae.Dae.df ~t:t2_new st) states in
+        let cbar = mat_average cs and gbar = mat_average gs in
+        let bbar = Mat.init n n (fun r c -> h *. theta *. gbar.(r).(c)) in
+        let coeffs =
+          Array.init (m + 1) (fun i ->
+              Cx.cx 1. (h *. theta *. two_pi *. float_of_int i *. om))
+        in
+        match Structured.spectral_blocks ~coeffs ~cbar ~bbar with
+        | exception Cx.Clu.Singular _ -> None
+        | blocks ->
+            Some
+              (fun (rv : Vec.t) ->
+                let out = Array.copy rv in
+                let rhs = Cx.Cvec.zeros n in
+                for i = 0 to m do
+                  for v = 0 to n - 1 do
+                    let base = v * nn in
+                    rhs.(v) <-
+                      (if i = 0 then Cx.cx rv.(base) 0.
+                       else Cx.cx rv.(base + (2 * i) - 1) rv.(base + (2 * i)))
+                  done;
+                  let sol = Cx.Clu.solve blocks.(i) rhs in
+                  for v = 0 to n - 1 do
+                    let base = v * nn in
+                    if i = 0 then out.(base) <- Cx.re sol.(v)
+                    else begin
+                      out.(base + (2 * i) - 1) <- Cx.re sol.(v);
+                      out.(base + (2 * i)) <- Cx.im sol.(v)
+                    end
+                  done
+                done;
+                out)
+      in
+      match precond with
+      | None ->
+          Structured.fallback_to_dense ();
+          dense ()
+      | Some m_inv -> (
+          let res = Gmres.solve ~matvec ~m_inv ~restart:60 ~max_iter:240 ~tol:1e-8 r in
+          let bnorm = Vec.norm2 r in
+          if res.Gmres.converged || res.Gmres.residual_norm <= 1e-6 *. bnorm then
+            res.Gmres.x
+          else begin
+            Structured.fallback_to_dense ();
+            dense ()
+          end)
+    in
+    let report =
+      if Structured.use_krylov solver ~dim:((n * nn) + 1) then
+        Nonlin.Newton.solve_with ~options ~label:"hb_envelope" ~linear_solve ~residual y0
+      else Nonlin.Newton.solve ~options ~label:"hb_envelope" ~residual y0
+    in
     if not report.Nonlin.Newton.converged then begin
       if Obs.Events.active () then
         Obs.Events.emit (Obs.Events.Step_reject { t = !t2; h; reason = "newton" });

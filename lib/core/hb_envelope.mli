@@ -30,8 +30,12 @@ type result = {
      ~h2 ~init] advances from the unforced orbit [init] (resampled
     into coefficient space; its grid must have [2 harmonics + 1]
     points).  The phase condition is [Im Xhat^component_harmonic = 0].
-    Raises [Failure] on Newton failure. *)
+    [solver] (default [Structured.auto]) selects dense FD-Jacobian
+    Newton or matrix-free Newton–Krylov (FD directional derivatives,
+    averaged per-harmonic block preconditioning, dense fallback on
+    stall).  Raises [Failure] on Newton failure. *)
 val simulate :
+  ?solver:Structured.strategy ->
   Dae.t ->
   harmonics:int ->
   ?phase_component:int ->

@@ -2,7 +2,7 @@ open Linalg
 
 type solution = { p2 : float; t2 : Vec.t; omega : Vec.t; slices : Vec.t array array }
 
-type linear_solver = [ `Dense | `Gmres ]
+type linear_solver = [ `Dense | `Gmres | `Krylov ]
 
 (* Unknown layout: for slice m in 0..n2-1, block of size (n1 * n + 1):
    y.((m * bs) + (j * n) + i) = component i at (t1_j, t2_m);
@@ -137,12 +137,103 @@ let solve dae ?(linear_solver = `Dense) ?(max_iterations = 25) ?(tol = 1e-8)
   let r = ref (residual !y) in
   let rnorm = ref (Vec.norm_inf !r) in
   let iters = ref 0 in
+  (* Fully matrix-free Newton direction: per-slice structured
+     operators (fast derivative + local df), explicit cross-slice slow
+     coupling through blockdiag(dq), per-slice omega columns and phase
+     rows.  Preconditioned by the per-slice bordered FFT-block inverse
+     (the slow d2/p2 coupling is weak against the omega-scaled fast
+     term and is left to GMRES).  Returns [None] when the
+     preconditioner degenerates or GMRES stalls. *)
+  let krylov_dir y r =
+    let state m j = Array.sub y ((m * bs) + (j * n)) n in
+    let nd = n1 * n in
+    let qs = Array.init n2 (fun m -> Array.init n1 (fun j -> dae.Dae.q (state m j))) in
+    let cs = Array.init n2 (fun m -> Array.init n1 (fun j -> dae.Dae.dq (state m j))) in
+    let gs =
+      Array.init n2 (fun m ->
+          let t2m = p2 *. float_of_int m /. float_of_int n2 in
+          Array.init n1 (fun j -> dae.Dae.df ~t:t2m (state m j)))
+    in
+    let dqcols =
+      Array.init n2 (fun m ->
+          Vec.init nd (fun idx ->
+              let j = idx / n and i = idx mod n in
+              let s = ref 0. in
+              for k = 0 to n1 - 1 do
+                s := !s +. (d1.(j).(k) *. qs.(m).(k).(i))
+              done;
+              !s))
+    in
+    let ops =
+      Array.init n2 (fun m ->
+          Structured.make_op
+            ~alpha:y.((m * bs) + nd)
+            ~d:d1 ~c_blocks:cs.(m) ~b_blocks:gs.(m))
+    in
+    match
+      Array.init n2 (fun m ->
+          let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft ops.(m) in
+          Structured.make_bordered pc ~border_col:dqcols.(m) ~border_row:phase_row)
+    with
+    | exception (Cx.Clu.Singular _ | Failure _) -> None
+    | borders ->
+      let vseg = Array.make bs 0. and oseg = Array.make nd 0. in
+      let cu = Array.make (n2 * nd) 0. in
+      let matvec v =
+        let out = Array.make (n2 * bs) 0. in
+        for m = 0 to n2 - 1 do
+          Array.blit v (m * bs) vseg 0 nd;
+          Structured.block_mul_into cs.(m) ~src:vseg ~dst:oseg;
+          Array.blit oseg 0 cu (m * nd) nd
+        done;
+        for m = 0 to n2 - 1 do
+          Array.blit v (m * bs) vseg 0 nd;
+          Structured.apply_into ops.(m) vseg oseg;
+          Array.blit oseg 0 out (m * bs) nd;
+          for p = 0 to n2 - 1 do
+            let dmp = d2.(m).(p) /. p2 in
+            if dmp <> 0. then begin
+              let src = p * nd and dst = m * bs in
+              for idx = 0 to nd - 1 do
+                out.(dst + idx) <- out.(dst + idx) +. (dmp *. cu.(src + idx))
+              done
+            end
+          done;
+          let zeta = v.((m * bs) + nd) in
+          if zeta <> 0. then
+            for idx = 0 to nd - 1 do
+              out.((m * bs) + idx) <- out.((m * bs) + idx) +. (zeta *. dqcols.(m).(idx))
+            done;
+          let s = ref 0. in
+          for idx = 0 to nd - 1 do
+            s := !s +. (phase_row.(idx) *. v.((m * bs) + idx))
+          done;
+          out.((m * bs) + nd) <- !s
+        done;
+        out
+      in
+      let m_inv v =
+        let out = Array.make (n2 * bs) 0. in
+        for m = 0 to n2 - 1 do
+          Array.blit v (m * bs) vseg 0 bs;
+          let z = Structured.bordered_apply borders.(m) vseg in
+          Array.blit z 0 out (m * bs) bs
+        done;
+        out
+      in
+      let result = Gmres.solve ~matvec ~m_inv ~restart:60 ~max_iter:300 ~tol:1e-10 r in
+      if result.Gmres.converged then Some result.Gmres.x else None
+  in
   while !rnorm > tol && !iters < max_iterations do
-    let jac = jacobian_fn dae ~options ~p2 ~n2 ~d1 ~d2 ~phase_row !y in
+    let dense () =
+      let jac = jacobian_fn dae ~options ~p2 ~n2 ~d1 ~d2 ~phase_row !y in
+      Lu.solve (Lu.factor jac) !r
+    in
     let dy =
       match linear_solver with
-      | `Dense -> Lu.solve (Lu.factor jac) !r
+      | `Dense -> dense ()
       | `Gmres ->
+        let jac = jacobian_fn dae ~options ~p2 ~n2 ~d1 ~d2 ~phase_row !y in
         (* block-Jacobi preconditioner: LU of each slice-diagonal block *)
         let blocks =
           Array.init n2 (fun m ->
@@ -163,6 +254,12 @@ let solve dae ?(linear_solver = `Dense) ?(max_iterations = 25) ?(tol = 1e-8)
         if not result.Gmres.converged then
           failwith "Quasiperiodic.solve: GMRES failed to converge";
         result.Gmres.x
+      | `Krylov -> (
+        match krylov_dir !y !r with
+        | Some dy -> dy
+        | None ->
+          Structured.fallback_to_dense ();
+          dense ())
     in
     (* damped update *)
     let rec try_step lambda =

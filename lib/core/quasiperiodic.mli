@@ -22,7 +22,12 @@ type solution = {
   slices : Vec.t array array;  (** [slices.(m).(j)]: state at [(t1_j, t2_m)] *)
 }
 
-type linear_solver = [ `Dense | `Gmres ]
+(** [`Dense] assembles and LU-factors the full Jacobian; [`Gmres]
+    assembles it but solves iteratively with a block-Jacobi
+    preconditioner; [`Krylov] never assembles it — structured
+    matrix-free products with per-slice bordered FFT-block
+    preconditioning (falling back to dense on stall). *)
+type linear_solver = [ `Dense | `Gmres | `Krylov ]
 
 (** [solve dae ~options ~p2 ~n2 ~guess ()] solves the two-periodic
     WaMPDE.  [options] supplies [n1], the phase condition and the

@@ -67,36 +67,61 @@ let radix2 x sign =
   of_parts re im
 
 (* Bluestein's chirp-z transform: expresses an arbitrary-size DFT as a
-   convolution, evaluated with power-of-two FFTs. *)
+   convolution, evaluated with power-of-two FFTs.  The chirp weights
+   and the transformed convolution kernel depend only on (n, sign), so
+   they are cached: repeated transforms of one size (the common case in
+   the block-preconditioner hot path) cost two power-of-two FFTs
+   instead of three plus trigonometric setup. *)
+type bluestein_plan = {
+  bp_m : int;
+  bp_chirp_re : float array;
+  bp_chirp_im : float array;
+  bp_bre : float array;  (* forward FFT of the chirp kernel *)
+  bp_bim : float array;
+}
+
+let bluestein_plans : (int * int, bluestein_plan) Hashtbl.t = Hashtbl.create 16
+
+let bluestein_plan n sign =
+  match Hashtbl.find_opt bluestein_plans (n, sign) with
+  | Some p -> p
+  | None ->
+      let m = next_power_of_two ((2 * n) - 1) in
+      (* chirp weights w_j = e^{sign * i pi j^2 / n } *)
+      let chirp_re = Array.make n 0. and chirp_im = Array.make n 0. in
+      for j = 0 to n - 1 do
+        (* j^2 mod 2n avoids precision loss for large j *)
+        let jsq = j * j mod (2 * n) in
+        let theta = float_of_int sign *. Float.pi *. float_of_int jsq /. float_of_int n in
+        chirp_re.(j) <- cos theta;
+        chirp_im.(j) <- sin theta
+      done;
+      let bre = Array.make m 0. and bim = Array.make m 0. in
+      bre.(0) <- chirp_re.(0);
+      bim.(0) <- -.chirp_im.(0);
+      for j = 1 to n - 1 do
+        bre.(j) <- chirp_re.(j);
+        bim.(j) <- -.chirp_im.(j);
+        bre.(m - j) <- chirp_re.(j);
+        bim.(m - j) <- -.chirp_im.(j)
+      done;
+      radix2_inplace bre bim (-1);
+      let p = { bp_m = m; bp_chirp_re = chirp_re; bp_chirp_im = chirp_im; bp_bre = bre; bp_bim = bim } in
+      Hashtbl.replace bluestein_plans (n, sign) p;
+      p
+
 let bluestein x sign =
   let n = Array.length x in
-  let m = next_power_of_two ((2 * n) - 1) in
-  (* chirp weights w_j = e^{sign * i pi j^2 / n } *)
-  let chirp_re = Array.make n 0. and chirp_im = Array.make n 0. in
-  for j = 0 to n - 1 do
-    (* j^2 mod 2n avoids precision loss for large j *)
-    let jsq = j * j mod (2 * n) in
-    let theta = float_of_int sign *. Float.pi *. float_of_int jsq /. float_of_int n in
-    chirp_re.(j) <- cos theta;
-    chirp_im.(j) <- sin theta
-  done;
+  let { bp_m = m; bp_chirp_re = chirp_re; bp_chirp_im = chirp_im; bp_bre = bre; bp_bim = bim } =
+    bluestein_plan n sign
+  in
   let are = Array.make m 0. and aim = Array.make m 0. in
   for j = 0 to n - 1 do
     let xr = Cx.re x.(j) and xi = Cx.im x.(j) in
     are.(j) <- (xr *. chirp_re.(j)) -. (xi *. chirp_im.(j));
     aim.(j) <- (xr *. chirp_im.(j)) +. (xi *. chirp_re.(j))
   done;
-  let bre = Array.make m 0. and bim = Array.make m 0. in
-  bre.(0) <- chirp_re.(0);
-  bim.(0) <- -.chirp_im.(0);
-  for j = 1 to n - 1 do
-    bre.(j) <- chirp_re.(j);
-    bim.(j) <- -.chirp_im.(j);
-    bre.(m - j) <- chirp_re.(j);
-    bim.(m - j) <- -.chirp_im.(j)
-  done;
   radix2_inplace are aim (-1);
-  radix2_inplace bre bim (-1);
   (* pointwise product *)
   for j = 0 to m - 1 do
     let pr = (are.(j) *. bre.(j)) -. (aim.(j) *. bim.(j)) in
@@ -140,3 +165,5 @@ let dft x =
         s := Complex.add !s (Complex.mul x.(j) w)
       done;
       !s)
+
+let structured_dft = { Structured.fwd = fft; inv = ifft }

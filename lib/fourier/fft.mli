@@ -21,6 +21,11 @@ val fft_real : Vec.t -> Cx.Cvec.t
     implementation for testing. *)
 val dft : Cx.Cvec.t -> Cx.Cvec.t
 
+(** [structured_dft] packages {!fft}/{!ifft} for injection into
+    [Linalg.Structured] (which sits below this library and defaults to
+    a naive transform). *)
+val structured_dft : Structured.dft
+
 (** [is_power_of_two n] is true when [n] is a positive power of two. *)
 val is_power_of_two : int -> bool
 

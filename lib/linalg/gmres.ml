@@ -18,11 +18,10 @@ let solve ~matvec ?m_inv ?x0 ?(restart = 50) ?max_iter ?(tol = 1e-10) b =
   let bnorm = Vec.norm2 b in
   let target = tol *. Float.max bnorm 1e-300 in
   let total_iters = ref 0 in
-  let rec cycle x =
-    let r =
-      let ax = matvec x in
-      Vec.sub b ax
-    in
+  (* [r] is the current true residual b - A x, threaded through so a
+     restart reuses the vector computed for the convergence check (and
+     a zero initial guess costs no matvec at all: r = b). *)
+  let rec cycle x r =
     let beta = Vec.norm2 r in
     if beta <= target || !total_iters >= max_iter then (x, beta)
     else begin
@@ -90,19 +89,22 @@ let solve ~matvec ?m_inv ?x0 ?(restart = 50) ?max_iter ?(tol = 1e-10) b =
           done;
           y.(i) <- !s /. h.(i).(i)
         done;
-        let x' = Array.copy x in
+        (* combine in the unpreconditioned basis first, then apply the
+           (linear) preconditioner once: x' = x + M^-1 (V y) *)
+        let u = Array.make n 0. in
         for j = 0 to k - 1 do
-          if y.(j) <> 0. then begin
-            let zj = precond v.(j) in
-            Vec.axpy ~a:y.(j) ~x:zj x'
-          end
+          if y.(j) <> 0. then Vec.axpy ~a:y.(j) ~x:v.(j) u
         done;
-        let res = Vec.norm2 (Vec.sub b (matvec x')) in
-        if res <= target || !total_iters >= max_iter then (x', res) else cycle x'
+        let x' = Array.copy x in
+        Vec.axpy ~a:1. ~x:(precond u) x';
+        let r' = Vec.sub b (matvec x') in
+        let res = Vec.norm2 r' in
+        if res <= target || !total_iters >= max_iter then (x', res) else cycle x' r'
       end
     end
   in
-  let x, res = cycle x in
+  let r0 = match x0 with None -> Array.copy b | Some _ -> Vec.sub b (matvec x) in
+  let x, res = cycle x r0 in
   Obs.Metrics.incr c_solves;
   Obs.Metrics.observe h_iters (float_of_int !total_iters);
   { x; residual_norm = res; iterations = !total_iters; converged = res <= target }

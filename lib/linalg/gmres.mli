@@ -15,7 +15,9 @@ type result = {
 (** [solve ~matvec ?m_inv ?x0 ?restart ?max_iter ?tol b] solves
     [A x = b] where [matvec v] computes [A v].
 
-    @param m_inv right preconditioner: [m_inv v] approximates [A^{-1} v]
+    @param m_inv right preconditioner: [m_inv v] approximates [A^{-1} v];
+    must be a {e linear} map (the solution is reconstructed by applying
+    it once to the combined Krylov correction)
     @param x0 initial guess (default zero)
     @param restart Krylov subspace dimension before restart (default 50)
     @param max_iter total inner-iteration budget (default [10 * restart])

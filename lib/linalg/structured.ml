@@ -1,0 +1,354 @@
+module Obs = Wampde_obs
+
+let c_builds = Obs.Metrics.counter "gmres.precond.builds"
+let c_applies = Obs.Metrics.counter "gmres.precond.applies"
+let c_block_factors = Obs.Metrics.counter "gmres.precond.block_factors"
+let c_fallbacks = Obs.Metrics.counter "gmres.precond.fallbacks"
+
+let fallback_to_dense () = Obs.Metrics.incr c_fallbacks
+
+type strategy = Dense | Krylov | Auto of int
+
+let default_threshold = 160
+let auto = Auto default_threshold
+
+let use_krylov strategy ~dim =
+  match strategy with Dense -> false | Krylov -> true | Auto threshold -> dim >= threshold
+
+(* ------------------------------------------------------------------ *)
+(* Structured collocation operator                                     *)
+(* ------------------------------------------------------------------ *)
+
+type op = {
+  n : int;
+  n1 : int;
+  alpha : float;
+  d : Mat.t;
+  c_blocks : Mat.t array;
+  b_blocks : Mat.t array;
+  cu : Vec.t;  (* scratch: blockdiag(C) v, reused across applies *)
+}
+
+let make_op ~alpha ~d ~c_blocks ~b_blocks =
+  let n1 = Array.length c_blocks in
+  if n1 = 0 || Array.length b_blocks <> n1 then
+    invalid_arg "Structured.make_op: need one C and one B block per collocation point";
+  let n = Mat.rows c_blocks.(0) in
+  if Mat.rows d <> n1 || Mat.cols d <> n1 then
+    invalid_arg "Structured.make_op: differentiation matrix size mismatch";
+  { n; n1; alpha; d; c_blocks; b_blocks; cu = Array.make (n1 * n) 0. }
+
+let dim op = op.n1 * op.n
+
+let block_mul_into blocks ~src ~dst =
+  let n1 = Array.length blocks in
+  let n = Mat.rows blocks.(0) in
+  for k = 0 to n1 - 1 do
+    let bk = blocks.(k) in
+    let base = k * n in
+    for i = 0 to n - 1 do
+      let row = bk.(i) in
+      let s = ref 0. in
+      for l = 0 to n - 1 do
+        s := !s +. (row.(l) *. src.(base + l))
+      done;
+      dst.(base + i) <- !s
+    done
+  done
+
+(* out_j = alpha * sum_k d_jk (C_k v_k) + B_j v_j; only the first
+   [n1 * n] entries of [v] and [out] are touched, so bordered vectors
+   can be passed directly. *)
+let apply_into op v out =
+  let n = op.n and n1 = op.n1 in
+  block_mul_into op.c_blocks ~src:v ~dst:op.cu;
+  for j = 0 to n1 - 1 do
+    let bj = op.b_blocks.(j) in
+    let dj = op.d.(j) in
+    let base = j * n in
+    for i = 0 to n - 1 do
+      let s = ref 0. in
+      for k = 0 to n1 - 1 do
+        s := !s +. (dj.(k) *. op.cu.((k * n) + i))
+      done;
+      let row = bj.(i) in
+      let t = ref (op.alpha *. !s) in
+      for l = 0 to n - 1 do
+        t := !t +. (row.(l) *. v.(base + l))
+      done;
+      out.(base + i) <- !t
+    done
+  done
+
+let apply op v =
+  let out = Array.make (dim op) 0. in
+  apply_into op v out;
+  out
+
+let apply_bordered_into op ~border_col ~border_row v out =
+  apply_into op v out;
+  let nd = dim op in
+  let zeta = v.(nd) in
+  if zeta <> 0. then
+    for i = 0 to nd - 1 do
+      out.(i) <- out.(i) +. (zeta *. border_col.(i))
+    done;
+  let s = ref 0. in
+  for i = 0 to nd - 1 do
+    s := !s +. (border_row.(i) *. v.(i))
+  done;
+  out.(nd) <- !s
+
+let apply_bordered op ~border_col ~border_row v =
+  let out = Array.make (dim op + 1) 0. in
+  apply_bordered_into op ~border_col ~border_row v out;
+  out
+
+(* Dense assembly of the block part, for tests and small fallbacks. *)
+let to_dense op =
+  let n = op.n and n1 = op.n1 in
+  let dim = n1 * n in
+  let jac = Mat.zeros dim dim in
+  for j = 0 to n1 - 1 do
+    for k = 0 to n1 - 1 do
+      let scale = op.alpha *. op.d.(j).(k) in
+      let ck = op.c_blocks.(k) in
+      for i = 0 to n - 1 do
+        for l = 0 to n - 1 do
+          jac.((j * n) + i).((k * n) + l) <- scale *. ck.(i).(l)
+        done
+      done
+    done;
+    let bj = op.b_blocks.(j) in
+    for i = 0 to n - 1 do
+      for l = 0 to n - 1 do
+        jac.((j * n) + i).((j * n) + l) <- jac.((j * n) + i).((j * n) + l) +. bj.(i).(l)
+      done
+    done
+  done;
+  jac
+
+(* ------------------------------------------------------------------ *)
+(* Discrete Fourier transform plumbing                                 *)
+(* ------------------------------------------------------------------ *)
+
+type dft = { fwd : Cx.Cvec.t -> Cx.Cvec.t; inv : Cx.Cvec.t -> Cx.Cvec.t }
+
+(* O(n^2) reference transform in the engineering convention
+   (forward kernel e^{-2 pi i j k / n}, inverse divides by n): matches
+   Fourier.Fft, which callers above the linalg layer should inject. *)
+let naive_dft =
+  let transform sign scale x =
+    let n = Array.length x in
+    let s = if scale then 1. /. float_of_int n else 1. in
+    Array.init n (fun k ->
+        let acc = ref Complex.zero in
+        for j = 0 to n - 1 do
+          let theta = sign *. 2. *. Float.pi *. float_of_int (j * k) /. float_of_int n in
+          acc := Complex.add !acc (Complex.mul x.(j) (Cx.cis theta))
+        done;
+        Cx.scale s !acc)
+  in
+  { fwd = transform (-1.) false; inv = transform 1. true }
+
+(* ------------------------------------------------------------------ *)
+(* Averaged-Jacobian block preconditioner                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Factor one small complex block per wavenumber/harmonic:
+   M_l = coeffs_l * cbar + bbar. *)
+let spectral_blocks ~coeffs ~cbar ~bbar =
+  let n = Mat.rows cbar in
+  Array.map
+    (fun a ->
+      Obs.Metrics.incr c_block_factors;
+      Cx.Clu.factor
+        (Cx.Cmat.init n n (fun i j ->
+             Complex.add (Complex.mul a (Cx.cx cbar.(i).(j) 0.)) (Cx.cx bbar.(i).(j) 0.))))
+    coeffs
+
+type precond = {
+  pn : int;
+  pn1 : int;
+  half : int;  (* n1 / 2: wavenumbers 0..half are represented explicitly *)
+  blocks : Cx.Clu.t array;  (* factored M_l for l = 0..half only *)
+  transform : dft;
+  hat : Cx.Cvec.t array;  (* scratch: lower-half spectra, n vectors of length half+1 *)
+  rhs : Cx.Cvec.t;  (* scratch: one wavenumber slice, length n *)
+  wbuf : Cx.Cvec.t;  (* scratch: full spectrum for the inverse transform *)
+}
+
+(* The circulant differentiation matrix D (spectral or periodic FD)
+   diagonalizes under the DFT across the block index: with c the first
+   column of D, its eigenvalue at wavenumber l is fwd(c)_l.  Averaging
+   the dq/df blocks over the grid turns the operator into
+   blockdiag_l (alpha lambda_l Cbar + Bbar) in Fourier space. *)
+let make_precond ?(dft = naive_dft) op =
+  Obs.Metrics.incr c_builds;
+  let n = op.n and n1 = op.n1 in
+  let inv_n1 = 1. /. float_of_int n1 in
+  let cbar = Mat.zeros n n and bbar = Mat.zeros n n in
+  for k = 0 to n1 - 1 do
+    let ck = op.c_blocks.(k) and bk = op.b_blocks.(k) in
+    for i = 0 to n - 1 do
+      for l = 0 to n - 1 do
+        cbar.(i).(l) <- cbar.(i).(l) +. (inv_n1 *. ck.(i).(l));
+        bbar.(i).(l) <- bbar.(i).(l) +. (inv_n1 *. bk.(i).(l))
+      done
+    done
+  done;
+  let col0 = Cx.Cvec.init n1 (fun m -> Cx.cx op.d.(m).(0) 0.) in
+  let lambda = dft.fwd col0 in
+  (* The preconditioner only ever sees real vectors, and D is a real
+     circulant, so lambda_{n1-l} = conj lambda_l and M_{n1-l} = conj M_l:
+     only the lower half-spectrum blocks need factoring, and conjugate
+     symmetry supplies the rest. *)
+  let half = n1 / 2 in
+  let coeffs = Array.init (half + 1) (fun l -> Cx.scale op.alpha lambda.(l)) in
+  {
+    pn = n;
+    pn1 = n1;
+    half;
+    blocks = spectral_blocks ~coeffs ~cbar ~bbar;
+    transform = dft;
+    hat = Array.init n (fun _ -> Cx.Cvec.zeros (half + 1));
+    rhs = Cx.Cvec.zeros n;
+    wbuf = Cx.Cvec.zeros n1;
+  }
+
+(* Apply M^{-1}: component-wise DFT across the blocks, one small
+   complex solve per wavenumber, inverse DFT.  Only the first
+   [n1 * n] entries of [v] are read.  The input is real, so the
+   per-component spectra are conjugate-symmetric: components are
+   transformed two-per-complex-FFT, only wavenumbers 0..n1/2 are
+   solved, and the inverse transforms are paired the same way. *)
+let precond_apply pc v =
+  Obs.Metrics.incr c_applies;
+  let n = pc.pn and n1 = pc.pn1 and half = pc.half in
+  let i = ref 0 in
+  while !i < n do
+    let ia = !i in
+    if ia + 1 < n then begin
+      (* components ia and ia+1 ride as re/im of one complex series *)
+      let buf = Cx.Cvec.init n1 (fun k -> Cx.cx v.((k * n) + ia) v.((k * n) + ia + 1)) in
+      let z = pc.transform.fwd buf in
+      let ha = pc.hat.(ia) and hb = pc.hat.(ia + 1) in
+      for l = 0 to half do
+        let zl = z.(l) and zm = z.((n1 - l) mod n1) in
+        ha.(l) <- Cx.cx (0.5 *. (Cx.re zl +. Cx.re zm)) (0.5 *. (Cx.im zl -. Cx.im zm));
+        hb.(l) <- Cx.cx (0.5 *. (Cx.im zl +. Cx.im zm)) (0.5 *. (Cx.re zm -. Cx.re zl))
+      done
+    end
+    else begin
+      let buf = Cx.Cvec.init n1 (fun k -> Cx.cx v.((k * n) + ia) 0.) in
+      let z = pc.transform.fwd buf in
+      let ha = pc.hat.(ia) in
+      for l = 0 to half do
+        ha.(l) <- z.(l)
+      done
+    end;
+    i := ia + 2
+  done;
+  for l = 0 to half do
+    for i = 0 to n - 1 do
+      pc.rhs.(i) <- pc.hat.(i).(l)
+    done;
+    let z = Cx.Clu.solve pc.blocks.(l) pc.rhs in
+    for i = 0 to n - 1 do
+      pc.hat.(i).(l) <- z.(i)
+    done
+  done;
+  let out = Array.make (n1 * n) 0. in
+  let i = ref 0 in
+  while !i < n do
+    let ia = !i in
+    if ia + 1 < n then begin
+      let ha = pc.hat.(ia) and hb = pc.hat.(ia + 1) in
+      for l = 0 to half do
+        pc.wbuf.(l) <- Cx.cx (Cx.re ha.(l) -. Cx.im hb.(l)) (Cx.im ha.(l) +. Cx.re hb.(l))
+      done;
+      for l = half + 1 to n1 - 1 do
+        let m = n1 - l in
+        pc.wbuf.(l) <- Cx.cx (Cx.re ha.(m) +. Cx.im hb.(m)) (Cx.re hb.(m) -. Cx.im ha.(m))
+      done;
+      let w = pc.transform.inv pc.wbuf in
+      for k = 0 to n1 - 1 do
+        out.((k * n) + ia) <- Cx.re w.(k);
+        out.((k * n) + ia + 1) <- Cx.im w.(k)
+      done
+    end
+    else begin
+      let ha = pc.hat.(ia) in
+      for l = 0 to half do
+        pc.wbuf.(l) <- ha.(l)
+      done;
+      for l = half + 1 to n1 - 1 do
+        pc.wbuf.(l) <- Complex.conj ha.(n1 - l)
+      done;
+      let w = pc.transform.inv pc.wbuf in
+      for k = 0 to n1 - 1 do
+        out.((k * n) + ia) <- Cx.re w.(k)
+      done
+    end;
+    i := ia + 2
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Bordered (Schur) preconditioner for the omega column + phase row    *)
+(* ------------------------------------------------------------------ *)
+
+type bordered = { base : precond; brow : Vec.t; z2 : Vec.t; pz2 : float }
+
+let dot_prefix a b n =
+  let s = ref 0. in
+  for i = 0 to n - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let make_bordered pc ~border_col ~border_row =
+  let nd = pc.pn * pc.pn1 in
+  let z2 = precond_apply pc border_col in
+  let pz2 = dot_prefix border_row z2 nd in
+  if not (Float.is_finite pz2) || Float.abs pz2 < 1e-300 then
+    failwith "Structured.make_bordered: singular border Schur complement";
+  { base = pc; brow = border_row; z2; pz2 }
+
+(* Exact inverse of [[M b] [p 0]] given M^{-1}: z = M^{-1} r - zeta z2
+   with z2 = M^{-1} b and zeta = (p . M^{-1} r - rho) / (p . z2). *)
+let bordered_apply bp v =
+  let nd = bp.base.pn * bp.base.pn1 in
+  let z1 = precond_apply bp.base v in
+  let rho = v.(nd) in
+  let zeta = (dot_prefix bp.brow z1 nd -. rho) /. bp.pz2 in
+  let out = Array.make (nd + 1) 0. in
+  for i = 0 to nd - 1 do
+    out.(i) <- z1.(i) -. (zeta *. bp.z2.(i))
+  done;
+  out.(nd) <- zeta;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Packaged Newton-direction solves                                    *)
+(* ------------------------------------------------------------------ *)
+
+let solve_op ?dft ?(restart = 80) ?max_iter ?(tol = 1e-10) op b =
+  let pc = make_precond ?dft op in
+  let out = Array.make (dim op) 0. in
+  Gmres.solve
+    ~matvec:(fun v ->
+      apply_into op v out;
+      Array.copy out)
+    ~m_inv:(precond_apply pc) ~restart ?max_iter ~tol b
+
+let solve_bordered ?dft ?(restart = 80) ?max_iter ?(tol = 1e-10) op ~border_col ~border_row b =
+  let pc = make_precond ?dft op in
+  let bp = make_bordered pc ~border_col ~border_row in
+  let nd = dim op in
+  let out = Array.make (nd + 1) 0. in
+  Gmres.solve
+    ~matvec:(fun v ->
+      apply_bordered_into op ~border_col ~border_row v out;
+      Array.copy out)
+    ~m_inv:(bordered_apply bp) ~restart ?max_iter ~tol b

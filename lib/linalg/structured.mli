@@ -1,0 +1,139 @@
+(** Structured operators for collocation-style Newton systems.
+
+    The WaMPDE/HB collocation Jacobian has the form
+
+    {[ J = alpha (D (x) C) + blockdiag(B_1 .. B_n1) ]}
+
+    where [D] is the (circulant) [n1 x n1] differentiation matrix of the
+    periodic fast-time grid, [C_k = dq(x_k)] and [B_j] collects the
+    remaining per-point blocks (typically [dq + h theta df] or [df]).
+    This module provides matrix-free products with that operator, an
+    FFT-diagonalized averaged-Jacobian block preconditioner, and a
+    bordered (Schur) treatment of the trailing oscillator-frequency
+    column and phase-condition row, so preconditioned {!Gmres} replaces
+    the dense O((n1 n)^3) LU factorization.
+
+    Instrumented via [gmres.precond.builds], [gmres.precond.applies],
+    [gmres.precond.block_factors] and [gmres.precond.fallbacks] in
+    {!Wampde_obs.Metrics}. *)
+
+(** How a caller should solve its collocation Newton systems. *)
+type strategy =
+  | Dense  (** always assemble + LU factor *)
+  | Krylov  (** always matrix-free preconditioned GMRES *)
+  | Auto of int  (** Krylov once the unknown count reaches the threshold *)
+
+(** Default [Auto] threshold on the number of unknowns. *)
+val default_threshold : int
+
+(** [auto] is [Auto default_threshold]. *)
+val auto : strategy
+
+(** [use_krylov strategy ~dim] decides the path for a system of [dim]
+    unknowns. *)
+val use_krylov : strategy -> dim:int -> bool
+
+(** Record a fallback from the Krylov path to dense LU (bumps the
+    [gmres.precond.fallbacks] counter). *)
+val fallback_to_dense : unit -> unit
+
+(** {1 Matrix-free operator} *)
+
+type op
+
+(** [make_op ~alpha ~d ~c_blocks ~b_blocks] builds the operator
+    [alpha (D (x) C) + blockdiag(B)].  [c_blocks] and [b_blocks] hold
+    one [n x n] block per collocation point; [d] is [n1 x n1].  The
+    block matrices are captured by reference, not copied. *)
+val make_op : alpha:float -> d:Mat.t -> c_blocks:Mat.t array -> b_blocks:Mat.t array -> op
+
+(** Number of unknowns [n1 * n] of the block part. *)
+val dim : op -> int
+
+(** [block_mul_into blocks ~src ~dst] applies a block-diagonal matrix:
+    [dst_k = blocks_k src_k] for each length-[n] slice. *)
+val block_mul_into : Mat.t array -> src:Vec.t -> dst:Vec.t -> unit
+
+(** [apply_into op v out] writes [J v] into [out].  Only the first
+    [dim op] entries of [v] and [out] are touched, so longer (bordered)
+    vectors can be passed.  [out] must not alias [v]. *)
+val apply_into : op -> Vec.t -> Vec.t -> unit
+
+(** Allocating variant of {!apply_into}. *)
+val apply : op -> Vec.t -> Vec.t
+
+(** [apply_bordered_into op ~border_col ~border_row v out] applies the
+    [(dim + 1)]-square bordered operator [[J b] [p 0]]. *)
+val apply_bordered_into : op -> border_col:Vec.t -> border_row:Vec.t -> Vec.t -> Vec.t -> unit
+
+(** Allocating variant of {!apply_bordered_into}. *)
+val apply_bordered : op -> border_col:Vec.t -> border_row:Vec.t -> Vec.t -> Vec.t
+
+(** Dense assembly of the block part; for tests and small fallbacks. *)
+val to_dense : op -> Mat.t
+
+(** {1 DFT plumbing}
+
+    [linalg] sits below [fourier] in the library graph, so the fast
+    transform is injected: callers pass [Fourier.Fft.fft]/[ifft] (the
+    engineering convention, forward kernel [e^{-2 pi i jk/n}], inverse
+    scaled by [1/n]).  {!naive_dft} is a matching O(n^2) fallback. *)
+
+type dft = { fwd : Cx.Cvec.t -> Cx.Cvec.t; inv : Cx.Cvec.t -> Cx.Cvec.t }
+
+val naive_dft : dft
+
+(** {1 Averaged-Jacobian block preconditioner} *)
+
+(** [spectral_blocks ~coeffs ~cbar ~bbar] factors one complex [n x n]
+    block per entry of [coeffs]: [M_l = coeffs_l cbar + bbar].  This is
+    the shared kernel behind the collocation preconditioner (where
+    [coeffs_l = alpha lambda_l] for circulant eigenvalues [lambda]) and
+    the harmonic-balance preconditioners (where [coeffs_i = j omega_i]).
+    May raise [Cx.Clu.Singular]. *)
+val spectral_blocks : coeffs:Cx.c array -> cbar:Mat.t -> bbar:Mat.t -> Cx.Clu.t array
+
+type precond
+
+(** [make_precond ?dft op] averages the [C]/[B] blocks over the grid,
+    diagonalizes the circulant [D] with the DFT and factors the [n1]
+    resulting complex [n x n] blocks.  May raise [Cx.Clu.Singular]. *)
+val make_precond : ?dft:dft -> op -> precond
+
+(** [precond_apply pc v] applies the approximate inverse.  Only the
+    first [dim] entries of [v] are read; the result is freshly
+    allocated (safe to hand to {!Gmres}). *)
+val precond_apply : precond -> Vec.t -> Vec.t
+
+type bordered
+
+(** [make_bordered pc ~border_col ~border_row] extends the block
+    preconditioner to the bordered system via the exact Schur
+    complement of the (approximate) block inverse.  Raises [Failure] if
+    the border Schur complement degenerates. *)
+val make_bordered : precond -> border_col:Vec.t -> border_row:Vec.t -> bordered
+
+(** [bordered_apply bp v] applies the bordered approximate inverse to a
+    length-[dim + 1] vector; the result is freshly allocated. *)
+val bordered_apply : bordered -> Vec.t -> Vec.t
+
+(** {1 Packaged Newton-direction solves} *)
+
+(** [solve_op op b] runs preconditioned GMRES on the block system.
+    Check [converged] on the result and fall back to dense LU (calling
+    {!fallback_to_dense}) if it failed. *)
+val solve_op :
+  ?dft:dft -> ?restart:int -> ?max_iter:int -> ?tol:float -> op -> Vec.t -> Gmres.result
+
+(** [solve_bordered op ~border_col ~border_row b] runs preconditioned
+    GMRES on the bordered system ([b] has length [dim + 1]). *)
+val solve_bordered :
+  ?dft:dft ->
+  ?restart:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  op ->
+  border_col:Vec.t ->
+  border_row:Vec.t ->
+  Vec.t ->
+  Gmres.result

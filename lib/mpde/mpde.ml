@@ -57,7 +57,20 @@ let g_jacobian sys ~n1 ~d ~t2 states =
   done;
   jac
 
-let periodic_initial sys ~n1 ~guess =
+(* Matrix-free Newton direction through the structured collocation
+   operator; falls back to the dense Jacobian when GMRES stalls or the
+   preconditioner degenerates. *)
+let structured_linear_solve ~build_op ~dense_jacobian x r =
+  let fallback () =
+    Structured.fallback_to_dense ();
+    Lu.solve (Lu.factor (dense_jacobian x)) r
+  in
+  match Structured.solve_op ~dft:Fourier.Fft.structured_dft (build_op x) r with
+  | res when res.Gmres.converged -> res.Gmres.x
+  | _ -> fallback ()
+  | exception (Cx.Clu.Singular _ | Failure _) -> fallback ()
+
+let periodic_initial ?(solver = Structured.auto) sys ~n1 ~guess =
   if n1 mod 2 = 0 then invalid_arg "Mpde.periodic_initial: n1 must be odd";
   Obs.Span.span
     ~attrs:[ ("n1", Obs.Span.Int n1); ("dim", Obs.Span.Int sys.dae.Dae.dim) ]
@@ -68,14 +81,27 @@ let periodic_initial sys ~n1 ~guess =
   let residual y = eval_g sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
   let jacobian y = g_jacobian sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
   let report =
-    Nonlin.Newton.solve ~options:newton_options ~label:"mpde.initial" ~jacobian ~residual
-      (pack guess)
+    if Structured.use_krylov solver ~dim:(n1 * n) then begin
+      (* J = (1/p1) (D (x) dq) + blockdiag(df) *)
+      let build_op y =
+        let st = unpack ~n1 ~n y in
+        Structured.make_op ~alpha:(1. /. sys.p1) ~d
+          ~c_blocks:(Array.map sys.dae.Dae.dq st)
+          ~b_blocks:(Array.map (fun x -> sys.dae.Dae.df ~t:0. x) st)
+      in
+      Nonlin.Newton.solve_with ~options:newton_options ~label:"mpde.initial"
+        ~linear_solve:(structured_linear_solve ~build_op ~dense_jacobian:jacobian)
+        ~residual (pack guess)
+    end
+    else
+      Nonlin.Newton.solve ~options:newton_options ~label:"mpde.initial" ~jacobian ~residual
+        (pack guess)
   in
   if not report.Nonlin.Newton.converged then
     failwith "Mpde.periodic_initial: Newton failed";
   unpack ~n1 ~n report.Nonlin.Newton.x
 
-let simulate sys ~n1 ~t2_end ~h2 ~init =
+let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
   if n1 mod 2 = 0 then invalid_arg "Mpde.simulate: n1 must be odd";
   Obs.Span.span
     ~attrs:
@@ -133,8 +159,25 @@ let simulate sys ~n1 ~t2_end ~h2 ~init =
       jac
     in
     let report =
-      Nonlin.Newton.solve ~options:newton_options ~label:"mpde.step" ~jacobian ~residual
-        (pack !states)
+      if Structured.use_krylov solver ~dim:(n1 * n) then begin
+        (* J = (h theta / p1) (D (x) dq) + blockdiag(dq + h theta df) *)
+        let build_op y =
+          let st = unpack ~n1 ~n y in
+          let cs = Array.map dae.Dae.dq st in
+          let b_blocks =
+            Array.init n1 (fun j ->
+                let gj = dae.Dae.df ~t:t2_new st.(j) in
+                Mat.init n n (fun i l -> cs.(j).(i).(l) +. (h *. theta *. gj.(i).(l))))
+          in
+          Structured.make_op ~alpha:(h *. theta /. sys.p1) ~d ~c_blocks:cs ~b_blocks
+        in
+        Nonlin.Newton.solve_with ~options:newton_options ~label:"mpde.step"
+          ~linear_solve:(structured_linear_solve ~build_op ~dense_jacobian:jacobian)
+          ~residual (pack !states)
+      end
+      else
+        Nonlin.Newton.solve ~options:newton_options ~label:"mpde.step" ~jacobian ~residual
+          (pack !states)
     in
     if not report.Nonlin.Newton.converged then begin
       if Obs.Events.active () then

@@ -31,14 +31,24 @@ type result = {
 (** [simulate sys ~n1 ~t2_end ~h2 ~init] — envelope-following MPDE:
     collocation (odd [n1], spectral differentiation) along [t1],
     trapezoidal time-stepping along [t2] from the initial fast
-    steady-state guess [init] (grid of [n1] states).  Raises [Failure]
-    on Newton failure. *)
-val simulate : system -> n1:int -> t2_end:float -> h2:float -> init:Vec.t array -> result
+    steady-state guess [init] (grid of [n1] states).  [solver] picks
+    dense LU or matrix-free preconditioned GMRES for the collocation
+    Newton systems (default [Structured.auto]).  Raises [Failure] on
+    Newton failure. *)
+val simulate :
+  ?solver:Structured.strategy ->
+  system ->
+  n1:int ->
+  t2_end:float ->
+  h2:float ->
+  init:Vec.t array ->
+  result
 
 (** [periodic_initial sys ~n1 ~guess] solves the fast-periodic steady
     state at frozen [t2 = 0] ([dq/dt2] dropped): the natural initial
     condition for {!simulate}. *)
-val periodic_initial : system -> n1:int -> guess:Vec.t array -> Vec.t array
+val periodic_initial :
+  ?solver:Structured.strategy -> system -> n1:int -> guess:Vec.t array -> Vec.t array
 
 (** [quasiperiodic sys ~n1 ~n2 ~p2 ~guess] solves the biperiodic
     steady state on an [n1 x n2] grid (both odd), with slow period

@@ -9,11 +9,17 @@ let c_iters = Obs.Metrics.counter "broyden.iterations"
    residual. *)
 let solve ?(max_iterations = 100) ?(residual_tol = 1e-10) ?jacobian ~residual x0 =
   Obs.Span.span ~attrs:[ ("dim", Obs.Span.Int (Array.length x0)) ] "broyden.solve" @@ fun () ->
-  let jac = match jacobian with Some j -> j | None -> fun x -> Fdjac.jacobian residual x in
+  (* every refactorization site holds the residual at the current
+     iterate, so the FD path can skip its base evaluation *)
+  let jac =
+    match jacobian with
+    | Some j -> fun x _f0 -> j x
+    | None -> fun x f0 -> Fdjac.jacobian ~f0 residual x
+  in
   let x = ref (Array.copy x0) in
   let r = ref (residual !x) in
   let rnorm = ref (Vec.norm_inf !r) in
-  let b = ref (jac !x) in
+  let b = ref (jac !x !r) in
   let fresh = ref true in
   let finish ~iterations ~converged ~reason : Newton.report =
     Obs.Metrics.incr c_solves;
@@ -32,7 +38,7 @@ let solve ?(max_iterations = 100) ?(residual_tol = 1e-10) ?jacobian ~residual x0
       | exception Lu.Singular _ ->
         if !fresh then finish ~iterations:k ~converged:false ~reason:(Some Newton.Singular_jacobian)
         else begin
-          b := jac !x;
+          b := jac !x !r;
           fresh := true;
           iterate k
         end
@@ -65,7 +71,7 @@ let solve ?(max_iterations = 100) ?(residual_tol = 1e-10) ?jacobian ~residual x0
           iterate (k + 1)
         end
         else if not !fresh then begin
-          b := jac !x;
+          b := jac !x !r;
           fresh := true;
           iterate (k + 1)
         end
@@ -86,7 +92,7 @@ let solve ?(max_iterations = 100) ?(residual_tol = 1e-10) ?jacobian ~residual x0
             x := t;
             r := rtl;
             rnorm := nl;
-            b := jac !x;
+            b := jac !x !r;
             iterate (k + 1)
         end
     end

@@ -10,9 +10,9 @@ let step ?typical x j base =
   let xh = x.(j) +. h in
   xh -. x.(j)
 
-let jacobian ?typical f x =
+let jacobian ?typical ?f0 f x =
   let n = Array.length x in
-  let f0 = f x in
+  let f0 = match f0 with Some v -> v | None -> f x in
   let m = Array.length f0 in
   let jac = Mat.zeros m n in
   let xp = Array.copy x in
@@ -43,12 +43,13 @@ let jacobian_central ?typical f x =
   let m = Array.length cols.(0) in
   Mat.init m n (fun i j -> cols.(j).(i))
 
-let directional f x v =
+let directional ?f0 f x v =
   let vnorm = Vec.norm_inf v in
-  if vnorm = 0. then Array.make (Array.length (f x)) 0.
+  let f0 = match f0 with Some v -> v | None -> f x in
+  if vnorm = 0. then Array.make (Array.length f0) 0.
   else begin
     let h = sqrt_eps *. Float.max 1. (Vec.norm_inf x) /. vnorm in
     let xp = Array.mapi (fun i xi -> xi +. (h *. v.(i))) x in
-    let fp = f xp and f0 = f x in
+    let fp = f xp in
     Array.map2 (fun a b -> (a -. b) /. h) fp f0
   end

@@ -2,16 +2,18 @@
 
 open Linalg
 
-(** [jacobian ?typical f x] approximates the Jacobian of [f] at [x] by
-    one-sided differences.  The step for column [j] is
+(** [jacobian ?typical ?f0 f x] approximates the Jacobian of [f] at [x]
+    by one-sided differences.  The step for column [j] is
     [sqrt eps * max |x_j| typical_j] with [typical] defaulting to 1,
-    guarding against zero components. *)
-val jacobian : ?typical:Vec.t -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
+    guarding against zero components.  Passing [?f0 = f x] (which most
+    Newton-style callers already hold) saves one evaluation of [f]. *)
+val jacobian : ?typical:Vec.t -> ?f0:Vec.t -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
 
 (** [jacobian_central ?typical f x] is the 2nd-order central-difference
     variant (twice the evaluations, more accurate). *)
 val jacobian_central : ?typical:Vec.t -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
 
-(** [directional f x v] approximates the Jacobian–vector product
-    [J(x) v] with a single extra evaluation of [f]. *)
-val directional : (Vec.t -> Vec.t) -> Vec.t -> Vec.t -> Vec.t
+(** [directional ?f0 f x v] approximates the Jacobian–vector product
+    [J(x) v] with a single extra evaluation of [f] when [?f0 = f x] is
+    supplied (two otherwise). *)
+val directional : ?f0:Vec.t -> (Vec.t -> Vec.t) -> Vec.t -> Vec.t -> Vec.t

@@ -14,6 +14,8 @@ let default_options =
 
 type failure_reason = Singular_jacobian | Line_search_failed | Iteration_limit
 
+exception Linear_solve_failed of string
+
 type report = {
   x : Vec.t;
   residual_norm : float;
@@ -32,12 +34,11 @@ let c_iters = Obs.Metrics.counter "newton.iterations"
 let c_failures = Obs.Metrics.counter "newton.failures"
 let h_iters = Obs.Metrics.histogram "newton.iterations_per_solve"
 
-let solve ?(options = default_options) ?(label = "newton") ?jacobian ~residual x0 =
+let solve_with ?(options = default_options) ?(label = "newton") ~linear_solve ~residual x0 =
   Obs.Span.span
     ~attrs:[ ("label", Obs.Span.Str label); ("dim", Obs.Span.Int (Array.length x0)) ]
     "newton.solve"
   @@ fun () ->
-  let jac = match jacobian with Some j -> j | None -> fun x -> Fdjac.jacobian residual x in
   let x = ref (Array.copy x0) in
   let r = ref (residual !x) in
   let rnorm = ref (Vec.norm_inf !r) in
@@ -56,11 +57,10 @@ let solve ?(options = default_options) ?(label = "newton") ?jacobian ~residual x
     else if k >= options.max_iterations then
       finish ~iterations:k ~converged:false ~reason:(Some Iteration_limit)
     else begin
-      match Lu.factor (jac !x) with
-      | exception Lu.Singular _ ->
+      match linear_solve !x !r with
+      | exception (Lu.Singular _ | Linear_solve_failed _) ->
         finish ~iterations:k ~converged:false ~reason:(Some Singular_jacobian)
-      | factored ->
-        let dx = Lu.solve factored !r in
+      | dx ->
         Vec.scale_inplace (-1.) dx;
         (* backtracking line search: accept a step that reduces ||r|| *)
         let rec backtrack lambda =
@@ -96,6 +96,15 @@ let solve ?(options = default_options) ?(label = "newton") ?jacobian ~residual x
     end
   in
   iterate 0
+
+let solve ?options ?label ?jacobian ~residual x0 =
+  let linear_solve x r =
+    let j =
+      match jacobian with Some j -> j x | None -> Fdjac.jacobian ~f0:r residual x
+    in
+    Lu.solve (Lu.factor j) r
+  in
+  solve_with ?options ?label ~linear_solve ~residual x0
 
 let solve_exn ?options ?label ?jacobian ~residual x0 =
   let report = solve ?options ?label ?jacobian ~residual x0 in

@@ -20,6 +20,10 @@ type failure_reason =
   | Line_search_failed  (** damping hit [min_damping] without progress *)
   | Iteration_limit
 
+(** Raised by a custom [linear_solve] (see {!solve_with}) to abort the
+    iteration; reported as {!Singular_jacobian}. *)
+exception Linear_solve_failed of string
+
 type report = {
   x : Vec.t;
   residual_norm : float;
@@ -41,6 +45,21 @@ val solve :
   ?options:options ->
   ?label:string ->
   ?jacobian:(Vec.t -> Mat.t) ->
+  residual:(Vec.t -> Vec.t) ->
+  Vec.t ->
+  report
+
+(** [solve_with ?options ?label ~linear_solve ~residual x0] is the same
+    damped iteration with a pluggable direction solver:
+    [linear_solve x r] must return a fresh vector [dx] with
+    [J(x) dx ~ r] (the caller negates).  This is how the matrix-free
+    Newton–Krylov paths plug preconditioned {!Linalg.Gmres} solves into
+    the shared globalization logic.  [linear_solve] may raise
+    [Lu.Singular] or {!Linear_solve_failed} to abort. *)
+val solve_with :
+  ?options:options ->
+  ?label:string ->
+  linear_solve:(Vec.t -> Vec.t -> Vec.t) ->
   residual:(Vec.t -> Vec.t) ->
   Vec.t ->
   report

@@ -29,14 +29,30 @@ type solution = {
 }
 
 (** [solve dae ~period ~harmonics ~guess] runs harmonic-balance Newton
-    from a time-domain grid guess ([2 harmonics + 1] states).  Raises
-    [Failure] when Newton does not converge. *)
-val solve : Dae.t -> period:float -> harmonics:int -> guess:Vec.t array -> solution
+    from a time-domain grid guess ([2 harmonics + 1] states).  [solver]
+    (default [Structured.auto]) picks dense complex LU or a matrix-free
+    Newton–Krylov path: the block-Toeplitz Jacobian is applied in the
+    time domain and GMRES is preconditioned with the averaged
+    per-harmonic blocks [jw_i Cbar + Gbar] (falling back to dense LU on
+    stall).  Raises [Failure] when Newton does not converge. *)
+val solve :
+  ?solver:Structured.strategy ->
+  Dae.t ->
+  period:float ->
+  harmonics:int ->
+  guess:Vec.t array ->
+  solution
 
 (** [solve_from_transient dae ~period ~harmonics ~warmup_periods x0]
     integrates a warm-up transient and polishes with {!solve}. *)
 val solve_from_transient :
-  Dae.t -> period:float -> harmonics:int -> warmup_periods:int -> Vec.t -> solution
+  ?solver:Structured.strategy ->
+  Dae.t ->
+  period:float ->
+  harmonics:int ->
+  warmup_periods:int ->
+  Vec.t ->
+  solution
 
 (** [eval sol ~component t] evaluates the steady-state waveform. *)
 val eval : solution -> component:int -> float -> float

@@ -1,0 +1,299 @@
+(* Tests for the structured matrix-free collocation operator and its
+   FFT-diagonalized averaged-block preconditioner (Linalg.Structured),
+   plus the envelope solver's Krylov path. *)
+open Linalg
+
+let two_pi = 2. *. Float.pi
+
+(* Envelope-step-like operator pieces from the VCO steady orbit:
+   J = h theta omega (D (x) dq) + blockdiag(dq + h theta df), bordered
+   by the omega column h theta (D Q) and the phase row. *)
+let vco_step_system () =
+  let p0 = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+  let dae = Circuit.Vco.build p0 in
+  let n1 = 25 in
+  let orbit = Steady.Oscillator.find dae ~n1 ~period_hint:1.333 (Circuit.Vco.initial_state p0) in
+  let n = dae.Dae.dim in
+  let d = Fourier.Series.diff_matrix n1 in
+  let states = orbit.Steady.Oscillator.grid in
+  let omega = orbit.Steady.Oscillator.omega in
+  let h2 = 0.1 and theta = 0.5 in
+  let alpha = h2 *. theta *. omega in
+  let c_blocks = Array.map dae.Dae.dq states in
+  let b_blocks =
+    Array.init n1 (fun j ->
+        let gj = dae.Dae.df ~t:0. states.(j) in
+        Mat.init n n (fun i l -> c_blocks.(j).(i).(l) +. (h2 *. theta *. gj.(i).(l))))
+  in
+  let op = Structured.make_op ~alpha ~d ~c_blocks ~b_blocks in
+  let qs = Array.map dae.Dae.q states in
+  let border_col =
+    Vec.init (n1 * n) (fun idx ->
+        let j = idx / n and i = idx mod n in
+        let s = ref 0. in
+        for k = 0 to n1 - 1 do
+          s := !s +. (d.(j).(k) *. qs.(k).(i))
+        done;
+        h2 *. theta *. !s)
+  in
+  let border_row = Wampde.Phase.row (Wampde.Phase.Derivative 0) ~n1 ~n ~d in
+  (op, border_col, border_row)
+
+let unit_tests =
+  [
+    Alcotest.test_case "matvec matches FD directional derivative of a DAE residual" `Quick
+      (fun () ->
+        (* nonlinear LC oscillator; the structured op must agree with a
+           finite-difference Jacobian-vector product of the actual
+           theta-step collocation residual *)
+        let l = 0.8 in
+        let dae =
+          Dae.make ~dim:2
+            ~q:(fun x -> [| x.(0); l *. x.(1) |])
+            ~f:(fun ~t:_ x ->
+              [| x.(1) -. x.(0) +. (0.3 *. (x.(0) ** 3.)); -.x.(0) |])
+            ~dq:(fun _ -> [| [| 1.; 0. |]; [| 0.; l |] |])
+            ~df:(fun ~t:_ x -> [| [| -1. +. (0.9 *. x.(0) *. x.(0)); 1. |]; [| -1.; 0. |] |])
+            ()
+        in
+        let n = 2 and n1 = 9 in
+        let d = Fourier.Series.diff_matrix n1 in
+        let omega = 1.3 and h2 = 0.2 and theta = 0.5 in
+        let states =
+          Array.init n1 (fun j ->
+              let t1 = float_of_int j /. float_of_int n1 in
+              [| cos (two_pi *. t1); 0.5 *. sin (two_pi *. t1) |])
+        in
+        let pack states = Array.concat (Array.to_list states) in
+        let residual y =
+          let states = Array.init n1 (fun j -> Array.sub y (j * n) n) in
+          let qs = Array.map dae.Dae.q states in
+          Vec.init (n1 * n) (fun idx ->
+              let j = idx / n and i = idx mod n in
+              let s = ref 0. in
+              for k = 0 to n1 - 1 do
+                s := !s +. (d.(j).(k) *. qs.(k).(i))
+              done;
+              qs.(j).(i)
+              +. (h2 *. theta *. ((omega *. !s) +. (dae.Dae.f ~t:0. states.(j)).(i))))
+        in
+        let c_blocks = Array.map dae.Dae.dq states in
+        let b_blocks =
+          Array.init n1 (fun j ->
+              let gj = dae.Dae.df ~t:0. states.(j) in
+              Mat.init n n (fun i l -> c_blocks.(j).(i).(l) +. (h2 *. theta *. gj.(i).(l))))
+        in
+        let op =
+          Structured.make_op ~alpha:(h2 *. theta *. omega) ~d ~c_blocks ~b_blocks
+        in
+        let y = pack states in
+        let v = Vec.init (n1 * n) (fun i -> sin (float_of_int (3 * i))) in
+        let jv = Structured.apply op v in
+        let jv_fd = Nonlin.Fdjac.directional residual y v in
+        Alcotest.(check bool) "matches FD" true (Vec.approx_equal ~tol:1e-5 jv jv_fd));
+    Alcotest.test_case "precond inverts the operator exactly for constant blocks" `Quick
+      (fun () ->
+        let n = 3 and n1 = 11 in
+        let d = Fourier.Series.diff_matrix n1 in
+        let c = Mat.init n n (fun i j -> if i = j then 2. else 0.3 /. float_of_int (1 + i + j)) in
+        let b = Mat.init n n (fun i j -> if i = j then 5. else sin (float_of_int (i - j))) in
+        let op =
+          Structured.make_op ~alpha:0.7 ~d ~c_blocks:(Array.make n1 c) ~b_blocks:(Array.make n1 b)
+        in
+        let pc = Structured.make_precond op in
+        let r = Vec.init (n1 * n) (fun i -> cos (float_of_int i)) in
+        let z = Structured.precond_apply pc r in
+        let back = Structured.apply op z in
+        Alcotest.(check bool) "A (M^-1 r) = r" true (Vec.approx_equal ~tol:1e-8 back r));
+    Alcotest.test_case "fft and naive dft give the same preconditioner" `Quick (fun () ->
+        let n = 2 and n1 = 13 in
+        let d = Fourier.Series.diff_matrix_fd ~order:4 n1 in
+        let c = Mat.identity n in
+        let b = Mat.init n n (fun i j -> if i = j then 4. else 0.5) in
+        let op =
+          Structured.make_op ~alpha:1.1 ~d ~c_blocks:(Array.make n1 c) ~b_blocks:(Array.make n1 b)
+        in
+        let r = Vec.init (n1 * n) (fun i -> float_of_int ((i mod 5) - 2)) in
+        let z_naive = Structured.precond_apply (Structured.make_precond op) r in
+        let z_fft =
+          Structured.precond_apply
+            (Structured.make_precond ~dft:Fourier.Fft.structured_dft op)
+            r
+        in
+        Alcotest.(check bool) "same" true (Vec.approx_equal ~tol:1e-9 z_naive z_fft));
+    Alcotest.test_case "bordered precond is the exact bordered inverse" `Quick (fun () ->
+        let n = 2 and n1 = 7 in
+        let nd = n * n1 in
+        let d = Fourier.Series.diff_matrix n1 in
+        let c = Mat.init n n (fun i j -> if i = j then 1.5 else 0.2) in
+        let b = Mat.init n n (fun i j -> if i = j then 3. else -0.4) in
+        let op =
+          Structured.make_op ~alpha:0.9 ~d ~c_blocks:(Array.make n1 c) ~b_blocks:(Array.make n1 b)
+        in
+        let border_col = Vec.init nd (fun i -> sin (float_of_int i)) in
+        let border_row = Vec.init nd (fun i -> cos (float_of_int (2 * i))) in
+        let pc = Structured.make_precond op in
+        let bp = Structured.make_bordered pc ~border_col ~border_row in
+        let rhs = Vec.init (nd + 1) (fun i -> float_of_int ((i mod 7) - 3)) in
+        let z = Structured.bordered_apply bp rhs in
+        (* constant blocks: the block preconditioner is exact, so the
+           bordered Schur formula must reproduce the dense solve *)
+        let dense = Mat.init (nd + 1) (nd + 1) (fun i j ->
+            if i < nd && j < nd then (Structured.to_dense op).(i).(j)
+            else if i < nd && j = nd then border_col.(i)
+            else if i = nd && j < nd then border_row.(j)
+            else 0.)
+        in
+        let z_dense = Lu.solve_dense dense rhs in
+        Alcotest.(check bool) "exact" true (Vec.approx_equal ~tol:1e-7 z z_dense));
+    Alcotest.test_case "preconditioned gmres needs <= 1/3 the iterations on a VCO step system"
+      `Quick (fun () ->
+        let op, border_col, border_row = vco_step_system () in
+        let nd = Structured.dim op in
+        let b = Vec.init (nd + 1) (fun i -> sin (float_of_int (7 * i) /. 11.)) in
+        let matvec v = Structured.apply_bordered op ~border_col ~border_row v in
+        let plain = Gmres.solve ~matvec ~restart:(nd + 1) ~max_iter:(nd + 1) ~tol:1e-8 b in
+        let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft op in
+        let bp = Structured.make_bordered pc ~border_col ~border_row in
+        let precond =
+          Gmres.solve ~matvec ~m_inv:(Structured.bordered_apply bp) ~restart:(nd + 1)
+            ~max_iter:(nd + 1) ~tol:1e-8 b
+        in
+        Alcotest.(check bool) "preconditioned converged" true precond.Gmres.converged;
+        Alcotest.(check bool)
+          (Printf.sprintf "%d precond vs %d plain iterations" precond.Gmres.iterations
+             plain.Gmres.iterations)
+          true
+          (precond.Gmres.iterations * 3 <= plain.Gmres.iterations));
+    Alcotest.test_case "envelope Krylov path reproduces the dense omega trajectory" `Quick
+      (fun () ->
+        let p = Circuit.Vco.vco_a () in
+        let dae = Circuit.Vco.build p in
+        let p0 = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+        let orbit =
+          Steady.Oscillator.find (Circuit.Vco.build p0) ~n1:25 ~period_hint:1.333
+            (Circuit.Vco.initial_state p0)
+        in
+        let run solver =
+          let options = Wampde.Envelope.default_options ~n1:25 ~solver () in
+          Wampde.Envelope.simulate dae ~options ~t2_end:2. ~h2:0.25 ~init:orbit
+        in
+        let dense = run Structured.Dense in
+        let krylov = run Structured.Krylov in
+        Alcotest.(check int) "same step count"
+          (Array.length dense.Wampde.Envelope.omega)
+          (Array.length krylov.Wampde.Envelope.omega);
+        Array.iteri
+          (fun i om_d ->
+            let om_k = krylov.Wampde.Envelope.omega.(i) in
+            let rel = Float.abs (om_k -. om_d) /. Float.max 1e-12 (Float.abs om_d) in
+            if rel > 1e-6 then
+              Alcotest.failf "omega mismatch at index %d: dense %.9g krylov %.9g (rel %.2e)" i
+                om_d om_k rel)
+          dense.Wampde.Envelope.omega);
+    Alcotest.test_case "harmonic balance Krylov path matches dense" `Quick (fun () ->
+        (* forced nonlinear RC: q = x + 0.2 x^3, f = x - cos(2 pi t / T) *)
+        let period = 2.5 in
+        let dae =
+          Dae.make ~dim:1
+            ~q:(fun x -> [| x.(0) +. (0.2 *. (x.(0) ** 3.)) |])
+            ~f:(fun ~t x -> [| x.(0) -. cos (two_pi *. t /. period) |])
+            ~dq:(fun x -> [| [| 1. +. (0.6 *. x.(0) *. x.(0)) |] |])
+            ~df:(fun ~t:_ _ -> [| [| 1. |] |])
+            ()
+        in
+        let m = 9 in
+        let nn = (2 * m) + 1 in
+        let guess = Array.init nn (fun _ -> [| 0. |]) in
+        let dense = Steady.Hb.solve ~solver:Structured.Dense dae ~period ~harmonics:m ~guess in
+        let krylov = Steady.Hb.solve ~solver:Structured.Krylov dae ~period ~harmonics:m ~guess in
+        Alcotest.(check bool) "krylov residual small" true
+          (Steady.Hb.residual_norm dae krylov < 1e-8);
+        for k = 0 to 20 do
+          let t = period *. float_of_int k /. 20. in
+          let vd = Steady.Hb.eval dense ~component:0 t in
+          let vk = Steady.Hb.eval krylov ~component:0 t in
+          if Float.abs (vd -. vk) > 1e-8 then
+            Alcotest.failf "hb waveform mismatch at t = %.3f: %.10g vs %.10g" t vd vk
+        done);
+    Alcotest.test_case "hb-envelope Krylov path matches dense" `Quick (fun () ->
+        let p = Circuit.Vco.vco_a () in
+        let dae = Circuit.Vco.build p in
+        let p0 = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+        let m = 7 in
+        let orbit =
+          Steady.Oscillator.find (Circuit.Vco.build p0) ~n1:((2 * m) + 1) ~period_hint:1.333
+            (Circuit.Vco.initial_state p0)
+        in
+        let run solver =
+          Wampde.Hb_envelope.simulate ~solver dae ~harmonics:m ~t2_end:1. ~h2:0.25 ~init:orbit
+            ()
+        in
+        let dense = run Structured.Dense in
+        let krylov = run Structured.Krylov in
+        Array.iteri
+          (fun i om_d ->
+            let om_k = krylov.Wampde.Hb_envelope.omega.(i) in
+            let rel = Float.abs (om_k -. om_d) /. Float.max 1e-12 (Float.abs om_d) in
+            if rel > 1e-6 then
+              Alcotest.failf "hb-envelope omega mismatch at index %d: %.9g vs %.9g" i om_d om_k)
+          dense.Wampde.Hb_envelope.omega)
+  ]
+
+(* Property-based tests: a random linear DAE (q = C x, f = B x) has the
+   structured operator as its exact collocation Jacobian, so the
+   matrix-free product must match the dense assembly column by column. *)
+let prop_tests =
+  let open QCheck in
+  let finite_float = Gen.float_range (-3.) 3. in
+  let mat_gen n =
+    Gen.map
+      (fun rows ->
+        Array.mapi
+          (fun i row ->
+            let r = Array.copy row in
+            r.(i) <- r.(i) +. 6.;
+            r)
+          rows)
+      (Gen.array_size (Gen.return n) (Gen.array_size (Gen.return n) finite_float))
+  in
+  let system_gen =
+    Gen.map3
+      (fun cs bs alpha -> (cs, bs, alpha))
+      (Gen.array_size (Gen.return 9) (mat_gen 3))
+      (Gen.array_size (Gen.return 9) (mat_gen 3))
+      (Gen.float_range 0.1 2.)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"structured matvec matches dense columns to 1e-10" ~count:40
+         (make system_gen)
+         (fun (cs, bs, alpha) ->
+           let n1 = Array.length cs and n = 3 in
+           let d = Fourier.Series.diff_matrix n1 in
+           let op = Structured.make_op ~alpha ~d ~c_blocks:cs ~b_blocks:bs in
+           let dense = Structured.to_dense op in
+           let ok = ref true in
+           for j = 0 to (n1 * n) - 1 do
+             let e = Array.make (n1 * n) 0. in
+             e.(j) <- 1.;
+             let col = Structured.apply op e in
+             for i = 0 to (n1 * n) - 1 do
+               if Float.abs (col.(i) -. dense.(i).(j)) > 1e-10 then ok := false
+             done
+           done;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"preconditioned gmres solves the structured system" ~count:15
+         (make system_gen)
+         (fun (cs, bs, alpha) ->
+           let n1 = Array.length cs and n = 3 in
+           let d = Fourier.Series.diff_matrix n1 in
+           let op = Structured.make_op ~alpha ~d ~c_blocks:cs ~b_blocks:bs in
+           let b = Vec.init (n1 * n) (fun i -> sin (float_of_int i)) in
+           let res = Structured.solve_op ~tol:1e-11 op b in
+           res.Gmres.converged
+           && Vec.approx_equal ~tol:1e-6 (Structured.apply op res.Gmres.x) b));
+  ]
+
+let suites = [ ("structured", unit_tests @ prop_tests) ]

@@ -260,7 +260,13 @@ let quasi_tests =
         in
         approx_tol 1e-8 "mean freq"
           (Wampde.Quasiperiodic.mean_frequency dense)
-          (Wampde.Quasiperiodic.mean_frequency gmres));
+          (Wampde.Quasiperiodic.mean_frequency gmres);
+        let krylov =
+          Wampde.Quasiperiodic.solve dae ~linear_solver:`Krylov ~options ~p2:40. ~n2:11 ~guess ()
+        in
+        approx_tol 1e-8 "mean freq (matrix-free)"
+          (Wampde.Quasiperiodic.mean_frequency dense)
+          (Wampde.Quasiperiodic.mean_frequency krylov));
   ]
 
 let special_case_tests =
