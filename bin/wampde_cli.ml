@@ -137,15 +137,86 @@ let solver_arg =
   in
   Arg.(value & opt kind Linalg.Structured.auto & info [ "solver" ] ~docv:"KIND" ~doc)
 
+(* ---------- adaptive-stepping flags (envelope subcommand) ---------- *)
+
+let rtol_arg =
+  let doc = "Relative tolerance for adaptive slow-time stepping (enables the adaptive path)." in
+  Arg.(value & opt (some float) None & info [ "rtol" ] ~docv:"TOL" ~doc)
+
+let atol_arg =
+  let doc = "Absolute tolerance floor for adaptive stepping (default rtol / 1000)." in
+  Arg.(value & opt (some float) None & info [ "atol" ] ~docv:"TOL" ~doc)
+
+let h2min_arg =
+  let doc = "Smallest allowed slow step; going below it aborts the run." in
+  Arg.(value & opt (some float) None & info [ "h2min" ] ~docv:"US" ~doc)
+
+let h2max_arg =
+  let doc = "Largest allowed slow step." in
+  Arg.(value & opt (some float) None & info [ "h2max" ] ~docv:"US" ~doc)
+
+let checkpoint_arg =
+  let doc = "Write a binary checkpoint to $(docv) during the run (adaptive path only)." in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Accepted steps between checkpoint writes." in
+  Arg.(value & opt int 10 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let resume_arg =
+  let doc = "Resume an interrupted adaptive run from the checkpoint file $(docv)." in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
 let envelope_cmd =
-  let run obs which n1 t_end h2 solver =
+  let run obs which n1 t_end h2 solver rtol atol h2min h2max ckpt ckpt_every resume =
     with_obs obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
     let dae = Circuit.Vco.build (params_of which) in
     let options = Wampde.Envelope.default_options ~n1 ~solver () in
-    let res = Wampde.Envelope.simulate dae ~options ~t2_end:t_end ~h2 ~init:orbit in
+    let adaptive =
+      rtol <> None || atol <> None || h2min <> None || h2max <> None || ckpt <> None
+      || resume <> None
+    in
+    let res =
+      try
+        if adaptive then begin
+          let rtol = Option.value rtol ~default:1e-4 in
+          let control =
+            Step_control.default_options ~rtol
+              ~atol:(Option.value atol ~default:(rtol /. 1000.))
+              ~h_min:(Option.value h2min ~default:1e-9)
+              ~h_max:(Option.value h2max ~default:(t_end /. 2.))
+              ()
+          in
+          let checkpoint = Option.map (fun path -> (path, ckpt_every)) ckpt in
+          Wampde.Envelope.simulate_controlled dae ~options ~control ~h2_init:h2 ?checkpoint
+            ?resume ~t2_end:t_end ~init:orbit ()
+        end
+        else Wampde.Envelope.simulate dae ~options ~t2_end:t_end ~h2 ~init:orbit
+      with
+      | Wampde.Envelope.Step_failure { t2; h2; residual; iterations; residual_history } ->
+        Printf.eprintf
+          "wampde_cli: envelope step failed at t2 = %.6g us (h2 = %.3g): Newton residual \
+           %.3e after %d iterations\n"
+          t2 h2 residual iterations;
+        if Array.length residual_history > 0 then begin
+          Printf.eprintf "  residual history:";
+          Array.iter (Printf.eprintf " %.3e") residual_history;
+          prerr_newline ()
+        end;
+        exit 1
+      | Step_control.Underflow { t; h } ->
+        Printf.eprintf
+          "wampde_cli: adaptive step control drove h2 below the minimum at t2 = %.6g us (h2 \
+           = %.3g); relax --rtol or lower --h2min\n"
+          t h;
+        exit 1
+      | Checkpoint.Corrupt msg ->
+        Printf.eprintf "wampde_cli: cannot resume: %s\n" msg;
+        exit 1
+    in
     let amp = Wampde.Envelope.amplitude_track res ~component:Circuit.Vco.idx_voltage in
     Printf.printf "t2_us,omega_mhz,amplitude_v,gap_um\n";
     Array.iteri
@@ -154,10 +225,16 @@ let envelope_cmd =
         Printf.printf "%.4f,%.6f,%.6f,%.6f\n" t2 res.Wampde.Envelope.omega.(i) amp.(i) gap)
       res.Wampde.Envelope.t2
   in
-  let doc = "WaMPDE envelope run; CSV of local frequency and amplitude vs slow time" in
+  let doc =
+    "WaMPDE envelope run; CSV of local frequency and amplitude vs slow time.  With any of \
+     --rtol/--atol/--h2min/--h2max/--checkpoint/--resume the slow step adapts under local \
+     truncation error control and the run can checkpoint and resume."
+  in
   Cmd.v
     (Cmd.info "envelope" ~doc)
-    Term.(const run $ obs_term $ which_arg $ n1_arg $ t_end_arg $ h2_arg $ solver_arg)
+    Term.(
+      const run $ obs_term $ which_arg $ n1_arg $ t_end_arg $ h2_arg $ solver_arg $ rtol_arg
+      $ atol_arg $ h2min_arg $ h2max_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 let transient_cmd =
   let pts_arg =

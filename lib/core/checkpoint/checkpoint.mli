@@ -1,0 +1,53 @@
+(** Binary checkpoint files for long integrator runs.
+
+    A checkpoint is an ordered list of named sections (scalars, text,
+    and 1/2/3-dimensional float arrays) written to a single file with
+    a magic string, a format version and a CRC32 of the payload, so a
+    killed run can resume and a truncated or bit-flipped file is
+    detected instead of silently resuming from garbage.
+
+    Floats round-trip exactly (IEEE-754 bit patterns are stored), so a
+    resumed integration continues bit-compatibly with the run that
+    wrote the file.
+
+    Writes are atomic: the payload goes to [path ^ ".tmp"] and is
+    renamed over [path], so a crash mid-checkpoint leaves the previous
+    checkpoint intact.
+
+    Telemetry: saves and loads run inside [checkpoint.save] /
+    [checkpoint.load] spans, bump the [checkpoint.saves] /
+    [checkpoint.loads] counters and mirror the encoded size in the
+    [checkpoint.bytes] gauge. *)
+
+type section =
+  | Scalar of float
+  | Text of string
+  | Vector of float array
+  | Matrix of float array array
+  | Tensor of float array array array
+
+(** Named sections, preserved in order. *)
+type t = (string * section) list
+
+(** Raised by {!load} on bad magic, unknown version, CRC mismatch,
+    truncation, or by the typed accessors on missing/mistyped
+    sections. *)
+exception Corrupt of string
+
+(** Current on-disk format version. *)
+val format_version : int
+
+val save : path:string -> t -> unit
+val load : path:string -> t
+
+(** {1 Typed accessors} (all raise {!Corrupt} with the section name on
+    a missing or differently-typed section) *)
+
+val scalar : t -> string -> float
+val text : t -> string -> string
+val vector : t -> string -> float array
+val matrix : t -> string -> float array array
+val tensor : t -> string -> float array array array
+
+(** [mem t name] is true when a section [name] exists. *)
+val mem : t -> string -> bool

@@ -25,18 +25,31 @@ let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) ?(solver = Structur
     solver;
   }
 
-type step_failure = { t2 : float; h2 : float; residual : float; iterations : int }
+type step_failure = {
+  t2 : float;
+  h2 : float;
+  residual : float;
+  iterations : int;
+  residual_history : float array;
+}
 
 exception Step_failure of step_failure
 
 let () =
   Printexc.register_printer (function
-    | Step_failure { t2; h2; residual; iterations } ->
+    | Step_failure { t2; h2; residual; iterations; residual_history } ->
+      let tail =
+        let n = Array.length residual_history in
+        let from = Int.max 0 (n - 4) in
+        Array.sub residual_history from (n - from)
+        |> Array.map (Printf.sprintf "%.3e")
+        |> Array.to_list |> String.concat " -> "
+      in
       Some
         (Printf.sprintf
            "Wampde.Envelope.Step_failure: Newton failed at t2 = %.6g (h2 = %.3g, residual %.3e \
-            after %d iterations)"
-           t2 h2 residual iterations)
+            after %d iterations; history ... %s)"
+           t2 h2 residual iterations tail)
     | _ -> None)
 
 type result = {
@@ -208,11 +221,20 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
   let tol = options.newton.Nonlin.Newton.residual_tol in
   let max_iterations = Int.max 40 options.newton.Nonlin.Newton.max_iterations in
   let iters = ref 0 in
+  let history = ref [] in
   let fail rnorm =
     Obs.Metrics.incr c_env_rejects;
     if Obs.Events.active () then
       Obs.Events.emit (Obs.Events.Step_reject { t = t2_new; h = h2; reason = "newton" });
-    raise (Step_failure { t2 = t2_new; h2; residual = rnorm; iterations = !iters })
+    raise
+      (Step_failure
+         {
+           t2 = t2_new;
+           h2;
+           residual = rnorm;
+           iterations = !iters;
+           residual_history = Array.of_list (List.rev !history);
+         })
   in
   let refresh y =
     Obs.Metrics.incr c_jac_refresh;
@@ -281,6 +303,7 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
   !y.(nd) <- omega0;
   residual_into !y !r;
   let rnorm = ref (Vec.norm_inf !r) in
+  history := [ !rnorm ];
   let fresh = ref false in
   let accept () =
     let ty = !y and tr = !r in
@@ -330,6 +353,7 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
        if Float.is_finite rtnorm && (rtnorm <= tol || rtnorm < 0.7 *. !rnorm) then begin
          accept ();
          rnorm := rtnorm;
+         history := rtnorm :: !history;
          fresh := false;
          if Obs.Events.active () then
            Obs.Events.emit
@@ -354,7 +378,8 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
              let nl = Vec.norm_inf !rt in
              if Float.is_finite nl && nl < !rnorm then begin
                accept ();
-               rnorm := nl
+               rnorm := nl;
+               history := nl :: !history
              end
              else backtrack (lambda /. 2.)
            end
@@ -459,7 +484,32 @@ let simulate dae ~options ~t2_end ~h2 ~init =
     options;
   }
 
-let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~tol ~init () =
+(* ---------- adaptive stepping with checkpoint/restart ---------- *)
+
+let c_escalations = Obs.Metrics.counter "controller.escalations"
+
+let checkpoint_sections ~options ~dim ~t2_end ~ctrl ~escalated ~t2 ~omega ~states ~t2s ~omegas
+    ~slices =
+  [
+    ("kind", Checkpoint.Text "envelope");
+    ("n1", Checkpoint.Scalar (float_of_int options.n1));
+    ("dim", Checkpoint.Scalar (float_of_int dim));
+    ("theta", Checkpoint.Scalar options.theta);
+    ("t2_end", Checkpoint.Scalar t2_end);
+    ("t2", Checkpoint.Scalar t2);
+    ("omega", Checkpoint.Scalar omega);
+    ("escalated", Checkpoint.Scalar (if escalated then 1. else 0.));
+    ( "controller",
+      Checkpoint.Vector (Step_control.snapshot_to_floats (Step_control.snapshot ctrl)) );
+    ("states", Checkpoint.Matrix (Array.map Array.copy states));
+    ("hist_t2", Checkpoint.Vector (Array.of_list (List.rev t2s)));
+    ("hist_omega", Checkpoint.Vector (Array.of_list (List.rev omegas)));
+    ( "hist_slices",
+      Checkpoint.Tensor (Array.of_list (List.rev_map (Array.map Array.copy) slices)) );
+  ]
+
+let simulate_controlled dae ~options ~control ?h2_init ?checkpoint ?resume ?on_accept ~t2_end
+    ~init () =
   check_init options init;
   Obs.Span.span
     ~attrs:
@@ -468,90 +518,150 @@ let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~to
         ("dim", Obs.Span.Int dae.Dae.dim);
         ("t2", Obs.Span.Float t2_end);
       ]
-    "envelope.simulate_adaptive"
+    "envelope.simulate_controlled"
   @@ fun () ->
   let init = align_init options init in
   let n1 = options.n1 and n = dae.Dae.dim in
-  let h2_max = match h2_max with Some h -> h | None -> t2_end /. 5. in
+  let nd = n1 * n in
+  (* the theta method's order decides the step-doubling denominator *)
+  let order = if options.theta < 1. then 2 else 1 in
+  let control = { control with Step_control.order } in
+  let control =
+    if Float.is_finite control.Step_control.h_max then control
+    else { control with Step_control.h_max = t2_end /. 2. }
+  in
+  let denom = Step_control.richardson_denom ~order in
   let d = diff_matrix options in
   let phase_row = Phase.row options.phase ~n1 ~n ~d in
-  let t2s = ref [ 0. ] in
-  let omegas = ref [ init.Steady.Oscillator.omega ] in
-  let slices = ref [ Array.map Array.copy init.Steady.Oscillator.grid ] in
-  let iter_count = ref 0 in
+  let t2s = ref [] and omegas = ref [] and slices = ref [] in
   let t2 = ref 0. in
   let states = ref init.Steady.Oscillator.grid and omega = ref init.Steady.Oscillator.omega in
-  let g = ref (eval_g dae ~n1 ~d ~t2:0. !states !omega) in
-  let h = ref h2_init in
+  let escalated = ref false in
+  let iter_count = ref 0 in
+  let ctrl =
+    Step_control.create control
+      ~h_init:(match h2_init with Some h -> h | None -> t2_end /. 50.)
+  in
+  (match resume with
+   | None ->
+     t2s := [ 0. ];
+     omegas := [ !omega ];
+     slices := [ Array.map Array.copy !states ]
+   | Some path ->
+     let ck = Checkpoint.load ~path in
+     let expect name v =
+       let got = Checkpoint.scalar ck name in
+       if got <> v then
+         raise
+           (Checkpoint.Corrupt
+              (Printf.sprintf "checkpoint %s mismatch: file has %g, run has %g" name got v))
+     in
+     if Checkpoint.text ck "kind" <> "envelope" then
+       raise (Checkpoint.Corrupt "not an envelope checkpoint");
+     expect "n1" (float_of_int n1);
+     expect "dim" (float_of_int n);
+     expect "theta" options.theta;
+     t2 := Checkpoint.scalar ck "t2";
+     omega := Checkpoint.scalar ck "omega";
+     states := Array.map Array.copy (Checkpoint.matrix ck "states");
+     escalated := Checkpoint.scalar ck "escalated" <> 0.;
+     Step_control.restore ctrl
+       (Step_control.snapshot_of_floats (Checkpoint.vector ck "controller"));
+     t2s := List.rev (Array.to_list (Checkpoint.vector ck "hist_t2"));
+     omegas := List.rev (Array.to_list (Checkpoint.vector ck "hist_omega"));
+     slices := List.rev_map (Array.map Array.copy) (Array.to_list (Checkpoint.tensor ck "hist_slices")));
+  let g = ref (eval_g dae ~n1 ~d ~t2:!t2 !states !omega) in
   let cache = new_cache () in
   let scratch = make_scratch ~n1 ~n in
+  let since_ckpt = ref 0 in
   while !t2 < t2_end -. (1e-9 *. t2_end) do
-    let hstep = Float.min !h (t2_end -. !t2) in
+    let hstep = Step_control.propose ctrl ~remaining:(t2_end -. !t2) in
+    let opts_now =
+      if !escalated then { options with solver = Structured.Dense } else options
+    in
+    (* start every macro attempt with a cold Jacobian cache so a resumed
+       run retraces the original bit-for-bit (a warm chord cache from the
+       previous step is the one piece of state a checkpoint cannot
+       carry) *)
+    cache.lu <- None;
     let attempt () =
       let full, om_full, it1 =
-        step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new:(!t2 +. hstep) ~h2:hstep
-          ~states0:!states ~g0:!g ~omega0:!omega
+        step dae ~options:opts_now ~cache ~scratch ~d ~phase_row ~t2_new:(!t2 +. hstep)
+          ~h2:hstep ~states0:!states ~g0:!g ~omega0:!omega
       in
       let mid, om_mid, it2 =
-        step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new:(!t2 +. (hstep /. 2.))
-          ~h2:(hstep /. 2.) ~states0:!states ~g0:!g ~omega0:!omega
+        step dae ~options:opts_now ~cache ~scratch ~d ~phase_row
+          ~t2_new:(!t2 +. (hstep /. 2.)) ~h2:(hstep /. 2.) ~states0:!states ~g0:!g
+          ~omega0:!omega
       in
       let g_mid = eval_g dae ~n1 ~d ~t2:(!t2 +. (hstep /. 2.)) mid om_mid in
       let fine, om_fine, it3 =
-        step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new:(!t2 +. hstep) ~h2:(hstep /. 2.)
-          ~states0:mid ~g0:g_mid ~omega0:om_mid
+        step dae ~options:opts_now ~cache ~scratch ~d ~phase_row ~t2_new:(!t2 +. hstep)
+          ~h2:(hstep /. 2.) ~states0:mid ~g0:g_mid ~omega0:om_mid
       in
       iter_count := !iter_count + it1 + it2 + it3;
       (full, om_full, fine, om_fine)
     in
     match attempt () with
-    | exception (Failure _ | Step_failure _) ->
-      h := hstep /. 4.;
-      if !h < h2_min then failwith "Wampde.Envelope.simulate_adaptive: step underflow"
-    | full, om_full, fine, om_fine ->
-      (* relative error estimate; each variable is scaled by its own
-         peak magnitude over the slice so that components passing
-         through zero (and tiny states dominated by Newton solve
-         noise) do not stall the step controller *)
-      let err = ref (Float.abs (om_fine -. om_full) /. Float.max 1e-12 (Float.abs om_fine)) in
-      let comp_scale =
-        Array.init n (fun i ->
-            let peak = ref 1e-9 in
-            for j = 0 to n1 - 1 do
-              peak := Float.max !peak (Float.abs fine.(j).(i))
-            done;
-            !peak)
+    | exception ((Step_failure _ | Lu.Singular _ | Failure _) as exn) ->
+      let reason =
+        match exn with
+        | Step_failure _ -> "newton"
+        | Lu.Singular _ -> "singular factorization"
+        | _ -> "solver failure"
       in
-      for j = 0 to n1 - 1 do
-        for i = 0 to n - 1 do
-          err := Float.max !err (Float.abs (fine.(j).(i) -. full.(j).(i)) /. comp_scale.(i) /. 3.)
-        done
-      done;
-      if !err <= tol then begin
-        Obs.Metrics.incr c_env_steps;
-        if Obs.Events.active () then begin
-          Obs.Events.emit (Obs.Events.Step_accept { t = !t2; h = hstep });
-          Obs.Events.emit
-            (Obs.Events.Phase_condition { omega = om_fine; t2 = !t2 +. hstep })
-        end;
-        t2 := !t2 +. hstep;
-        states := fine;
-        omega := om_fine;
-        g := eval_g dae ~n1 ~d ~t2:!t2 fine om_fine;
-        t2s := !t2 :: !t2s;
-        omegas := om_fine :: !omegas;
-        slices := Array.map Array.copy fine :: !slices;
-        let grow = if !err = 0. then 2. else Float.min 2. (0.9 *. ((tol /. !err) ** (1. /. 3.))) in
-        h := Float.min h2_max (hstep *. Float.max 1. grow)
+      ignore (Step_control.failure_retry ctrl ~t:!t2 ~h_used:hstep ~reason);
+      if
+        Step_control.should_escalate ctrl && (not !escalated)
+        && Structured.use_krylov options.solver ~dim:(nd + 1)
+      then begin
+        (* repeated Newton stalls on the Krylov path: the inexact
+           directions, not the step size, may be the problem — finish
+           the run on dense LU *)
+        escalated := true;
+        Obs.Metrics.incr c_escalations
       end
-      else begin
-        Obs.Metrics.incr c_env_rejects;
-        if Obs.Events.active () then
-          Obs.Events.emit
-            (Obs.Events.Step_reject { t = !t2; h = hstep; reason = "error control" });
-        h := hstep *. Float.max 0.1 (0.9 *. ((tol /. !err) ** (1. /. 3.)));
-        if !h < h2_min then failwith "Wampde.Envelope.simulate_adaptive: step underflow"
-      end
+    | full, om_full, fine, om_fine ->
+      let err =
+        let s = ref 0. in
+        for j = 0 to n1 - 1 do
+          for i = 0 to n - 1 do
+            let e =
+              Step_control.scaled control ~y:fine.(j).(i)
+                ~err:((fine.(j).(i) -. full.(j).(i)) /. denom)
+            in
+            s := !s +. (e *. e)
+          done
+        done;
+        let e_om = Step_control.scaled control ~y:om_fine ~err:((om_fine -. om_full) /. denom) in
+        s := !s +. (e_om *. e_om);
+        sqrt (!s /. float_of_int (nd + 1))
+      in
+      (match Step_control.decide ctrl ~t:!t2 ~h_used:hstep ~err with
+       | Step_control.Reject _ -> Obs.Metrics.incr c_env_rejects
+       | Step_control.Accept _ ->
+         t2 := !t2 +. hstep;
+         states := fine;
+         omega := om_fine;
+         g := eval_g dae ~n1 ~d ~t2:!t2 fine om_fine;
+         Obs.Metrics.incr c_env_steps;
+         if Obs.Events.active () then
+           Obs.Events.emit (Obs.Events.Phase_condition { omega = om_fine; t2 = !t2 });
+         t2s := !t2 :: !t2s;
+         omegas := om_fine :: !omegas;
+         slices := Array.map Array.copy fine :: !slices;
+         (match checkpoint with
+          | None -> ()
+          | Some (path, every) ->
+            incr since_ckpt;
+            if !since_ckpt >= every then begin
+              since_ckpt := 0;
+              Checkpoint.save ~path
+                (checkpoint_sections ~options ~dim:n ~t2_end ~ctrl ~escalated:!escalated
+                   ~t2:!t2 ~omega:!omega ~states:!states ~t2s:!t2s ~omegas:!omegas
+                   ~slices:!slices)
+            end);
+         (match on_accept with Some f -> f ~t2:!t2 ~omega:om_fine | None -> ()))
   done;
   {
     t2 = Array.of_list (List.rev !t2s);
@@ -560,6 +670,13 @@ let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~to
     newton_iterations = !iter_count;
     options;
   }
+
+let simulate_adaptive dae ?(h2_min = 1e-9) ?h2_max ~options ~t2_end ~h2_init ~tol ~init () =
+  let h_max = match h2_max with Some h -> h | None -> t2_end /. 5. in
+  let control =
+    Step_control.default_options ~rtol:tol ~atol:(tol /. 1000.) ~h_min:h2_min ~h_max ()
+  in
+  simulate_controlled dae ~options ~control ~h2_init ~t2_end ~init ()
 
 (* ---------- post-processing ---------- *)
 

@@ -39,6 +39,10 @@ type step_failure = {
   h2 : float;  (** attempted slow step size *)
   residual : float;  (** last Newton residual infinity-norm *)
   iterations : int;  (** Newton iterations spent before giving up *)
+  residual_history : float array;
+      (** residual infinity-norm after each accepted Newton iterate,
+          oldest first — shows whether the iteration stalled, diverged
+          or oscillated *)
 }
 
 (** Raised by {!simulate} when a step's Newton iteration fails;
@@ -65,9 +69,46 @@ type result = {
 val simulate :
   Dae.t -> options:options -> t2_end:float -> h2:float -> init:Steady.Oscillator.orbit -> result
 
+(** [simulate_controlled dae ~options ~control ~t2_end ~init ()] is
+    the adaptive envelope march: each slow step is taken once at [h2]
+    and twice at [h2/2], the Richardson difference feeds the
+    {!Step_control} PI controller (weighted rtol/atol norm over every
+    grid state and [omega]), and Newton failures halve the step and —
+    after repeated stalls on the Krylov path — escalate the linear
+    solver to dense LU for the rest of the run.
+
+    [control.order] is overridden from [options.theta] (2 for
+    trapezoidal, 1 for backward Euler); an infinite [control.h_max] is
+    replaced by [t2_end / 2].  [h2_init] defaults to [t2_end / 50].
+
+    [checkpoint:(path, every)] writes a {!Checkpoint} file atomically
+    after every [every] accepted steps; [resume:path] restarts from
+    such a file (validating [n1], dimension and theta) and continues
+    bit-compatibly with the uninterrupted run.  [on_accept] is called
+    after each accepted step (after any checkpoint write).
+
+    Raises [Step_control.Underflow] when error control or failure
+    recovery would push the step below [control.h_min], and
+    [Checkpoint.Corrupt] on an unreadable or mismatched resume file. *)
+val simulate_controlled :
+  Dae.t ->
+  options:options ->
+  control:Step_control.options ->
+  ?h2_init:float ->
+  ?checkpoint:string * int ->
+  ?resume:string ->
+  ?on_accept:(t2:float -> omega:float -> unit) ->
+  t2_end:float ->
+  init:Steady.Oscillator.orbit ->
+  unit ->
+  result
+
 (** [simulate_adaptive dae ~options ~t2_end ~h2_init ?h2_min ?h2_max ~tol ~init]
     adapts the slow step by step-halving comparison of the state
-    slices (relative tolerance [tol]). *)
+    slices.  Thin wrapper over {!simulate_controlled} with
+    [rtol = tol], [atol = tol / 1000], so legacy callers keep their
+    signature.  Raises [Step_control.Underflow] if the step collapses
+    below [h2_min]. *)
 val simulate_adaptive :
   Dae.t ->
   ?h2_min:float ->

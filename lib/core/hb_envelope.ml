@@ -150,8 +150,16 @@ let simulate ?(solver = Structured.auto) dae ~harmonics:m ?(phase_component = 0)
   let t2 = ref 0. in
   let coeffs = ref coeffs0 and omega = ref omega0 in
   let g = ref (eval_g dae ~n ~m ~t2:0. !coeffs !omega) in
+  (* fixed-target march: the controller only handles Newton failures,
+     halving the step and growing it back toward [h2] *)
+  let ctrl =
+    Step_control.create
+      (Step_control.default_options ~h_min:(1e-9 *. h2) ~h_max:h2 ())
+      ~h_init:h2
+  in
+  let escalated = ref false in
   while !t2 < t2_end -. (1e-9 *. t2_end) do
-    let h = Float.min h2 (t2_end -. !t2) in
+    let h = Step_control.propose ctrl ~remaining:(t2_end -. !t2) in
     let t2_new = !t2 +. h in
     let q0 = eval_q_packed dae ~n ~m !coeffs in
     let g0 = !g in
@@ -238,29 +246,27 @@ let simulate ?(solver = Structured.auto) dae ~harmonics:m ?(phase_component = 0)
           end)
     in
     let report =
-      if Structured.use_krylov solver ~dim:((n * nn) + 1) then
+      if (not !escalated) && Structured.use_krylov solver ~dim:((n * nn) + 1) then
         Nonlin.Newton.solve_with ~options ~label:"hb_envelope" ~linear_solve ~residual y0
       else Nonlin.Newton.solve ~options ~label:"hb_envelope" ~residual y0
     in
     if not report.Nonlin.Newton.converged then begin
+      ignore (Step_control.failure_retry ctrl ~t:!t2 ~h_used:h ~reason:"newton");
+      if Step_control.should_escalate ctrl then escalated := true
+    end
+    else begin
+      coeffs := coeffs_of_packed ~n ~m report.Nonlin.Newton.x;
+      omega := report.Nonlin.Newton.x.(n * nn);
+      g := eval_g dae ~n ~m ~t2:t2_new !coeffs !omega;
+      Obs.Metrics.incr c_steps;
+      Step_control.record_accept ctrl ~t:!t2 ~h_used:h;
       if Obs.Events.active () then
-        Obs.Events.emit (Obs.Events.Step_reject { t = !t2; h; reason = "newton" });
-      failwith
-        (Printf.sprintf "Hb_envelope.simulate: Newton failed at t2 = %.6g (residual %.3e)"
-           t2_new report.Nonlin.Newton.residual_norm)
-    end;
-    coeffs := coeffs_of_packed ~n ~m report.Nonlin.Newton.x;
-    omega := report.Nonlin.Newton.x.(n * nn);
-    g := eval_g dae ~n ~m ~t2:t2_new !coeffs !omega;
-    Obs.Metrics.incr c_steps;
-    if Obs.Events.active () then begin
-      Obs.Events.emit (Obs.Events.Step_accept { t = !t2; h });
-      Obs.Events.emit (Obs.Events.Phase_condition { omega = !omega; t2 = t2_new })
-    end;
-    t2 := t2_new;
-    t2s := t2_new :: !t2s;
-    omegas := !omega :: !omegas;
-    coeff_hist := Array.map Array.copy !coeffs :: !coeff_hist
+        Obs.Events.emit (Obs.Events.Phase_condition { omega = !omega; t2 = t2_new });
+      t2 := t2_new;
+      t2s := t2_new :: !t2s;
+      omegas := !omega :: !omegas;
+      coeff_hist := Array.map Array.copy !coeffs :: !coeff_hist
+    end
   done;
   {
     t2 = Array.of_list (List.rev !t2s);

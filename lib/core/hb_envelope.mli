@@ -33,7 +33,13 @@ type result = {
     [solver] (default [Structured.auto]) selects dense FD-Jacobian
     Newton or matrix-free Newton–Krylov (FD directional derivatives,
     averaged per-harmonic block preconditioning, dense fallback on
-    stall).  Raises [Failure] on Newton failure. *)
+    stall).
+
+    Newton failures halve the slow step via the shared {!Step_control}
+    policy, escalating to the dense path after repeated stalls; the
+    step grows back toward [h2] on recovery.  Raises
+    [Step_control.Underflow] when recovery drives the step below
+    [1e-9 * h2]. *)
 val simulate :
   ?solver:Structured.strategy ->
   Dae.t ->

@@ -120,8 +120,17 @@ let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
   let t2s = ref [ 0. ] and slices = ref [ Array.map Array.copy init ] in
   let t2 = ref 0. and states = ref init in
   let g = ref (eval_g sys ~n1 ~d ~t2:0. !states) in
+  (* the march targets the fixed step [h2]; the controller only kicks
+     in when Newton fails, halving the step and growing it back toward
+     [h2] across subsequent accepted steps *)
+  let ctrl =
+    Step_control.create
+      (Step_control.default_options ~h_min:(1e-9 *. h2) ~h_max:h2 ())
+      ~h_init:h2
+  in
+  let escalated = ref false in
   while !t2 < t2_end -. (1e-9 *. t2_end) do
-    let h = Float.min h2 (t2_end -. !t2) in
+    let h = Step_control.propose ctrl ~remaining:(t2_end -. !t2) in
     let t2_new = !t2 +. h in
     let q0 = Array.map dae.Dae.q !states in
     let g0 = !g in
@@ -159,7 +168,7 @@ let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
       jac
     in
     let report =
-      if Structured.use_krylov solver ~dim:(n1 * n) then begin
+      if (not !escalated) && Structured.use_krylov solver ~dim:(n1 * n) then begin
         (* J = (h theta / p1) (D (x) dq) + blockdiag(dq + h theta df) *)
         let build_op y =
           let st = unpack ~n1 ~n y in
@@ -180,17 +189,18 @@ let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
           (pack !states)
     in
     if not report.Nonlin.Newton.converged then begin
-      if Obs.Events.active () then
-        Obs.Events.emit (Obs.Events.Step_reject { t = !t2; h; reason = "newton" });
-      failwith (Printf.sprintf "Mpde.simulate: Newton failed at t2 = %.6g" t2_new)
-    end;
-    states := unpack ~n1 ~n report.Nonlin.Newton.x;
-    g := eval_g sys ~n1 ~d ~t2:t2_new !states;
-    Obs.Metrics.incr c_steps;
-    if Obs.Events.active () then Obs.Events.emit (Obs.Events.Step_accept { t = !t2; h });
-    t2 := t2_new;
-    t2s := t2_new :: !t2s;
-    slices := Array.map Array.copy !states :: !slices
+      ignore (Step_control.failure_retry ctrl ~t:!t2 ~h_used:h ~reason:"newton");
+      if Step_control.should_escalate ctrl then escalated := true
+    end
+    else begin
+      states := unpack ~n1 ~n report.Nonlin.Newton.x;
+      g := eval_g sys ~n1 ~d ~t2:t2_new !states;
+      Obs.Metrics.incr c_steps;
+      Step_control.record_accept ctrl ~t:!t2 ~h_used:h;
+      t2 := t2_new;
+      t2s := t2_new :: !t2s;
+      slices := Array.map Array.copy !states :: !slices
+    end
   done;
   {
     t2 = Array.of_list (List.rev !t2s);

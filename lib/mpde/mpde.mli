@@ -33,8 +33,14 @@ type result = {
     trapezoidal time-stepping along [t2] from the initial fast
     steady-state guess [init] (grid of [n1] states).  [solver] picks
     dense LU or matrix-free preconditioned GMRES for the collocation
-    Newton systems (default [Structured.auto]).  Raises [Failure] on
-    Newton failure. *)
+    Newton systems (default [Structured.auto]).
+
+    Newton failures no longer abort the run: the shared
+    {!Step_control} policy halves the step, retries, switches the
+    linear solver to dense LU after repeated stalls, and grows the
+    step back toward [h2] once steps start converging again.  Raises
+    [Step_control.Underflow] when recovery drives the step below
+    [1e-9 * h2]. *)
 val simulate :
   ?solver:Structured.strategy ->
   system ->

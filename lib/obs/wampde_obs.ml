@@ -224,6 +224,7 @@ module Events = struct
     | Gmres_iter of { k : int; residual : float }
     | Step_accept of { t : float; h : float }
     | Step_reject of { t : float; h : float; reason : string }
+    | Step_retry of { t : float; h : float; h_next : float; reason : string }
     | Phase_condition of { omega : float; t2 : float }
 
   type subscription = int
@@ -262,6 +263,10 @@ module Events = struct
       Printf.sprintf
         "{\"type\":\"event\",\"event\":\"step_reject\",\"t\":%s,\"h\":%s,\"reason\":\"%s\"}"
         (json_float t) (json_float h) (json_escape reason)
+    | Step_retry { t; h; h_next; reason } ->
+      Printf.sprintf
+        "{\"type\":\"event\",\"event\":\"step_retry\",\"t\":%s,\"h\":%s,\"h_next\":%s,\"reason\":\"%s\"}"
+        (json_float t) (json_float h) (json_float h_next) (json_escape reason)
     | Phase_condition { omega; t2 } ->
       Printf.sprintf "{\"type\":\"event\",\"event\":\"phase_condition\",\"omega\":%s,\"t2\":%s}"
         (json_float omega) (json_float t2)

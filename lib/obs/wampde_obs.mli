@@ -90,6 +90,9 @@ module Events : sig
     | Gmres_iter of { k : int; residual : float }
     | Step_accept of { t : float; h : float }
     | Step_reject of { t : float; h : float; reason : string }
+    | Step_retry of { t : float; h : float; h_next : float; reason : string }
+        (** a solver failure (not error control) shrank the step: the
+            step of size [h] at [t] is being re-attempted with [h_next] *)
     | Phase_condition of { omega : float; t2 : float }
 
   type subscription

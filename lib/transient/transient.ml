@@ -148,10 +148,17 @@ let integrate_adaptive dae ~t0 ~t1 ?h0 ?(h_min = 1e-14) ?h_max ~tol x0 =
   @@ fun () ->
   let h_max = match h_max with Some h -> h | None -> span /. 10. in
   let h0 = match h0 with Some h -> h | None -> span /. 1000. in
+  (* atol floor matches the historical relative norm, which clamped
+     component magnitudes at 1e-8 *)
+  let control =
+    Step_control.default_options ~rtol:tol ~atol:(tol *. 1e-8) ~h_min ~h_max ~order:2 ()
+  in
+  let denom = Step_control.richardson_denom ~order:2 in
+  let ctrl = Step_control.create control ~h_init:h0 in
   let times = ref [ t0 ] and states = ref [ Array.copy x0 ] in
-  let t = ref t0 and x = ref (Array.copy x0) and h = ref h0 in
+  let t = ref t0 and x = ref (Array.copy x0) in
   while !t < t1 -. (1e-12 *. Float.max 1. (Float.abs t1)) do
-    let step = Float.min !h (t1 -. !t) in
+    let step = Step_control.propose ctrl ~remaining:(t1 -. !t) in
     let attempt () =
       let full = theta_step dae ~theta:0.5 ~t:!t ~h:step !x in
       let half = theta_step dae ~theta:0.5 ~t:!t ~h:(step /. 2.) !x in
@@ -160,32 +167,25 @@ let integrate_adaptive dae ~t0 ~t1 ?h0 ?(h_min = 1e-14) ?h_max ~tol x0 =
     in
     match attempt () with
     | exception Step_failure _ ->
-      h := step /. 4.;
-      if !h < h_min then failwith "Transient.integrate_adaptive: step underflow (Newton failure)"
+      ignore (Step_control.failure_retry ctrl ~t:!t ~h_used:step ~reason:"newton")
     | full, fine ->
       (* trapezoidal is order 2: Richardson error of the fine solution *)
-      let scale = Vec.init dae.Dae.dim (fun i -> Float.max (Float.abs fine.(i)) 1e-8) in
-      let err = Vec.weighted_norm ~scale (Vec.sub fine full) /. 3. in
-      if err <= tol then begin
-        (* accept the extrapolated solution *)
-        let accepted = Vec.init dae.Dae.dim (fun i -> fine.(i) +. ((fine.(i) -. full.(i)) /. 3.)) in
-        x := accepted;
-        Obs.Metrics.incr c_steps;
-        if Obs.Events.active () then Obs.Events.emit (Obs.Events.Step_accept { t = !t; h = step });
-        t := !t +. step;
-        times := !t :: !times;
-        states := Array.copy accepted :: !states;
-        let grow = if err = 0. then 2. else Float.min 2. (0.9 *. ((tol /. err) ** (1. /. 3.))) in
-        h := Float.min h_max (step *. Float.max 1. grow)
-      end
-      else begin
-        Obs.Metrics.incr c_rejects;
-        if Obs.Events.active () then
-          Obs.Events.emit (Obs.Events.Step_reject { t = !t; h = step; reason = "error control" });
-        let shrink = Float.max 0.1 (0.9 *. ((tol /. err) ** (1. /. 3.))) in
-        h := step *. shrink;
-        if !h < h_min then failwith "Transient.integrate_adaptive: step underflow"
-      end
+      let err =
+        Step_control.error_norm control ~y:fine
+          ~err:(Vec.init dae.Dae.dim (fun i -> (fine.(i) -. full.(i)) /. denom))
+      in
+      (match Step_control.decide ctrl ~t:!t ~h_used:step ~err with
+       | Step_control.Reject _ -> Obs.Metrics.incr c_rejects
+       | Step_control.Accept _ ->
+         (* accept the extrapolated solution *)
+         let accepted =
+           Vec.init dae.Dae.dim (fun i -> fine.(i) +. ((fine.(i) -. full.(i)) /. denom))
+         in
+         x := accepted;
+         Obs.Metrics.incr c_steps;
+         t := !t +. step;
+         times := !t :: !times;
+         states := Array.copy accepted :: !states)
   done;
   { times = Array.of_list (List.rev !times); states = Array.of_list (List.rev !states) }
 

@@ -56,7 +56,10 @@ val integrate : Dae.t -> method_:method_ -> t0:float -> t1:float -> h:float -> V
 
 (** [integrate_adaptive dae ~t0 ~t1 ?h0 ?h_min ?h_max ~tol x0] is
     trapezoidal integration with step-doubling (Richardson) local
-    error control at relative tolerance [tol]. *)
+    error control at relative tolerance [tol], driven by the shared
+    {!Step_control} PI controller.  Newton failures halve the step;
+    raises [Step_control.Underflow] when recovery or error control
+    would push the step below [h_min]. *)
 val integrate_adaptive :
   Dae.t ->
   t0:float ->

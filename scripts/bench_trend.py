@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Bench trend gate: compare the fresh krylov-vs-dense speedup against
+the previous CI run's artifact and fail on a >25% regression.
+
+Inputs are BENCH_*.json files as written by `bench/main.exe --json`:
+a list of {"id", "wall_s", "metrics"} entries whose metrics.gauges
+include "bench.krylov.speedup.n1_<N>" (wall-clock ratio dense/krylov
+at collocation size N).  The decision quantity is the speedup at the
+largest N present — the size the paper's scaling claim rests on.
+
+The script also maintains a merged trajectory (bench-trend.json): the
+previous artifact's history plus this run's point, so the artifact
+chain accumulates a speedup-over-time series.
+
+Exit codes: 0 ok (or no baseline), 1 regression, 2 usage/data error.
+Only the Python standard library is used.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SPEEDUP_PREFIX = "bench.krylov.speedup.n1_"
+HISTORY_NAME = "bench-trend.json"
+
+
+def find_bench_files(directory):
+    return sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+
+
+def extract_speedups(path):
+    """Map n1 -> speedup ratio from one BENCH_*.json file."""
+    with open(path) as f:
+        entries = json.load(f)
+    speedups = {}
+    for entry in entries:
+        gauges = entry.get("metrics", {}).get("gauges", {})
+        for name, value in gauges.items():
+            if name.startswith(SPEEDUP_PREFIX):
+                n1 = int(name[len(SPEEDUP_PREFIX):])
+                speedups[n1] = max(value, speedups.get(n1, 0.0))
+    return speedups
+
+
+def load_history(directory):
+    path = os.path.join(directory, HISTORY_NAME)
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as f:
+            history = json.load(f)
+        return history if isinstance(history, list) else []
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"bench_trend: ignoring unreadable history {path}: {exc}")
+        return []
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--prev", default="prev-bench",
+                    help="directory with the previous run's artifact (may be absent)")
+    ap.add_argument("--fresh", default=".",
+                    help="directory with this run's BENCH_*.json")
+    ap.add_argument("--history", default=HISTORY_NAME,
+                    help="output path for the merged trend trajectory")
+    ap.add_argument("--threshold", type=float, default=0.75,
+                    help="fail when fresh speedup < threshold * previous (default 0.75)")
+    args = ap.parse_args()
+
+    fresh_files = find_bench_files(args.fresh)
+    if not fresh_files:
+        print(f"bench_trend: no BENCH_*.json in {args.fresh}", file=sys.stderr)
+        return 2
+    fresh_file = fresh_files[-1]
+    fresh = extract_speedups(fresh_file)
+    if not fresh:
+        print(f"bench_trend: no {SPEEDUP_PREFIX}* gauges in {fresh_file}", file=sys.stderr)
+        return 2
+
+    history = load_history(args.prev)
+    history.append({
+        "source": os.path.basename(fresh_file),
+        "speedups": {str(n1): ratio for n1, ratio in sorted(fresh.items())},
+    })
+    with open(args.history, "w") as f:
+        json.dump(history, f, indent=2)
+        f.write("\n")
+    print(f"bench_trend: wrote {args.history} ({len(history)} points)")
+
+    prev_files = find_bench_files(args.prev) if os.path.isdir(args.prev) else []
+    if not prev_files:
+        print("bench_trend: no previous artifact; recording baseline and passing")
+        return 0
+    prev = extract_speedups(prev_files[-1])
+    common = sorted(set(fresh) & set(prev))
+    if not common:
+        print("bench_trend: no common n1 sizes with previous run; passing")
+        return 0
+
+    n1 = common[-1]
+    ratio = fresh[n1] / prev[n1] if prev[n1] > 0 else float("inf")
+    print(f"bench_trend: n1={n1}: previous speedup {prev[n1]:.2f}x, "
+          f"fresh {fresh[n1]:.2f}x ({ratio:.2f} of previous)")
+    if ratio < args.threshold:
+        print(f"bench_trend: FAIL: krylov-vs-dense speedup regressed by more than "
+              f"{100 * (1 - args.threshold):.0f}% at n1={n1}", file=sys.stderr)
+        return 1
+    print("bench_trend: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
