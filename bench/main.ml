@@ -651,15 +651,32 @@ let () =
   List.iter
     (fun (id, run) ->
       Obs.Metrics.reset ();
+      let gc0 = Gc.quick_stat () in
       let t0 = Unix.gettimeofday () in
       run ();
       let wall = Unix.gettimeofday () -. t0 in
+      let gc1 = Gc.quick_stat () in
+      (* allocation gauges feed the trend script alongside the scoped
+         counters already embedded in the metrics snapshot *)
+      let alloc_words =
+        gc1.Gc.minor_words -. gc0.Gc.minor_words
+        +. (gc1.Gc.major_words -. gc0.Gc.major_words)
+        -. (gc1.Gc.promoted_words -. gc0.Gc.promoted_words)
+      in
+      Obs.Metrics.set (Obs.Metrics.gauge "bench.alloc_words") alloc_words;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge "bench.gc.minor_collections")
+        (float_of_int (gc1.Gc.minor_collections - gc0.Gc.minor_collections));
+      Obs.Metrics.set
+        (Obs.Metrics.gauge "bench.gc.major_collections")
+        (float_of_int (gc1.Gc.major_collections - gc0.Gc.major_collections));
       let c name = Obs.Metrics.count (Obs.Metrics.counter name) in
       Printf.printf
-        "%s | solver work: %d newton iters, %d lu factors, %d gmres iters, %d rejects | wall %.2f s\n"
+        "%s | solver work: %d newton iters, %d lu factors, %d gmres iters, %d rejects | wall \
+         %.2f s | alloc %.1f Mw\n"
         id (c "newton.iterations") (c "lu.factor") (c "gmres.iterations")
         (c "transient.rejects" + c "envelope.rejects")
-        wall;
+        wall (alloc_words /. 1e6);
       if !json then work := (id, wall, Obs.Metrics.to_json ()) :: !work;
       print_newline ())
     selected;

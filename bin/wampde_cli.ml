@@ -24,39 +24,101 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let obs_term = Term.(const (fun metrics trace -> (metrics, trace)) $ metrics_arg $ trace_arg)
+let perfetto_arg =
+  let doc =
+    "Write a Chrome trace-event file to $(docv) when the run finishes; open it at \
+     ui.perfetto.dev or chrome://tracing.  Spans become duration events (with GC/allocation \
+     attribution in their args), solver decisions become instant events."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-perfetto" ] ~docv:"FILE" ~doc)
 
-(* Enable telemetry around [f] according to the (--metrics, --trace) pair:
-   metrics go to a table on stderr, traces to JSON lines plus a span-tree
-   summary on stderr. With neither flag this is a no-op wrapper. *)
-let with_obs (metrics, trace) f =
-  if not (metrics || trace <> None) then f ()
+let report_arg =
+  let doc =
+    "Write a self-contained JSON run manifest to $(docv): CLI args, git describe, OCaml \
+     version, wall/GC totals, the scoped metrics snapshot and the per-macro-step history.  \
+     Render or validate it later with the $(b,report) subcommand."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let obs_term =
+  Term.(
+    const (fun metrics trace perfetto report -> (metrics, trace, perfetto, report))
+    $ metrics_arg $ trace_arg $ perfetto_arg $ report_arg)
+
+let open_or_die file =
+  try open_out file
+  with Sys_error msg ->
+    Printf.eprintf "wampde_cli: cannot open output file: %s\n" msg;
+    exit 1
+
+let write_file_or_die file contents =
+  let oc = open_or_die file in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+(* Enable telemetry around [f] according to the
+   (--metrics, --trace, --trace-perfetto, --report) flags: metrics go to a
+   table on stderr, JSON-lines traces plus a span-tree summary through
+   --trace, a Chrome trace-event file through --trace-perfetto (with
+   per-span GC attribution) and a run manifest through --report.  With no
+   flag this is a no-op wrapper. *)
+let with_obs ?(cmd = "") (metrics, trace, perfetto, report) f =
+  if not (metrics || trace <> None || perfetto <> None || report <> None) then f ()
   else begin
     Obs.set_enabled true;
+    let t_run0 = Obs.now () in
+    let recording = trace <> None || perfetto <> None in
+    if recording then begin
+      Obs.Span.set_gc_stats true;
+      Obs.Span.start_recording ()
+    end;
+    (* solver decisions as instant events on the span timeline *)
+    let instant_sub =
+      if perfetto <> None then Some (Obs.Events.subscribe Obs.Trace_event.record_event)
+      else None
+    in
+    let collector = if report <> None then Some (Obs.Report.collect ()) else None in
     let cleanup_trace =
       match trace with
       | None -> fun () -> ()
       | Some file ->
-        let oc =
-          try open_out file
-          with Sys_error msg ->
-            Printf.eprintf "wampde_cli: cannot open trace file: %s\n" msg;
-            exit 1
-        in
+        let oc = open_or_die file in
         Obs.Span.set_writer (Some (fun line -> output_string oc line; output_char oc '\n'));
-        Obs.Span.start_recording ();
         let sub = Obs.Events.subscribe (fun e -> output_string oc (Obs.Events.to_json e); output_char oc '\n') in
         fun () ->
           Obs.Events.unsubscribe sub;
           Obs.Span.set_writer None;
-          let records = Obs.Span.stop_recording () in
-          close_out oc;
-          prerr_string (Obs.Span.tree_summary records)
+          close_out oc
     in
     Fun.protect
       ~finally:(fun () ->
         cleanup_trace ();
-        if metrics then prerr_string (Obs.Metrics.table ());
+        (match instant_sub with Some s -> Obs.Events.unsubscribe s | None -> ());
+        if recording then begin
+          let spans = Obs.Span.stop_recording () in
+          let instants = Obs.Span.recorded_instants () in
+          Obs.Span.set_gc_stats false;
+          (match perfetto with
+           | Some file ->
+             write_file_or_die file
+               (Obs.Trace_event.to_string
+                  ~process_name:(if cmd = "" then "wampde" else "wampde " ^ cmd)
+                  ~spans ~instants ())
+           | None -> ());
+          if trace <> None then prerr_string (Obs.Span.tree_summary spans)
+        end;
+        (match (collector, report) with
+         | Some c, Some file ->
+           let steps = Obs.Report.finish c in
+           write_file_or_die file
+             (Obs.Report.manifest ~subcommand:cmd
+                ?git:(Obs.Report.git_describe ())
+                ~wall_s:(Obs.now () -. t_run0)
+                ~steps ())
+         | _ -> ());
+        if metrics then begin
+          prerr_string (Obs.Metrics.table ());
+          prerr_string (Obs.Metrics.scoped_table ())
+        end;
         Obs.set_enabled false)
       f
   end
@@ -104,7 +166,7 @@ let h2_arg =
 
 let orbit_cmd =
   let run obs which n1 =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"orbit" obs @@ fun () ->
     let orbit = find_orbit ~n1 which in
     Printf.printf "frequency: %.6f MHz\nperiod:    %.6f us\namplitude: %.4f V\n"
       orbit.Steady.Oscillator.omega
@@ -169,7 +231,7 @@ let resume_arg =
 
 let envelope_cmd =
   let run obs which n1 t_end h2 solver rtol atol h2min h2max ckpt ckpt_every resume =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"envelope" obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
@@ -246,7 +308,7 @@ let transient_cmd =
     Arg.(value & opt int 10 & info [ "stride" ] ~docv:"N" ~doc)
   in
   let run obs which t_end pts stride =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"transient" obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
     let orbit = find_orbit which in
     let dae = Circuit.Vco.build (params_of which) in
@@ -279,7 +341,7 @@ let quasi_cmd =
     Arg.(value & flag & info [ "gmres" ] ~doc)
   in
   let run obs n1 n2 gmres =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"quasi" obs @@ fun () ->
     let dae = Circuit.Vco.build (Circuit.Vco.vco_a ()) in
     let orbit = find_orbit ~n1 A in
     let options = Wampde.Envelope.default_options ~n1 () in
@@ -304,7 +366,7 @@ let waveform_cmd =
     Arg.(value & opt int 20 & info [ "per-cycle" ] ~docv:"N" ~doc)
   in
   let run obs which n1 t_end h2 per_cycle =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"waveform" obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
@@ -336,7 +398,7 @@ let deck_cmd =
     Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"N" ~doc)
   in
   let run obs deck t_end steps =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"deck" obs @@ fun () ->
     match Circuit.Parser.parse_file deck with
     | exception Circuit.Parser.Parse_error { line; message } ->
       Printf.eprintf "%s:%d: %s\n" deck line message;
@@ -366,10 +428,51 @@ let deck_cmd =
   let doc = "parse a SPICE-flavoured netlist deck and run a transient simulation (CSV)" in
   Cmd.v (Cmd.info "deck" ~doc) Term.(const run $ obs_term $ deck_arg $ t_end_pos $ steps_arg)
 
+let report_cmd =
+  let file_pos =
+    let doc = "Run manifest written by $(b,--report) on a solver subcommand." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"REPORT" ~doc)
+  in
+  let check_arg =
+    let doc = "Validate the manifest (schema, required fields, scoped-counter sums) and exit." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run file check =
+    let contents =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "wampde_cli: cannot read report: %s\n" msg;
+        exit 1
+    in
+    if check then
+      match Obs.Report.check contents with
+      | Ok () -> Printf.printf "report: %s: ok\n" file
+      | Error msg ->
+        Printf.eprintf "report: %s: invalid: %s\n" file msg;
+        exit 1
+    else
+      match Obs.Report.to_markdown contents with
+      | Ok md -> print_string md
+      | Error msg ->
+        Printf.eprintf "report: %s: invalid: %s\n" file msg;
+        exit 1
+  in
+  let doc =
+    "render a JSON run manifest (written by $(b,--report)) as a markdown summary, or validate \
+     it with $(b,--check)"
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_pos $ check_arg)
+
 let () =
   let doc = "multi-time (WaMPDE) simulation of voltage-controlled oscillators" in
   let info = Cmd.info "wampde_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ orbit_cmd; envelope_cmd; transient_cmd; quasi_cmd; waveform_cmd; deck_cmd ]))
+          [
+            orbit_cmd; envelope_cmd; transient_cmd; quasi_cmd; waveform_cmd; deck_cmd; report_cmd;
+          ]))

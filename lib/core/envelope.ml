@@ -146,6 +146,9 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
     ~attrs:[ ("t2", Obs.Span.Float t2_new); ("h2", Obs.Span.Float h2) ]
     "envelope.step"
   @@ fun () ->
+  (* the inner (chord Newton) layer: leaf counters bumped from here —
+     lu.factor, gmres.iterations — are billed to the envelope's Newton *)
+  Obs.Scope.with_scope "envelope.newton" @@ fun () ->
   let n = dae.Dae.dim in
   let n1 = options.n1 in
   let theta = options.theta in
@@ -442,6 +445,7 @@ let simulate dae ~options ~t2_end ~h2 ~init =
       ]
     "envelope.simulate"
   @@ fun () ->
+  Obs.Scope.with_scope "envelope.outer" @@ fun () ->
   let init = align_init options init in
   let n1 = options.n1 and n = dae.Dae.dim in
   let d = diff_matrix options in
@@ -520,6 +524,7 @@ let simulate_controlled dae ~options ~control ?h2_init ?checkpoint ?resume ?on_a
       ]
     "envelope.simulate_controlled"
   @@ fun () ->
+  Obs.Scope.with_scope "envelope.outer" @@ fun () ->
   let init = align_init options init in
   let n1 = options.n1 and n = dae.Dae.dim in
   let nd = n1 * n in

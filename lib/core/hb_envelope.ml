@@ -117,6 +117,7 @@ let simulate ?(solver = Structured.auto) dae ~harmonics:m ?(phase_component = 0)
       ]
     "hb_envelope.simulate"
   @@ fun () ->
+  Obs.Scope.with_scope "hb_envelope" @@ fun () ->
   let nn = (2 * m) + 1 in
   if Array.length init.Steady.Oscillator.grid <> nn then
     invalid_arg "Hb_envelope.simulate: init grid must have 2 harmonics + 1 points";

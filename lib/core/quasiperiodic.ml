@@ -1,4 +1,5 @@
 open Linalg
+module Obs = Wampde_obs
 
 type solution = { p2 : float; t2 : Vec.t; omega : Vec.t; slices : Vec.t array array }
 
@@ -128,6 +129,11 @@ let solve dae ?(linear_solver = `Dense) ?(max_iterations = 25) ?(tol = 1e-8)
     invalid_arg "Quasiperiodic.solve: n1 and n2 must be odd";
   if Array.length guess.slices <> n2 || Array.length guess.slices.(0) <> n1 then
     invalid_arg "Quasiperiodic.solve: guess grid mismatch";
+  Obs.Span.span
+    ~attrs:[ ("n1", Obs.Span.Int n1); ("n2", Obs.Span.Int n2); ("dim", Obs.Span.Int n) ]
+    "quasiperiodic.solve"
+  @@ fun () ->
+  Obs.Scope.with_scope "quasiperiodic" @@ fun () ->
   let d1 = diff1 options in
   let d2 = Fourier.Series.diff_matrix n2 in
   let phase_row = Phase.row options.Envelope.phase ~n1 ~n ~d:d1 in

@@ -76,6 +76,7 @@ let periodic_initial ?(solver = Structured.auto) sys ~n1 ~guess =
     ~attrs:[ ("n1", Obs.Span.Int n1); ("dim", Obs.Span.Int sys.dae.Dae.dim) ]
     "mpde.periodic_initial"
   @@ fun () ->
+  Obs.Scope.with_scope "mpde" @@ fun () ->
   let n = sys.dae.Dae.dim in
   let d = Fourier.Series.diff_matrix n1 in
   let residual y = eval_g sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
@@ -112,6 +113,7 @@ let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
       ]
     "mpde.simulate"
   @@ fun () ->
+  Obs.Scope.with_scope "mpde" @@ fun () ->
   let dae = sys.dae in
   let n = dae.Dae.dim in
   if Array.length init <> n1 then invalid_arg "Mpde.simulate: init size <> n1";
@@ -219,6 +221,7 @@ let quasiperiodic sys ~n1 ~n2 ~p2 ~guess =
       ]
     "mpde.quasiperiodic"
   @@ fun () ->
+  Obs.Scope.with_scope "mpde" @@ fun () ->
   let dae = sys.dae in
   let n = dae.Dae.dim in
   if Array.length guess <> n2 then invalid_arg "Mpde.quasiperiodic: guess size <> n2";

@@ -1,7 +1,9 @@
-(* Solver telemetry: metrics registry, span tracing and typed solver
-   events.  This library sits below every solver layer (it depends only
-   on [unix] for the wall clock), so any module can report work without
-   creating dependency cycles.
+(* Solver telemetry and run diagnostics: metrics registry with scoped
+   cost accounting, span tracing with GC/allocation attribution, typed
+   solver events, a Chrome/Perfetto trace-event exporter and a run
+   report (manifest) builder.  This library sits below every solver
+   layer (it depends only on [unix] for the wall clock), so any module
+   can report work without creating dependency cycles.
 
    Everything is off by default: counters and events are gated on one
    global flag, spans on the presence of a sink, so the hot-path cost
@@ -10,7 +12,27 @@
 let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
-let now = Unix.gettimeofday
+
+(* Wall clock.  [Unix.gettimeofday] is NOT monotonic: NTP slews and
+   clock adjustments can move it backwards, which would make span
+   durations negative.  The OCaml [unix] binding exposes no
+   CLOCK_MONOTONIC without C stubs, so the C-free choice here is to
+   make the wall clock monotone by clamping: a reading that went
+   backwards returns the latest reading seen instead.  Under a
+   backwards clock step, durations are truncated toward zero rather
+   than going negative; forward steps are indistinguishable from slow
+   spans either way. *)
+let last_now = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last_now then last_now := t;
+  !last_now
+
+(* Innermost scoped cost-accounting label; "" means unscoped.  Lives
+   at top level (before [Metrics]) so counter updates can read it
+   without a module cycle; the public API is [Scope] below. *)
+let cur_scope = ref ""
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers (no external dependency)                               *)
@@ -35,8 +57,179 @@ let json_float v =
   if Float.is_finite v then Printf.sprintf "%.12g" v
   else Printf.sprintf "\"%s\"" (if Float.is_nan v then "nan" else if v > 0. then "inf" else "-inf")
 
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Error of string
+
+  let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+  let parse_exn (s : string) : t =
+    let pos = ref 0 in
+    let len = String.length s in
+    let peek () = if !pos < len then s.[!pos] else '\000' in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      skip_ws ();
+      if peek () <> c then error "expected %C at offset %d" c !pos;
+      advance ()
+    in
+    let literal word v =
+      if !pos + String.length word <= len && String.sub s !pos (String.length word) = word then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else error "bad literal at offset %d" !pos
+    in
+    let hex4 () =
+      if !pos + 4 > len then error "truncated \\u escape at offset %d" !pos;
+      let v = int_of_string_opt ("0x" ^ String.sub s !pos 4) in
+      pos := !pos + 4;
+      match v with Some v -> v | None -> error "bad \\u escape at offset %d" (!pos - 4)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then error "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= len then error "unterminated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+             let cp = hex4 () in
+             let cp =
+               (* surrogate pair *)
+               if cp >= 0xD800 && cp <= 0xDBFF
+                  && !pos + 1 < len && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let lo = hex4 () in
+                 if lo >= 0xDC00 && lo <= 0xDFFF then
+                   0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                 else error "bad low surrogate at offset %d" !pos
+               end
+               else cp
+             in
+             (match Uchar.of_int cp with
+              | u -> Buffer.add_utf_8_uchar buf u
+              | exception Invalid_argument _ -> Buffer.add_string buf "\xef\xbf\xbd")
+           | c -> error "bad escape \\%c at offset %d" c (!pos - 1));
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < len
+        && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      do
+        advance ()
+      done;
+      let str = String.sub s start (!pos - start) in
+      match float_of_string_opt str with
+      | Some v -> Num v
+      | None -> error "bad number %S at offset %d" str start
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let entries = ref [] in
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            entries := (k, v) :: !entries
+          in
+          field ();
+          skip_ws ();
+          while peek () = ',' do
+            advance ();
+            field ();
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !entries)
+        end
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | '-' | '0' .. '9' -> parse_number ()
+      | c -> error "unexpected %C at offset %d" c !pos
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then error "trailing content at offset %d" !pos;
+    v
+
+  let parse s = try Ok (parse_exn s) with Error m -> Result.Error m
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+  let to_num = function Num v -> Some v | _ -> None
+  let to_str = function Str v -> Some v | _ -> None
+end
+
 module Metrics = struct
-  type counter = { mutable n : int }
+  type counter = { mutable n : int; mutable by_scope : (string * int ref) list }
   type gauge = { mutable v : float }
 
   (* log2 buckets: index i counts values in [2^(i-offset), 2^(i-offset+1)) *)
@@ -69,7 +262,7 @@ module Metrics = struct
     | Some (C c) -> c
     | Some _ -> invalid_arg (Printf.sprintf "Wampde_obs.Metrics.counter: %s is not a counter" name)
     | None ->
-      let c = { n = 0 } in
+      let c = { n = 0; by_scope = [] } in
       Hashtbl.replace registry name (C c);
       c
 
@@ -94,8 +287,18 @@ module Metrics = struct
       Hashtbl.replace registry name (H h);
       h
 
-  let incr c = if !enabled_flag then c.n <- c.n + 1
-  let add c k = if !enabled_flag then c.n <- c.n + k
+  (* Every enabled counter update is additionally bucketed under the
+     innermost active scope label (possibly ""), so sum-over-scopes
+     always equals the unscoped total. *)
+  let bump c k =
+    c.n <- c.n + k;
+    let s = !cur_scope in
+    match List.assoc_opt s c.by_scope with
+    | Some r -> r := !r + k
+    | None -> c.by_scope <- (s, ref k) :: c.by_scope
+
+  let incr c = if !enabled_flag then bump c 1
+  let add c k = if !enabled_flag then bump c k
   let count c = c.n
   let set g v = if !enabled_flag then g.v <- v
   let value g = g.v
@@ -141,7 +344,9 @@ module Metrics = struct
     Hashtbl.iter
       (fun _ m ->
         match m with
-        | C c -> c.n <- 0
+        | C c ->
+          c.n <- 0;
+          c.by_scope <- []
         | G g -> g.v <- 0.
         | H h ->
           Array.fill h.counts 0 n_buckets 0;
@@ -172,6 +377,68 @@ module Metrics = struct
         match Hashtbl.find_opt registry name with Some (H h) -> Some (name, stats h) | _ -> None)
       (sorted_names ())
 
+  let scoped_counters () =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt registry name with
+        | Some (C c) when c.by_scope <> [] ->
+          Some
+            ( name,
+              List.sort
+                (fun (a, _) (b, _) -> String.compare a b)
+                (List.map (fun (s, r) -> (s, !r)) c.by_scope) )
+        | _ -> None)
+      (sorted_names ())
+
+  (* Snapshot every registered metric, run [f] against a zeroed
+     registry, then put the saved values back (metrics first
+     registered inside [f] are left registered but zeroed).  The
+     enabled flag and the active scope label are isolated too, so
+     concurrent test suites cannot contaminate each other through the
+     process-global registry. *)
+  type saved_value =
+    | SC of int * (string * int) list
+    | SG of float
+    | SH of int array * int * float * float * float
+
+  let with_isolated f =
+    let saved =
+      Hashtbl.fold
+        (fun name m acc ->
+          let s =
+            match m with
+            | C c -> SC (c.n, List.map (fun (k, r) -> (k, !r)) c.by_scope)
+            | G g -> SG g.v
+            | H h -> SH (Array.copy h.counts, h.total, h.sum, h.min_v, h.max_v)
+          in
+          (name, s) :: acc)
+        registry []
+    in
+    let enabled0 = !enabled_flag in
+    let scope0 = !cur_scope in
+    reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        enabled_flag := enabled0;
+        cur_scope := scope0;
+        reset ();
+        List.iter
+          (fun (name, s) ->
+            match (Hashtbl.find_opt registry name, s) with
+            | Some (C c), SC (n, sc) ->
+              c.n <- n;
+              c.by_scope <- List.map (fun (k, v) -> (k, ref v)) sc
+            | Some (G g), SG v -> g.v <- v
+            | Some (H h), SH (counts, total, sum, mn, mx) ->
+              Array.blit counts 0 h.counts 0 n_buckets;
+              h.total <- total;
+              h.sum <- sum;
+              h.min_v <- mn;
+              h.max_v <- mx
+            | _ -> ())
+          saved)
+      f
+
   let table () =
     let buf = Buffer.create 512 in
     Buffer.add_string buf "== solver metrics ==\n";
@@ -186,6 +453,20 @@ module Metrics = struct
             s.mean
         | None -> ())
       (sorted_names ());
+    Buffer.contents buf
+
+  let scoped_table () =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "== scoped cost accounting ==\n";
+    List.iter
+      (fun (name, scopes) ->
+        List.iter
+          (fun (scope, n) ->
+            Printf.bprintf buf "%-34s %-20s %12d\n" name
+              (if scope = "" then "(unscoped)" else scope)
+              n)
+          scopes)
+      (scoped_counters ());
     Buffer.contents buf
 
   let to_json () =
@@ -212,8 +493,25 @@ module Metrics = struct
                 (fun (lo, hi, n) ->
                   Printf.sprintf "[%s,%s,%d]" (json_float lo) (json_float hi) n)
                 s.buckets)));
+    Buffer.add_char buf ',';
+    field_block "scoped" (scoped_counters ()) (fun scopes ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (scope, n) -> Printf.sprintf "\"%s\":%d" (json_escape scope) n)
+               scopes)
+        ^ "}");
     Buffer.add_char buf '}';
     Buffer.contents buf
+end
+
+module Scope = struct
+  let current () = if !cur_scope = "" then None else Some !cur_scope
+
+  let with_scope label f =
+    let saved = !cur_scope in
+    cur_scope := label;
+    Fun.protect ~finally:(fun () -> cur_scope := saved) f
 end
 
 module Events = struct
@@ -275,6 +573,14 @@ end
 module Span = struct
   type attr = Int of int | Float of float | Str of string
 
+  type gc_delta = {
+    minor_words : float;
+    promoted_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+  }
+
   type record = {
     id : int;
     parent : int option;
@@ -282,7 +588,10 @@ module Span = struct
     attrs : (string * attr) list;
     t_start : float;
     t_stop : float;
+    gc : gc_delta option;
   }
+
+  type instant = { i_name : string; i_attrs : (string * attr) list; i_t : float }
 
   let recording = ref false
   let writer : (string -> unit) option ref = ref None
@@ -290,6 +599,15 @@ module Span = struct
   let next_id = ref 0
   let stack : (int * float) list ref = ref []
   let completed : record list ref = ref []
+  let instants : instant list ref = ref []
+
+  (* When on, each span snapshots [Gc.quick_stat] at entry and exit and
+     records the allocation/collection deltas.  A [quick_stat] call is
+     cheap (no heap traversal) but does allocate its result record, so
+     this stays opt-in even when a sink is active. *)
+  let gc_flag = ref false
+  let set_gc_stats b = gc_flag := b
+  let gc_stats () = !gc_flag
 
   let tracing () = !recording || !writer <> None
 
@@ -302,6 +620,16 @@ module Span = struct
         (List.map (fun (k, a) -> Printf.sprintf "\"%s\":%s" (json_escape k) (attr_json a)) attrs)
     ^ "}"
 
+  let gc_json d =
+    Printf.sprintf
+      "{\"minor_words\":%s,\"promoted_words\":%s,\"major_words\":%s,\"minor_collections\":%d,\"major_collections\":%d}"
+      (json_float d.minor_words) (json_float d.promoted_words) (json_float d.major_words)
+      d.minor_collections d.major_collections
+
+  (* words freshly allocated during the span (minor + direct-to-major;
+     promoted words would be double counted) *)
+  let allocated_words d = d.minor_words +. d.major_words -. d.promoted_words
+
   let parent_json = function None -> "null" | Some p -> string_of_int p
 
   let mark_start () = if not (tracing ()) then epoch := now ()
@@ -309,6 +637,7 @@ module Span = struct
   let start_recording () =
     mark_start ();
     completed := [];
+    instants := [];
     recording := true
 
   let stop_recording () =
@@ -317,9 +646,32 @@ module Span = struct
     completed := [];
     records
 
+  let recorded_instants () = List.rev !instants
+
   let set_writer w =
     (match w with Some _ -> mark_start () | None -> ());
     writer := w
+
+  let instant ?(attrs = []) name =
+    if tracing () then begin
+      let t = now () -. !epoch in
+      (match !writer with
+       | Some w ->
+         w
+           (Printf.sprintf "{\"type\":\"instant\",\"name\":\"%s\",\"t_s\":%s,\"attrs\":%s}"
+              (json_escape name) (json_float t) (attrs_json attrs))
+       | None -> ());
+      if !recording then instants := { i_name = name; i_attrs = attrs; i_t = t } :: !instants
+    end
+
+  let gc_delta (s0 : Gc.stat) (s1 : Gc.stat) =
+    {
+      minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+      promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+      major_words = s1.Gc.major_words -. s0.Gc.major_words;
+      minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+      major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+    }
 
   let span ?(attrs = []) name f =
     if not (tracing ()) then f ()
@@ -327,6 +679,7 @@ module Span = struct
       let id = !next_id in
       incr next_id;
       let parent = match !stack with (pid, _) :: _ -> Some pid | [] -> None in
+      let g0 = if !gc_flag then Some (Gc.quick_stat ()) else None in
       let t0 = now () -. !epoch in
       stack := (id, t0) :: !stack;
       (match !writer with
@@ -337,17 +690,19 @@ module Span = struct
        | None -> ());
       Fun.protect f ~finally:(fun () ->
           let t1 = now () -. !epoch in
+          let gc = match g0 with None -> None | Some s0 -> Some (gc_delta s0 (Gc.quick_stat ())) in
           (match !stack with
            | (sid, _) :: rest when sid = id -> stack := rest
            | _ -> stack := List.filter (fun (sid, _) -> sid <> id) !stack);
           (match !writer with
            | Some w ->
+             let gc_field = match gc with None -> "" | Some d -> ",\"gc\":" ^ gc_json d in
              w
-               (Printf.sprintf "{\"type\":\"span_stop\",\"id\":%d,\"name\":\"%s\",\"t_s\":%s,\"dur_s\":%s}"
-                  id (json_escape name) (json_float t1) (json_float (t1 -. t0)))
+               (Printf.sprintf "{\"type\":\"span_stop\",\"id\":%d,\"name\":\"%s\",\"t_s\":%s,\"dur_s\":%s%s}"
+                  id (json_escape name) (json_float t1) (json_float (t1 -. t0)) gc_field)
            | None -> ());
           if !recording then
-            completed := { id; parent; name; attrs; t_start = t0; t_stop = t1 } :: !completed)
+            completed := { id; parent; name; attrs; t_start = t0; t_stop = t1; gc } :: !completed)
     end
 
   (* Aggregate completed spans into a tree keyed by the name path from
@@ -355,30 +710,38 @@ module Span = struct
   type node = {
     mutable n_calls : int;
     mutable total : float;
+    mutable alloc_w : float;  (* allocated words, when GC stats were on *)
+    mutable gcs : int;  (* minor + major collections *)
     mutable children : (string * node) list;  (* insertion order *)
   }
 
   let tree_summary records =
     let by_id = Hashtbl.create 64 in
     List.iter (fun r -> Hashtbl.replace by_id r.id r) records;
+    let has_gc = List.exists (fun r -> r.gc <> None) records in
     let rec path r =
       match r.parent with
       | None -> [ r.name ]
       | Some p -> (
         match Hashtbl.find_opt by_id p with Some pr -> path pr @ [ r.name ] | None -> [ r.name ])
     in
-    let root = { n_calls = 0; total = 0.; children = [] } in
+    let root = { n_calls = 0; total = 0.; alloc_w = 0.; gcs = 0; children = [] } in
     let insert r =
       let rec go node = function
         | [] ->
           node.n_calls <- node.n_calls + 1;
-          node.total <- node.total +. (r.t_stop -. r.t_start)
+          node.total <- node.total +. (r.t_stop -. r.t_start);
+          (match r.gc with
+           | None -> ()
+           | Some d ->
+             node.alloc_w <- node.alloc_w +. allocated_words d;
+             node.gcs <- node.gcs + d.minor_collections + d.major_collections)
         | name :: rest ->
           let child =
             match List.assoc_opt name node.children with
             | Some c -> c
             | None ->
-              let c = { n_calls = 0; total = 0.; children = [] } in
+              let c = { n_calls = 0; total = 0.; alloc_w = 0.; gcs = 0; children = [] } in
               node.children <- node.children @ [ (name, c) ];
               c
           in
@@ -390,11 +753,485 @@ module Span = struct
     let buf = Buffer.create 256 in
     Buffer.add_string buf "== span summary ==\n";
     let rec print indent (name, node) =
-      Printf.bprintf buf "%s%-*s %8dx %10.4f s\n" indent
+      Printf.bprintf buf "%s%-*s %8dx %10.4f s" indent
         (Int.max 1 (36 - String.length indent))
         name node.n_calls node.total;
+      if has_gc then Printf.bprintf buf " %12.4g w %6d gc" node.alloc_w node.gcs;
+      Buffer.add_char buf '\n';
       List.iter (print (indent ^ "  ")) node.children
     in
     List.iter (print "") root.children;
     Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome/Perfetto trace-event exporter                                *)
+(* ------------------------------------------------------------------ *)
+
+module Trace_event = struct
+  (* Emits the Chrome trace-event JSON array format understood by
+     ui.perfetto.dev and chrome://tracing: duration events as matched
+     "B"/"E" pairs, solver events as instant ("i") events, timestamps
+     in microseconds.  B/E pairs are generated by a depth-first walk
+     of the reconstructed span tree, so they are balanced and properly
+     nested by construction (trace viewers sort by ts anyway). *)
+
+  let pid = 1
+  let tid = 1
+
+  let buf_args buf attrs =
+    if attrs <> [] then Printf.bprintf buf ",\"args\":%s" (Span.attrs_json attrs)
+
+  let span_args (r : Span.record) =
+    match r.gc with
+    | None -> r.attrs
+    | Some d ->
+      r.attrs
+      @ [
+          ("alloc_words", Span.Float (Span.allocated_words d));
+          ("minor_collections", Span.Int d.minor_collections);
+          ("major_collections", Span.Int d.major_collections);
+        ]
+
+  let to_string ?(process_name = "wampde") ~spans ~instants () =
+    let buf = Buffer.create 4096 in
+    Buffer.add_char buf '[';
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf "\n"
+    in
+    sep ();
+    Printf.bprintf buf
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+      pid tid (json_escape process_name);
+    (* span tree: children by parent id, roots in start order *)
+    let ids = Hashtbl.create 64 in
+    List.iter (fun (r : Span.record) -> Hashtbl.replace ids r.Span.id ()) spans;
+    let children = Hashtbl.create 64 in
+    let roots = ref [] in
+    List.iter
+      (fun (r : Span.record) ->
+        match r.Span.parent with
+        | Some p when Hashtbl.mem ids p ->
+          Hashtbl.replace children p (r :: (try Hashtbl.find children p with Not_found -> []))
+        | _ -> roots := r :: !roots)
+      spans;
+    let sort_spans l =
+      List.sort (fun (a : Span.record) b -> compare a.Span.t_start b.Span.t_start) l
+    in
+    let us t = t *. 1e6 in
+    let rec emit (r : Span.record) =
+      sep ();
+      Printf.bprintf buf "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
+        (json_escape r.Span.name)
+        (json_float (us r.Span.t_start))
+        pid tid;
+      buf_args buf (span_args r);
+      Buffer.add_char buf '}';
+      List.iter emit
+        (sort_spans (try Hashtbl.find children r.Span.id with Not_found -> []));
+      sep ();
+      Printf.bprintf buf "{\"name\":\"%s\",\"ph\":\"E\",\"ts\":%s,\"pid\":%d,\"tid\":%d}"
+        (json_escape r.Span.name)
+        (json_float (us r.Span.t_stop))
+        pid tid
+    in
+    List.iter emit (sort_spans !roots);
+    List.iter
+      (fun (i : Span.instant) ->
+        sep ();
+        Printf.bprintf buf
+          "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"s\":\"t\""
+          (json_escape i.Span.i_name)
+          (json_float (us i.Span.i_t))
+          pid tid;
+        buf_args buf i.Span.i_attrs;
+        Buffer.add_char buf '}')
+      instants;
+    Buffer.add_string buf "\n]\n";
+    Buffer.contents buf
+
+  (* Bridge from typed solver events to trace instants; subscribe this
+     with [Events.subscribe] while spans are being recorded to get the
+     accept/reject/retry trail and omega(t2) on the span timeline. *)
+  let record_event (e : Events.t) =
+    match e with
+    | Events.Step_accept { t; h } ->
+      Span.instant ~attrs:[ ("t", Span.Float t); ("h", Span.Float h) ] "step_accept"
+    | Events.Step_reject { t; h; reason } ->
+      Span.instant
+        ~attrs:[ ("t", Span.Float t); ("h", Span.Float h); ("reason", Span.Str reason) ]
+        "step_reject"
+    | Events.Step_retry { t; h; h_next; reason } ->
+      Span.instant
+        ~attrs:
+          [
+            ("t", Span.Float t);
+            ("h", Span.Float h);
+            ("h_next", Span.Float h_next);
+            ("reason", Span.Str reason);
+          ]
+        "step_retry"
+    | Events.Phase_condition { omega; t2 } ->
+      Span.instant
+        ~attrs:[ ("omega", Span.Float omega); ("t2", Span.Float t2) ]
+        "phase_condition"
+    | Events.Newton_done { solver; iterations; residual; converged } ->
+      Span.instant
+        ~attrs:
+          [
+            ("solver", Span.Str solver);
+            ("iterations", Span.Int iterations);
+            ("residual", Span.Float residual);
+            ("converged", Span.Str (if converged then "true" else "false"));
+          ]
+        "newton_done"
+    | Events.Newton_iter _ | Events.Lu_factor _ | Events.Gmres_iter _ ->
+      (* per-iteration events are too dense for a useful timeline; the
+         counters and histograms carry them *)
+      ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Run report: self-contained JSON manifest + markdown rendering       *)
+(* ------------------------------------------------------------------ *)
+
+module Report = struct
+  let schema = "wampde.run-report/1"
+
+  type step = {
+    t : float;
+    h : float;
+    omega : float option;
+    newton_iterations : int;
+    residual : float;
+    outcome : string;  (* "accept" | "reject" | "retry" *)
+    reason : string option;
+  }
+
+  (* Builds the per-macro-step history from the solver event stream:
+     Newton work accumulates into a pending bucket that each
+     accept/reject/retry decision flushes into a step record;
+     [Phase_condition] (emitted right after an accepted step) back-fills
+     the frequency of the latest record. *)
+  type collector = {
+    mutable steps : step list;  (* newest first *)
+    mutable pending_iters : int;
+    mutable pending_residual : float;
+    mutable sub : Events.subscription option;
+  }
+
+  let handle c (e : Events.t) =
+    (* The history records slow-time (macro) step decisions.  Transient
+       integration — the univariate warmup before an envelope run, or a
+       brute-force baseline — emits the same Step_accept events for its
+       micro steps, thousands per run; those are excluded here (the
+       scoped counters still carry them under "transient"). *)
+    if !cur_scope = "transient" then ()
+    else
+    match e with
+    | Events.Newton_iter { residual; _ } ->
+      c.pending_iters <- c.pending_iters + 1;
+      c.pending_residual <- residual
+    | Events.Newton_done { residual; _ } -> c.pending_residual <- residual
+    | Events.Lu_factor _ | Events.Gmres_iter _ -> ()
+    | Events.Step_accept { t; h } | Events.Step_reject { t; h; reason = _ } | Events.Step_retry { t; h; h_next = _; reason = _ }
+      ->
+      let outcome, reason =
+        match e with
+        | Events.Step_accept _ -> ("accept", None)
+        | Events.Step_reject { reason; _ } -> ("reject", Some reason)
+        | _ -> (
+          match e with Events.Step_retry { reason; _ } -> ("retry", Some reason) | _ -> ("retry", None))
+      in
+      c.steps <-
+        {
+          t;
+          h;
+          omega = None;
+          newton_iterations = c.pending_iters;
+          residual = c.pending_residual;
+          outcome;
+          reason;
+        }
+        :: c.steps;
+      c.pending_iters <- 0;
+      c.pending_residual <- nan
+    | Events.Phase_condition { omega; t2 = _ } -> (
+      match c.steps with
+      | ({ omega = None; _ } as s) :: rest -> c.steps <- { s with omega = Some omega } :: rest
+      | _ -> ())
+
+  let collect () =
+    let c = { steps = []; pending_iters = 0; pending_residual = nan; sub = None } in
+    c.sub <- Some (Events.subscribe (handle c));
+    c
+
+  let finish c =
+    (match c.sub with Some s -> Events.unsubscribe s | None -> ());
+    c.sub <- None;
+    List.rev c.steps
+
+  let git_describe () =
+    try
+      let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> Some line
+      | _ -> None
+    with _ -> None
+
+  let step_json s =
+    Printf.sprintf
+      "{\"t\":%s,\"h\":%s,\"omega\":%s,\"newton_iterations\":%d,\"residual\":%s,\"outcome\":\"%s\",\"reason\":%s}"
+      (json_float s.t) (json_float s.h)
+      (match s.omega with Some o -> json_float o | None -> "null")
+      s.newton_iterations (json_float s.residual) (json_escape s.outcome)
+      (match s.reason with Some r -> Printf.sprintf "\"%s\"" (json_escape r) | None -> "null")
+
+  let manifest ?(argv = Sys.argv) ?(subcommand = "") ?git ~wall_s ~steps () =
+    let buf = Buffer.create 4096 in
+    let gc = Gc.quick_stat () in
+    Buffer.add_char buf '{';
+    Printf.bprintf buf "\"schema\":\"%s\"," (json_escape schema);
+    Printf.bprintf buf "\"argv\":[%s],"
+      (String.concat ","
+         (List.map (fun a -> Printf.sprintf "\"%s\"" (json_escape a)) (Array.to_list argv)));
+    Printf.bprintf buf "\"subcommand\":\"%s\"," (json_escape subcommand);
+    Printf.bprintf buf "\"git\":%s,"
+      (match git with Some g -> Printf.sprintf "\"%s\"" (json_escape g) | None -> "null");
+    Printf.bprintf buf "\"ocaml\":\"%s\"," (json_escape Sys.ocaml_version);
+    Printf.bprintf buf "\"unix_time\":%s," (json_float (Unix.time ()));
+    Printf.bprintf buf "\"wall_s\":%s," (json_float wall_s);
+    Printf.bprintf buf
+      "\"gc\":{\"minor_words\":%s,\"promoted_words\":%s,\"major_words\":%s,\"minor_collections\":%d,\"major_collections\":%d,\"heap_words\":%d},"
+      (json_float gc.Gc.minor_words) (json_float gc.Gc.promoted_words)
+      (json_float gc.Gc.major_words) gc.Gc.minor_collections gc.Gc.major_collections
+      gc.Gc.heap_words;
+    Printf.bprintf buf "\"metrics\":%s," (Metrics.to_json ());
+    Printf.bprintf buf "\"history\":[%s]" (String.concat "," (List.map step_json steps));
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  (* ---------- validation ---------- *)
+
+  let ( let* ) = Result.bind
+
+  let require_obj what = function
+    | Some (Json.Obj kvs) -> Ok kvs
+    | Some _ -> Result.Error (Printf.sprintf "%s: not an object" what)
+    | None -> Result.Error (Printf.sprintf "%s: missing" what)
+
+  let require_num what = function
+    | Some (Json.Num v) -> Ok v
+    | Some (Json.Str _) -> Ok nan  (* stringified nan/inf *)
+    | Some _ -> Result.Error (Printf.sprintf "%s: not a number" what)
+    | None -> Result.Error (Printf.sprintf "%s: missing" what)
+
+  let require_str what = function
+    | Some (Json.Str v) -> Ok v
+    | Some _ -> Result.Error (Printf.sprintf "%s: not a string" what)
+    | None -> Result.Error (Printf.sprintf "%s: missing" what)
+
+  let check_scoped_sums ~counters ~scoped =
+    List.fold_left
+      (fun acc (name, scopes) ->
+        let* () = acc in
+        match scopes with
+        | Json.Obj entries ->
+          let sum =
+            List.fold_left
+              (fun s (_, v) -> match v with Json.Num n -> s +. n | _ -> nan)
+              0. entries
+          in
+          (match List.assoc_opt name counters with
+           | Some (Json.Num total) ->
+             if Float.abs (sum -. total) < 0.5 then Ok ()
+             else
+               Result.Error
+                 (Printf.sprintf "scoped counter %s: sum over scopes %g <> total %g" name sum
+                    total)
+           | _ -> Result.Error (Printf.sprintf "scoped counter %s has no unscoped total" name))
+        | _ -> Result.Error (Printf.sprintf "scoped counter %s: not an object" name))
+      (Ok ()) scoped
+
+  let check_history history =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        match entry with
+        | Json.Obj _ ->
+          let* _ = require_num "history.t" (Json.member "t" entry) in
+          let* _ = require_num "history.h" (Json.member "h" entry) in
+          let* _ = require_num "history.newton_iterations" (Json.member "newton_iterations" entry) in
+          let* outcome = require_str "history.outcome" (Json.member "outcome" entry) in
+          if List.mem outcome [ "accept"; "reject"; "retry" ] then Ok ()
+          else Result.Error (Printf.sprintf "history.outcome: unknown value %S" outcome)
+        | _ -> Result.Error "history entry: not an object")
+      (Ok ()) history
+
+  let validate (j : Json.t) =
+    let* s = require_str "schema" (Json.member "schema" j) in
+    let* () =
+      if String.length s >= 17 && String.sub s 0 17 = "wampde.run-report" then Ok ()
+      else Result.Error (Printf.sprintf "schema: unknown value %S" s)
+    in
+    let* _ =
+      match Json.member "argv" j with
+      | Some (Json.Arr _) -> Ok ()
+      | Some _ -> Result.Error "argv: not an array"
+      | None -> Result.Error "argv: missing"
+    in
+    let* _ = require_str "ocaml" (Json.member "ocaml" j) in
+    let* _ = require_num "wall_s" (Json.member "wall_s" j) in
+    let* gc = require_obj "gc" (Json.member "gc" j) in
+    let* _ = require_num "gc.minor_words" (List.assoc_opt "minor_words" gc) in
+    let* metrics = require_obj "metrics" (Json.member "metrics" j) in
+    let* counters = require_obj "metrics.counters" (List.assoc_opt "counters" metrics) in
+    let* scoped = require_obj "metrics.scoped" (List.assoc_opt "scoped" metrics) in
+    let* () = check_scoped_sums ~counters ~scoped in
+    let* history =
+      match Json.member "history" j with
+      | Some (Json.Arr l) -> Ok l
+      | Some _ -> Result.Error "history: not an array"
+      | None -> Result.Error "history: missing"
+    in
+    check_history history
+
+  let check s =
+    match Json.parse s with
+    | Result.Error m -> Result.Error (Printf.sprintf "malformed JSON: %s" m)
+    | Ok j -> validate j
+
+  (* ---------- markdown rendering ---------- *)
+
+  let md_escape s =
+    String.concat "\\|" (String.split_on_char '|' s)
+
+  let history_rows_cap = 40
+
+  let to_markdown s =
+    match Json.parse s with
+    | Result.Error m -> Result.Error (Printf.sprintf "malformed JSON: %s" m)
+    | Ok j -> (
+      match validate j with
+      | Result.Error m -> Result.Error m
+      | Ok () ->
+        let buf = Buffer.create 4096 in
+        let str_of key = Option.bind (Json.member key j) Json.to_str in
+        let num_of key = Option.bind (Json.member key j) Json.to_num in
+        Buffer.add_string buf "# wampde run report\n\n";
+        Printf.bprintf buf "| field | value |\n|---|---|\n";
+        let row k v = Printf.bprintf buf "| %s | %s |\n" k (md_escape v) in
+        (match str_of "subcommand" with Some c when c <> "" -> row "subcommand" c | _ -> ());
+        (match Json.member "argv" j with
+         | Some (Json.Arr args) ->
+           row "argv"
+             (String.concat " " (List.filter_map Json.to_str args))
+         | _ -> ());
+        (match str_of "git" with Some g -> row "git" g | None -> row "git" "(unknown)");
+        (match str_of "ocaml" with Some v -> row "ocaml" v | None -> ());
+        (match num_of "wall_s" with
+         | Some w -> row "wall" (Printf.sprintf "%.3f s" w)
+         | None -> ());
+        (match Json.member "gc" j with
+         | Some gc ->
+           let g k = Option.bind (Json.member k gc) Json.to_num in
+           (match (g "minor_words", g "major_words", g "promoted_words") with
+            | Some mi, Some ma, Some pr ->
+              row "allocated" (Printf.sprintf "%.4g Mwords" ((mi +. ma -. pr) /. 1e6))
+            | _ -> ());
+           (match (g "minor_collections", g "major_collections") with
+            | Some mi, Some ma -> row "collections" (Printf.sprintf "%.0f minor / %.0f major" mi ma)
+            | _ -> ())
+         | None -> ());
+        Buffer.add_char buf '\n';
+        let metrics = Json.member "metrics" j in
+        (match Option.bind metrics (Json.member "counters") with
+         | Some (Json.Obj counters) when counters <> [] ->
+           Buffer.add_string buf "## Solver work\n\n| counter | total |\n|---|---|\n";
+           List.iter
+             (fun (name, v) ->
+               match v with
+               | Json.Num n when n <> 0. ->
+                 Printf.bprintf buf "| %s | %.0f |\n" (md_escape name) n
+               | _ -> ())
+             counters;
+           Buffer.add_char buf '\n'
+         | _ -> ());
+        (match Option.bind metrics (Json.member "scoped") with
+         | Some (Json.Obj scoped) when scoped <> [] ->
+           Buffer.add_string buf
+             "## Scoped cost breakdown\n\n| counter | scope | count |\n|---|---|---|\n";
+           List.iter
+             (fun (name, v) ->
+               match v with
+               | Json.Obj entries ->
+                 List.iter
+                   (fun (scope, n) ->
+                     match n with
+                     | Json.Num n ->
+                       Printf.bprintf buf "| %s | %s | %.0f |\n" (md_escape name)
+                         (if scope = "" then "(unscoped)" else md_escape scope)
+                         n
+                     | _ -> ())
+                   entries
+               | _ -> ())
+             scoped;
+           Buffer.add_char buf '\n'
+         | _ -> ());
+        (match Json.member "history" j with
+         | Some (Json.Arr entries) when entries <> [] ->
+           let n = List.length entries in
+           let count o =
+             List.length
+               (List.filter
+                  (fun e -> Option.bind (Json.member "outcome" e) Json.to_str = Some o)
+                  entries)
+           in
+           let nums key =
+             List.filter_map (fun e -> Option.bind (Json.member key e) Json.to_num) entries
+           in
+           Printf.bprintf buf
+             "## Step history\n\n%d decisions: %d accepted, %d rejected, %d retried" n
+             (count "accept") (count "reject") (count "retry");
+           (match nums "h" with
+            | [] -> ()
+            | hs ->
+              Printf.bprintf buf "; h2 %.3g..%.3g" (List.fold_left Float.min infinity hs)
+                (List.fold_left Float.max neg_infinity hs));
+           (match nums "omega" with
+            | [] -> ()
+            | oms ->
+              Printf.bprintf buf "; omega %.6g..%.6g" (List.fold_left Float.min infinity oms)
+                (List.fold_left Float.max neg_infinity oms));
+           Printf.bprintf buf "; %.0f Newton iterations total.\n\n"
+             (List.fold_left ( +. ) 0. (nums "newton_iterations"));
+           Buffer.add_string buf
+             "| t2 | h2 | omega | newton | residual | outcome |\n|---|---|---|---|---|---|\n";
+           List.iteri
+             (fun i e ->
+               if i < history_rows_cap then begin
+                 let num k =
+                   match Option.bind (Json.member k e) Json.to_num with
+                   | Some v -> Printf.sprintf "%.6g" v
+                   | None -> "—"
+                 in
+                 let outcome =
+                   match Option.bind (Json.member "outcome" e) Json.to_str with
+                   | Some o -> (
+                     match Option.bind (Json.member "reason" e) Json.to_str with
+                     | Some r -> Printf.sprintf "%s (%s)" o r
+                     | None -> o)
+                   | None -> "—"
+                 in
+                 Printf.bprintf buf "| %s | %s | %s | %s | %s | %s |\n" (num "t") (num "h")
+                   (num "omega") (num "newton_iterations") (num "residual") (md_escape outcome)
+               end)
+             entries;
+           if n > history_rows_cap then
+             Printf.bprintf buf "\n… %d more rows in the manifest.\n" (n - history_rows_cap)
+         | _ -> ());
+        Ok (Buffer.contents buf))
 end

@@ -1,5 +1,7 @@
-(** Solver telemetry: metrics registry, span tracing and typed solver
-    events.
+(** Solver telemetry and run diagnostics: metrics registry with scoped
+    cost accounting, span tracing with optional GC attribution, typed
+    solver events, a Chrome/Perfetto trace-event exporter and a run
+    report (manifest) builder.
 
     This library sits below every solver layer of the repository so
     that Newton iterations, LU factorizations, GMRES sweeps and slow
@@ -20,8 +22,37 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
-(** Wall-clock seconds (monotonic enough for span durations). *)
+(** Wall-clock seconds.  [Unix.gettimeofday] clamped to be
+    non-decreasing: the [unix] binding exposes no CLOCK_MONOTONIC
+    without C stubs, so a reading that went backwards (NTP slew, clock
+    adjustment) returns the latest reading seen instead — span
+    durations are truncated toward zero under a backwards step, never
+    negative. *)
 val now : unit -> float
+
+(** Minimal JSON representation and recursive-descent parser — enough
+    to validate this library's own output (run manifests, trace files,
+    JSON-lines spans) without an external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Error of string
+
+  val parse_exn : string -> t
+  val parse : string -> (t, string) result
+
+  (** [member k j] is the value at key [k] when [j] is an object. *)
+  val member : string -> t -> t option
+
+  val to_num : t -> float option
+  val to_str : t -> string option
+end
 
 (** Named counters, gauges and log-scale histograms with O(1) updates.
     Metrics are process-global: looking a name up twice returns the
@@ -40,7 +71,12 @@ module Metrics : sig
   val gauge : string -> gauge
   val histogram : string -> histogram
 
+  (** Enabled counter updates are additionally bucketed under the
+      innermost {!Scope} label active at the call site (the empty
+      label when none is), so sum-over-scopes always equals the
+      unscoped total. *)
   val incr : counter -> unit
+
   val add : counter -> int -> unit
   val count : counter -> int
   val set : gauge -> float -> unit
@@ -62,7 +98,8 @@ module Metrics : sig
   val stats : histogram -> hist_stats
   val mean : histogram -> float
 
-  (** Zero every registered metric (registrations are kept). *)
+  (** Zero every registered metric, including scope buckets
+      (registrations are kept). *)
   val reset : unit -> unit
 
   (** Snapshots, sorted by metric name. *)
@@ -71,11 +108,46 @@ module Metrics : sig
   val gauges : unit -> (string * float) list
   val histograms : unit -> (string * hist_stats) list
 
+  (** Per-scope counter buckets, sorted by counter name then scope
+      label ("" = updates outside any scope).  Only counters that were
+      bumped while enabled appear. *)
+  val scoped_counters : unit -> (string * (string * int) list) list
+
+  (** [with_isolated f] snapshots every registered metric (plus the
+      enabled flag and the active scope label), zeroes the registry,
+      runs [f], and restores the snapshot — exceptions propagate, the
+      restore happens either way.  Metrics first registered inside [f]
+      stay registered but zeroed.  This is how tests keep the
+      process-global registry from leaking across suites. *)
+  val with_isolated : (unit -> 'a) -> 'a
+
   (** Human-readable table of every registered metric. *)
   val table : unit -> string
 
-  (** One JSON object: [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+  (** Human-readable table of the per-scope counter buckets. *)
+  val scoped_table : unit -> string
+
+  (** One JSON object:
+      [{"counters":{...},"gauges":{...},"histograms":{...},"scoped":{...}}]. *)
   val to_json : unit -> string
+end
+
+(** Dynamically-scoped cost-accounting labels naming the solver layer
+    currently doing the work ("transient", "envelope.outer",
+    "envelope.newton", "quasiperiodic", ...).  Shared leaf counters
+    such as [lu.factor] and [gmres.iterations] are bucketed by the
+    innermost label active when they are bumped, answering which layer
+    incurred the cost.  Labels are set at solver layers, not inside
+    the leaves themselves — bucketing [gmres.iterations] under a
+    "gmres" scope would say nothing. *)
+module Scope : sig
+  (** The innermost active label, or [None] outside any scope. *)
+  val current : unit -> string option
+
+  (** [with_scope label f] runs [f] with [label] as the innermost
+      scope; the previous label is restored on exit (exceptions
+      propagate). *)
+  val with_scope : string -> (unit -> 'a) -> 'a
 end
 
 (** Typed solver events with subscriber callbacks, dispatched in
@@ -122,6 +194,16 @@ end
 module Span : sig
   type attr = Int of int | Float of float | Str of string
 
+  (** GC work attributed to one span: [Gc.quick_stat] deltas between
+      entry and exit (see {!set_gc_stats}). *)
+  type gc_delta = {
+    minor_words : float;
+    promoted_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+  }
+
   type record = {
     id : int;
     parent : int option;
@@ -129,26 +211,134 @@ module Span : sig
     attrs : (string * attr) list;
     t_start : float;  (** seconds since tracing began *)
     t_stop : float;
+    gc : gc_delta option;  (** present when GC attribution was on *)
   }
 
+  (** A point event on the span timeline (see {!instant}). *)
+  type instant = { i_name : string; i_attrs : (string * attr) list; i_t : float }
+
   val tracing : unit -> bool
+
+  (** [set_gc_stats true] makes every subsequent span snapshot
+      [Gc.quick_stat] at entry and exit and record the deltas in
+      {!record.gc} (and the JSON-lines [span_stop] line).  Off by
+      default: [quick_stat] is cheap but allocates its result record,
+      so GC attribution stays opt-in even while tracing. *)
+  val set_gc_stats : bool -> unit
+
+  val gc_stats : unit -> bool
+
+  (** Words freshly allocated during the span: minor plus
+      direct-to-major, with promotions not double counted. *)
+  val allocated_words : gc_delta -> float
 
   (** [span ?attrs name f] runs [f] inside a span.  Exceptions
       propagate; the span is closed either way. *)
   val span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+
+  (** [instant ?attrs name] records a zero-duration point event at the
+      current trace time — written to the JSON-lines sink and buffered
+      for {!recorded_instants} while recording; a no-op with no sink. *)
+  val instant : ?attrs:(string * attr) list -> string -> unit
 
   val start_recording : unit -> unit
 
   (** Completed spans in completion order; clears the buffer. *)
   val stop_recording : unit -> record list
 
+  (** Instants recorded since {!start_recording}, in emission order.
+      Cleared by the next [start_recording]. *)
+  val recorded_instants : unit -> instant list
+
   (** [set_writer (Some w)] streams two JSON lines per span —
       [span_start] (id, parent, name, attrs, t_s) and [span_stop]
-      (id, t_s, dur_s) — through [w] (one call per line, no trailing
-      newline).  [set_writer None] uninstalls. *)
+      (id, t_s, dur_s, and gc deltas when enabled) — through [w] (one
+      call per line, no trailing newline).  [set_writer None]
+      uninstalls. *)
   val set_writer : (string -> unit) option -> unit
 
   (** Aggregate records into a human-readable tree (grouped by name
-      path from the root, with call counts and total seconds). *)
+      path from the root, with call counts, total seconds, and — when
+      GC attribution was on — allocated words and collection counts). *)
   val tree_summary : record list -> string
+end
+
+(** Chrome trace-event exporter: serializes recorded spans and
+    instants into the JSON array format understood by
+    [ui.perfetto.dev] and [chrome://tracing] — duration events as
+    matched ["B"]/["E"] pairs (balanced and properly nested by
+    construction: they are emitted by a depth-first walk of the span
+    tree), solver events as instant (["i"]) events, timestamps in
+    microseconds. *)
+module Trace_event : sig
+  val to_string :
+    ?process_name:string -> spans:Span.record list -> instants:Span.instant list -> unit -> string
+
+  (** Bridge from typed solver events to trace instants: subscribe
+      this with {!Events.subscribe} while spans are being recorded to
+      get the accept/reject/retry trail, [omega(t2)] phase-condition
+      updates and Newton convergence marks on the span timeline.
+      Per-iteration events (Newton/GMRES/LU) are deliberately dropped
+      — they are too dense for a useful timeline and the counters
+      carry them. *)
+  val record_event : Events.t -> unit
+end
+
+(** Self-contained JSON run manifests: what ran (argv, subcommand, git
+    describe, OCaml version), what it cost (wall clock, GC totals,
+    metrics snapshot including scoped counters) and what the solver
+    did (per-macro-step history of step size, [omega(t2)], Newton
+    work, accept/reject trail). *)
+module Report : sig
+  (** Current manifest schema tag ("wampde.run-report/1"). *)
+  val schema : string
+
+  (** One macro-step decision reconstructed from the event stream. *)
+  type step = {
+    t : float;
+    h : float;
+    omega : float option;  (** from the Phase_condition following an accept *)
+    newton_iterations : int;
+    residual : float;  (** last Newton residual before the decision; nan if none *)
+    outcome : string;  (** "accept" | "reject" | "retry" *)
+    reason : string option;
+  }
+
+  type collector
+
+  (** [collect ()] subscribes to {!Events} and starts accumulating the
+      per-macro-step history; telemetry must be enabled for events to
+      flow.  Decisions made inside the "transient" scope (micro steps
+      of a univariate integration — warmup or baseline) are excluded:
+      the history is about slow-time macro steps, and the scoped
+      counters carry the micro-step work. *)
+  val collect : unit -> collector
+
+  (** Unsubscribes and returns the history in chronological order. *)
+  val finish : collector -> step list
+
+  (** Best-effort [git describe --always --dirty]; [None] when git or
+      the work tree is unavailable. *)
+  val git_describe : unit -> string option
+
+  (** Serialize the manifest.  [argv] defaults to [Sys.argv]; the
+      metrics snapshot is taken from the live registry at this call. *)
+  val manifest :
+    ?argv:string array ->
+    ?subcommand:string ->
+    ?git:string ->
+    wall_s:float ->
+    steps:step list ->
+    unit ->
+    string
+
+  (** Validate a manifest string: well-formed JSON, required fields
+      present and well-typed, every scoped counter's sum over scopes
+      equal to its unscoped total, history outcomes well-formed. *)
+  val check : string -> (unit, string) result
+
+  (** Render a manifest string to a markdown summary (provenance
+      table, solver-work counters, scoped cost breakdown, step
+      history).  Validates first. *)
+  val to_markdown : string -> (string, string) result
 end

@@ -236,6 +236,7 @@ let solve ?(solver = Structured.auto) dae ~period ~harmonics:m ~guess =
     ~attrs:[ ("harmonics", Obs.Span.Int m); ("dim", Obs.Span.Int dae.Dae.dim) ]
     "hb.solve"
   @@ fun () ->
+  Obs.Scope.with_scope "hb" @@ fun () ->
   Obs.Metrics.incr c_solves;
   let n = dae.Dae.dim in
   let nn = (2 * m) + 1 in

@@ -82,6 +82,7 @@ let solve dae ~n1 ~guess ~omega_guess ~phase_component =
     ~attrs:[ ("n1", Obs.Span.Int n1); ("dim", Obs.Span.Int dae.Dae.dim) ]
     "oscillator.solve"
   @@ fun () ->
+  Obs.Scope.with_scope "oscillator" @@ fun () ->
   let n = dae.Dae.dim in
   let d = Fourier.Series.diff_matrix n1 in
   let residual y = collocation_residual dae ~n1 ~d ~phase_component y in
@@ -104,6 +105,7 @@ let find dae ~n1 ?(phase_component = 0) ?(warmup_cycles = 30) ?(transient_steps_
     ~attrs:[ ("n1", Obs.Span.Int n1); ("dim", Obs.Span.Int dae.Dae.dim) ]
     "oscillator.find"
   @@ fun () ->
+  Obs.Scope.with_scope "oscillator" @@ fun () ->
   let h = period_hint /. float_of_int transient_steps_per_cycle in
   let t_end = period_hint *. float_of_int (warmup_cycles + 4) in
   let traj = Transient.integrate dae ~method_:Transient.Trapezoidal ~t0:0. ~t1:t_end ~h x0 in

@@ -14,6 +14,7 @@ let flow dae ~t0 ~t1 ~steps x0 =
 let autonomous dae ?(steps_per_period = 200) ?(phase_component = 0) ?(tol = 1e-8) ~period_guess
     x0 =
   Obs.Span.span ~attrs:[ ("dim", Obs.Span.Int dae.Dae.dim) ] "shooting.autonomous" @@ fun () ->
+  Obs.Scope.with_scope "shooting" @@ fun () ->
   let n = dae.Dae.dim in
   (* unknowns: [x0; period] *)
   let residual y =
@@ -48,6 +49,7 @@ let autonomous dae ?(steps_per_period = 200) ?(phase_component = 0) ?(tol = 1e-8
 
 let forced dae ?(steps_per_period = 200) ?(tol = 1e-8) ~period x0 =
   Obs.Span.span ~attrs:[ ("dim", Obs.Span.Int dae.Dae.dim) ] "shooting.forced" @@ fun () ->
+  Obs.Scope.with_scope "shooting" @@ fun () ->
   let residual x =
     let xt = flow dae ~t0:0. ~t1:period ~steps:steps_per_period x in
     Vec.sub xt x

@@ -114,6 +114,7 @@ let integrate dae ~method_ ~t0 ~t1 ~h x0 =
     ~attrs:[ ("dim", Obs.Span.Int dae.Dae.dim); ("t1", Obs.Span.Float t1) ]
     "transient.integrate"
   @@ fun () ->
+  Obs.Scope.with_scope "transient" @@ fun () ->
   let times = ref [ t0 ] and states = ref [ Array.copy x0 ] in
   let prev = ref None in
   let t = ref t0 and x = ref (Array.copy x0) in
@@ -146,6 +147,7 @@ let integrate_adaptive dae ~t0 ~t1 ?h0 ?(h_min = 1e-14) ?h_max ~tol x0 =
     ~attrs:[ ("dim", Obs.Span.Int dae.Dae.dim); ("t1", Obs.Span.Float t1) ]
     "transient.integrate_adaptive"
   @@ fun () ->
+  Obs.Scope.with_scope "transient" @@ fun () ->
   let h_max = match h_max with Some h -> h | None -> span /. 10. in
   let h0 = match h0 with Some h -> h | None -> span /. 1000. in
   (* atol floor matches the historical relative norm, which clamped

@@ -44,6 +44,22 @@ def extract_speedups(path):
     return speedups
 
 
+def extract_solver_costs(path):
+    """Per-experiment GMRES-iteration and allocation counts (informational,
+    not gated): {id: {"gmres_iterations", "alloc_words", "scoped": {...}}}."""
+    with open(path) as f:
+        entries = json.load(f)
+    costs = {}
+    for entry in entries:
+        metrics = entry.get("metrics", {})
+        costs[entry.get("id", "?")] = {
+            "gmres_iterations": metrics.get("counters", {}).get("gmres.iterations", 0),
+            "alloc_words": metrics.get("gauges", {}).get("bench.alloc_words", 0.0),
+            "scoped": metrics.get("scoped", {}).get("gmres.iterations", {}),
+        }
+    return costs
+
+
 def load_history(directory):
     path = os.path.join(directory, HISTORY_NAME)
     if not os.path.exists(path):
@@ -79,10 +95,16 @@ def main():
         print(f"bench_trend: no {SPEEDUP_PREFIX}* gauges in {fresh_file}", file=sys.stderr)
         return 2
 
+    costs = extract_solver_costs(fresh_file)
+    for exp_id, cost in sorted(costs.items()):
+        print(f"bench_trend: {exp_id}: {cost['gmres_iterations']} gmres iters, "
+              f"{cost['alloc_words'] / 1e6:.1f} Mwords allocated")
+
     history = load_history(args.prev)
     history.append({
         "source": os.path.basename(fresh_file),
         "speedups": {str(n1): ratio for n1, ratio in sorted(fresh.items())},
+        "solver_costs": costs,
     })
     with open(args.history, "w") as f:
         json.dump(history, f, indent=2)
@@ -94,6 +116,17 @@ def main():
         print("bench_trend: no previous artifact; recording baseline and passing")
         return 0
     prev = extract_speedups(prev_files[-1])
+    prev_costs = extract_solver_costs(prev_files[-1])
+    for exp_id in sorted(set(costs) & set(prev_costs)):
+        pg = prev_costs[exp_id]["gmres_iterations"]
+        fg = costs[exp_id]["gmres_iterations"]
+        if pg or fg:
+            print(f"bench_trend: {exp_id}: gmres iters {pg} -> {fg} (informational)")
+        pa = prev_costs[exp_id]["alloc_words"]
+        fa = costs[exp_id]["alloc_words"]
+        if pa or fa:
+            print(f"bench_trend: {exp_id}: allocation {pa / 1e6:.1f} -> {fa / 1e6:.1f} "
+                  f"Mwords (informational)")
     common = sorted(set(fresh) & set(prev))
     if not common:
         print("bench_trend: no common n1 sizes with previous run; passing")

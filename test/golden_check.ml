@@ -269,7 +269,9 @@ let () =
   List.iter
     (fun (name, run) ->
       let path = Filename.concat !dir (name ^ ".json") in
-      let got = run () in
+      (* isolate the process-global metrics registry so telemetry state
+         cannot couple the experiments (or any future caller) *)
+      let got = Wampde_obs.Metrics.with_isolated run in
       if !update then begin
         write_file path (json_of_experiment got);
         Printf.printf "wrote %s\n" path

@@ -2,15 +2,13 @@
    the allocation-free disabled path, and end-to-end solver coverage. *)
 module Obs = Wampde_obs
 
-(* Every test runs with a clean, disabled registry and leaves it that
-   way, so telemetry state never leaks into the other suites. *)
+(* Every test runs against a zeroed, disabled registry and restores
+   the previous metric values on exit, so telemetry state cannot leak
+   across tests or suites regardless of execution order. *)
 let with_clean f () =
-  Obs.set_enabled false;
-  Obs.Metrics.reset ();
-  Fun.protect ~finally:(fun () ->
+  Obs.Metrics.with_isolated (fun () ->
       Obs.set_enabled false;
-      Obs.Metrics.reset ())
-    f
+      f ())
 
 let tests =
   [
