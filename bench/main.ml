@@ -584,6 +584,71 @@ let kernel_timings () =
         results)
     tests
 
+let robust () =
+  (* solver-hardening sweep: a sinh-limited one-pole system under deep
+     fast-tone amplitude modulation, solved for the biperiodic steady
+     state from a cold (zero) guess.  As the nonlinearity stiffens,
+     plain damped Newton lands on the sinh cliff and its line search
+     stalls; the globalization cascade escalates and keeps solving.
+     The numbers behind the hard-case table in EXPERIMENTS.md. *)
+  let solve_case beta cascade =
+    let p1 = 1. and p2 = 20. in
+    let dae =
+      Dae.of_ode ~dim:1 ~rhs:(fun ~t:_ x -> [| -.(sinh (beta *. x.(0))) /. beta |]) ()
+    in
+    let a t2 = beta *. (1. +. (0.9 *. sin (two_pi *. t2 /. p2))) in
+    let sys =
+      {
+        Mpde.dae;
+        p1;
+        b_fast = (fun ~t1 ~t2 -> [| -.(a t2) *. sin (two_pi *. t1 /. p1) |]);
+      }
+    in
+    let n1 = 11 and n2 = 11 in
+    let guess = Array.init n2 (fun _ -> Array.init n1 (fun _ -> [| 0. |])) in
+    let t0 = Sys.time () in
+    let outcome =
+      Obs.Metrics.with_isolated (fun () ->
+          Obs.set_enabled true;
+          let count name = Obs.Metrics.count (Obs.Metrics.counter name) in
+          match Mpde.quasiperiodic ?cascade sys ~n1 ~n2 ~p2 ~guess with
+          | _ ->
+            let winner =
+              List.find_opt
+                (fun s -> count ("newton.strategy." ^ Nonlin.Polyalg.strategy_name s) > 0)
+                (List.rev Nonlin.Polyalg.default_cascade)
+            in
+            let iters = count "newton.iterations" + count "trust_region.iterations"
+                        + count "ptc.iterations" in
+            `Solved (winner, iters)
+          | exception Mpde.Solve_failure _ -> `Failed)
+    in
+    (outcome, Sys.time () -. t0)
+  in
+  let betas = if !smoke then [ 200.; 500. ] else [ 100.; 200.; 300.; 400.; 500.; 600. ] in
+  Printf.printf
+    "robust | strong-modulation sinh quasiperiodic from cold start: plain Newton vs cascade\n";
+  Printf.printf "robust |   beta    plain Newton          cascade\n";
+  List.iter
+    (fun beta ->
+      let plain, t_plain = solve_case beta (Some [ Nonlin.Polyalg.Damped ]) in
+      let full, t_full = solve_case beta None in
+      Printf.printf "robust |   %4.0f    %-18s  %s\n" beta
+        (match plain with
+        | `Failed -> "FAIL"
+        | `Solved (_, iters) -> Printf.sprintf "ok %3d it %.2fs" iters t_plain)
+        (match full with
+        | `Failed -> "FAIL"
+        | `Solved (winner, iters) ->
+          Printf.sprintf "ok via %-12s %3d it %.2fs"
+            (match winner with
+            | Some s -> Nonlin.Polyalg.strategy_name s
+            | None -> "?")
+            iters t_full))
+    betas;
+  Printf.printf
+    "robust | (the cascade keeps solving after plain Newton starts failing; trust region wins)\n"
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -607,6 +672,7 @@ let experiments =
     ("ablation-n1", ablation_n1);
     ("ablation-h2", ablation_h2);
     ("ablation-solver", ablation_solver);
+    ("robust", robust);
   ]
 
 let () =

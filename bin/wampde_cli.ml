@@ -40,10 +40,20 @@ let report_arg =
   in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
+let fault_arg =
+  let doc =
+    "Arm the deterministic fault-injection harness with $(docv) (e.g. \
+     $(b,linsolve\\@3,nan%0.05,seed=42); kinds: linsolve, diverge, nan, ckpt-trunc).  The \
+     $(b,WAMPDE_FAULTS) environment variable arms the same schedule when this flag is \
+     absent.  Injected faults must end in recovery or a typed error — use with the solver \
+     metrics to audit the retry/escalation machinery."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-inject" ] ~docv:"SPEC" ~doc)
+
 let obs_term =
   Term.(
-    const (fun metrics trace perfetto report -> (metrics, trace, perfetto, report))
-    $ metrics_arg $ trace_arg $ perfetto_arg $ report_arg)
+    const (fun metrics trace perfetto report faults -> (metrics, trace, perfetto, report, faults))
+    $ metrics_arg $ trace_arg $ perfetto_arg $ report_arg $ fault_arg)
 
 let open_or_die file =
   try open_out file
@@ -55,13 +65,41 @@ let write_file_or_die file contents =
   let oc = open_or_die file in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
 
+(* Every solver failure below is typed and carries a registered
+   printer: surface it as a one-line diagnostic and a nonzero exit, not
+   a backtrace. *)
+let or_die f =
+  try f ()
+  with
+  | ( Wampde.Envelope.Step_failure _ | Transient.Step_failure _ | Step_control.Underflow _
+    | Checkpoint.Corrupt _
+    | Nonlin.Polyalg.Solve_failed _ | Nonlin.Polyalg.Non_finite _
+    | Nonlin.Continuation.Step_underflow _ | Mpde.Solve_failure _
+    | Steady.Oscillator.Nonphysical _ ) as exn ->
+    Printf.eprintf "wampde_cli: %s\n" (Printexc.to_string exn);
+    exit 1
+
 (* Enable telemetry around [f] according to the
    (--metrics, --trace, --trace-perfetto, --report) flags: metrics go to a
    table on stderr, JSON-lines traces plus a span-tree summary through
    --trace, a Chrome trace-event file through --trace-perfetto (with
    per-span GC attribution) and a run manifest through --report.  With no
-   flag this is a no-op wrapper. *)
-let with_obs ?(cmd = "") (metrics, trace, perfetto, report) f =
+   flag this is a no-op wrapper.  [--fault-inject] (or WAMPDE_FAULTS)
+   arms the deterministic fault harness for the wrapped run. *)
+let with_obs ?(cmd = "") (metrics, trace, perfetto, report, faults) f =
+  (match faults with
+   | Some spec -> (
+     match Fault.arm spec with
+     | Ok () -> ()
+     | Error msg ->
+       Printf.eprintf "wampde_cli: --fault-inject: %s\n" msg;
+       exit 1)
+   | None -> (
+     try Fault.arm_from_env ()
+     with Invalid_argument msg ->
+       Printf.eprintf "wampde_cli: %s: %s\n" Fault.env_var msg;
+       exit 1));
+  let f () = or_die f in
   if not (metrics || trace <> None || perfetto <> None || report <> None) then f ()
   else begin
     Obs.set_enabled true;

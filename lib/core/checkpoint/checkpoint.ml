@@ -155,6 +155,14 @@ let save ~path sections =
   Obs.Span.span ~attrs:[ ("path", Obs.Span.Str path) ] "checkpoint.save" @@ fun () ->
   let payload = encode sections in
   let crc = crc32 payload in
+  (* fault injection: write only half the payload while keeping the
+     full payload's CRC, emulating a torn write that slipped past the
+     atomic rename (e.g. a lying disk); [load] must flag it as Corrupt *)
+  let payload =
+    if Fault.armed () && Fault.fire Fault.Checkpoint_trunc then
+      Bytes.sub payload 0 (Bytes.length payload / 2)
+    else payload
+  in
   let header = Buffer.create 24 in
   Buffer.add_string header magic;
   add_u32 header format_version;

@@ -38,6 +38,11 @@ exception Corrupt of string
 val format_version : int
 
 val save : path:string -> t -> unit
+(** Atomic (tmp + rename) CRC-protected write.  Probes the
+    [Fault.Checkpoint_trunc] injection point: when armed and fired, the
+    payload is deliberately truncated so a subsequent {!load} raises
+    {!Corrupt}. *)
+
 val load : path:string -> t
 
 (** {1 Typed accessors} (all raise {!Corrupt} with the section name on

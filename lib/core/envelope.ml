@@ -5,6 +5,7 @@ let c_newton_iters = Obs.Metrics.counter "newton.iterations"
 let c_env_steps = Obs.Metrics.counter "envelope.steps"
 let c_env_rejects = Obs.Metrics.counter "envelope.rejects"
 let c_jac_refresh = Obs.Metrics.counter "envelope.jacobian_refreshes"
+let c_rescues = Obs.Metrics.counter "envelope.rescues"
 
 type options = {
   n1 : int;
@@ -13,9 +14,11 @@ type options = {
   differentiation : [ `Spectral | `Fd4 ];
   newton : Nonlin.Newton.options;
   solver : Structured.strategy;
+  rescue : bool;
 }
 
-let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) ?(solver = Structured.auto) () =
+let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) ?(solver = Structured.auto)
+    ?(rescue = true) () =
   {
     n1;
     theta = 0.5;
@@ -23,6 +26,7 @@ let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) ?(solver = Structur
     differentiation = `Spectral;
     newton = { Nonlin.Newton.default_options with max_iterations = 30; residual_tol = 1e-9 };
     solver;
+    rescue;
   }
 
 type step_failure = {
@@ -183,7 +187,8 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
     for idx = 0 to nd - 1 do
       s := !s +. (phase_row.(idx) *. y.(idx))
     done;
-    dst.(nd) <- !s
+    dst.(nd) <- !s;
+    if Fault.armed () && Fault.fire Fault.Nan_residual then dst.(0) <- Float.nan
   in
   let jacobian y =
     let omega = unpack_scratch y in
@@ -275,9 +280,13 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
     done;
     match
       let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft op in
-      Structured.make_bordered pc ~border_col ~border_row:phase_row
+      try Structured.make_bordered pc ~border_col ~border_row:phase_row
+      with Structured.Bordered_singular _ ->
+        (* degenerate phase border: regularize the Schur scalar rather
+           than dropping straight to the dense path *)
+        Structured.make_bordered ~gmin:1e-9 pc ~border_col ~border_row:phase_row
     with
-    | exception (Cx.Clu.Singular _ | Failure _) -> None
+    | exception (Cx.Clu.Singular _ | Structured.Bordered_singular _ | Failure _) -> None
     | bordered -> Some { kop = op; kborder_col = border_col; kbordered = bordered }
   in
   (* GMRES solve against a (possibly stale) cached operator.  The inner
@@ -315,11 +324,16 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
     r := !rt;
     rt := tr
   in
+  let run_chord () =
   (try
+     (* a NaN/Inf initial residual would slip through [!rnorm > tol]
+        (NaN compares false) and be returned as spuriously converged *)
+     if not (Float.is_finite !rnorm) then fail !rnorm;
      while !rnorm > tol do
        if !iters >= max_iterations then fail !rnorm;
        incr iters;
        Obs.Metrics.incr c_newton_iters;
+       if Fault.armed () && Fault.fire Fault.Linear_solve then raise (Lu.Singular 0);
        let dense_fallback () =
          Structured.fallback_to_dense ();
          let lu = refresh !y in
@@ -347,6 +361,7 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
              (Lu.solve lu !r, true)
        in
        fresh := is_fresh;
+       if Fault.armed () && Fault.fire Fault.Newton_diverge then Vec.scale_inplace 1e8 dy;
        let yv = !y and tv = !trial in
        for i = 0 to nd do
          tv.(i) <- yv.(i) -. dy.(i)
@@ -396,6 +411,38 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
    with Lu.Singular _ -> fail !rnorm);
   let states, omega = unpack ~n1 ~n !y in
   (states, omega, !iters)
+  in
+  if not options.rescue then run_chord ()
+  else
+    try run_chord ()
+    with Step_failure _ as chord_failure ->
+      (* The chord iteration is lost.  Cold-start the globalization
+         cascade on the same step system (dense Jacobian) before
+         surfacing the failure to the step controller. *)
+      let residual yv =
+        let dst = Array.make (nd + 1) 0. in
+        residual_into yv dst;
+        dst
+      in
+      let y0 = Array.make (nd + 1) 0. in
+      for j = 0 to n1 - 1 do
+        Array.blit states0.(j) 0 y0 (j * n) n
+      done;
+      y0.(nd) <- omega0;
+      let outcome =
+        Nonlin.Polyalg.solve
+          ~options:{ options.newton with Nonlin.Newton.residual_tol = tol }
+          ~label:"envelope.rescue"
+          ~cascade:[ Nonlin.Polyalg.Trust_region; Nonlin.Polyalg.Pseudo_transient ]
+          ~jacobian ~residual y0
+      in
+      let report = outcome.Nonlin.Polyalg.report in
+      if report.Nonlin.Newton.converged then begin
+        Obs.Metrics.incr c_rescues;
+        let states, omega = unpack ~n1 ~n report.Nonlin.Newton.x in
+        (states, omega, !iters + report.Nonlin.Newton.iterations)
+      end
+      else raise chord_failure
 
 let check_init options (init : Steady.Oscillator.orbit) =
   if Array.length init.Steady.Oscillator.grid <> options.n1 then

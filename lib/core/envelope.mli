@@ -27,12 +27,18 @@ type options = {
   solver : Structured.strategy;
       (** linear-solver path for the collocation Newton systems: dense
           LU, matrix-free preconditioned GMRES, or size-based [Auto] *)
+  rescue : bool;
+      (** when the chord iteration fails a step, cold-start the
+          {!Nonlin.Polyalg} trust-region/PTC cascade on the same step
+          system before reporting [Step_failure] (default [true];
+          successes bump the [envelope.rescues] counter) *)
 }
 
 (** [default_options ()] — [n1 = 25], trapezoidal, derivative phase
     condition on component 0, spectral differentiation,
-    [Structured.auto] solver selection. *)
-val default_options : ?n1:int -> ?phase:Phase.t -> ?solver:Structured.strategy -> unit -> options
+    [Structured.auto] solver selection, rescue cascade on. *)
+val default_options :
+  ?n1:int -> ?phase:Phase.t -> ?solver:Structured.strategy -> ?rescue:bool -> unit -> options
 
 type step_failure = {
   t2 : float;  (** slow time of the failed step *)

@@ -1,0 +1,149 @@
+module Obs = Wampde_obs
+
+type kind = Linear_solve | Newton_diverge | Nan_residual | Checkpoint_trunc
+
+let kinds = [ Linear_solve; Newton_diverge; Nan_residual; Checkpoint_trunc ]
+
+let kind_name = function
+  | Linear_solve -> "linsolve"
+  | Newton_diverge -> "diverge"
+  | Nan_residual -> "nan"
+  | Checkpoint_trunc -> "ckpt-trunc"
+
+let kind_of_name = function
+  | "linsolve" -> Some Linear_solve
+  | "diverge" -> Some Newton_diverge
+  | "nan" -> Some Nan_residual
+  | "ckpt-trunc" -> Some Checkpoint_trunc
+  | _ -> None
+
+let index = function
+  | Linear_solve -> 0
+  | Newton_diverge -> 1
+  | Nan_residual -> 2
+  | Checkpoint_trunc -> 3
+
+let env_var = "WAMPDE_FAULTS"
+
+type rule = At of int  (** single shot on the n-th call *) | Prob of float
+
+type schedule = {
+  rules : rule list array; (* indexed by [index kind] *)
+  mutable lcg : int64;
+  calls : int array;
+  injected : int array;
+}
+
+let state : schedule option ref = ref None
+
+let c_injected =
+  let tbl = Array.of_list kinds in
+  Array.map (fun k -> Obs.Metrics.counter ("fault.injected." ^ kind_name k)) tbl
+
+(* Numerical Recipes 64-bit LCG; the top 53 bits feed a uniform in [0,1). *)
+let lcg_next s =
+  s.lcg <- Int64.add (Int64.mul s.lcg 6364136223846793005L) 1442695040888963407L;
+  let bits = Int64.shift_right_logical s.lcg 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let parse spec =
+  let entries =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let seed = ref 1L in
+  let rules = Array.make (List.length kinds) [] in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec go = function
+    | [] ->
+      let rules = Array.map List.rev rules in
+      let seed = !seed in
+      Ok
+        (fun () ->
+          state :=
+            Some
+              {
+                rules = Array.map (fun l -> l) rules;
+                lcg = seed;
+                calls = Array.make (Array.length rules) 0;
+                injected = Array.make (Array.length rules) 0;
+              })
+    | entry :: rest -> (
+      match String.index_opt entry '=' with
+      | Some i when String.sub entry 0 i = "seed" -> (
+        let v = String.sub entry (i + 1) (String.length entry - i - 1) in
+        match Int64.of_string_opt v with
+        | Some s ->
+          seed := s;
+          go rest
+        | None -> err "Fault.parse: bad seed %S" v)
+      | Some _ -> err "Fault.parse: unknown assignment %S" entry
+      | None -> (
+        let split c =
+          match String.index_opt entry c with
+          | Some i ->
+            Some
+              ( String.sub entry 0 i,
+                String.sub entry (i + 1) (String.length entry - i - 1) )
+          | None -> None
+        in
+        match split '@' with
+        | Some (name, n) -> (
+          match (kind_of_name name, int_of_string_opt n) with
+          | Some k, Some n when n >= 1 ->
+            rules.(index k) <- At n :: rules.(index k);
+            go rest
+          | Some _, _ -> err "Fault.parse: bad call count in %S" entry
+          | None, _ -> err "Fault.parse: unknown fault kind %S" name)
+        | None -> (
+          match split '%' with
+          | Some (name, p) -> (
+            match (kind_of_name name, float_of_string_opt p) with
+            | Some k, Some p when p >= 0. && p <= 1. ->
+              rules.(index k) <- Prob p :: rules.(index k);
+              go rest
+            | Some _, _ -> err "Fault.parse: bad probability in %S" entry
+            | None, _ -> err "Fault.parse: unknown fault kind %S" name)
+          | None -> err "Fault.parse: malformed entry %S (want kind@N, kind%%P or seed=S)" entry)))
+  in
+  go entries
+
+let arm spec = Result.map (fun install -> install ()) (parse spec)
+
+let arm_exn spec =
+  match arm spec with Ok () -> () | Error msg -> invalid_arg msg
+
+let arm_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some spec -> arm_exn spec
+
+let disarm () = state := None
+let armed () = !state <> None
+
+let fire kind =
+  match !state with
+  | None -> false
+  | Some s ->
+    let i = index kind in
+    s.calls.(i) <- s.calls.(i) + 1;
+    let hit =
+      List.exists
+        (function At n -> n = s.calls.(i) | Prob p -> lcg_next s < p)
+        s.rules.(i)
+    in
+    if hit then begin
+      s.injected.(i) <- s.injected.(i) + 1;
+      Obs.Metrics.incr c_injected.(i)
+    end;
+    hit
+
+let calls kind = match !state with None -> 0 | Some s -> s.calls.(index kind)
+
+let injected kind =
+  match !state with None -> 0 | Some s -> s.injected.(index kind)
+
+let with_armed spec f =
+  let saved = !state in
+  arm_exn spec;
+  Fun.protect ~finally:(fun () -> state := saved) f

@@ -249,7 +249,13 @@ let simulate ?(solver = Structured.auto) dae ~harmonics:m ?(phase_component = 0)
     let report =
       if (not !escalated) && Structured.use_krylov solver ~dim:((n * nn) + 1) then
         Nonlin.Newton.solve_with ~options ~label:"hb_envelope" ~linear_solve ~residual y0
-      else Nonlin.Newton.solve ~options ~label:"hb_envelope" ~residual y0
+      else
+        (* dense path (or after Krylov escalation): give the hard steps
+           a trust-region pass before bouncing them to the controller *)
+        (Nonlin.Polyalg.solve ~options ~label:"hb_envelope"
+           ~cascade:[ Nonlin.Polyalg.Damped; Nonlin.Polyalg.Trust_region ]
+           ~residual y0)
+          .Nonlin.Polyalg.report
     in
     if not report.Nonlin.Newton.converged then begin
       ignore (Step_control.failure_retry ctrl ~t:!t2 ~h_used:h ~reason:"newton");

@@ -179,9 +179,11 @@ let solve dae ?(linear_solver = `Dense) ?(max_iterations = 25) ?(tol = 1e-8)
     match
       Array.init n2 (fun m ->
           let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft ops.(m) in
-          Structured.make_bordered pc ~border_col:dqcols.(m) ~border_row:phase_row)
+          try Structured.make_bordered pc ~border_col:dqcols.(m) ~border_row:phase_row
+          with Structured.Bordered_singular _ ->
+            Structured.make_bordered ~gmin:1e-9 pc ~border_col:dqcols.(m) ~border_row:phase_row)
     with
-    | exception (Cx.Clu.Singular _ | Failure _) -> None
+    | exception (Cx.Clu.Singular _ | Structured.Bordered_singular _ | Failure _) -> None
     | borders ->
       let vseg = Array.make bs 0. and oseg = Array.make nd 0. in
       let cu = Array.make (n2 * nd) 0. in

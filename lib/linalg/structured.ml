@@ -298,6 +298,8 @@ let precond_apply pc v =
 (* Bordered (Schur) preconditioner for the omega column + phase row    *)
 (* ------------------------------------------------------------------ *)
 
+exception Bordered_singular of float
+
 type bordered = { base : precond; brow : Vec.t; z2 : Vec.t; pz2 : float }
 
 let dot_prefix a b n =
@@ -307,12 +309,16 @@ let dot_prefix a b n =
   done;
   !s
 
-let make_bordered pc ~border_col ~border_row =
+let make_bordered ?(gmin = 0.) pc ~border_col ~border_row =
   let nd = pc.pn * pc.pn1 in
   let z2 = precond_apply pc border_col in
   let pz2 = dot_prefix border_row z2 nd in
-  if not (Float.is_finite pz2) || Float.abs pz2 < 1e-300 then
-    failwith "Structured.make_bordered: singular border Schur complement";
+  if not (Float.is_finite pz2) then raise (Bordered_singular pz2);
+  (* gmin regularization: shift the Schur scalar away from zero so the
+     bordered inverse stays bounded even when the phase row is (nearly)
+     orthogonal to the preconditioned omega column *)
+  let pz2 = if gmin > 0. then pz2 +. Float.copy_sign gmin pz2 else pz2 in
+  if Float.abs pz2 < 1e-300 then raise (Bordered_singular pz2);
   { base = pc; brow = border_row; z2; pz2 }
 
 (* Exact inverse of [[M b] [p 0]] given M^{-1}: z = M^{-1} r - zeta z2

@@ -107,11 +107,19 @@ val precond_apply : precond -> Vec.t -> Vec.t
 
 type bordered
 
+exception Bordered_singular of float
+(** The border Schur complement degenerated (carries the offending
+    scalar, possibly NaN).  Callers can retry with [?gmin]. *)
+
 (** [make_bordered pc ~border_col ~border_row] extends the block
     preconditioner to the bordered system via the exact Schur
-    complement of the (approximate) block inverse.  Raises [Failure] if
-    the border Schur complement degenerates. *)
-val make_bordered : precond -> border_col:Vec.t -> border_row:Vec.t -> bordered
+    complement of the (approximate) block inverse.  Raises
+    {!Bordered_singular} if the border Schur complement degenerates;
+    [?gmin] (default [0.]) shifts the Schur scalar away from zero
+    (gmin-style regularization) so a nearly-degenerate border still
+    yields a usable — if weaker — preconditioner. *)
+val make_bordered :
+  ?gmin:float -> precond -> border_col:Vec.t -> border_row:Vec.t -> bordered
 
 (** [bordered_apply bp v] applies the bordered approximate inverse to a
     length-[dim + 1] vector; the result is freshly allocated. *)

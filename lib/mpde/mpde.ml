@@ -5,6 +5,16 @@ type system = { dae : Dae.t; p1 : float; b_fast : t1:float -> t2:float -> Vec.t 
 
 type result = { t2 : Vec.t; slices : Vec.t array array; p1 : float }
 
+exception Solve_failure of { stage : string; report : Nonlin.Newton.report }
+
+let () =
+  Printexc.register_printer (function
+    | Solve_failure { stage; report } ->
+      Some
+        (Printf.sprintf "Mpde.Solve_failure: %s did not converge (residual %.3e after %d iterations)"
+           stage report.Nonlin.Newton.residual_norm report.Nonlin.Newton.iterations)
+    | _ -> None)
+
 let c_steps = Obs.Metrics.counter "mpde.steps"
 
 let newton_options =
@@ -81,7 +91,7 @@ let periodic_initial ?(solver = Structured.auto) sys ~n1 ~guess =
   let d = Fourier.Series.diff_matrix n1 in
   let residual y = eval_g sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
   let jacobian y = g_jacobian sys ~n1 ~d ~t2:0. (unpack ~n1 ~n y) in
-  let report =
+  let outcome =
     if Structured.use_krylov solver ~dim:(n1 * n) then begin
       (* J = (1/p1) (D (x) dq) + blockdiag(df) *)
       let build_op y =
@@ -90,16 +100,17 @@ let periodic_initial ?(solver = Structured.auto) sys ~n1 ~guess =
           ~c_blocks:(Array.map sys.dae.Dae.dq st)
           ~b_blocks:(Array.map (fun x -> sys.dae.Dae.df ~t:0. x) st)
       in
-      Nonlin.Newton.solve_with ~options:newton_options ~label:"mpde.initial"
+      Nonlin.Polyalg.solve ~options:newton_options ~label:"mpde.initial"
         ~linear_solve:(structured_linear_solve ~build_op ~dense_jacobian:jacobian)
-        ~residual (pack guess)
+        ~jacobian ~residual (pack guess)
     end
     else
-      Nonlin.Newton.solve ~options:newton_options ~label:"mpde.initial" ~jacobian ~residual
+      Nonlin.Polyalg.solve ~options:newton_options ~label:"mpde.initial" ~jacobian ~residual
         (pack guess)
   in
+  let report = outcome.Nonlin.Polyalg.report in
   if not report.Nonlin.Newton.converged then
-    failwith "Mpde.periodic_initial: Newton failed";
+    raise (Solve_failure { stage = "Mpde.periodic_initial"; report });
   unpack ~n1 ~n report.Nonlin.Newton.x
 
 let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
@@ -187,8 +198,13 @@ let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
           ~residual (pack !states)
       end
       else
-        Nonlin.Newton.solve ~options:newton_options ~label:"mpde.step" ~jacobian ~residual
-          (pack !states)
+        (* dense path (small systems, or after Krylov escalation): let
+           the cascade rescue hard steps before the controller shrinks
+           the step any further *)
+        (Nonlin.Polyalg.solve ~options:newton_options ~label:"mpde.step"
+           ~cascade:[ Nonlin.Polyalg.Damped; Nonlin.Polyalg.Trust_region ]
+           ~jacobian ~residual (pack !states))
+          .Nonlin.Polyalg.report
     in
     if not report.Nonlin.Newton.converged then begin
       ignore (Step_control.failure_retry ctrl ~t:!t2 ~h_used:h ~reason:"newton");
@@ -210,7 +226,7 @@ let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
     p1 = sys.p1;
   }
 
-let quasiperiodic sys ~n1 ~n2 ~p2 ~guess =
+let quasiperiodic ?cascade sys ~n1 ~n2 ~p2 ~guess =
   if n1 mod 2 = 0 || n2 mod 2 = 0 then invalid_arg "Mpde.quasiperiodic: n1, n2 must be odd";
   Obs.Span.span
     ~attrs:
@@ -257,12 +273,14 @@ let quasiperiodic sys ~n1 ~n2 ~p2 ~guess =
     done;
     res
   in
-  let report =
-    Nonlin.Newton.solve
+  let outcome =
+    Nonlin.Polyalg.solve
       ~options:{ newton_options with max_iterations = 80 }
-      ~label:"mpde.quasiperiodic" ~residual (pack2 ())
+      ?cascade ~label:"mpde.quasiperiodic" ~residual (pack2 ())
   in
-  if not report.Nonlin.Newton.converged then failwith "Mpde.quasiperiodic: Newton failed";
+  let report = outcome.Nonlin.Polyalg.report in
+  if not report.Nonlin.Newton.converged then
+    raise (Solve_failure { stage = "Mpde.quasiperiodic"; report });
   let st = unpack2 report.Nonlin.Newton.x in
   {
     t2 = Vec.init n2 (fun m -> p2 *. float_of_int m /. float_of_int n2);

@@ -28,6 +28,11 @@ type result = {
   p1 : float;
 }
 
+exception Solve_failure of { stage : string; report : Nonlin.Newton.report }
+(** A steady-state solve ({!periodic_initial} or {!quasiperiodic})
+    exhausted the whole globalization cascade; [report] is the closest
+    attempt.  A printer is registered. *)
+
 (** [simulate sys ~n1 ~t2_end ~h2 ~init] — envelope-following MPDE:
     collocation (odd [n1], spectral differentiation) along [t1],
     trapezoidal time-stepping along [t2] from the initial fast
@@ -52,15 +57,25 @@ val simulate :
 
 (** [periodic_initial sys ~n1 ~guess] solves the fast-periodic steady
     state at frozen [t2 = 0] ([dq/dt2] dropped): the natural initial
-    condition for {!simulate}. *)
+    condition for {!simulate}.  Runs the {!Nonlin.Polyalg} cascade;
+    raises {!Solve_failure} when it is exhausted. *)
 val periodic_initial :
   ?solver:Structured.strategy -> system -> n1:int -> guess:Vec.t array -> Vec.t array
 
 (** [quasiperiodic sys ~n1 ~n2 ~p2 ~guess] solves the biperiodic
     steady state on an [n1 x n2] grid (both odd), with slow period
     [p2]: the AM-quasiperiodic solution of Section 3.  [guess] is an
-    [n2]-array of [n1]-arrays of states. *)
-val quasiperiodic : system -> n1:int -> n2:int -> p2:float -> guess:Vec.t array array -> result
+    [n2]-array of [n1]-arrays of states.  [cascade] overrides the
+    {!Nonlin.Polyalg.default_cascade} (e.g. [[Damped]] to benchmark
+    plain Newton); raises {!Solve_failure} when it is exhausted. *)
+val quasiperiodic :
+  ?cascade:Nonlin.Polyalg.strategy list ->
+  system ->
+  n1:int ->
+  n2:int ->
+  p2:float ->
+  guess:Vec.t array array ->
+  result
 
 (** [eval_bivariate res ~component ~t1 ~t2] interpolates the stored
     bivariate grid (trigonometric in [t1], linear in [t2]). *)

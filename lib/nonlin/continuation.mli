@@ -10,12 +10,17 @@ open Linalg
 
 type point = { lambda : float; x : Vec.t }
 
+exception Step_underflow of { lambda : float; step : float; last : Newton.report option }
+(** The continuation step shrank below [min_step] at [lambda] without
+    the corrector converging; [last] is the most recent Newton report
+    (if any corrector ran).  A printer is registered. *)
+
 (** [trace ?options ?initial_step ?min_step ?max_step ~residual ~from_ ~to_ x0]
     returns the list of accepted continuation points ending exactly at
     [to_].  [residual lambda x] evaluates [F(x, lambda)].
 
-    Raises [Failure] if the step shrinks below [min_step] without the
-    corrector converging. *)
+    Raises {!Step_underflow} if the step shrinks below [min_step]
+    without the corrector converging. *)
 val trace :
   ?options:Newton.options ->
   ?initial_step:float ->

@@ -12,7 +12,11 @@ type options = {
 let default_options =
   { max_iterations = 50; residual_tol = 1e-10; step_tol = 1e-12; min_damping = 1e-4; x_scale = None }
 
-type failure_reason = Singular_jacobian | Line_search_failed | Iteration_limit
+type failure_reason =
+  | Singular_jacobian
+  | Line_search_failed
+  | Iteration_limit
+  | Non_finite_residual
 
 exception Linear_solve_failed of string
 
@@ -34,11 +38,32 @@ let c_iters = Obs.Metrics.counter "newton.iterations"
 let c_failures = Obs.Metrics.counter "newton.failures"
 let h_iters = Obs.Metrics.histogram "newton.iterations_per_solve"
 
+(* Fault-injection hooks.  [Fault.fire] is a single branch when the
+   harness is disarmed; the wrappers are only installed when armed so
+   the production path keeps its direct calls. *)
+let fault_residual residual x =
+  let r = residual x in
+  if Fault.fire Fault.Nan_residual && Array.length r > 0 then begin
+    let r = Array.copy r in
+    r.(0) <- Float.nan;
+    r
+  end
+  else r
+
+let fault_linear_solve linear_solve x r =
+  if Fault.fire Fault.Linear_solve then
+    raise (Linear_solve_failed "fault injected: linear solve");
+  let dx = linear_solve x r in
+  if Fault.fire Fault.Newton_diverge then Vec.scale_inplace 1e8 dx;
+  dx
+
 let solve_with ?(options = default_options) ?(label = "newton") ~linear_solve ~residual x0 =
   Obs.Span.span
     ~attrs:[ ("label", Obs.Span.Str label); ("dim", Obs.Span.Int (Array.length x0)) ]
     "newton.solve"
   @@ fun () ->
+  let residual = if Fault.armed () then fault_residual residual else residual in
+  let linear_solve = if Fault.armed () then fault_linear_solve linear_solve else linear_solve in
   let x = ref (Array.copy x0) in
   let r = ref (residual !x) in
   let rnorm = ref (Vec.norm_inf !r) in
@@ -53,7 +78,9 @@ let solve_with ?(options = default_options) ?(label = "newton") ~linear_solve ~r
     { x = !x; residual_norm = !rnorm; iterations; converged; reason }
   in
   let rec iterate k =
-    if !rnorm <= options.residual_tol then finish ~iterations:k ~converged:true ~reason:None
+    if not (Float.is_finite !rnorm) then
+      finish ~iterations:k ~converged:false ~reason:(Some Non_finite_residual)
+    else if !rnorm <= options.residual_tol then finish ~iterations:k ~converged:true ~reason:None
     else if k >= options.max_iterations then
       finish ~iterations:k ~converged:false ~reason:(Some Iteration_limit)
     else begin
@@ -115,6 +142,7 @@ let solve_exn ?options ?label ?jacobian ~residual x0 =
       | Some Singular_jacobian -> "singular Jacobian"
       | Some Line_search_failed -> "line search failed"
       | Some Iteration_limit -> "iteration limit"
+      | Some Non_finite_residual -> "non-finite residual"
       | None -> "unknown"
     in
     failwith

@@ -19,6 +19,9 @@ type failure_reason =
   | Singular_jacobian
   | Line_search_failed  (** damping hit [min_damping] without progress *)
   | Iteration_limit
+  | Non_finite_residual
+      (** the residual norm went NaN/Inf at the current iterate; the
+          returned [x] is the last finite iterate *)
 
 (** Raised by a custom [linear_solve] (see {!solve_with}) to abort the
     iteration; reported as {!Singular_jacobian}. *)
@@ -78,3 +81,19 @@ val solve_exn :
 (** [scalar ?tol ?max_iterations f df x0] is 1-D Newton for convenience
     (root of [f] with derivative [df]). *)
 val scalar : ?tol:float -> ?max_iterations:int -> (float -> float) -> (float -> float) -> float -> float
+
+(** {1 Fault-injection hooks}
+
+    Shared with the other globalization strategies ({!Trust_region},
+    {!Ptc}) so one armed {!Fault} schedule exercises every solver.
+    Wrap only when [Fault.armed ()] — the wrappers probe on every
+    call. *)
+
+(** [fault_residual residual x] evaluates [residual x] and contaminates
+    the first entry with NaN when the [Nan_residual] fault fires. *)
+val fault_residual : (Vec.t -> Vec.t) -> Vec.t -> Vec.t
+
+(** [fault_linear_solve ls x r] raises {!Linear_solve_failed} when the
+    [Linear_solve] fault fires and scales the returned direction by
+    [1e8] when [Newton_diverge] fires. *)
+val fault_linear_solve : (Vec.t -> Vec.t -> Vec.t) -> Vec.t -> Vec.t -> Vec.t

@@ -1,0 +1,177 @@
+open Linalg
+module Obs = Wampde_obs
+
+type strategy = Damped | Trust_region | Pseudo_transient | Homotopy
+
+let strategy_name = function
+  | Damped -> "damped"
+  | Trust_region -> "trust_region"
+  | Pseudo_transient -> "ptc"
+  | Homotopy -> "homotopy"
+
+type attempt = { strategy : strategy; report : Newton.report }
+type outcome = { report : Newton.report; strategy : strategy; attempts : attempt list }
+
+exception Non_finite of { label : string; what : string }
+exception Solve_failed of { label : string; attempts : attempt list }
+
+let () =
+  Printexc.register_printer (function
+    | Non_finite { label; what } ->
+      Some (Printf.sprintf "Polyalg.Non_finite: %s produced a non-finite %s" label what)
+    | Solve_failed { label; attempts } ->
+      let tried =
+        attempts |> List.map (fun (a : attempt) -> strategy_name a.strategy) |> String.concat ", "
+      in
+      let residual =
+        match attempts with
+        | [] -> nan
+        | _ ->
+          let a : attempt = List.nth attempts (List.length attempts - 1) in
+          a.report.Newton.residual_norm
+      in
+      Some
+        (Printf.sprintf "Polyalg.Solve_failed: %s exhausted strategies [%s] (residual %.3e)"
+           label tried residual)
+    | _ -> None)
+
+let default_cascade = [ Damped; Trust_region; Pseudo_transient; Homotopy ]
+
+let c_damped = Obs.Metrics.counter "newton.strategy.damped"
+let c_tr = Obs.Metrics.counter "newton.strategy.trust_region"
+let c_ptc = Obs.Metrics.counter "newton.strategy.ptc"
+let c_hom = Obs.Metrics.counter "newton.strategy.homotopy"
+let c_escalations = Obs.Metrics.counter "newton.strategy.escalations"
+let c_failed = Obs.Metrics.counter "newton.strategy.failed"
+
+let c_won = function
+  | Damped -> c_damped
+  | Trust_region -> c_tr
+  | Pseudo_transient -> c_ptc
+  | Homotopy -> c_hom
+
+(* Default parameter homotopy: the Newton homotopy
+   H(x, lambda) = F(x) - (1 - lambda) F(x0), which x0 solves exactly at
+   lambda = 0 and which coincides with F at lambda = 1.  Problem-aware
+   callers can supply their own ramp (forcing strength, nonlinearity
+   gain, gmin) via [?homotopy]. *)
+let newton_homotopy ~residual x0 =
+  let r0 = residual x0 in
+  fun lambda x ->
+    let r = residual x in
+    Array.mapi (fun i ri -> ri -. ((1. -. lambda) *. r0.(i))) r
+
+let run_homotopy ~options ~residual ~homotopy x0 =
+  let h =
+    match homotopy with Some h -> h | None -> newton_homotopy ~residual x0
+  in
+  match Continuation.trace ~options ~residual:h ~from_:0. ~to_:1. x0 with
+  | points ->
+    (* the final corrector solved H(., 1); for the default homotopy that
+       is F itself, for a custom ramp we still report F's residual *)
+    let x = (List.nth points (List.length points - 1)).Continuation.x in
+    let r = residual x in
+    let rnorm = Vec.norm_inf r in
+    {
+      Newton.x;
+      residual_norm = rnorm;
+      iterations = List.length points;
+      converged = Float.is_finite rnorm && rnorm <= options.Newton.residual_tol;
+      reason =
+        (if Float.is_finite rnorm then
+           if rnorm <= options.Newton.residual_tol then None
+           else Some Newton.Line_search_failed
+         else Some Newton.Non_finite_residual);
+    }
+  | exception Continuation.Step_underflow { last; _ } ->
+    let residual_norm, iterations =
+      match last with
+      | Some r -> (r.Newton.residual_norm, r.Newton.iterations)
+      | None -> (nan, 0)
+    in
+    {
+      Newton.x = Array.copy x0;
+      residual_norm;
+      iterations;
+      converged = false;
+      reason = Some Newton.Line_search_failed;
+    }
+
+let solve ?(options = Newton.default_options) ?(label = "polyalg") ?(cascade = default_cascade)
+    ?jacobian ?linear_solve ?homotopy ~residual x0 =
+  if cascade = [] then invalid_arg "Polyalg.solve: empty cascade";
+  Obs.Span.span
+    ~attrs:[ ("label", Obs.Span.Str label); ("dim", Obs.Span.Int (Array.length x0)) ]
+    "polyalg.solve"
+  @@ fun () ->
+  let attempt strategy : attempt =
+    let slabel = label ^ "." ^ strategy_name strategy in
+    let report =
+      match strategy with
+      | Damped -> (
+        (* honors a caller-supplied (e.g. Krylov) direction solver;
+           the later strategies rebuild dense Jacobians, which is the
+           Krylov -> dense escalation *)
+        match linear_solve with
+        | Some linear_solve -> Newton.solve_with ~options ~label:slabel ~linear_solve ~residual x0
+        | None -> Newton.solve ~options ~label:slabel ?jacobian ~residual x0)
+      | Trust_region -> Trust_region.solve ~options ~label:slabel ?jacobian ~residual x0
+      | Pseudo_transient -> Ptc.solve ~options ~label:slabel ?jacobian ~residual x0
+      | Homotopy -> run_homotopy ~options ~residual ~homotopy x0
+    in
+    { strategy; report }
+  in
+  let rec go tried = function
+    | [] ->
+      Obs.Metrics.incr c_failed;
+      let attempts = List.rev tried in
+      (* surface the attempt that got closest *)
+      let best =
+        List.fold_left
+          (fun (acc : attempt) (a : attempt) ->
+            let better =
+              Float.is_finite a.report.Newton.residual_norm
+              && (not (Float.is_finite acc.report.Newton.residual_norm)
+                 || a.report.Newton.residual_norm < acc.report.Newton.residual_norm)
+            in
+            if better then a else acc)
+          (List.hd attempts) (List.tl attempts)
+      in
+      { report = best.report; strategy = best.strategy; attempts }
+    | strategy :: rest ->
+      let a = attempt strategy in
+      if a.report.Newton.converged then begin
+        Obs.Metrics.incr (c_won strategy);
+        { report = a.report; strategy; attempts = List.rev (a :: tried) }
+      end
+      else begin
+        (match rest with
+         | next :: _ ->
+           Obs.Metrics.incr c_escalations;
+           if Obs.Events.active () then
+             Obs.Events.emit
+               (Obs.Events.Strategy_escalated
+                  {
+                    solver = label;
+                    from_ = strategy_name strategy;
+                    to_ = strategy_name next;
+                  })
+         | [] -> ());
+        go (a :: tried) rest
+      end
+  in
+  go [] cascade
+
+let solve_exn ?options ?label ?cascade ?jacobian ?linear_solve ?homotopy ~residual x0 =
+  let label_s = Option.value label ~default:"polyalg" in
+  let outcome =
+    solve ?options ?label ?cascade ?jacobian ?linear_solve ?homotopy ~residual x0
+  in
+  if outcome.report.Newton.converged then outcome.report.Newton.x
+  else if
+    List.exists
+      (fun (a : attempt) -> a.report.Newton.reason = Some Newton.Non_finite_residual)
+      outcome.attempts
+    && not (Float.is_finite outcome.report.Newton.residual_norm)
+  then raise (Non_finite { label = label_s; what = "residual" })
+  else raise (Solve_failed { label = label_s; attempts = outcome.attempts })

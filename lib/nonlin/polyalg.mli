@@ -1,0 +1,80 @@
+(** Globalization polyalgorithm: a robust solve cascade.
+
+    Runs a sequence of increasingly robust (and increasingly expensive)
+    strategies against the same system, each cold-started from [x0],
+    escalating on typed failure — the pattern NonlinearSolve.jl calls a
+    polyalgorithm:
+
+    + {b damped Newton} — {!Newton.solve} / {!Newton.solve_with}
+      (honoring a caller-supplied Krylov direction solver);
+    + {b trust region} — {!Trust_region.solve}, dogleg on a dense
+      Jacobian (this is also the Krylov-to-dense escalation);
+    + {b pseudo-transient} — {!Ptc.solve}, SER-adapted pseudo time
+      stepping for stagnating residuals;
+    + {b homotopy} — {!Continuation.trace} on a parameter ramp, by
+      default the Newton homotopy
+      [H(x, l) = F(x) - (1 - l) F(x0)].
+
+    Which strategy won (and every escalation) is recorded in the
+    [newton.strategy.*] counters and as [Strategy_escalated] events. *)
+
+open Linalg
+
+type strategy = Damped | Trust_region | Pseudo_transient | Homotopy
+
+val strategy_name : strategy -> string
+(** Stable short name used in metrics and events
+    ([damped], [trust_region], [ptc], [homotopy]). *)
+
+val default_cascade : strategy list
+(** [[Damped; Trust_region; Pseudo_transient; Homotopy]]. *)
+
+type attempt = { strategy : strategy; report : Newton.report }
+
+type outcome = {
+  report : Newton.report;  (** winning report, or the closest failure *)
+  strategy : strategy;  (** the strategy that produced [report] *)
+  attempts : attempt list;  (** every strategy tried, in order *)
+}
+
+exception Non_finite of { label : string; what : string }
+(** Raised by {!solve_exn} when the cascade failed with a non-finite
+    residual: the system itself evaluates to NaN/Inf near the iterates,
+    so no amount of globalization can help.  [label] identifies the
+    offending solve site.  A printer is registered. *)
+
+exception Solve_failed of { label : string; attempts : attempt list }
+(** Raised by {!solve_exn} when every strategy failed for finite
+    reasons.  A printer is registered. *)
+
+(** [solve ?options ?label ?cascade ?jacobian ?linear_solve ?homotopy
+    ~residual x0] runs the cascade and never raises on solver failure:
+    inspect [outcome.report.converged].  [linear_solve] only feeds the
+    [Damped] stage; [jacobian] feeds the dense stages (forward
+    differences otherwise).  [homotopy l x] overrides the default
+    Newton homotopy with a problem-aware ramp ([homotopy 1. x] must
+    equal [residual x] for the final report to certify convergence).
+    Raises [Invalid_argument] on an empty cascade. *)
+val solve :
+  ?options:Newton.options ->
+  ?label:string ->
+  ?cascade:strategy list ->
+  ?jacobian:(Vec.t -> Mat.t) ->
+  ?linear_solve:(Vec.t -> Vec.t -> Vec.t) ->
+  ?homotopy:(float -> Vec.t -> Vec.t) ->
+  residual:(Vec.t -> Vec.t) ->
+  Vec.t ->
+  outcome
+
+(** [solve_exn ...] is {!solve} returning the solution vector, raising
+    {!Non_finite} or {!Solve_failed} when the cascade is exhausted. *)
+val solve_exn :
+  ?options:Newton.options ->
+  ?label:string ->
+  ?cascade:strategy list ->
+  ?jacobian:(Vec.t -> Mat.t) ->
+  ?linear_solve:(Vec.t -> Vec.t -> Vec.t) ->
+  ?homotopy:(float -> Vec.t -> Vec.t) ->
+  residual:(Vec.t -> Vec.t) ->
+  Vec.t ->
+  Vec.t

@@ -524,6 +524,7 @@ module Events = struct
     | Step_reject of { t : float; h : float; reason : string }
     | Step_retry of { t : float; h : float; h_next : float; reason : string }
     | Phase_condition of { omega : float; t2 : float }
+    | Strategy_escalated of { solver : string; from_ : string; to_ : string }
 
   type subscription = int
 
@@ -568,6 +569,10 @@ module Events = struct
     | Phase_condition { omega; t2 } ->
       Printf.sprintf "{\"type\":\"event\",\"event\":\"phase_condition\",\"omega\":%s,\"t2\":%s}"
         (json_float omega) (json_float t2)
+    | Strategy_escalated { solver; from_; to_ } ->
+      Printf.sprintf
+        "{\"type\":\"event\",\"event\":\"strategy_escalated\",\"solver\":\"%s\",\"from\":\"%s\",\"to\":\"%s\"}"
+        (json_escape solver) (json_escape from_) (json_escape to_)
 end
 
 module Span = struct
@@ -887,6 +892,10 @@ module Trace_event = struct
             ("converged", Span.Str (if converged then "true" else "false"));
           ]
         "newton_done"
+    | Events.Strategy_escalated { solver; from_; to_ } ->
+      Span.instant
+        ~attrs:[ ("solver", Span.Str solver); ("from", Span.Str from_); ("to", Span.Str to_) ]
+        "strategy_escalated"
     | Events.Newton_iter _ | Events.Lu_factor _ | Events.Gmres_iter _ ->
       (* per-iteration events are too dense for a useful timeline; the
          counters and histograms carry them *)
@@ -935,7 +944,7 @@ module Report = struct
       c.pending_iters <- c.pending_iters + 1;
       c.pending_residual <- residual
     | Events.Newton_done { residual; _ } -> c.pending_residual <- residual
-    | Events.Lu_factor _ | Events.Gmres_iter _ -> ()
+    | Events.Lu_factor _ | Events.Gmres_iter _ | Events.Strategy_escalated _ -> ()
     | Events.Step_accept { t; h } | Events.Step_reject { t; h; reason = _ } | Events.Step_retry { t; h; h_next = _; reason = _ }
       ->
       let outcome, reason =

@@ -166,6 +166,9 @@ module Events : sig
         (** a solver failure (not error control) shrank the step: the
             step of size [h] at [t] is being re-attempted with [h_next] *)
     | Phase_condition of { omega : float; t2 : float }
+    | Strategy_escalated of { solver : string; from_ : string; to_ : string }
+        (** the globalization cascade for [solver] gave up on strategy
+            [from_] and is escalating to [to_] *)
 
   type subscription
 

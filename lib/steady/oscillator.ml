@@ -3,6 +3,13 @@ module Obs = Wampde_obs
 
 type orbit = { omega : float; grid : Vec.t array }
 
+exception Nonphysical of string
+
+let () =
+  Printexc.register_printer (function
+    | Nonphysical msg -> Some ("Oscillator.Nonphysical: " ^ msg)
+    | _ -> None)
+
 let period orbit = 1. /. orbit.omega
 
 (* Flat layout: y.(j * n + i) = variable i at grid point j; y.(n1 * n) = omega. *)
@@ -88,15 +95,16 @@ let solve dae ~n1 ~guess ~omega_guess ~phase_component =
   let residual y = collocation_residual dae ~n1 ~d ~phase_component y in
   let jacobian y = collocation_jacobian dae ~n1 ~d ~phase_component y in
   let options = { Nonlin.Newton.default_options with max_iterations = 80; residual_tol = 1e-9 } in
-  let report =
-    Nonlin.Newton.solve ~options ~label:"oscillator" ~jacobian ~residual (pack guess omega_guess)
+  let outcome =
+    Nonlin.Polyalg.solve ~options ~label:"oscillator" ~jacobian ~residual (pack guess omega_guess)
   in
+  let report = outcome.Nonlin.Polyalg.report in
   if not report.Nonlin.Newton.converged then
-    failwith
-      (Printf.sprintf "Oscillator.solve: Newton failed (residual %.3e after %d iterations)"
-         report.Nonlin.Newton.residual_norm report.Nonlin.Newton.iterations);
+    raise
+      (Nonlin.Polyalg.Solve_failed
+         { label = "oscillator"; attempts = outcome.Nonlin.Polyalg.attempts });
   let grid, omega = unpack ~n1 ~n report.Nonlin.Newton.x in
-  if omega <= 0. then failwith "Oscillator.solve: converged to non-positive frequency";
+  if omega <= 0. then raise (Nonphysical "Oscillator.solve: converged to non-positive frequency");
   { omega; grid }
 
 let find dae ~n1 ?(phase_component = 0) ?(warmup_cycles = 30) ?(transient_steps_per_cycle = 100)
@@ -114,7 +122,7 @@ let find dae ~n1 ?(phase_component = 0) ?(warmup_cycles = 30) ?(transient_steps_
   let centered = Vec.map (fun x -> x -. mean) comp in
   let crossings = Sigproc.Zero_crossing.upward ~times:traj.Transient.times centered in
   let m = Array.length crossings in
-  if m < 4 then failwith "Oscillator.find: too few oscillation cycles in warm-up transient";
+  if m < 4 then raise (Nonphysical "Oscillator.find: too few oscillation cycles in warm-up transient");
   (* average the last few settled periods *)
   let avg_over = Int.min 5 (m - 1) in
   let period =

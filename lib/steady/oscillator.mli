@@ -15,13 +15,19 @@ type orbit = {
   grid : Vec.t array;  (** one period sampled on the odd uniform grid *)
 }
 
+exception Nonphysical of string
+(** The solve converged to (or the warm-up produced) something that is
+    not a usable oscillation — non-positive frequency, or too few
+    cycles in the warm-up transient.  A printer is registered. *)
+
 (** [period orbit] is [1 / omega]. *)
 val period : orbit -> float
 
 (** [solve dae ~n1 ~guess ~omega_guess ~phase_component] polishes a
-    grid guess by Newton on the collocation + phase system.  Raises
-    [Failure] when Newton fails (e.g. the guess is not near a limit
-    cycle, or the system has no stable oscillation). *)
+    grid guess by the {!Nonlin.Polyalg} cascade on the collocation +
+    phase system.  Raises [Nonlin.Polyalg.Solve_failed] when the whole
+    cascade fails (e.g. the guess is not near a limit cycle) and
+    {!Nonphysical} when the converged frequency is non-positive. *)
 val solve :
   Dae.t -> n1:int -> guess:Vec.t array -> omega_guess:float -> phase_component:int -> orbit
 
@@ -31,7 +37,8 @@ val solve :
     upward zero crossings of the phase component (after removing its
     mean), resampling of the last cycle onto the grid, rotation so the
     component peaks at [t1 = 0], and Newton polish.  [period_hint]
-    seeds the warm-up length. *)
+    seeds the warm-up length.  Raises {!Nonphysical} when the warm-up
+    transient shows too few oscillation cycles. *)
 val find :
   Dae.t ->
   n1:int ->

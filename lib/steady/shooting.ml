@@ -36,11 +36,16 @@ let autonomous dae ?(steps_per_period = 200) ?(phase_component = 0) ?(tol = 1e-8
   let options =
     { Nonlin.Newton.default_options with max_iterations = 40; residual_tol = tol }
   in
-  let report = Nonlin.Newton.solve ~options ~label:"shooting.autonomous" ~residual y0 in
+  let outcome =
+    Nonlin.Polyalg.solve ~options ~label:"shooting.autonomous"
+      ~cascade:[ Nonlin.Polyalg.Damped; Nonlin.Polyalg.Trust_region; Nonlin.Polyalg.Pseudo_transient ]
+      ~residual y0
+  in
+  let report = outcome.Nonlin.Polyalg.report in
   if not report.Nonlin.Newton.converged then
-    failwith
-      (Printf.sprintf "Shooting.autonomous: Newton failed (residual %.3e)"
-         report.Nonlin.Newton.residual_norm);
+    raise
+      (Nonlin.Polyalg.Solve_failed
+         { label = "shooting.autonomous"; attempts = outcome.Nonlin.Polyalg.attempts });
   {
     x0 = Array.sub report.Nonlin.Newton.x 0 n;
     period = report.Nonlin.Newton.x.(n);
@@ -57,9 +62,14 @@ let forced dae ?(steps_per_period = 200) ?(tol = 1e-8) ~period x0 =
   let options =
     { Nonlin.Newton.default_options with max_iterations = 40; residual_tol = tol }
   in
-  let report = Nonlin.Newton.solve ~options ~label:"shooting.forced" ~residual x0 in
+  let outcome =
+    Nonlin.Polyalg.solve ~options ~label:"shooting.forced"
+      ~cascade:[ Nonlin.Polyalg.Damped; Nonlin.Polyalg.Trust_region; Nonlin.Polyalg.Pseudo_transient ]
+      ~residual x0
+  in
+  let report = outcome.Nonlin.Polyalg.report in
   if not report.Nonlin.Newton.converged then
-    failwith
-      (Printf.sprintf "Shooting.forced: Newton failed (residual %.3e)"
-         report.Nonlin.Newton.residual_norm);
+    raise
+      (Nonlin.Polyalg.Solve_failed
+         { label = "shooting.forced"; attempts = outcome.Nonlin.Polyalg.attempts });
   { x0 = report.Nonlin.Newton.x; period; iterations = report.Nonlin.Newton.iterations }

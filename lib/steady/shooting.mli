@@ -20,7 +20,8 @@ type result = {
 }
 
 (** [autonomous dae ?steps_per_period ?phase_component ?tol ~period_guess x0]
-    solves the unforced problem.  Raises [Failure] on Newton failure. *)
+    solves the unforced problem.  Raises [Nonlin.Polyalg.Solve_failed]
+    when the globalization cascade is exhausted. *)
 val autonomous :
   Dae.t ->
   ?steps_per_period:int ->

@@ -19,6 +19,7 @@ let reason_string = function
   | Some Nonlin.Newton.Singular_jacobian -> "singular Jacobian"
   | Some Nonlin.Newton.Line_search_failed -> "line search failed"
   | Some Nonlin.Newton.Iteration_limit -> "iteration limit"
+  | Some Nonlin.Newton.Non_finite_residual -> "non-finite residual"
   | None -> "unknown"
 
 let () =
@@ -32,6 +33,7 @@ let () =
 
 let c_steps = Obs.Metrics.counter "transient.steps"
 let c_rejects = Obs.Metrics.counter "transient.rejects"
+let c_rescues = Obs.Metrics.counter "transient.rescues"
 
 let step_failed ~t ~h (report : Nonlin.Newton.report) =
   let failure =
@@ -50,6 +52,27 @@ let step_failed ~t ~h (report : Nonlin.Newton.report) =
 
 let newton_options =
   { Nonlin.Newton.default_options with max_iterations = 40; residual_tol = 1e-10 }
+
+(* Fixed-step implicit solves cannot shrink h on a Newton failure the
+   way the adaptive driver can, so they get one rescue attempt with
+   the trust-region globalizer (cold-started from the same predictor)
+   before the failure becomes a typed [Step_failure].  Free on the
+   healthy path; absorbs transient upsets such as an injected fault or
+   a merely-poor predictor. *)
+let solve_or_rescue ~label ~jacobian ~residual ~t ~h x =
+  let report = Nonlin.Newton.solve ~options:newton_options ~label ~jacobian ~residual x in
+  if report.Nonlin.Newton.converged then report.Nonlin.Newton.x
+  else begin
+    let rescue =
+      Nonlin.Trust_region.solve ~options:newton_options ~label:(label ^ ".rescue")
+        ~jacobian ~residual x
+    in
+    if rescue.Nonlin.Newton.converged then begin
+      Obs.Metrics.incr c_rescues;
+      rescue.Nonlin.Newton.x
+    end
+    else step_failed ~t ~h report
+  end
 
 let theta_step dae ~theta ~t ~h x =
   let q0 = dae.Dae.q x in
@@ -71,9 +94,7 @@ let theta_step dae ~theta ~t ~h x =
     let g = dae.Dae.df ~t:t1 y in
     Mat.init dae.Dae.dim dae.Dae.dim (fun i j -> c.(i).(j) +. (h *. theta *. g.(i).(j)))
   in
-  let report = Nonlin.Newton.solve ~options:newton_options ~label:"transient.theta" ~jacobian ~residual x in
-  if report.Nonlin.Newton.converged then report.Nonlin.Newton.x
-  else step_failed ~t ~h report
+  solve_or_rescue ~label:"transient.theta" ~jacobian ~residual ~t ~h x
 
 (* BDF2 with the previous two accepted points (fixed step):
    (3 q(x2) - 4 q(x1) + q(x0)) / (2h) + f(t2, x2) = 0 *)
@@ -91,9 +112,7 @@ let bdf2_step dae ~t ~h ~x_prev x =
     let g = dae.Dae.df ~t:t2 y in
     Mat.init dae.Dae.dim dae.Dae.dim (fun i j -> (1.5 *. c.(i).(j)) +. (h *. g.(i).(j)))
   in
-  let report = Nonlin.Newton.solve ~options:newton_options ~label:"transient.bdf2" ~jacobian ~residual x in
-  if report.Nonlin.Newton.converged then report.Nonlin.Newton.x
-  else step_failed ~t ~h report
+  solve_or_rescue ~label:"transient.bdf2" ~jacobian ~residual ~t ~h x
 
 (* classical explicit RK4 on the semi-explicit form
    xdot = -C(x)^{-1} f(t, x); valid only when dq/dx is invertible

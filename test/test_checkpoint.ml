@@ -109,7 +109,9 @@ let tests =
            envelope adaptively, kill it after 3 accepted steps (the
            checkpoint was written at step 2), resume from the file and
            require the full history to match the never-killed run to
-           1e-12. *)
+           1e-12.  The bitwise comparison needs a fault-free run, so
+           an ambient WAMPDE_FAULTS schedule is masked. *)
+        Fault.with_armed "" @@ fun () ->
         let n1 = 15 in
         let frozen = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
         let orbit =
@@ -163,6 +165,64 @@ let tests =
                     (Float.abs (x -. resumed.Wampde.Envelope.slices.(i).(j).(k)) <= 1e-12))
                 slice)
             reference.Wampde.Envelope.slices.(i)
+        done;
+        Sys.remove path);
+    Alcotest.test_case "faulted run resumes to match the uninterrupted run" `Slow (fun () ->
+        (* Solver hardening end-to-end: checkpoint every 2 accepted
+           steps, then after 3 accepts arm a 100% linear-solve fault
+           rate — every retry fails, the slow step underflows and the
+           run dies with a typed error.  Resuming (disarmed) from the
+           checkpoint must reproduce the fault-free history to 1e-12:
+           injected faults abort runs, they never corrupt them. *)
+        Fault.with_armed "" @@ fun () ->
+        let n1 = 15 in
+        let frozen = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+        let orbit =
+          Steady.Oscillator.find (Circuit.Vco.build frozen) ~n1 ~period_hint:(1. /. 0.75)
+            (Circuit.Vco.initial_state frozen)
+        in
+        let dae = Circuit.Vco.build (Circuit.Vco.vco_a ()) in
+        (* no rescue: the cascade must not absorb the persistent fault,
+           the step controller has to surface it *)
+        let options = Wampde.Envelope.default_options ~n1 ~rescue:false () in
+        let control = Step_control.default_options ~rtol:1e-4 ~atol:1e-7 () in
+        let t2_end = 6. in
+        let run ?checkpoint ?resume ?on_accept () =
+          Wampde.Envelope.simulate_controlled dae ~options ~control ~h2_init:0.5 ?checkpoint
+            ?resume ?on_accept ~t2_end ~init:orbit ()
+        in
+        let reference = run () in
+        let path = tmp_path "ckpt_faulted.bin" in
+        let accepts = ref 0 in
+        (match
+           run
+             ~checkpoint:(path, 2)
+             ~on_accept:(fun ~t2:_ ~omega:_ ->
+               incr accepts;
+               if !accepts = 3 then Fault.arm_exn "linsolve%1")
+             ()
+         with
+        | exception Step_control.Underflow _ -> Fault.disarm ()
+        | exception Wampde.Envelope.Step_failure _ -> Fault.disarm ()
+        | _ ->
+          Fault.disarm ();
+          Alcotest.fail "faulted run was expected to die with a typed error");
+        let resumed = run ~resume:path () in
+        let n = Array.length reference.Wampde.Envelope.t2 in
+        Alcotest.(check int) "same number of accepted steps" n
+          (Array.length resumed.Wampde.Envelope.t2);
+        for i = 0 to n - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "t2.(%d)" i)
+            true
+            (Float.abs (reference.Wampde.Envelope.t2.(i) -. resumed.Wampde.Envelope.t2.(i))
+             <= 1e-12);
+          Alcotest.(check bool)
+            (Printf.sprintf "omega.(%d)" i)
+            true
+            (Float.abs
+               (reference.Wampde.Envelope.omega.(i) -. resumed.Wampde.Envelope.omega.(i))
+             <= 1e-12)
         done;
         Sys.remove path);
     Alcotest.test_case "resume validates the run's shape" `Quick (fun () ->

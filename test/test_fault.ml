@@ -1,0 +1,175 @@
+(* Tests for the deterministic fault-injection harness: spec parsing,
+   firing semantics, seeded reproducibility, and end-to-end solver
+   hardening — every injected fault must end in recovery or a typed
+   error, never an untyped [Failure] with a backtrace. *)
+
+module Obs = Wampde_obs
+
+let spec_tests =
+  [
+    Alcotest.test_case "valid specs parse" `Quick (fun () ->
+        List.iter
+          (fun spec ->
+            match Fault.parse spec with
+            | Ok _ -> ()
+            | Error msg -> Alcotest.fail (spec ^ ": " ^ msg))
+          [ "linsolve@3"; "nan%0.05"; "diverge@1,ckpt-trunc@2"; "seed=42,linsolve%0.5"; "" ]);
+    Alcotest.test_case "malformed specs are rejected" `Quick (fun () ->
+        List.iter
+          (fun spec ->
+            match Fault.parse spec with
+            | Ok _ -> Alcotest.fail (spec ^ ": expected Error")
+            | Error _ -> ())
+          [ "bogus@1"; "linsolve@x"; "nan%1.5"; "nan%-0.1"; "seed=abc"; "linsolve" ];
+        Alcotest.(check bool) "arm_exn raises" true
+          (try
+             Fault.arm_exn "bogus@1";
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "kind@N fires exactly once, on the Nth call" `Quick (fun () ->
+        Fault.with_armed "nan@3" (fun () ->
+            let fired =
+              List.init 5 (fun _ -> Fault.fire Fault.Nan_residual)
+            in
+            Alcotest.(check (list bool)) "pattern" [ false; false; true; false; false ] fired;
+            Alcotest.(check int) "calls" 5 (Fault.calls Fault.Nan_residual);
+            Alcotest.(check int) "injected" 1 (Fault.injected Fault.Nan_residual);
+            (* other kinds are untouched *)
+            Alcotest.(check bool) "other kind" false (Fault.fire Fault.Linear_solve);
+            Alcotest.(check int) "other injected" 0 (Fault.injected Fault.Linear_solve)));
+    Alcotest.test_case "disarmed probes are free and uncounted" `Quick (fun () ->
+        Fault.disarm ();
+        Alcotest.(check bool) "not armed" false (Fault.armed ());
+        Alcotest.(check bool) "never fires" false (Fault.fire Fault.Linear_solve);
+        (* put the ambient (CI fault-sweep) schedule back *)
+        Fault.arm_from_env ());
+    Alcotest.test_case "probabilistic schedules are seed-reproducible" `Quick (fun () ->
+        let draw () =
+          Fault.with_armed "seed=7,linsolve%0.3" (fun () ->
+              List.init 200 (fun _ -> Fault.fire Fault.Linear_solve))
+        in
+        let a = draw () and b = draw () in
+        Alcotest.(check (list bool)) "same seed, same sequence" a b;
+        Alcotest.(check bool) "some fired" true (List.exists Fun.id a);
+        Alcotest.(check bool) "not all fired" true (List.exists not a);
+        let c =
+          Fault.with_armed "seed=8,linsolve%0.3" (fun () ->
+              List.init 200 (fun _ -> Fault.fire Fault.Linear_solve))
+        in
+        Alcotest.(check bool) "different seed differs" true (a <> c));
+    Alcotest.test_case "with_armed restores the previous schedule" `Quick (fun () ->
+        (* the ambient state may itself be armed (CI fault sweep), so
+           compare against it rather than assuming disarmed *)
+        let was_armed = Fault.armed () in
+        Fault.with_armed "nan@1" (fun () ->
+            Fault.with_armed "linsolve@1" (fun () ->
+                Alcotest.(check bool) "inner" true (Fault.fire Fault.Linear_solve));
+            (* back to the outer schedule with its own counters *)
+            Alcotest.(check bool) "outer" true (Fault.fire Fault.Nan_residual));
+        Alcotest.(check bool) "ambient restored" was_armed (Fault.armed ()));
+  ]
+
+(* -- end-to-end: faults against the adaptive envelope integrator -- *)
+
+let tmp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let envelope_setup () =
+  let n1 = 15 in
+  let frozen = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+  let orbit =
+    Steady.Oscillator.find (Circuit.Vco.build frozen) ~n1 ~period_hint:(1. /. 0.75)
+      (Circuit.Vco.initial_state frozen)
+  in
+  let dae = Circuit.Vco.build (Circuit.Vco.vco_a ()) in
+  let options = Wampde.Envelope.default_options ~n1 () in
+  let control = Step_control.default_options ~rtol:1e-4 ~atol:1e-7 () in
+  (dae, options, control, orbit)
+
+(* Outcomes we accept from a faulted run: clean completion (the
+   retry/rescue machinery absorbed the fault) or a typed error.  An
+   untyped [Failure] — a raw backtrace for the user — fails the test.
+   Injection counts are sampled inside [with_armed] (it restores the
+   previous schedule's counters on exit). *)
+let run_faulted ~spec ~dae ~options ~control ~orbit =
+  Fault.with_armed spec (fun () ->
+      let outcome =
+        match
+          Wampde.Envelope.simulate_controlled dae ~options ~control ~h2_init:0.5 ~t2_end:3.
+            ~init:orbit ()
+        with
+        | _ -> `Recovered
+        | exception Wampde.Envelope.Step_failure _ -> `Typed "step_failure"
+        | exception Step_control.Underflow _ -> `Typed "underflow"
+        | exception Checkpoint.Corrupt _ -> `Typed "corrupt"
+        | exception Nonlin.Polyalg.Solve_failed _ -> `Typed "solve_failed"
+        | exception Nonlin.Polyalg.Non_finite _ -> `Typed "non_finite"
+      in
+      let injected =
+        Fault.injected Fault.Linear_solve
+        + Fault.injected Fault.Newton_diverge
+        + Fault.injected Fault.Nan_residual
+      in
+      (outcome, injected))
+
+let fault_spec_gen =
+  QCheck.Gen.(
+    let kind = oneofl [ "linsolve"; "diverge"; "nan" ] in
+    let entry =
+      oneof
+        [
+          map2 (fun k n -> Printf.sprintf "%s@%d" k n) kind (int_range 1 40);
+          map2 (fun k p -> Printf.sprintf "%s%%%.2f" k p) kind (float_range 0.01 0.25);
+        ]
+    in
+    map2
+      (fun seed entries -> Printf.sprintf "seed=%d,%s" seed (String.concat "," entries))
+      (int_range 1 1000)
+      (list_size (int_range 1 3) entry))
+
+let envelope_tests =
+  [
+    Alcotest.test_case "single linear-solve fault is retried away" `Quick (fun () ->
+        let dae, options, control, orbit = envelope_setup () in
+        (match run_faulted ~spec:"linsolve@2" ~dae ~options ~control ~orbit with
+        | `Recovered, injected ->
+          Alcotest.(check bool) "fault fired" true (injected >= 1)
+        | `Typed what, _ -> Alcotest.fail ("expected recovery, got typed " ^ what)));
+    Alcotest.test_case "forced divergence and NaN contamination are absorbed" `Quick
+      (fun () ->
+        let dae, options, control, orbit = envelope_setup () in
+        List.iter
+          (fun spec ->
+            match run_faulted ~spec ~dae ~options ~control ~orbit with
+            | `Recovered, injected ->
+              Alcotest.(check bool) (spec ^ " fired") true (injected >= 1)
+            | `Typed what, _ ->
+              Alcotest.fail (spec ^ ": expected recovery, got typed " ^ what))
+          [ "diverge@2"; "nan@2" ]);
+    Alcotest.test_case "persistent faults surface as a typed error" `Quick (fun () ->
+        let dae, options, control, orbit = envelope_setup () in
+        let options = { options with Wampde.Envelope.rescue = false } in
+        match run_faulted ~spec:"linsolve%1" ~dae ~options ~control ~orbit with
+        | `Recovered, _ -> Alcotest.fail "a 100% fault rate cannot be recovered"
+        | `Typed _, _ -> ());
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:8 ~name:"random fault schedules: recovery or typed error"
+         (QCheck.make ~print:Fun.id fault_spec_gen)
+         (fun spec ->
+           let dae, options, control, orbit = envelope_setup () in
+           match run_faulted ~spec ~dae ~options ~control ~orbit with
+           | (`Recovered | `Typed _), _ -> true
+           | exception _ -> false));
+    Alcotest.test_case "truncated checkpoint is caught on load" `Quick (fun () ->
+        let path = tmp_path "fault_ckpt_trunc.bin" in
+        Fault.with_armed "ckpt-trunc@1" (fun () ->
+            Checkpoint.save ~path [ ("t2", Checkpoint.Scalar 1.5) ];
+            Alcotest.(check int) "fired" 1 (Fault.injected Fault.Checkpoint_trunc));
+        Alcotest.(check bool) "load raises Corrupt" true
+          (try
+             ignore (Checkpoint.load ~path);
+             false
+           with Checkpoint.Corrupt _ -> true);
+        Sys.remove path);
+  ]
+
+let suites = [ ("fault", spec_tests); ("fault_envelope", envelope_tests) ]

@@ -1,0 +1,170 @@
+(* Tests for the globalization cascade: trust-region Newton, PTC, and
+   the Polyalg escalation machinery — including the acceptance case of
+   a strong-modulation quasiperiodic solve that plain damped Newton
+   fails on and the cascade cracks. *)
+
+module Obs = Wampde_obs
+
+let two_pi = 2. *. Float.pi
+
+(* Every test runs against a zeroed registry with telemetry enabled so
+   strategy counters can be asserted without cross-test leakage, and
+   under an empty fault schedule so a CI-level WAMPDE_FAULTS sweep
+   cannot perturb the exact counter assertions. *)
+let with_counters f () =
+  Fault.with_armed "" (fun () ->
+      Obs.Metrics.with_isolated (fun () ->
+          Obs.set_enabled true;
+          f ()))
+
+let count name = Obs.Metrics.count (Obs.Metrics.counter name)
+
+(* Powell badly-scaled-flavoured system: tight curved valley in the
+   merit function, a classic trust-region benchmark. *)
+let powell_residual x =
+  [| (1e4 *. x.(0) *. x.(1)) -. 1.; exp (-.x.(0)) +. exp (-.x.(1)) -. 1.0001 |]
+
+let rosenbrock_residual x = [| 10. *. (x.(1) -. (x.(0) *. x.(0))); 1. -. x.(0) |]
+
+let check_root what residual (x : Linalg.Vec.t) =
+  let r = residual x in
+  Array.iteri
+    (fun i ri ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s residual.(%d)" what i)
+        true
+        (Float.abs ri < 1e-6))
+    r
+
+let globalize_tests =
+  [
+    Alcotest.test_case "trust region solves Rosenbrock from a far start" `Quick
+      (with_counters (fun () ->
+           let report = Nonlin.Trust_region.solve ~residual:rosenbrock_residual [| -3.; 8. |] in
+           Alcotest.(check bool) "converged" true report.Nonlin.Newton.converged;
+           check_root "rosenbrock" rosenbrock_residual report.Nonlin.Newton.x;
+           Alcotest.(check bool) "counted" true (count "trust_region.solves" >= 1)));
+    Alcotest.test_case "trust region solves Powell's badly scaled system" `Quick
+      (with_counters (fun () ->
+           let report = Nonlin.Trust_region.solve ~residual:powell_residual [| 0.; 1. |] in
+           Alcotest.(check bool) "converged" true report.Nonlin.Newton.converged;
+           check_root "powell" powell_residual report.Nonlin.Newton.x));
+    Alcotest.test_case "ptc solves a stiff sinh system from zero" `Quick
+      (with_counters (fun () ->
+           (* sinh cliff: full Newton from 0 overshoots catastrophically *)
+           let residual x =
+             Array.init 3 (fun i -> sinh (5. *. (x.(i) -. 1.)) +. (0.1 *. x.(i)))
+           in
+           let report = Nonlin.Ptc.solve ~residual [| 0.; 0.; 0. |] in
+           Alcotest.(check bool) "converged" true report.Nonlin.Newton.converged;
+           check_root "sinh" residual report.Nonlin.Newton.x;
+           Alcotest.(check bool) "counted" true (count "ptc.solves" >= 1)));
+    Alcotest.test_case "cascade stops at damped Newton on an easy system" `Quick
+      (with_counters (fun () ->
+           let residual x = [| (x.(0) *. x.(0)) -. 4. |] in
+           let outcome = Nonlin.Polyalg.solve ~residual [| 1. |] in
+           Alcotest.(check bool) "converged" true
+             outcome.Nonlin.Polyalg.report.Nonlin.Newton.converged;
+           Alcotest.(check bool) "damped won" true
+             (outcome.Nonlin.Polyalg.strategy = Nonlin.Polyalg.Damped);
+           Alcotest.(check int) "one attempt" 1
+             (List.length outcome.Nonlin.Polyalg.attempts);
+           Alcotest.(check int) "damped counter" 1 (count "newton.strategy.damped");
+           Alcotest.(check int) "no escalation" 0 (count "newton.strategy.escalations")));
+    Alcotest.test_case "injected linear-solve fault escalates past damped Newton" `Quick
+      (with_counters (fun () ->
+           Fault.with_armed "linsolve@1" (fun () ->
+               let residual x = [| (x.(0) *. x.(0)) -. 4. |] in
+               let outcome = Nonlin.Polyalg.solve ~residual [| 1. |] in
+               Alcotest.(check bool) "converged" true
+                 outcome.Nonlin.Polyalg.report.Nonlin.Newton.converged;
+               Alcotest.(check bool) "escalated" true
+                 (outcome.Nonlin.Polyalg.strategy <> Nonlin.Polyalg.Damped);
+               Alcotest.(check bool) "at least two attempts" true
+                 (List.length outcome.Nonlin.Polyalg.attempts >= 2);
+               Alcotest.(check bool) "escalations counted" true
+                 (count "newton.strategy.escalations" >= 1);
+               Alcotest.(check int) "fault fired once" 1 (Fault.injected Fault.Linear_solve))));
+    Alcotest.test_case "solve_exn raises Non_finite on a NaN residual" `Quick
+      (with_counters (fun () ->
+           let residual _ = [| Float.nan |] in
+           Alcotest.(check bool) "typed" true
+             (try
+                ignore (Nonlin.Polyalg.solve_exn ~label:"nan_case" ~residual [| 1. |]);
+                false
+              with Nonlin.Polyalg.Non_finite { label = "nan_case"; _ } -> true)));
+    Alcotest.test_case "solve_exn raises Solve_failed with every attempt" `Quick
+      (with_counters (fun () ->
+           (* no real root: x^2 + 1 = 0 defeats every strategy *)
+           let residual x = [| (x.(0) *. x.(0)) +. 1. |] in
+           Alcotest.(check bool) "typed" true
+             (try
+                ignore (Nonlin.Polyalg.solve_exn ~residual [| 1. |]);
+                false
+              with Nonlin.Polyalg.Solve_failed { attempts; _ } ->
+                List.length attempts = List.length Nonlin.Polyalg.default_cascade);
+           Alcotest.(check int) "failure counted" 1 (count "newton.strategy.failed")));
+    Alcotest.test_case "homotopy stage cracks a fold that cold Newton misses" `Quick
+      (with_counters (fun () ->
+           (* exp cliff so steep that damped Newton, dogleg and PTC all
+              stall from x0 = 0; the Newton homotopy ramps the forcing
+              in and tracks the branch to the root. *)
+           let residual x = [| exp (50. *. x.(0)) -. 1. +. (50. *. x.(0)) -. 5. |] in
+           let outcome =
+             Nonlin.Polyalg.solve ~cascade:[ Nonlin.Polyalg.Homotopy ] ~residual [| -1. |]
+           in
+           Alcotest.(check bool) "converged" true
+             outcome.Nonlin.Polyalg.report.Nonlin.Newton.converged;
+           check_root "fold" residual outcome.Nonlin.Polyalg.report.Nonlin.Newton.x;
+           Alcotest.(check int) "homotopy counter" 1 (count "newton.strategy.homotopy")));
+  ]
+
+(* The acceptance case from the paper's hard regime: a strongly
+   nonlinear (sinh-limited) one-pole system under deep fast-tone
+   amplitude modulation.  From the cold (zero) biperiodic guess, plain
+   damped Newton lands on the sinh cliff and its line search stalls;
+   the cascade escalates and trust region solves it. *)
+let hard_quasiperiodic_system () =
+  let beta = 500. and amp = 500. in
+  let p1 = 1. and p2 = 20. in
+  let dae =
+    Dae.of_ode ~dim:1 ~rhs:(fun ~t:_ x -> [| -.(sinh (beta *. x.(0))) /. beta |]) ()
+  in
+  let a t2 = amp *. (1. +. (0.9 *. sin (two_pi *. t2 /. p2))) in
+  let sys =
+    { Mpde.dae; p1; b_fast = (fun ~t1 ~t2 -> [| -.(a t2) *. sin (two_pi *. t1 /. p1) |]) }
+  in
+  (sys, p2)
+
+let acceptance_tests =
+  [
+    Alcotest.test_case "strong-modulation quasiperiodic: damped fails, cascade wins" `Slow
+      (with_counters (fun () ->
+           let sys, p2 = hard_quasiperiodic_system () in
+           let n1 = 11 and n2 = 11 in
+           let guess = Array.init n2 (fun _ -> Array.init n1 (fun _ -> [| 0. |])) in
+           (* plain damped Newton: typed failure carrying the report *)
+           Alcotest.(check bool) "damped alone fails" true
+             (try
+                ignore
+                  (Mpde.quasiperiodic ~cascade:[ Nonlin.Polyalg.Damped ] sys ~n1 ~n2 ~p2
+                     ~guess);
+                false
+              with Mpde.Solve_failure { stage = "Mpde.quasiperiodic"; report } ->
+                not report.Nonlin.Newton.converged);
+           Alcotest.(check int) "damped failure counted" 1 (count "newton.strategy.failed");
+           (* full cascade: converges, and the strategy counters name
+              the winner (trust region for this regime) *)
+           let res = Mpde.quasiperiodic sys ~n1 ~n2 ~p2 ~guess in
+           Alcotest.(check bool) "escalation recorded" true
+             (count "newton.strategy.escalations" >= 1);
+           Alcotest.(check int) "trust region won" 1 (count "newton.strategy.trust_region");
+           Array.iter
+             (Array.iter
+                (Array.iter (fun x ->
+                     Alcotest.(check bool) "finite solution" true (Float.is_finite x))))
+             res.Mpde.slices));
+  ]
+
+let suites =
+  [ ("globalize", globalize_tests); ("globalize_acceptance", acceptance_tests) ]
