@@ -649,6 +649,62 @@ let robust () =
   Printf.printf
     "robust | (the cascade keeps solving after plain Newton starts failing; trust region wins)\n"
 
+let health () =
+  (* numerical-health monitors vs t1 resolution: the VCO-A envelope run
+     of Figs. 8-9 swept over n1.  Coarse grids light up the
+     under-resolution monitor (spectral tail energy above tolerance);
+     generous grids trip the over-resolution monitor; GMRES quality
+     (iterations per solve against the restart window) tracks the
+     preconditioner as the grid grows.  The numbers behind the health
+     table in EXPERIMENTS.md. *)
+  let sizes = if !smoke then [ 9; 15 ] else [ 9; 15; 25; 41 ] in
+  let t2_end = if !smoke then 10. else 30. in
+  let h2 = 0.4 in
+  let dae = Circuit.Vco.build (Lazy.force vco_a) in
+  Printf.printf
+    "health | VCO-A envelope t1-grid and solver health vs n1 (t2_end = %g us, h2 = %g us):\n"
+    t2_end h2;
+  Printf.printf "health |    n1   tail energy   harmonics used   gmres it/solve   warnings\n";
+  List.iter
+    (fun n1 ->
+      let frozen = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+      let orbit =
+        Steady.Oscillator.find (Circuit.Vco.build frozen) ~n1 ~period_hint:(1. /. 0.75)
+          (Circuit.Vco.initial_state frozen)
+      in
+      let tail, needed, avail, gmres_per_solve, warnings =
+        Obs.Metrics.with_isolated (fun () ->
+            Obs.set_enabled true;
+            Obs.Health.reset ();
+            let options =
+              Wampde.Envelope.default_options ~n1 ~solver:Linalg.Structured.Krylov ()
+            in
+            let _ = Wampde.Envelope.simulate dae ~options ~t2_end ~h2 ~init:orbit in
+            let g name = Obs.Metrics.value (Obs.Metrics.gauge name) in
+            let c name = Obs.Metrics.count (Obs.Metrics.counter name) in
+            let solves = c "gmres.solves" in
+            ( g "health.tail_energy",
+              g "health.effective_harmonics",
+              g "health.harmonics_available",
+              (if solves = 0 then nan
+               else float_of_int (c "gmres.iterations") /. float_of_int solves),
+              c "health.warnings" ))
+      in
+      let gmres_col =
+        if Float.is_nan gmres_per_solve then "  dense" else Printf.sprintf "%7.1f" gmres_per_solve
+      in
+      Printf.printf "health |   %3d   %.3e        %2.0f / %-2.0f        %s          %d\n" n1 tail
+        needed avail gmres_col warnings;
+      let set name v = Obs.Metrics.set (Obs.Metrics.gauge (Printf.sprintf "bench.health.%s.n1_%d" name n1)) v in
+      set "tail_energy" tail;
+      set "effective_harmonics" needed;
+      set "gmres_iters_per_solve" gmres_per_solve;
+      set "warnings" (float_of_int warnings))
+    sizes;
+  Printf.printf
+    "health | (tail energy falls exponentially with n1; the monitors flag both coarse and \
+     wasteful grids)\n"
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -673,6 +729,7 @@ let experiments =
     ("ablation-h2", ablation_h2);
     ("ablation-solver", ablation_solver);
     ("robust", robust);
+    ("health", health);
   ]
 
 let () =

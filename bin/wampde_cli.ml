@@ -50,10 +50,43 @@ let fault_arg =
   in
   Arg.(value & opt (some string) None & info [ "fault-inject" ] ~docv:"SPEC" ~doc)
 
+let stream_arg =
+  let doc =
+    "Stream live NDJSON progress to $(docv) ($(b,-) for stderr): a start record, throttled \
+     per-macro-step progress (with a smoothed-rate ETA), heartbeats, solver \
+     reject/retry/escalation events, health warnings and a terminal $(b,done)/$(b,error) \
+     record.  The stream is bounded and never blocks the solve."
+  in
+  Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc = "Print human-readable progress lines (and health warnings) to stderr as the run advances." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let prometheus_arg =
+  let doc =
+    "Write a Prometheus text-exposition snapshot of the metrics registry to $(docv) when the \
+     run finishes."
+  in
+  Arg.(value & opt (some string) None & info [ "prometheus" ] ~docv:"FILE" ~doc)
+
+type obs_flags = {
+  o_metrics : bool;
+  o_trace : string option;
+  o_perfetto : string option;
+  o_report : string option;
+  o_faults : string option;
+  o_stream : string option;
+  o_progress : bool;
+  o_prometheus : string option;
+}
+
 let obs_term =
   Term.(
-    const (fun metrics trace perfetto report faults -> (metrics, trace, perfetto, report, faults))
-    $ metrics_arg $ trace_arg $ perfetto_arg $ report_arg $ fault_arg)
+    const (fun o_metrics o_trace o_perfetto o_report o_faults o_stream o_progress o_prometheus ->
+        { o_metrics; o_trace; o_perfetto; o_report; o_faults; o_stream; o_progress; o_prometheus })
+    $ metrics_arg $ trace_arg $ perfetto_arg $ report_arg $ fault_arg $ stream_arg
+    $ progress_arg $ prometheus_arg)
 
 let open_or_die file =
   try open_out file
@@ -64,6 +97,16 @@ let open_or_die file =
 let write_file_or_die file contents =
   let oc = open_or_die file in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let read_file_or_die file =
+  try
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    Printf.eprintf "wampde_cli: cannot read %s: %s\n" file msg;
+    exit 1
 
 (* Every solver failure below is typed and carries a registered
    printer: surface it as a one-line diagnostic and a nonzero exit, not
@@ -79,15 +122,18 @@ let or_die f =
     Printf.eprintf "wampde_cli: %s\n" (Printexc.to_string exn);
     exit 1
 
-(* Enable telemetry around [f] according to the
-   (--metrics, --trace, --trace-perfetto, --report) flags: metrics go to a
-   table on stderr, JSON-lines traces plus a span-tree summary through
-   --trace, a Chrome trace-event file through --trace-perfetto (with
-   per-span GC attribution) and a run manifest through --report.  With no
-   flag this is a no-op wrapper.  [--fault-inject] (or WAMPDE_FAULTS)
-   arms the deterministic fault harness for the wrapped run. *)
-let with_obs ?(cmd = "") (metrics, trace, perfetto, report, faults) f =
-  (match faults with
+(* Enable telemetry around [f] according to the observability flags:
+   metrics go to a table on stderr, JSON-lines traces plus a span-tree
+   summary through --trace, a Chrome trace-event file through
+   --trace-perfetto (with per-span GC attribution), a run manifest
+   through --report, a live NDJSON stream through --stream, human
+   progress lines through --progress and a Prometheus snapshot through
+   --prometheus.  With no flag this is a no-op wrapper.
+   [--fault-inject] (or WAMPDE_FAULTS) arms the deterministic fault
+   harness for the wrapped run.  [total] is the run's slow-time target,
+   powering the ETA estimate of --stream/--progress. *)
+let with_obs ?(cmd = "") ?total obs f =
+  (match obs.o_faults with
    | Some spec -> (
      match Fault.arm spec with
      | Ok () -> ()
@@ -99,8 +145,14 @@ let with_obs ?(cmd = "") (metrics, trace, perfetto, report, faults) f =
      with Invalid_argument msg ->
        Printf.eprintf "wampde_cli: %s: %s\n" Fault.env_var msg;
        exit 1));
-  let f () = or_die f in
-  if not (metrics || trace <> None || perfetto <> None || report <> None) then f ()
+  let { o_metrics = metrics; o_trace = trace; o_perfetto = perfetto; o_report = report; _ } =
+    obs
+  in
+  let any =
+    metrics || trace <> None || perfetto <> None || report <> None || obs.o_stream <> None
+    || obs.o_progress || obs.o_prometheus <> None
+  in
+  if not any then or_die f
   else begin
     Obs.set_enabled true;
     let t_run0 = Obs.now () in
@@ -127,8 +179,87 @@ let with_obs ?(cmd = "") (metrics, trace, perfetto, report, faults) f =
           Obs.Span.set_writer None;
           close_out oc
     in
+    let stream =
+      match obs.o_stream with
+      | None -> None
+      | Some target ->
+        let oc = if target = "-" then stderr else open_or_die target in
+        let write line =
+          output_string oc line;
+          output_char oc '\n'
+        in
+        let s = Obs.Stream.start ?total ~run:cmd ~write ~flush:(fun () -> flush oc) () in
+        (* The solver error paths below call [exit 1] directly, which
+           skips Fun.protect's finally; [at_exit] makes the terminal
+           record (and the close) unconditional, and [Stream.finish] is
+           idempotent so the normal path still wins with its more
+           precise record. *)
+        at_exit (fun () ->
+            Obs.Stream.finish s ~ok:false ~error:"run aborted" ();
+            if target <> "-" then close_out_noerr oc);
+        Some s
+    in
+    let cleanup_progress =
+      if not obs.o_progress then fun () -> ()
+      else begin
+        let eta =
+          match total with
+          | Some t when Float.is_finite t && t > 0. -> Some (Obs.Eta.create ~total:t ())
+          | _ -> None
+        in
+        let steps = ref 0 in
+        let last = ref (Obs.now () -. 1.) in
+        let sub =
+          Obs.Events.subscribe (fun e ->
+              match e with
+              | Obs.Events.Step_accept { t; h } when Obs.Scope.current () <> Some "transient"
+                ->
+                incr steps;
+                (match eta with
+                 | Some e -> Obs.Eta.update e ~now:(Obs.now ()) ~completed:(t +. h)
+                 | None -> ());
+                if Obs.now () -. !last >= 1.0 then begin
+                  last := Obs.now ();
+                  match eta with
+                  | Some e when Obs.Eta.rate e > 0. ->
+                    Printf.eprintf "wampde: t2 %.4g (%.0f%%), h2 %.3g, %d steps, eta %.0f s\n%!"
+                      (t +. h)
+                      (100. *. Obs.Eta.fraction e)
+                      h !steps (Obs.Eta.eta_s e)
+                  | _ ->
+                    Printf.eprintf "wampde: t2 %.4g, h2 %.3g, %d steps\n%!" (t +. h) h !steps
+                end
+              | Obs.Events.Health_warning { monitor; value; threshold; hint; _ } ->
+                Printf.eprintf "wampde: health: %s = %.3g > %.3g; %s\n%!" monitor value
+                  threshold hint
+              | _ -> ())
+        in
+        fun () -> Obs.Events.unsubscribe sub
+      end
+    in
+    let ran_ok = ref false in
+    let f () =
+      or_die @@ fun () ->
+      match f () with
+      | r ->
+        ran_ok := true;
+        r
+      | exception exn ->
+        (* precise terminal record before or_die prints and exits *)
+        (match stream with
+         | Some s -> Obs.Stream.finish s ~ok:false ~error:(Printexc.to_string exn) ()
+         | None -> ());
+        raise exn
+    in
     Fun.protect
       ~finally:(fun () ->
+        cleanup_progress ();
+        (match stream with
+         | Some s ->
+           Obs.Stream.finish s ~ok:!ran_ok
+             ?error:(if !ran_ok then None else Some "run aborted")
+             ()
+         | None -> ());
         cleanup_trace ();
         (match instant_sub with Some s -> Obs.Events.unsubscribe s | None -> ());
         if recording then begin
@@ -153,6 +284,9 @@ let with_obs ?(cmd = "") (metrics, trace, perfetto, report, faults) f =
                 ~wall_s:(Obs.now () -. t_run0)
                 ~steps ())
          | _ -> ());
+        (match obs.o_prometheus with
+         | Some file -> write_file_or_die file (Obs.Metrics.to_prometheus ())
+         | None -> ());
         if metrics then begin
           prerr_string (Obs.Metrics.table ());
           prerr_string (Obs.Metrics.scoped_table ())
@@ -269,8 +403,8 @@ let resume_arg =
 
 let envelope_cmd =
   let run obs which n1 t_end h2 solver rtol atol h2min h2max ckpt ckpt_every resume =
-    with_obs ~cmd:"envelope" obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
+    with_obs ~cmd:"envelope" ~total:t_end obs @@ fun () ->
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
     let dae = Circuit.Vco.build (params_of which) in
@@ -346,8 +480,8 @@ let transient_cmd =
     Arg.(value & opt int 10 & info [ "stride" ] ~docv:"N" ~doc)
   in
   let run obs which t_end pts stride =
-    with_obs ~cmd:"transient" obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
+    with_obs ~cmd:"transient" ~total:t_end obs @@ fun () ->
     let orbit = find_orbit which in
     let dae = Circuit.Vco.build (params_of which) in
     let x0 = Array.init dae.Dae.dim (fun i -> orbit.Steady.Oscillator.grid.(0).(i)) in
@@ -379,7 +513,8 @@ let quasi_cmd =
     Arg.(value & flag & info [ "gmres" ] ~doc)
   in
   let run obs n1 n2 gmres =
-    with_obs ~cmd:"quasi" obs @@ fun () ->
+    (* the embedded envelope warmup integrates to t2 = 200 *)
+    with_obs ~cmd:"quasi" ~total:200. obs @@ fun () ->
     let dae = Circuit.Vco.build (Circuit.Vco.vco_a ()) in
     let orbit = find_orbit ~n1 A in
     let options = Wampde.Envelope.default_options ~n1 () in
@@ -404,8 +539,8 @@ let waveform_cmd =
     Arg.(value & opt int 20 & info [ "per-cycle" ] ~docv:"N" ~doc)
   in
   let run obs which n1 t_end h2 per_cycle =
-    with_obs ~cmd:"waveform" obs @@ fun () ->
     let t_end = Option.value t_end ~default:(default_t_end which) in
+    with_obs ~cmd:"waveform" ~total:t_end obs @@ fun () ->
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
     let dae = Circuit.Vco.build (params_of which) in
@@ -436,7 +571,7 @@ let deck_cmd =
     Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"N" ~doc)
   in
   let run obs deck t_end steps =
-    with_obs ~cmd:"deck" obs @@ fun () ->
+    with_obs ~cmd:"deck" ~total:t_end obs @@ fun () ->
     match Circuit.Parser.parse_file deck with
     | exception Circuit.Parser.Parse_error { line; message } ->
       Printf.eprintf "%s:%d: %s\n" deck line message;
@@ -476,16 +611,7 @@ let report_cmd =
     Arg.(value & flag & info [ "check" ] ~doc)
   in
   let run file check =
-    let contents =
-      try
-        let ic = open_in_bin file in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      with Sys_error msg ->
-        Printf.eprintf "wampde_cli: cannot read report: %s\n" msg;
-        exit 1
-    in
+    let contents = read_file_or_die file in
     if check then
       match Obs.Report.check contents with
       | Ok () -> Printf.printf "report: %s: ok\n" file
@@ -505,6 +631,44 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_pos $ check_arg)
 
+let doctor_cmd =
+  let manifest_pos =
+    let doc = "Run manifest written by $(b,--report) on a solver subcommand." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
+  in
+  let stream_file_arg =
+    let doc = "NDJSON stream written by $(b,--stream), cross-checked against the manifest." in
+    Arg.(value & opt (some file) None & info [ "stream" ] ~docv:"FILE" ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit non-zero when the diagnosis contains any warning." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the diagnosis as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run manifest stream strict json =
+    let contents = read_file_or_die manifest in
+    let stream = Option.map read_file_or_die stream in
+    match Obs.Doctor.diagnose_string ?stream contents with
+    | Error msg ->
+      Printf.eprintf "doctor: %s: %s\n" manifest msg;
+      exit 1
+    | Ok findings ->
+      if json then print_endline (Obs.Doctor.to_json findings)
+      else print_string (Obs.Doctor.render findings);
+      if strict && Obs.Doctor.has_warnings findings then exit 1
+  in
+  let doc =
+    "diagnose a finished run from its manifest (and optionally its NDJSON stream): dominant \
+     cost scope, t1 over/under-resolution with a suggested n1, GMRES stagnation, \
+     rejection-heavy stepping"
+  in
+  Cmd.v
+    (Cmd.info "doctor" ~doc)
+    Term.(const run $ manifest_pos $ stream_file_arg $ strict_arg $ json_arg)
+
 let () =
   let doc = "multi-time (WaMPDE) simulation of voltage-controlled oscillators" in
   let info = Cmd.info "wampde_cli" ~version:"1.0.0" ~doc in
@@ -513,4 +677,5 @@ let () =
        (Cmd.group info
           [
             orbit_cmd; envelope_cmd; transient_cmd; quasi_cmd; waveform_cmd; deck_cmd; report_cmd;
+            doctor_cmd;
           ]))

@@ -409,6 +409,18 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
        end
      done
    with Lu.Singular _ -> fail !rnorm);
+  (* estimated contraction rate from the residual trail (newest-first
+     history includes the initial residual) *)
+  (if !iters >= 1 then
+     match !history with
+     | last :: _ ->
+       let first = List.nth !history (List.length !history - 1) in
+       let rate =
+         if first > 0. && last >= 0. then (last /. first) ** (1. /. float_of_int !iters)
+         else nan
+       in
+       Obs.Health.note_newton ~t:t2_new ~iterations:!iters ~rate ()
+     | [] -> ());
   let states, omega = unpack ~n1 ~n !y in
   (states, omega, !iters)
   in
@@ -481,6 +493,17 @@ let align_init options (init : Steady.Oscillator.orbit) =
       { init with Steady.Oscillator.grid = rotated }
     end
 
+(* t1-grid spectral health of an accepted macro step.  Gated on the
+   global telemetry flag at the call site: the per-component FFTs are
+   cheap relative to a Newton solve but not free. *)
+let note_spectral_health ~t states =
+  if Obs.enabled () then begin
+    let tol = (Obs.Health.thresholds ()).Obs.Health.spectral_tol in
+    let r = Fourier.Series.grid_resolution ~tol states in
+    Obs.Health.note_spectrum ~t ~tail:r.Fourier.Series.tail ~needed:r.Fourier.Series.needed
+      ~available:r.Fourier.Series.available ()
+  end
+
 let simulate dae ~options ~t2_end ~h2 ~init =
   check_init options init;
   Obs.Span.span
@@ -518,6 +541,8 @@ let simulate dae ~options ~t2_end ~h2 ~init =
     omega := omega';
     g := eval_g dae ~n1 ~d ~t2:t2_new states' omega';
     Obs.Metrics.incr c_env_steps;
+    Obs.Health.note_decision ~t:!t2 ~outcome:`Accept ();
+    note_spectral_health ~t:t2_new states';
     if Obs.Events.active () then begin
       Obs.Events.emit (Obs.Events.Step_accept { t = !t2; h });
       Obs.Events.emit (Obs.Events.Phase_condition { omega = omega'; t2 = t2_new })
@@ -671,7 +696,8 @@ let simulate_controlled dae ~options ~control ?h2_init ?checkpoint ?resume ?on_a
            directions, not the step size, may be the problem — finish
            the run on dense LU *)
         escalated := true;
-        Obs.Metrics.incr c_escalations
+        Obs.Metrics.incr c_escalations;
+        Obs.Health.note_escalation ~t:!t2 ()
       end
     | full, om_full, fine, om_fine ->
       let err =
@@ -697,6 +723,7 @@ let simulate_controlled dae ~options ~control ?h2_init ?checkpoint ?resume ?on_a
          omega := om_fine;
          g := eval_g dae ~n1 ~d ~t2:!t2 fine om_fine;
          Obs.Metrics.incr c_env_steps;
+         note_spectral_health ~t:!t2 fine;
          if Obs.Events.active () then
            Obs.Events.emit (Obs.Events.Phase_condition { omega = om_fine; t2 = !t2 });
          t2s := !t2 :: !t2s;

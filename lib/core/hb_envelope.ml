@@ -267,6 +267,21 @@ let simulate ?(solver = Structured.auto) dae ~harmonics:m ?(phase_component = 0)
       g := eval_g dae ~n ~m ~t2:t2_new !coeffs !omega;
       Obs.Metrics.incr c_steps;
       Step_control.record_accept ctrl ~t:!t2 ~h_used:h;
+      (if Obs.enabled () then begin
+         (* the coefficients are already spectral: analyse each
+            component's centered vector directly, worst case over
+            components *)
+         let tol = (Obs.Health.thresholds ()).Obs.Health.spectral_tol in
+         let needed = ref 0 and tail = ref 0. and avail = ref 0 in
+         Array.iter
+           (fun c ->
+             let r = Fourier.Series.resolution_of_coeffs ~tol c in
+             if r.Fourier.Series.needed > !needed then needed := r.Fourier.Series.needed;
+             if r.Fourier.Series.tail > !tail then tail := r.Fourier.Series.tail;
+             avail := r.Fourier.Series.available)
+           !coeffs;
+         Obs.Health.note_spectrum ~t:t2_new ~tail:!tail ~needed:!needed ~available:!avail ()
+       end);
       if Obs.Events.active () then
         Obs.Events.emit (Obs.Events.Phase_condition { omega = !omega; t2 = t2_new });
       t2 := t2_new;

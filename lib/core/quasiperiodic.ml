@@ -290,7 +290,21 @@ let solve dae ?(linear_solver = `Dense) ?(max_iterations = 25) ?(tol = 1e-8)
     failwith
       (Printf.sprintf "Quasiperiodic.solve: no convergence (residual %.3e after %d iterations)"
          !rnorm !iters);
-  unpack ~p2 ~n1 ~n ~n2 !y
+  let sol = unpack ~p2 ~n1 ~n ~n2 !y in
+  (if Obs.enabled () then begin
+     (* worst-case t1 resolution over the n2 slow slices *)
+     let stol = (Obs.Health.thresholds ()).Obs.Health.spectral_tol in
+     let needed = ref 0 and tail = ref 0. and avail = ref (n1 / 2) in
+     Array.iter
+       (fun slice ->
+         let rr = Fourier.Series.grid_resolution ~tol:stol slice in
+         if rr.Fourier.Series.needed > !needed then needed := rr.Fourier.Series.needed;
+         if rr.Fourier.Series.tail > !tail then tail := rr.Fourier.Series.tail;
+         avail := rr.Fourier.Series.available)
+       sol.slices;
+     Obs.Health.note_spectrum ~tail:!tail ~needed:!needed ~available:!avail ()
+   end);
+  sol
 
 let guess_from_envelope (result : Envelope.result) ~p2 ~n2 ~t_from =
   let n1 = Array.length result.Envelope.slices.(0) in

@@ -96,6 +96,7 @@ let decide t ~t:t_now ~h_used ~err =
     t.h <- clamp opts (h_used *. factor);
     Obs.Metrics.incr c_accepted;
     Obs.Metrics.set g_h t.h;
+    Obs.Health.note_decision ~t:t_now ~outcome:`Accept ();
     if Obs.Events.active () then Obs.Events.emit (Obs.Events.Step_accept { t = t_now; h = h_used });
     Accept t.h
   end
@@ -107,6 +108,7 @@ let decide t ~t:t_now ~h_used ~err =
     let h_retry = h_used *. factor in
     t.rejected <- t.rejected + 1;
     Obs.Metrics.incr c_rejected;
+    Obs.Health.note_decision ~t:t_now ~outcome:`Reject ();
     if Obs.Events.active () then
       Obs.Events.emit (Obs.Events.Step_reject { t = t_now; h = h_used; reason = "error control" });
     if h_retry < opts.h_min then raise (Underflow { t = t_now; h = h_retry });
@@ -121,12 +123,14 @@ let record_accept t ~t:t_now ~h_used =
   t.h <- clamp t.opts (h_used *. t.opts.max_growth);
   Obs.Metrics.incr c_accepted;
   Obs.Metrics.set g_h t.h;
+  Obs.Health.note_decision ~t:t_now ~outcome:`Accept ();
   if Obs.Events.active () then Obs.Events.emit (Obs.Events.Step_accept { t = t_now; h = h_used })
 
 let failure_retry t ~t:t_now ~h_used ~reason =
   t.retried <- t.retried + 1;
   t.failures <- t.failures + 1;
   Obs.Metrics.incr c_retried;
+  Obs.Health.note_decision ~t:t_now ~outcome:`Retry ();
   let h_retry = h_used /. 2. in
   if Obs.Events.active () then
     Obs.Events.emit (Obs.Events.Step_retry { t = t_now; h = h_used; h_next = h_retry; reason });

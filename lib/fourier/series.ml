@@ -94,12 +94,71 @@ let truncation_error x ~keep =
   done;
   if !total = 0. then 0. else sqrt (!dropped /. !total)
 
+type resolution = { needed : int; available : int; tail : float }
+
+(* Suffix sums of per-band spectral energy make every truncation query
+   O(1): suffix.(a) = sum of |c_i|^2 over |i| >= a, so the relative
+   error of keeping harmonics |i| <= keep is
+   sqrt (suffix.(keep + 1) / suffix.(0)). *)
+let energy_suffix (c : Cx.Cvec.t) =
+  let n = Array.length c in
+  let m = n / 2 in
+  let band = Array.make (m + 1) 0. in
+  for idx = 0 to n - 1 do
+    let a = abs (idx - m) in
+    band.(a) <- band.(a) +. Complex.norm2 c.(idx)
+  done;
+  let suffix = Array.make (m + 2) 0. in
+  for a = m downto 0 do
+    suffix.(a) <- suffix.(a + 1) +. band.(a)
+  done;
+  suffix
+
+let resolution_of_coeffs ~tol ?band (c : Cx.Cvec.t) =
+  let n = Array.length c in
+  check_odd "resolution_of_coeffs" n;
+  let m = n / 2 in
+  let suffix = energy_suffix c in
+  let total = suffix.(0) in
+  let rel a = if total = 0. then 0. else sqrt (suffix.(a) /. total) in
+  let needed =
+    let keep = ref 0 in
+    while !keep < m && rel (!keep + 1) > tol do
+      incr keep
+    done;
+    !keep
+  in
+  (* tail = relative energy in the outermost [band] harmonics: the
+     grid's own estimate of what a larger M would still capture *)
+  let band = match band with Some b -> max 1 (min m b) | None -> max 1 (m / 3) in
+  { needed; available = m; tail = (if m = 0 then 0. else rel (m - band + 1)) }
+
+let resolution ~tol ?band x = resolution_of_coeffs ~tol ?band (coeffs x)
+
 let harmonics_needed ~tol x =
   let n = Array.length x in
   check_odd "harmonics_needed" n;
-  let m = n / 2 in
-  let rec go keep = if keep >= m || truncation_error x ~keep <= tol then keep else go (keep + 1) in
-  go 0
+  (resolution_of_coeffs ~tol (coeffs x)).needed
+
+let grid_resolution ~tol ?band (states : Vec.t array) =
+  if Array.length states = 0 then invalid_arg "Series.grid_resolution: empty grid";
+  let n1 = Array.length states in
+  check_odd "grid_resolution" n1;
+  let n = Array.length states.(0) in
+  (* worst case over components, with needed and tail taken
+     independently: the component that exhausts the harmonic budget is
+     not necessarily the one with the fattest tail *)
+  let needed = ref 0 and tail = ref 0. in
+  let sample = Array.make n1 0. in
+  for j = 0 to n - 1 do
+    for i = 0 to n1 - 1 do
+      sample.(i) <- states.(i).(j)
+    done;
+    let r = resolution ~tol ?band sample in
+    if r.needed > !needed then needed := r.needed;
+    if r.tail > !tail then tail := r.tail
+  done;
+  { needed = !needed; available = n1 / 2; tail = !tail }
 
 let total_harmonic_distortion c =
   let n = Array.length c in

@@ -54,8 +54,31 @@ val diff_matrix_fd : order:int -> int -> Mat.t
 val truncation_error : Vec.t -> keep:int -> float
 
 (** [harmonics_needed ~tol x] is the smallest [keep] such that
-    [truncation_error x ~keep <= tol] (at most [M]). *)
+    [truncation_error x ~keep <= tol] (at most [M]).  Computed in
+    O(M) from a suffix sum of per-band spectral energy (one FFT plus
+    one pass), not by re-evaluating {!truncation_error} per candidate
+    [keep]. *)
 val harmonics_needed : tol:float -> Vec.t -> int
+
+(** Spectral-resolution summary of one odd-length grid: [needed] is
+    {!harmonics_needed}, [available] is [M = n/2], and [tail] is the
+    relative l2 energy carried by the outermost [band] harmonics
+    ([|i| > M - band]) — the grid's own estimate of what a larger [M]
+    would still capture.  [band] defaults to [max 1 (M/3)]. *)
+type resolution = { needed : int; available : int; tail : float }
+
+val resolution : tol:float -> ?band:int -> Vec.t -> resolution
+
+(** Like {!resolution}, from precomputed centered coefficients. *)
+val resolution_of_coeffs : tol:float -> ?band:int -> Cx.Cvec.t -> resolution
+
+(** [grid_resolution ~tol states] is the worst-case {!resolution} over
+    the components of a t1 collocation grid: [states.(i)] is the state
+    vector at the [i]-th of [n1] (odd) uniform t1 points, and each
+    component's periodic sample [states.(0..n1-1).(j)] is analysed
+    separately, taking [needed] and [tail] as maxima over components.
+    Raises [Invalid_argument] on an empty or even-length grid. *)
+val grid_resolution : tol:float -> ?band:int -> Vec.t array -> resolution
 
 (** [total_harmonic_distortion coeffs] is the THD relative to the
     fundamental: the rms of harmonics 2 and above over the magnitude of

@@ -104,9 +104,20 @@ let solve ~matvec ?m_inv ?x0 ?(restart = 50) ?max_iter ?(tol = 1e-10) b =
     end
   in
   let r0 = match x0 with None -> Array.copy b | Some _ -> Vec.sub b (matvec x) in
+  let beta0 = Vec.norm2 r0 in
   let x, res = cycle x r0 in
   Obs.Metrics.incr c_solves;
   Obs.Metrics.observe h_iters (float_of_int !total_iters);
-  { x; residual_norm = res; iterations = !total_iters; converged = res <= target }
+  let converged = res <= target in
+  (* mean per-iteration residual-reduction factor: the plateau signal
+     for the health monitor (a well-preconditioned operator contracts
+     well below 1 per iteration) *)
+  let reduction =
+    if !total_iters > 0 && beta0 > 0. && res > 0. then
+      (res /. beta0) ** (1. /. float_of_int !total_iters)
+    else nan
+  in
+  Obs.Health.note_gmres ~iterations:!total_iters ~restart ~converged ~reduction ();
+  { x; residual_norm = res; iterations = !total_iters; converged }
 
 let solve_mat a ?tol b = solve ~matvec:(fun v -> Mat.matvec a v) ?tol b

@@ -215,6 +215,12 @@ let simulate ?(solver = Structured.auto) sys ~n1 ~t2_end ~h2 ~init =
       g := eval_g sys ~n1 ~d ~t2:t2_new !states;
       Obs.Metrics.incr c_steps;
       Step_control.record_accept ctrl ~t:!t2 ~h_used:h;
+      (if Obs.enabled () then begin
+         let tol = (Obs.Health.thresholds ()).Obs.Health.spectral_tol in
+         let r = Fourier.Series.grid_resolution ~tol !states in
+         Obs.Health.note_spectrum ~t:t2_new ~tail:r.Fourier.Series.tail
+           ~needed:r.Fourier.Series.needed ~available:r.Fourier.Series.available ()
+       end);
       t2 := t2_new;
       t2s := t2_new :: !t2s;
       slices := Array.map Array.copy !states :: !slices

@@ -148,6 +148,7 @@ let solve ?(options = Newton.default_options) ?(label = "polyalg") ?(cascade = d
         (match rest with
          | next :: _ ->
            Obs.Metrics.incr c_escalations;
+           Obs.Health.note_escalation ();
            if Obs.Events.active () then
              Obs.Events.emit
                (Obs.Events.Strategy_escalated

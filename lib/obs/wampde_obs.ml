@@ -503,6 +503,69 @@ module Metrics = struct
         ^ "}");
     Buffer.add_char buf '}';
     Buffer.contents buf
+
+  (* Prometheus text exposition format (version 0.0.4).  Metric names
+     here use dots ("gmres.iterations"); Prometheus names admit only
+     [a-zA-Z0-9_:], so dots map to underscores under a "wampde_"
+     prefix.  Scoped counter buckets become a parallel "_scoped" series
+     labelled by scope, so the sum-over-scopes invariant stays visible
+     to the scraper. *)
+  let prom_name name =
+    "wampde_"
+    ^ String.map
+        (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+        name
+
+  let prom_float v =
+    if Float.is_nan v then "NaN"
+    else if v = Float.infinity then "+Inf"
+    else if v = Float.neg_infinity then "-Inf"
+    else Printf.sprintf "%.12g" v
+
+  let prom_label s =
+    (* label values share JSON's escaping rules for backslash, quote
+       and newline *)
+    json_escape s
+
+  let to_prometheus () =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (name, n) ->
+        let p = prom_name name in
+        Printf.bprintf buf "# TYPE %s counter\n%s %d\n" p p n)
+      (counters ());
+    List.iter
+      (fun (name, scopes) ->
+        let p = prom_name name ^ "_scoped" in
+        Printf.bprintf buf "# TYPE %s counter\n" p;
+        List.iter
+          (fun (scope, n) ->
+            Printf.bprintf buf "%s{scope=\"%s\"} %d\n" p
+              (prom_label (if scope = "" then "unscoped" else scope))
+              n)
+          scopes)
+      (scoped_counters ());
+    List.iter
+      (fun (name, v) ->
+        let p = prom_name name in
+        Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" p p (prom_float v))
+      (gauges ());
+    List.iter
+      (fun (name, s) ->
+        let p = prom_name name in
+        Printf.bprintf buf "# TYPE %s histogram\n" p;
+        let cum = ref 0 in
+        List.iter
+          (fun (_, hi, n) ->
+            cum := !cum + n;
+            Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" p (prom_float hi) !cum)
+          s.buckets;
+        Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" p s.count;
+        Printf.bprintf buf "%s_sum %s\n" p (prom_float s.sum);
+        Printf.bprintf buf "%s_count %d\n" p s.count)
+      (histograms ());
+    Buffer.contents buf
 end
 
 module Scope = struct
@@ -525,6 +588,13 @@ module Events = struct
     | Step_retry of { t : float; h : float; h_next : float; reason : string }
     | Phase_condition of { omega : float; t2 : float }
     | Strategy_escalated of { solver : string; from_ : string; to_ : string }
+    | Health_warning of {
+        monitor : string;
+        value : float;
+        threshold : float;
+        t : float;
+        hint : string;
+      }
 
   type subscription = int
 
@@ -573,6 +643,401 @@ module Events = struct
       Printf.sprintf
         "{\"type\":\"event\",\"event\":\"strategy_escalated\",\"solver\":\"%s\",\"from\":\"%s\",\"to\":\"%s\"}"
         (json_escape solver) (json_escape from_) (json_escape to_)
+    | Health_warning { monitor; value; threshold; t; hint } ->
+      Printf.sprintf
+        "{\"type\":\"event\",\"event\":\"health_warning\",\"monitor\":\"%s\",\"value\":%s,\"threshold\":%s,\"t\":%s,\"hint\":\"%s\"}"
+        (json_escape monitor) (json_float value) (json_float threshold) (json_float t)
+        (json_escape hint)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Smoothed step-rate ETA estimator                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Eta = struct
+  (* Exponentially-smoothed progress rate.  The (time, completed) pair
+     only advances when progress is actually made, so idle stretches
+     lengthen the next rate sample instead of being silently dropped —
+     the estimate never turns optimistic from stalls. *)
+  type t = {
+    total : float;
+    alpha : float;
+    mutable last_t : float;  (* nan until the first update *)
+    mutable last_done : float;
+    mutable rate : float;  (* smoothed units per second *)
+    mutable have_rate : bool;
+  }
+
+  let create ?(alpha = 0.3) ~total () =
+    if (not (Float.is_finite total)) || total <= 0. then
+      invalid_arg "Wampde_obs.Eta.create: total must be finite and positive";
+    if (not (Float.is_finite alpha)) || alpha <= 0. || alpha > 1. then
+      invalid_arg "Wampde_obs.Eta.create: alpha must be in (0, 1]";
+    { total; alpha; last_t = nan; last_done = 0.; rate = 0.; have_rate = false }
+
+  let total e = e.total
+  let completed e = e.last_done
+
+  let update e ~now ~completed =
+    let completed = Float.max e.last_done (Float.min e.total completed) in
+    if Float.is_nan e.last_t then begin
+      e.last_t <- now;
+      e.last_done <- completed
+    end
+    else begin
+      let dt = now -. e.last_t and dc = completed -. e.last_done in
+      if dc > 0. then
+        if dt > 0. then begin
+          let inst = dc /. dt in
+          e.rate <-
+            (if e.have_rate then ((1. -. e.alpha) *. e.rate) +. (e.alpha *. inst) else inst);
+          e.have_rate <- true;
+          e.last_t <- now;
+          e.last_done <- completed
+        end
+        else
+          (* progress below clock resolution: bank it, keep the old
+             timestamp so the elapsed time is not undercounted *)
+          e.last_done <- completed
+    end
+
+  let rate e = if e.have_rate then e.rate else 0.
+  let fraction e = Float.max 0. (Float.min 1. (e.last_done /. e.total))
+
+  let eta_s e =
+    let remaining = Float.max 0. (e.total -. e.last_done) in
+    if remaining = 0. then 0.
+    else if e.have_rate && e.rate > 0. then remaining /. e.rate
+    else Float.infinity
+end
+
+(* ------------------------------------------------------------------ *)
+(* Numerical-health monitors                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Health = struct
+  type thresholds = {
+    spectral_tol : float;
+    tail_tol : float;
+    over_resolution : float;
+    gmres_stagnation : float;
+    gmres_plateau : float;
+    gmres_plateau_min_iters : int;
+    newton_rate : float;
+    rejection_rate : float;
+    rejection_window : int;
+    cascade_pressure : float;
+  }
+
+  let default_thresholds =
+    {
+      spectral_tol = 1e-6;
+      tail_tol = 1e-6;
+      over_resolution = 0.75;
+      gmres_stagnation = 0.5;
+      gmres_plateau = 0.9;
+      gmres_plateau_min_iters = 8;
+      newton_rate = 0.9;
+      rejection_rate = 0.3;
+      rejection_window = 16;
+      cascade_pressure = 0.25;
+    }
+
+  let cur = ref default_thresholds
+  let thresholds () = !cur
+
+  let g_tail = Metrics.gauge "health.tail_energy"
+  let g_needed = Metrics.gauge "health.effective_harmonics"
+  let g_avail = Metrics.gauge "health.harmonics_available"
+  let g_newton = Metrics.gauge "health.newton_rate"
+  let g_stag = Metrics.gauge "health.gmres_stagnation"
+  let g_plateau = Metrics.gauge "health.gmres_plateau"
+  let g_reject = Metrics.gauge "health.rejection_rate"
+  let g_pressure = Metrics.gauge "health.cascade_pressure"
+  let c_warnings = Metrics.counter "health.warnings"
+
+  (* Edge-triggered warning state: monitor name -> was the previous
+     observation strictly above its threshold?  A warning fires only on
+     the below->above crossing; a value exactly equal to the threshold
+     counts as below. *)
+  let edge : (string, bool) Hashtbl.t = Hashtbl.create 8
+
+  (* sliding window of the last [rejection_window] macro-step
+     decisions; true = rejected or retried *)
+  let window : bool array ref = ref [||]
+
+  let win_pos = ref 0
+  let win_count = ref 0
+  let win_bad = ref 0
+  let decisions = ref 0
+  let escalations = ref 0
+
+  let reset () =
+    Hashtbl.reset edge;
+    window := [||];
+    win_pos := 0;
+    win_count := 0;
+    win_bad := 0;
+    decisions := 0;
+    escalations := 0
+
+  let set_thresholds t =
+    if t.rejection_window < 1 then
+      invalid_arg "Wampde_obs.Health.set_thresholds: rejection_window must be >= 1";
+    cur := t;
+    reset ()
+
+  let fire ~monitor ~t ~value ~threshold ~hint =
+    Metrics.incr c_warnings;
+    Metrics.incr (Metrics.counter ("health.warnings." ^ monitor));
+    if Events.active () then
+      Events.emit (Events.Health_warning { monitor; value; threshold; t; hint })
+
+  let check ~monitor ~t ~value ~threshold ~hint =
+    let above = Float.is_finite threshold && value > threshold in
+    let was = match Hashtbl.find_opt edge monitor with Some b -> b | None -> false in
+    Hashtbl.replace edge monitor above;
+    if above && not was then fire ~monitor ~t ~value ~threshold ~hint
+
+  let note_spectrum ?(t = nan) ~tail ~needed ~available () =
+    if !enabled_flag then begin
+      let th = !cur in
+      Metrics.set g_tail tail;
+      Metrics.set g_needed (float_of_int needed);
+      Metrics.set g_avail (float_of_int available);
+      check ~monitor:"t1_tail_energy" ~t ~value:tail ~threshold:th.tail_tol
+        ~hint:"t1 grid under-resolved: increase n1";
+      if available > 0 then
+        check ~monitor:"t1_over_resolution" ~t
+          ~value:(1. -. (float_of_int needed /. float_of_int available))
+          ~threshold:th.over_resolution ~hint:"t1 grid over-resolved: decrease n1"
+    end
+
+  let note_newton ?(t = nan) ~iterations ~rate () =
+    if !enabled_flag && Float.is_finite rate && iterations >= 1 then begin
+      Metrics.set g_newton rate;
+      (* a single-iteration "rate" is just the residual drop of one
+         update; contraction needs at least two *)
+      if iterations >= 2 then
+        check ~monitor:"newton_rate" ~t ~value:rate ~threshold:(!cur).newton_rate
+          ~hint:"Newton contraction is slow: refresh the Jacobian more often or shrink h2"
+    end
+
+  let note_gmres ?(t = nan) ~iterations ~restart ~converged ~reduction () =
+    if !enabled_flag && restart > 0 then begin
+      let th = !cur in
+      let stagnation = float_of_int iterations /. float_of_int restart in
+      Metrics.set g_stag stagnation;
+      if Float.is_finite reduction then Metrics.set g_plateau reduction;
+      (* a failed solve is stagnation whatever the iteration count *)
+      let value =
+        if converged then stagnation else Float.max stagnation (th.gmres_stagnation +. 1.)
+      in
+      check ~monitor:"gmres_stagnation" ~t ~value ~threshold:th.gmres_stagnation
+        ~hint:
+          "GMRES is consuming a large fraction of its restart window: preconditioner quality \
+           is degrading";
+      if iterations >= th.gmres_plateau_min_iters && Float.is_finite reduction then
+        check ~monitor:"gmres_plateau" ~t ~value:reduction ~threshold:th.gmres_plateau
+          ~hint:
+            "GMRES residual has plateaued: the preconditioned operator contracts near unity"
+    end
+
+  let note_decision ?(t = nan) ~outcome () =
+    (* micro-step decisions of a univariate transient (warmup or
+       baseline) are not macro-step health; same exclusion as the run
+       report's history *)
+    if !enabled_flag && !cur_scope <> "transient" then begin
+      let th = !cur in
+      if Array.length !window <> th.rejection_window then begin
+        window := Array.make th.rejection_window false;
+        win_pos := 0;
+        win_count := 0;
+        win_bad := 0
+      end;
+      let w = !window in
+      let bad = match outcome with `Accept -> false | `Reject | `Retry -> true in
+      if !win_count = th.rejection_window then begin
+        if w.(!win_pos) then decr win_bad
+      end
+      else incr win_count;
+      w.(!win_pos) <- bad;
+      if bad then incr win_bad;
+      win_pos := (!win_pos + 1) mod th.rejection_window;
+      incr decisions;
+      let rate = float_of_int !win_bad /. float_of_int !win_count in
+      Metrics.set g_reject rate;
+      Metrics.set g_pressure (float_of_int !escalations /. float_of_int !decisions);
+      if !win_count >= th.rejection_window then
+        check ~monitor:"rejection_rate" ~t ~value:rate ~threshold:th.rejection_rate
+          ~hint:
+            "the step controller is rejecting or retrying many macro steps: loosen rtol or \
+             start with a smaller h2"
+    end
+
+  let note_escalation ?(t = nan) () =
+    if !enabled_flag then begin
+      incr escalations;
+      let p = float_of_int !escalations /. float_of_int (Int.max 1 !decisions) in
+      Metrics.set g_pressure p;
+      check ~monitor:"cascade_pressure" ~t ~value:p ~threshold:(!cur).cascade_pressure
+        ~hint:
+          "the globalization cascade escalates often: the base strategy is mismatched to \
+           this regime"
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Bounded NDJSON progress stream                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = struct
+  let schema = "wampde.stream/1"
+  let c_dropped = Metrics.counter "stream.dropped"
+
+  type t = {
+    write : string -> unit;
+    flush : unit -> unit;
+    heartbeat_s : float;
+    min_progress_s : float;
+    max_records : int;
+    epoch : float;
+    eta : Eta.t option;
+    mutable records : int;
+    mutable truncated : bool;
+    mutable last_write : float;
+    mutable last_progress : float;
+    mutable steps : int;
+    mutable omega : float;  (* nan until a phase-condition event arrives *)
+    mutable finished : bool;
+    mutable sub : Events.subscription option;
+  }
+
+  let wall s = now () -. s.epoch
+
+  (* Bounded sink: once [max_records] non-terminal records are written,
+     further ones are counted into [stream.dropped] after a single
+     "truncated" marker.  The terminal record bypasses the cap (see
+     [finish]) so a stream always ends in "done" or "error". *)
+  let put s line =
+    if not s.finished then begin
+      if s.records < s.max_records then begin
+        s.records <- s.records + 1;
+        s.last_write <- now ();
+        s.write line
+      end
+      else begin
+        Metrics.incr c_dropped;
+        if not s.truncated then begin
+          s.truncated <- true;
+          s.last_write <- now ();
+          s.write
+            (Printf.sprintf "{\"type\":\"truncated\",\"t_s\":%s,\"records\":%d}"
+               (json_float (wall s)) s.records)
+        end
+      end
+    end
+
+  let progress s ~t2 ~h =
+    let frac, eta_s, rate =
+      match s.eta with
+      | Some e -> (Eta.fraction e, Eta.eta_s e, Eta.rate e)
+      | None -> (nan, nan, nan)
+    in
+    put s
+      (Printf.sprintf
+         "{\"type\":\"progress\",\"t_s\":%s,\"t2\":%s,\"h2\":%s,\"steps\":%d,\"omega\":%s,\"frac\":%s,\"eta_s\":%s,\"rate\":%s}"
+         (json_float (wall s)) (json_float t2) (json_float h) s.steps (json_float s.omega)
+         (json_float frac) (json_float eta_s) (json_float rate));
+    s.flush ()
+
+  let handle s e =
+    (* micro steps of a univariate transient are not run progress; the
+       heartbeat below still covers long warmups *)
+    (if !cur_scope <> "transient" then
+       match e with
+       | Events.Phase_condition { omega; _ } -> s.omega <- omega
+       | Events.Step_accept { t; h } ->
+         s.steps <- s.steps + 1;
+         let completed = t +. h in
+         (match s.eta with
+          | Some e -> Eta.update e ~now:(now ()) ~completed
+          | None -> ());
+         if now () -. s.last_progress >= s.min_progress_s then begin
+           s.last_progress <- now ();
+           progress s ~t2:completed ~h
+         end
+       | Events.Step_reject _ | Events.Step_retry _ | Events.Strategy_escalated _
+       | Events.Health_warning _ ->
+         put s (Events.to_json e);
+         s.flush ()
+       | Events.Newton_iter _ | Events.Newton_done _ | Events.Lu_factor _
+       | Events.Gmres_iter _ -> ());
+    if now () -. s.last_write >= s.heartbeat_s then begin
+      put s
+        (Printf.sprintf "{\"type\":\"heartbeat\",\"t_s\":%s,\"steps\":%d}"
+           (json_float (wall s)) s.steps);
+      s.flush ()
+    end
+
+  let start ?(heartbeat_s = 5.) ?(min_progress_s = 0.25) ?(max_records = 100_000) ?total
+      ?(run = "") ~write ~flush () =
+    let t0 = now () in
+    let eta =
+      match total with
+      | Some tt when Float.is_finite tt && tt > 0. -> Some (Eta.create ~total:tt ())
+      | _ -> None
+    in
+    let s =
+      {
+        write;
+        flush;
+        heartbeat_s = Float.max 0.01 heartbeat_s;
+        min_progress_s = Float.max 0. min_progress_s;
+        max_records = Int.max 2 max_records;
+        epoch = t0;
+        eta;
+        records = 0;
+        truncated = false;
+        last_write = t0;
+        (* let the first accepted step emit a progress record at once *)
+        last_progress = t0 -. min_progress_s;
+        steps = 0;
+        omega = nan;
+        finished = false;
+        sub = None;
+      }
+    in
+    put s
+      (Printf.sprintf "{\"type\":\"start\",\"schema\":\"%s\",\"run\":\"%s\",\"total\":%s}"
+         (json_escape schema) (json_escape run)
+         (match total with Some t -> json_float t | None -> "null"));
+    s.flush ();
+    s.sub <- Some (Events.subscribe (handle s));
+    s
+
+  (* Idempotent: the first call writes the terminal record and
+     unsubscribes; later calls are no-ops, so an at_exit safety net can
+     coexist with the normal shutdown path. *)
+  let finish s ~ok ?error () =
+    if not s.finished then begin
+      (match s.sub with Some id -> Events.unsubscribe id | None -> ());
+      s.sub <- None;
+      s.records <- s.records + 1;
+      s.write
+        (if ok then
+           Printf.sprintf "{\"type\":\"done\",\"t_s\":%s,\"steps\":%d,\"records\":%d}"
+             (json_float (wall s)) s.steps s.records
+         else
+           Printf.sprintf "{\"type\":\"error\",\"error\":\"%s\",\"t_s\":%s,\"steps\":%d}"
+             (json_escape (match error with Some e -> e | None -> "aborted"))
+             (json_float (wall s)) s.steps);
+      s.flush ();
+      s.finished <- true
+    end
+
+  let records s = s.records
+  let steps s = s.steps
 end
 
 module Span = struct
@@ -843,6 +1308,16 @@ module Trace_event = struct
         pid tid
     in
     List.iter emit (sort_spans !roots);
+    (* A run that opened zero spans and recorded zero instants would
+       otherwise serialize to the process_name metadata alone, which
+       trace viewers reject as an empty trace; one synthetic instant at
+       t = 0 keeps the file loadable. *)
+    if spans = [] && instants = [] then begin
+      sep ();
+      Printf.bprintf buf
+        "{\"name\":\"trace_start\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":0,\"pid\":%d,\"tid\":%d,\"s\":\"t\"}"
+        pid tid
+    end;
     List.iter
       (fun (i : Span.instant) ->
         sep ();
@@ -896,6 +1371,16 @@ module Trace_event = struct
       Span.instant
         ~attrs:[ ("solver", Span.Str solver); ("from", Span.Str from_); ("to", Span.Str to_) ]
         "strategy_escalated"
+    | Events.Health_warning { monitor; value; threshold; t; hint = _ } ->
+      Span.instant
+        ~attrs:
+          [
+            ("monitor", Span.Str monitor);
+            ("value", Span.Float value);
+            ("threshold", Span.Float threshold);
+            ("t", Span.Float t);
+          ]
+        "health_warning"
     | Events.Newton_iter _ | Events.Lu_factor _ | Events.Gmres_iter _ ->
       (* per-iteration events are too dense for a useful timeline; the
          counters and histograms carry them *)
@@ -944,7 +1429,8 @@ module Report = struct
       c.pending_iters <- c.pending_iters + 1;
       c.pending_residual <- residual
     | Events.Newton_done { residual; _ } -> c.pending_residual <- residual
-    | Events.Lu_factor _ | Events.Gmres_iter _ | Events.Strategy_escalated _ -> ()
+    | Events.Lu_factor _ | Events.Gmres_iter _ | Events.Strategy_escalated _
+    | Events.Health_warning _ -> ()
     | Events.Step_accept { t; h } | Events.Step_reject { t; h; reason = _ } | Events.Step_retry { t; h; h_next = _; reason = _ }
       ->
       let outcome, reason =
@@ -1243,4 +1729,382 @@ module Report = struct
              Printf.bprintf buf "\n… %d more rows in the manifest.\n" (n - history_rows_cap)
          | _ -> ());
         Ok (Buffer.contents buf))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Run doctor: turn a manifest (and optional stream) into a diagnosis  *)
+(* ------------------------------------------------------------------ *)
+
+module Doctor = struct
+  type severity = Info | Warn
+
+  type finding = {
+    category : string;
+    severity : severity;
+    summary : string;
+    suggestion : string option;
+  }
+
+  let severity_name = function Info -> "info" | Warn -> "warn"
+
+  (* counters whose per-scope buckets proxy for where the run spent its
+     effort; weights keep incommensurable units roughly comparable *)
+  let work_counters =
+    [ ("newton.iterations", 1.); ("gmres.iterations", 1.); ("lu.factor", 4.); ("transient.steps", 1.) ]
+
+  let str_member k j = Option.bind (Json.member k j) Json.to_str
+
+  let counter counters name =
+    match Option.bind (List.assoc_opt name counters) Json.to_num with
+    | Some v when Float.is_finite v -> v
+    | _ -> 0.
+
+  let gauge gauges name =
+    match Option.bind (List.assoc_opt name gauges) Json.to_num with
+    | Some v when Float.is_finite v -> Some v
+    | _ -> None
+
+  let metrics_section j name =
+    match Option.bind (Json.member "metrics" j) (Json.member name) with
+    | Some (Json.Obj kvs) -> kvs
+    | _ -> []
+
+  (* ---------- dominant cost scope ---------- *)
+
+  let cost_finding j =
+    let scoped = metrics_section j "scoped" in
+    let tally : (string, float) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (name, weight) ->
+        match List.assoc_opt name scoped with
+        | Some (Json.Obj buckets) ->
+          List.iter
+            (fun (scope, v) ->
+              match Json.to_num v with
+              | Some n when Float.is_finite n && n > 0. ->
+                let scope = if scope = "" then "unscoped" else scope in
+                Hashtbl.replace tally scope
+                  ((match Hashtbl.find_opt tally scope with Some x -> x | None -> 0.)
+                  +. (weight *. n))
+              | _ -> ())
+            buckets
+        | _ -> ())
+      work_counters;
+    let total = Hashtbl.fold (fun _ v acc -> acc +. v) tally 0. in
+    if total <= 0. then
+      {
+        category = "cost";
+        severity = Info;
+        summary = "no scoped solver work recorded in this manifest";
+        suggestion = Some "re-run with --metrics/--report so cost attribution is collected";
+      }
+    else begin
+      let scope, work =
+        Hashtbl.fold (fun k v ((_, bv) as best) -> if v > bv then (k, v) else best) tally ("", 0.)
+      in
+      let share = 100. *. work /. total in
+      {
+        category = "cost";
+        severity = Info;
+        summary =
+          Printf.sprintf "dominant cost scope is %s (%.0f%% of weighted solver work)" scope share;
+        suggestion = None;
+      }
+    end
+
+  (* ---------- t1 grid resolution ---------- *)
+
+  let resolution_findings j =
+    let gauges = metrics_section j "gauges" in
+    match (gauge gauges "health.harmonics_available", gauge gauges "health.effective_harmonics") with
+    | Some avail, Some needed when avail > 0. ->
+      let th = Health.default_thresholds in
+      let tail = match gauge gauges "health.tail_energy" with Some v -> v | None -> 0. in
+      let avail_i = int_of_float avail and needed_i = int_of_float needed in
+      if tail > th.tail_tol then
+        (* headroom of ~half the current band above what the tail demands *)
+        let n1 = (2 * (avail_i + Int.max 2 (avail_i / 2))) + 1 in
+        [
+          {
+            category = "t1_resolution";
+            severity = Warn;
+            summary =
+              Printf.sprintf
+                "t1 grid under-resolved: relative tail energy %.2e exceeds %.0e with %d harmonics"
+                tail th.tail_tol avail_i;
+            suggestion = Some (Printf.sprintf "increase n1 to about %d" n1);
+          };
+        ]
+      else begin
+        let slack = 1. -. (needed /. avail) in
+        if slack > th.over_resolution then
+          let keep = Int.max 2 (int_of_float (Float.ceil (1.25 *. needed))) in
+          let n1 = (2 * keep) + 1 in
+          [
+            {
+              category = "t1_resolution";
+              severity = Warn;
+              summary =
+                Printf.sprintf
+                  "t1 grid over-resolved: only %d of %d harmonics carry energy above tolerance"
+                  needed_i avail_i;
+              suggestion =
+                Some (Printf.sprintf "decrease n1 to about %d to cut per-step cost" n1);
+            };
+          ]
+        else
+          [
+            {
+              category = "t1_resolution";
+              severity = Info;
+              summary =
+                Printf.sprintf "t1 grid well-sized: %d of %d harmonics in use, tail energy %.2e"
+                  needed_i avail_i tail;
+              suggestion = None;
+            };
+          ]
+      end
+    | _ ->
+      [
+        {
+          category = "t1_resolution";
+          severity = Info;
+          summary = "no spectral health gauges in this manifest";
+          suggestion = Some "re-run the solve with telemetry enabled to collect t1 health";
+        };
+      ]
+
+  (* ---------- solver quality ---------- *)
+
+  let solver_findings j =
+    let counters = metrics_section j "counters" in
+    let gauges = metrics_section j "gauges" in
+    let th = Health.default_thresholds in
+    let solves = counter counters "gmres.solves" in
+    let gmres =
+      if solves <= 0. then
+        {
+          category = "solver_quality";
+          severity = Info;
+          summary = "linear systems solved by the dense path (no GMRES activity)";
+          suggestion = None;
+        }
+      else begin
+        let stag_warn = counter counters "health.warnings.gmres_stagnation" in
+        let plateau_warn = counter counters "health.warnings.gmres_plateau" in
+        let fallbacks = counter counters "gmres.precond.fallbacks" in
+        let mean_iters = counter counters "gmres.iterations" /. solves in
+        if stag_warn > 0. || plateau_warn > 0. || fallbacks > 0. then
+          {
+            category = "solver_quality";
+            severity = Warn;
+            summary =
+              Printf.sprintf
+                "GMRES shows stagnation pressure (%.0f stagnation / %.0f plateau warnings, %.0f \
+                 preconditioner fallbacks; %.1f iters/solve)"
+                stag_warn plateau_warn fallbacks mean_iters;
+            suggestion =
+              Some
+                "rebuild or strengthen the preconditioner (block factorization), or fall back to \
+                 the dense solver for this regime";
+          }
+        else
+          {
+            category = "solver_quality";
+            severity = Info;
+            summary = Printf.sprintf "GMRES healthy: %.1f iterations per solve" mean_iters;
+            suggestion = None;
+          }
+      end
+    in
+    let escalations =
+      counter counters "newton.strategy.escalations" +. counter counters "controller.escalations"
+    in
+    let newton =
+      if escalations > 0. then
+        Some
+          {
+            category = "solver_quality";
+            severity = Warn;
+            summary =
+              Printf.sprintf "globalization cascade escalated %.0f time(s)" escalations;
+            suggestion =
+              Some
+                "the base Newton strategy is mismatched to this regime; consider a smaller h2 or \
+                 a stronger initial guess";
+          }
+      else
+        match gauge gauges "health.newton_rate" with
+        | Some r when r > th.newton_rate ->
+          Some
+            {
+              category = "solver_quality";
+              severity = Warn;
+              summary = Printf.sprintf "Newton contraction rate %.2f is close to 1" r;
+              suggestion = Some "refresh the chord Jacobian more often or tighten the step size";
+            }
+        | _ -> None
+    in
+    gmres :: Option.to_list newton
+
+  (* ---------- stepping ---------- *)
+
+  let stepping_findings j =
+    let counters = metrics_section j "counters" in
+    let accepted, rejected, retried =
+      match Json.member "history" j with
+      | Some (Json.Arr entries) when entries <> [] ->
+        List.fold_left
+          (fun (a, r, y) e ->
+            match str_member "outcome" e with
+            | Some "accept" -> (a +. 1., r, y)
+            | Some "reject" -> (a, r +. 1., y)
+            | Some "retry" -> (a, r, y +. 1.)
+            | _ -> (a, r, y))
+          (0., 0., 0.) entries
+      | _ ->
+        ( counter counters "step.accepted",
+          counter counters "step.rejected",
+          counter counters "step.retried" )
+    in
+    let total = accepted +. rejected +. retried in
+    if total < 5. then []
+    else begin
+      let frac = (rejected +. retried) /. total in
+      if frac > 0.3 then
+        [
+          {
+            category = "stepping";
+            severity = Warn;
+            summary =
+              Printf.sprintf "rejection-heavy stepping: %.0f%% of %d macro steps were rejected \
+                              or retried"
+                (100. *. frac) (int_of_float total);
+            suggestion = Some "loosen rtol or start from a smaller initial h2";
+          };
+        ]
+      else
+        [
+          {
+            category = "stepping";
+            severity = Info;
+            summary =
+              Printf.sprintf "step controller healthy: %.0f%% of %d macro steps accepted"
+                (100. *. accepted /. total) (int_of_float total);
+            suggestion = None;
+          };
+        ]
+    end
+
+  (* ---------- stream cross-check ---------- *)
+
+  let stream_findings lines =
+    let malformed = ref 0 in
+    let terminal = ref None in
+    let health = ref 0 in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line <> "" then
+          match Json.parse_exn line with
+          | j -> (
+            match str_member "type" j with
+            | Some ("done" | "error" as t) -> terminal := Some (t, j)
+            | Some "event" when str_member "event" j = Some "health_warning" -> incr health
+            | _ -> ())
+          | exception Json.Error _ -> incr malformed)
+      lines;
+    let base =
+      if !malformed > 0 then
+        [
+          {
+            category = "stream";
+            severity = Warn;
+            summary = Printf.sprintf "%d malformed NDJSON line(s) in the stream" !malformed;
+            suggestion = Some "the stream writer was interrupted mid-record; treat tail data as suspect";
+          };
+        ]
+      else []
+    in
+    let term =
+      match !terminal with
+      | Some ("error", j) ->
+        [
+          {
+            category = "stream";
+            severity = Warn;
+            summary =
+              Printf.sprintf "run aborted: %s"
+                (match str_member "error" j with Some e -> e | None -> "unknown error");
+            suggestion = None;
+          };
+        ]
+      | Some ("done", _) -> []
+      | _ ->
+        [
+          {
+            category = "stream";
+            severity = Warn;
+            summary = "stream has no terminal record: the run did not shut down cleanly";
+            suggestion = None;
+          };
+        ]
+    in
+    let hw =
+      if !health > 0 then
+        [
+          {
+            category = "stream";
+            severity = Info;
+            summary = Printf.sprintf "%d health warning(s) were emitted while the run progressed" !health;
+            suggestion = None;
+          };
+        ]
+      else []
+    in
+    base @ term @ hw
+
+  (* ---------- entry points ---------- *)
+
+  let diagnose ?stream_lines (j : Json.t) =
+    let findings =
+      (cost_finding j :: resolution_findings j)
+      @ solver_findings j @ stepping_findings j
+      @ (match stream_lines with Some ls -> stream_findings ls | None -> [])
+    in
+    let warns, infos = List.partition (fun f -> f.severity = Warn) findings in
+    warns @ infos
+
+  let diagnose_string ?stream contents =
+    match Json.parse_exn contents with
+    | j ->
+      let stream_lines = Option.map (String.split_on_char '\n') stream in
+      Ok (diagnose ?stream_lines j)
+    | exception Json.Error m -> Result.Error (Printf.sprintf "manifest: %s" m)
+
+  let has_warnings findings = List.exists (fun f -> f.severity = Warn) findings
+
+  let render findings =
+    let buf = Buffer.create 512 in
+    let warns = List.length (List.filter (fun f -> f.severity = Warn) findings) in
+    Printf.bprintf buf "doctor: %d finding(s), %d warning(s)\n" (List.length findings) warns;
+    List.iter
+      (fun f ->
+        Printf.bprintf buf "[%s] %s: %s\n" (severity_name f.severity) f.category f.summary;
+        match f.suggestion with
+        | Some s -> Printf.bprintf buf "  -> %s\n" s
+        | None -> ())
+      findings;
+    Buffer.contents buf
+
+  let to_json findings =
+    let one f =
+      Printf.sprintf "{\"category\":\"%s\",\"severity\":\"%s\",\"summary\":\"%s\",\"suggestion\":%s}"
+        (json_escape f.category) (severity_name f.severity) (json_escape f.summary)
+        (match f.suggestion with
+         | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+         | None -> "null")
+    in
+    Printf.sprintf "{\"schema\":\"wampde.doctor/1\",\"findings\":[%s]}"
+      (String.concat "," (List.map one findings))
 end

@@ -130,6 +130,14 @@ module Metrics : sig
   (** One JSON object:
       [{"counters":{...},"gauges":{...},"histograms":{...},"scoped":{...}}]. *)
   val to_json : unit -> string
+
+  (** Prometheus text exposition (format 0.0.4) of the live registry:
+      counters (with per-scope buckets as a [_scoped{scope="..."}]
+      companion series), gauges, and histograms with cumulative
+      [_bucket{le="..."}] series plus [_sum]/[_count].  Metric names are
+      prefixed with ["wampde_"] and sanitized to the Prometheus
+      alphabet. *)
+  val to_prometheus : unit -> string
 end
 
 (** Dynamically-scoped cost-accounting labels naming the solver layer
@@ -169,6 +177,15 @@ module Events : sig
     | Strategy_escalated of { solver : string; from_ : string; to_ : string }
         (** the globalization cascade for [solver] gave up on strategy
             [from_] and is escalating to [to_] *)
+    | Health_warning of {
+        monitor : string;
+        value : float;
+        threshold : float;
+        t : float;  (** slow time of the observation; nan when unknown *)
+        hint : string;
+      }
+        (** a numerical-health monitor (see {!Health}) crossed its
+            threshold from below *)
 
   type subscription
 
@@ -184,6 +201,195 @@ module Events : sig
 
   (** One JSON object per event (single line, no trailing newline). *)
   val to_json : t -> string
+end
+
+(** Exponentially-smoothed progress-rate / ETA estimator.
+
+    Feed it [(now, completed)] observations; it maintains a smoothed
+    rate (units of progress per second) and derives the remaining time.
+    The internal sample point only advances when progress is actually
+    made, so stalls lengthen the next rate sample rather than being
+    dropped — the estimate degrades pessimistically under stalls,
+    never optimistically.
+
+    Guarantee (tested): for any monotone sequence of updates with at
+    least one strictly positive [(dt, dc)] pair, {!eta_s} is finite and
+    non-negative. *)
+module Eta : sig
+  type t
+
+  (** [create ~total ()] starts an estimator toward [total] units of
+      progress.  [alpha] in (0, 1] is the EWMA weight of the newest
+      rate sample (default 0.3).  Raises [Invalid_argument] unless
+      [total] is finite and positive. *)
+  val create : ?alpha:float -> total:float -> unit -> t
+
+  val total : t -> float
+  val completed : t -> float
+
+  (** [update e ~now ~completed] records that [completed] units were
+      done as of wall-clock [now].  [completed] is clamped to be
+      non-decreasing and at most [total]. *)
+  val update : t -> now:float -> completed:float -> unit
+
+  (** Smoothed progress rate per second; 0 until two distinct
+      observations with positive progress have been seen. *)
+  val rate : t -> float
+
+  (** Fraction complete in [0, 1]. *)
+  val fraction : t -> float
+
+  (** Estimated seconds remaining: 0 when complete, [infinity] until a
+      rate is known, finite and non-negative otherwise. *)
+  val eta_s : t -> float
+end
+
+(** Per-macro-step numerical-health monitors.
+
+    Solver layers feed raw observations (spectral tail energy, GMRES
+    iteration counts, Newton contraction rates, step accept/reject
+    decisions); this module exposes them as [health.*] gauges and
+    fires {!Events.Health_warning} when a monitor crosses its
+    threshold.
+
+    Threshold semantics (tested at the boundaries): a warning fires
+    only when the observed value is {e strictly greater} than the
+    threshold — a value exactly equal to the threshold does not fire —
+    and only on the below-to-above {e crossing}: once above, repeated
+    above-threshold observations stay silent until the monitor drops
+    back to (or below) the threshold and crosses again.  Every firing
+    also bumps the [health.warnings] counter and a per-monitor
+    [health.warnings.<monitor>] counter.
+
+    All feeders are no-ops while telemetry is disabled, and
+    {!note_decision} additionally ignores decisions made inside the
+    "transient" scope (micro steps of a univariate warmup or baseline
+    are not macro-step health). *)
+module Health : sig
+  type thresholds = {
+    spectral_tol : float;
+        (** relative spectral-energy tolerance used when estimating the
+            needed harmonic count (mirrors [Series.harmonics_needed]) *)
+    tail_tol : float;
+        (** monitor [t1_tail_energy]: relative energy in the outer
+            t1-harmonic band above which the grid counts as
+            under-resolved *)
+    over_resolution : float;
+        (** monitor [t1_over_resolution]: fraction of unused harmonics
+            (1 - needed/available) above which the grid counts as
+            wastefully over-resolved *)
+    gmres_stagnation : float;
+        (** monitor [gmres_stagnation]: iterations / restart ratio
+            above which a solve counts as stagnating (a failed solve
+            always counts) *)
+    gmres_plateau : float;
+        (** monitor [gmres_plateau]: per-iteration residual-reduction
+            factor above which convergence counts as plateaued *)
+    gmres_plateau_min_iters : int;
+        (** plateau detection needs at least this many iterations *)
+    newton_rate : float;
+        (** monitor [newton_rate]: estimated Newton contraction rate
+            above which convergence counts as slow *)
+    rejection_rate : float;
+        (** monitor [rejection_rate]: fraction of rejected/retried
+            decisions in the sliding window above which stepping counts
+            as rejection-heavy *)
+    rejection_window : int;  (** sliding-window length, >= 1 *)
+    cascade_pressure : float;
+        (** monitor [cascade_pressure]: escalations per macro-step
+            decision above which the globalization cascade counts as
+            overworked *)
+  }
+
+  val default_thresholds : thresholds
+  val thresholds : unit -> thresholds
+
+  (** Install new thresholds and {!reset} all monitor state.  Raises
+      [Invalid_argument] when [rejection_window < 1]. *)
+  val set_thresholds : thresholds -> unit
+
+  (** Clear edge-trigger and sliding-window state (gauges and counters
+      are owned by {!Metrics} and unaffected). *)
+  val reset : unit -> unit
+
+  (** [note_spectrum ~tail ~needed ~available] records the t1-grid
+      health of one accepted macro step: [tail] is the relative
+      spectral tail energy, [needed]/[available] the effective vs.
+      available harmonic counts.  Updates [health.tail_energy],
+      [health.effective_harmonics], [health.harmonics_available]. *)
+  val note_spectrum : ?t:float -> tail:float -> needed:int -> available:int -> unit -> unit
+
+  (** [note_newton ~iterations ~rate] records the estimated contraction
+      rate of one Newton solve ([rate] ~ (r_last/r_first)^(1/iters)).
+      Rates from fewer than two iterations update the gauge but never
+      warn. *)
+  val note_newton : ?t:float -> iterations:int -> rate:float -> unit -> unit
+
+  (** [note_gmres ~iterations ~restart ~converged ~reduction] records
+      one GMRES solve; [reduction] is the mean per-iteration residual
+      reduction factor (nan when unknown). *)
+  val note_gmres :
+    ?t:float -> iterations:int -> restart:int -> converged:bool -> reduction:float -> unit -> unit
+
+  (** Record one macro-step controller decision.  Ignored inside the
+      "transient" scope. *)
+  val note_decision : ?t:float -> outcome:[ `Accept | `Reject | `Retry ] -> unit -> unit
+
+  (** Record one globalization-cascade escalation. *)
+  val note_escalation : ?t:float -> unit -> unit
+end
+
+(** Bounded, non-blocking NDJSON progress sink.
+
+    One JSON object per line: a [start] record, throttled [progress]
+    records (with smoothed-rate ETA when a total is known), periodic
+    [heartbeat] records, the existing typed solver events
+    (reject/retry/escalation/health warnings), and a terminal [done]
+    or [error] record.  The stream is bounded: past [max_records] a
+    single [truncated] marker is written and further non-terminal
+    records are counted into the [stream.dropped] counter; the
+    terminal record always goes through.
+
+    Events from the "transient" scope are ignored (heartbeats still
+    cover long warmups). *)
+module Stream : sig
+  (** Stream schema tag ("wampde.stream/1"), carried by the [start]
+      record. *)
+  val schema : string
+
+  type t
+
+  (** [start ~write ~flush ()] writes the [start] record and subscribes
+      to {!Events} (telemetry must be enabled for events to flow).
+      [write] receives one complete JSON line (no trailing newline) per
+      record and must not block; [flush] is called after significant
+      records.  [total], when finite and positive, enables the ETA
+      estimator (pass the target slow time [t2_end]).  [heartbeat_s]
+      (default 5) bounds the silence between records; [min_progress_s]
+      (default 0.25) throttles progress records; [max_records] (default
+      100_000) bounds the stream. *)
+  val start :
+    ?heartbeat_s:float ->
+    ?min_progress_s:float ->
+    ?max_records:int ->
+    ?total:float ->
+    ?run:string ->
+    write:(string -> unit) ->
+    flush:(unit -> unit) ->
+    unit ->
+    t
+
+  (** [finish s ~ok ()] unsubscribes and writes the terminal record —
+      [done] when [ok], [error] (with [?error], default "aborted")
+      otherwise.  Idempotent: only the first call writes, so a normal
+      shutdown path and an [at_exit] safety net can both call it. *)
+  val finish : t -> ok:bool -> ?error:string -> unit -> unit
+
+  (** Records written so far (including the terminal record). *)
+  val records : t -> int
+
+  (** Macro steps observed so far. *)
+  val steps : t -> int
 end
 
 (** Nested wall-clock spans with parent ids and attributes.
@@ -272,7 +478,9 @@ end
     matched ["B"]/["E"] pairs (balanced and properly nested by
     construction: they are emitted by a depth-first walk of the span
     tree), solver events as instant (["i"]) events, timestamps in
-    microseconds. *)
+    microseconds.  A run with zero spans and zero instants serializes
+    to the process metadata plus one synthetic ["trace_start"] instant,
+    keeping the file loadable (viewers reject traces with no events). *)
 module Trace_event : sig
   val to_string :
     ?process_name:string -> spans:Span.record list -> instants:Span.instant list -> unit -> string
@@ -344,4 +552,44 @@ module Report : sig
       table, solver-work counters, scoped cost breakdown, step
       history).  Validates first. *)
   val to_markdown : string -> (string, string) result
+end
+
+(** Post-hoc run diagnosis: turn a {!Report} manifest (and optionally
+    an NDJSON stream) into a short list of actionable findings —
+    dominant cost scope, t1 over/under-resolution with a suggested
+    [n1], GMRES stagnation, rejection-heavy stepping.  The diagnosis
+    always includes at least the cost, t1-resolution and
+    solver-quality categories (as informational findings when the
+    manifest carries no signal for them). *)
+module Doctor : sig
+  type severity = Info | Warn
+
+  type finding = {
+    category : string;
+        (** "cost" | "t1_resolution" | "solver_quality" | "stepping" | "stream" *)
+    severity : severity;
+    summary : string;
+    suggestion : string option;
+  }
+
+  val severity_name : severity -> string
+
+  (** [diagnose ?stream_lines manifest] analyses a parsed manifest;
+      [stream_lines] adds NDJSON cross-checks (well-formedness,
+      terminal record, health-warning count).  Warnings sort before
+      informational findings. *)
+  val diagnose : ?stream_lines:string list -> Json.t -> finding list
+
+  (** Like {!diagnose} from raw file contents; [Error] on a manifest
+      that fails to parse. *)
+  val diagnose_string : ?stream:string -> string -> (finding list, string) result
+
+  val has_warnings : finding list -> bool
+
+  (** Human-readable rendering (one header line plus one line per
+      finding with an indented suggestion). *)
+  val render : finding list -> string
+
+  (** JSON rendering ({["wampde.doctor/1"]} schema). *)
+  val to_json : finding list -> string
 end
