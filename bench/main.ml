@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- --list       -- list experiment ids
      dune exec bench/main.exe -- --smoke      -- reduced problem sizes (CI)
      dune exec bench/main.exe -- --check      -- exit 1 if krylov slower than dense
+     dune exec bench/main.exe -- --jobs 4     -- domain-pool parallelism (adds the
+                                                 strong-scaling rows to krylov/robust)
 
    See EXPERIMENTS.md for the paper-vs-measured record. *)
 
@@ -456,6 +458,53 @@ let krylov_bench () =
       Obs.Metrics.set (Obs.Metrics.gauge (Printf.sprintf "bench.krylov.speedup.n1_%d" n1)) ratio)
     sizes;
   Printf.printf "krylov | (dense work grows as n1^3 per factorization, krylov as n1 log n1)\n";
+  (* Strong scaling of the krylov path on the domain pool: same sweep,
+     same solver, jobs = 1 vs the requested --jobs.  The two runs'
+     outputs are compared exactly -- the pool's fixed-chunk determinism
+     contract makes bitwise identity a hard gate, not a tolerance. *)
+  let jobs = Par.Pool.jobs () in
+  if jobs > 1 then begin
+    let scaling_sizes = if !smoke then [ 101 ] else [ 101; 161 ] in
+    Printf.printf "krylov | strong scaling (krylov path, jobs 1 vs %d):\n" jobs;
+    Obs.Metrics.set (Obs.Metrics.gauge "bench.krylov.par_jobs") (float_of_int jobs);
+    List.iter
+      (fun n1 ->
+        let frozen = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+        let orbit =
+          Steady.Oscillator.find (Circuit.Vco.build frozen) ~n1 ~period_hint:(1. /. 0.75)
+            (Circuit.Vco.initial_state frozen)
+        in
+        let run j =
+          Par.Pool.set_jobs j;
+          let t0 = Unix.gettimeofday () in
+          let options = Wampde.Envelope.default_options ~n1 ~solver:Linalg.Structured.Krylov () in
+          let res = Wampde.Envelope.simulate dae ~options ~t2_end ~h2 ~init:orbit in
+          (res, Unix.gettimeofday () -. t0)
+        in
+        let res_1, t_1 = run 1 in
+        let res_j, t_j = run jobs in
+        Par.Pool.set_jobs jobs;
+        let identical =
+          res_1.Wampde.Envelope.omega = res_j.Wampde.Envelope.omega
+          && res_1.Wampde.Envelope.slices = res_j.Wampde.Envelope.slices
+        in
+        let par_speedup = t_1 /. t_j in
+        Printf.printf
+          "krylov |   n1 = %3d: jobs 1 %7.3f s, jobs %d %7.3f s, speedup %.2fx, \
+           bitwise-identical %b\n"
+          n1 t_1 jobs t_j par_speedup identical;
+        Obs.Metrics.set
+          (Obs.Metrics.gauge (Printf.sprintf "bench.krylov.par_speedup.n1_%d" n1))
+          par_speedup;
+        Obs.Metrics.set (Obs.Metrics.gauge (Printf.sprintf "bench.krylov.par_s_jobs1.n1_%d" n1)) t_1;
+        Obs.Metrics.set (Obs.Metrics.gauge (Printf.sprintf "bench.krylov.par_s_jobsN.n1_%d" n1)) t_j;
+        if not identical then begin
+          Printf.eprintf "krylov check FAILED: --jobs %d output differs from serial at n1 = %d\n"
+            jobs n1;
+          exit 1
+        end)
+      scaling_sizes
+  end;
   if !check && !last_ratio < 1. then begin
     Printf.eprintf "krylov check FAILED: krylov slower than dense at largest size (%.2fx)\n"
       !last_ratio;
@@ -646,6 +695,31 @@ let robust () =
             | None -> "?")
             iters t_full))
     betas;
+  (* pool scaling of the hardest cascade case: the globalized solves
+     run the same parallel kernels, and determinism means the iteration
+     counts (not just the tolerances) must agree between job counts *)
+  let jobs = Par.Pool.jobs () in
+  if jobs > 1 then begin
+    let beta = List.fold_left Float.max 0. betas in
+    let scale j =
+      Par.Pool.set_jobs j;
+      let t0 = Unix.gettimeofday () in
+      let outcome, _ = solve_case beta None in
+      (outcome, Unix.gettimeofday () -. t0)
+    in
+    let o_1, t_1 = scale 1 in
+    let o_j, t_j = scale jobs in
+    Par.Pool.set_jobs jobs;
+    let par_speedup = t_1 /. t_j in
+    Printf.printf "robust | strong scaling (beta = %.0f cascade): jobs 1 %.2fs, jobs %d %.2fs, \
+                   speedup %.2fx, identical outcome %b\n"
+      beta t_1 jobs t_j par_speedup (o_1 = o_j);
+    Obs.Metrics.set (Obs.Metrics.gauge "bench.robust.par_speedup") par_speedup;
+    if o_1 <> o_j then begin
+      Printf.eprintf "robust check FAILED: --jobs %d outcome differs from serial\n" jobs;
+      exit 1
+    end
+  end;
   Printf.printf
     "robust | (the cascade keeps solving after plain Newton starts failing; trust region wins)\n"
 
@@ -750,6 +824,13 @@ let () =
       parse rest
     | "--only" :: id :: rest ->
       only := Some id;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> Par.Pool.set_jobs j
+      | _ ->
+        Printf.eprintf "--jobs: expected a positive integer, got %s\n" n;
+        exit 1);
       parse rest
     | "--list" :: _ ->
       List.iter (fun (id, _) -> print_endline id) experiments;

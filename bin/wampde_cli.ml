@@ -70,6 +70,14 @@ let prometheus_arg =
   in
   Arg.(value & opt (some string) None & info [ "prometheus" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run the parallel kernels (finite-difference Jacobian columns, preconditioner block \
+     factor/solve, batched FFT pairs) on $(docv) domains.  Results are bitwise identical for \
+     every $(docv).  Default: the $(b,WAMPDE_JOBS) environment variable, else 1 (serial)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 type obs_flags = {
   o_metrics : bool;
   o_trace : string option;
@@ -79,14 +87,26 @@ type obs_flags = {
   o_stream : string option;
   o_progress : bool;
   o_prometheus : string option;
+  o_jobs : int option;
 }
 
 let obs_term =
   Term.(
-    const (fun o_metrics o_trace o_perfetto o_report o_faults o_stream o_progress o_prometheus ->
-        { o_metrics; o_trace; o_perfetto; o_report; o_faults; o_stream; o_progress; o_prometheus })
+    const (fun o_metrics o_trace o_perfetto o_report o_faults o_stream o_progress o_prometheus
+               o_jobs ->
+        {
+          o_metrics;
+          o_trace;
+          o_perfetto;
+          o_report;
+          o_faults;
+          o_stream;
+          o_progress;
+          o_prometheus;
+          o_jobs;
+        })
     $ metrics_arg $ trace_arg $ perfetto_arg $ report_arg $ fault_arg $ stream_arg
-    $ progress_arg $ prometheus_arg)
+    $ progress_arg $ prometheus_arg $ jobs_arg)
 
 let open_or_die file =
   try open_out file
@@ -133,6 +153,8 @@ let or_die f =
    harness for the wrapped run.  [total] is the run's slow-time target,
    powering the ETA estimate of --stream/--progress. *)
 let with_obs ?(cmd = "") ?total obs f =
+  (* WAMPDE_JOBS seeded the pool at startup; an explicit --jobs wins *)
+  (match obs.o_jobs with Some j -> Par.Pool.set_jobs j | None -> ());
   (match obs.o_faults with
    | Some spec -> (
      match Fault.arm spec with
@@ -281,6 +303,7 @@ let with_obs ?(cmd = "") ?total obs f =
            write_file_or_die file
              (Obs.Report.manifest ~subcommand:cmd
                 ?git:(Obs.Report.git_describe ())
+                ~jobs:(Par.Pool.jobs ())
                 ~wall_s:(Obs.now () -. t_run0)
                 ~steps ())
          | _ -> ());

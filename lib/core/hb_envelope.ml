@@ -190,7 +190,9 @@ let simulate ?(solver = Structured.auto) dae ~harmonics:m ?(phase_component = 0)
        omega slot and phase row are left to GMRES. *)
     let linear_solve y r =
       let dense () =
-        let jac = Nonlin.Fdjac.jacobian ~f0:r residual y in
+        (* [residual] is pure (fresh arrays, no shared scratch, no
+           telemetry), so its FD columns can run on the pool *)
+        let jac = Nonlin.Fdjac.jacobian ~parallel:true ~f0:r residual y in
         Lu.solve (Lu.factor jac) r
       in
       let matvec v = Nonlin.Fdjac.directional ~f0:r residual y v in

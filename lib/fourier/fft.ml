@@ -80,44 +80,91 @@ type bluestein_plan = {
   bp_bim : float array;
 }
 
-let bluestein_plans : (int * int, bluestein_plan) Hashtbl.t = Hashtbl.create 16
+(* The plan cache is shared across domains (pool workers batch
+   same-size transforms), so it must not be a bare Hashtbl: a resize
+   racing a lookup corrupts the table.  Lookups read an immutable map
+   through an [Atomic] (no lock on the hit path); insertion is
+   mutex-guarded with a second lookup under the lock, so concurrent
+   first uses of one size build the plan at most twice and publish
+   exactly one. *)
+module Plan_key = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module Plan_map = Map.Make (Plan_key)
+
+let bluestein_plans : bluestein_plan Plan_map.t Atomic.t = Atomic.make Plan_map.empty
+let bluestein_plans_mutex = Mutex.create ()
+
+let build_bluestein_plan n sign =
+  let m = next_power_of_two ((2 * n) - 1) in
+  (* chirp weights w_j = e^{sign * i pi j^2 / n } *)
+  let chirp_re = Array.make n 0. and chirp_im = Array.make n 0. in
+  for j = 0 to n - 1 do
+    (* j^2 mod 2n avoids precision loss for large j *)
+    let jsq = j * j mod (2 * n) in
+    let theta = float_of_int sign *. Float.pi *. float_of_int jsq /. float_of_int n in
+    chirp_re.(j) <- cos theta;
+    chirp_im.(j) <- sin theta
+  done;
+  let bre = Array.make m 0. and bim = Array.make m 0. in
+  bre.(0) <- chirp_re.(0);
+  bim.(0) <- -.chirp_im.(0);
+  for j = 1 to n - 1 do
+    bre.(j) <- chirp_re.(j);
+    bim.(j) <- -.chirp_im.(j);
+    bre.(m - j) <- chirp_re.(j);
+    bim.(m - j) <- -.chirp_im.(j)
+  done;
+  radix2_inplace bre bim (-1);
+  { bp_m = m; bp_chirp_re = chirp_re; bp_chirp_im = chirp_im; bp_bre = bre; bp_bim = bim }
 
 let bluestein_plan n sign =
-  match Hashtbl.find_opt bluestein_plans (n, sign) with
+  match Plan_map.find_opt (n, sign) (Atomic.get bluestein_plans) with
   | Some p -> p
   | None ->
-      let m = next_power_of_two ((2 * n) - 1) in
-      (* chirp weights w_j = e^{sign * i pi j^2 / n } *)
-      let chirp_re = Array.make n 0. and chirp_im = Array.make n 0. in
-      for j = 0 to n - 1 do
-        (* j^2 mod 2n avoids precision loss for large j *)
-        let jsq = j * j mod (2 * n) in
-        let theta = float_of_int sign *. Float.pi *. float_of_int jsq /. float_of_int n in
-        chirp_re.(j) <- cos theta;
-        chirp_im.(j) <- sin theta
-      done;
-      let bre = Array.make m 0. and bim = Array.make m 0. in
-      bre.(0) <- chirp_re.(0);
-      bim.(0) <- -.chirp_im.(0);
-      for j = 1 to n - 1 do
-        bre.(j) <- chirp_re.(j);
-        bim.(j) <- -.chirp_im.(j);
-        bre.(m - j) <- chirp_re.(j);
-        bim.(m - j) <- -.chirp_im.(j)
-      done;
-      radix2_inplace bre bim (-1);
-      let p = { bp_m = m; bp_chirp_re = chirp_re; bp_chirp_im = chirp_im; bp_bre = bre; bp_bim = bim } in
-      Hashtbl.replace bluestein_plans (n, sign) p;
-      p
+      Mutex.lock bluestein_plans_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock bluestein_plans_mutex)
+        (fun () ->
+          match Plan_map.find_opt (n, sign) (Atomic.get bluestein_plans) with
+          | Some p -> p
+          | None ->
+              let p = build_bluestein_plan n sign in
+              Atomic.set bluestein_plans (Plan_map.add (n, sign) p (Atomic.get bluestein_plans));
+              p)
 
-let bluestein x sign =
-  let n = Array.length x in
+(* Per-domain Bluestein convolution scratch, keyed by the padded size
+   [m]: batched same-size transforms (the preconditioner hot path)
+   reuse it instead of allocating two length-[m] arrays per call. *)
+let bluestein_scratch_key : (int, float array * float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let bluestein_scratch m =
+  let tbl = Domain.DLS.get bluestein_scratch_key in
+  let are, aim =
+    match Hashtbl.find_opt tbl m with
+    | Some ws -> ws
+    | None ->
+        let ws = (Array.make m 0., Array.make m 0.) in
+        Hashtbl.replace tbl m ws;
+        ws
+  in
+  Array.fill are 0 m 0.;
+  Array.fill aim 0 m 0.;
+  (are, aim)
+
+(* In-place Bluestein on a re/im pair. *)
+let bluestein_pair_inplace re im sign =
+  let n = Array.length re in
   let { bp_m = m; bp_chirp_re = chirp_re; bp_chirp_im = chirp_im; bp_bre = bre; bp_bim = bim } =
     bluestein_plan n sign
   in
-  let are = Array.make m 0. and aim = Array.make m 0. in
+  let are, aim = bluestein_scratch m in
   for j = 0 to n - 1 do
-    let xr = Cx.re x.(j) and xi = Cx.im x.(j) in
+    let xr = re.(j) and xi = im.(j) in
     are.(j) <- (xr *. chirp_re.(j)) -. (xi *. chirp_im.(j));
     aim.(j) <- (xr *. chirp_im.(j)) +. (xi *. chirp_re.(j))
   done;
@@ -131,11 +178,36 @@ let bluestein x sign =
   done;
   radix2_inplace are aim 1;
   let scale = 1. /. float_of_int m in
-  Array.init n (fun k ->
-      let cr = are.(k) *. scale and ci = aim.(k) *. scale in
-      Cx.cx
-        ((cr *. chirp_re.(k)) -. (ci *. chirp_im.(k)))
-        ((cr *. chirp_im.(k)) +. (ci *. chirp_re.(k))))
+  for k = 0 to n - 1 do
+    let cr = are.(k) *. scale and ci = aim.(k) *. scale in
+    re.(k) <- (cr *. chirp_re.(k)) -. (ci *. chirp_im.(k));
+    im.(k) <- (cr *. chirp_im.(k)) +. (ci *. chirp_re.(k))
+  done
+
+let bluestein x sign =
+  let re, im = to_parts x in
+  bluestein_pair_inplace re im sign;
+  of_parts re im
+
+let transform_pair_inplace ~sign re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft.transform_pair_inplace: length mismatch";
+  if n <= 1 then ()
+  else if is_power_of_two n then radix2_inplace re im sign
+  else bluestein_pair_inplace re im sign
+
+let fft_pair_inplace re im = transform_pair_inplace ~sign:(-1) re im
+
+let ifft_pair_inplace re im =
+  let n = Array.length re in
+  if n > 0 then begin
+    transform_pair_inplace ~sign:1 re im;
+    let s = 1. /. float_of_int n in
+    for k = 0 to n - 1 do
+      re.(k) <- s *. re.(k);
+      im.(k) <- s *. im.(k)
+    done
+  end
 
 let transform x sign =
   let n = Array.length x in
@@ -166,4 +238,10 @@ let dft x =
       done;
       !s)
 
-let structured_dft = { Structured.fwd = fft; inv = ifft }
+let structured_dft =
+  {
+    Structured.fwd = fft;
+    inv = ifft;
+    fwd_pair = Some fft_pair_inplace;
+    inv_pair = Some ifft_pair_inplace;
+  }

@@ -17,6 +17,18 @@ val ifft : Cx.Cvec.t -> Cx.Cvec.t
 (** [fft_real x] is [fft] of a real signal. *)
 val fft_real : Vec.t -> Cx.Cvec.t
 
+(** [fft_pair_inplace re im] transforms the complex signal
+    [re + i im] in place (same arithmetic as {!fft}, no boxed
+    [Complex.t] allocation); the batched form used by the
+    block-preconditioner's two-components-per-transform pairing.
+    Domain-safe: the Bluestein plan cache is shared under a mutex and
+    convolution scratch is per-domain. *)
+val fft_pair_inplace : Vec.t -> Vec.t -> unit
+
+(** [ifft_pair_inplace re im] is the matching in-place inverse
+    (divides by [n]). *)
+val ifft_pair_inplace : Vec.t -> Vec.t -> unit
+
 (** [dft x] is the naive O(n^2) transform, kept as a reference
     implementation for testing. *)
 val dft : Cx.Cvec.t -> Cx.Cvec.t

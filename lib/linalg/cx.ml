@@ -97,12 +97,14 @@ module Clu = struct
   let c_factor = Wampde_obs.Metrics.counter "lu.factor_complex"
   let h_dim = Wampde_obs.Metrics.histogram "lu.dim_complex"
 
-  let factor a =
-    let n = Cmat.rows a in
-    if Cmat.cols a <> n then invalid_arg "Cx.Clu.factor: matrix not square";
+  let note_factor ~n =
     Wampde_obs.Metrics.incr c_factor;
     Wampde_obs.Metrics.observe h_dim (float_of_int n);
-    if Wampde_obs.Events.active () then Wampde_obs.Events.emit (Wampde_obs.Events.Lu_factor { n });
+    if Wampde_obs.Events.active () then Wampde_obs.Events.emit (Wampde_obs.Events.Lu_factor { n })
+
+  let factor_quiet a =
+    let n = Cmat.rows a in
+    if Cmat.cols a <> n then invalid_arg "Cx.Clu.factor: matrix not square";
     let lu = Cmat.copy a in
     let perm = Array.init n (fun i -> i) in
     for k = 0 to n - 1 do
@@ -130,6 +132,12 @@ module Clu = struct
       done
     done;
     { lu; perm }
+
+  let factor a =
+    let n = Cmat.rows a in
+    if Cmat.cols a <> n then invalid_arg "Cx.Clu.factor: matrix not square";
+    note_factor ~n;
+    factor_quiet a
 
   let solve { lu; perm } b =
     let n = Array.length lu in

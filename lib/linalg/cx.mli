@@ -75,6 +75,17 @@ module Clu : sig
   (** [factor a] is complex LU with partial (modulus) pivoting. *)
   val factor : Cmat.t -> t
 
+  (** Telemetry-free {!factor} for pool worker domains (the metric
+      cells in {!Wampde_obs} are not synchronized across domains).
+      Callers account the work on the calling domain via
+      {!note_factor}, keeping counts identical for every job count. *)
+  val factor_quiet : Cmat.t -> t
+
+  (** Record the telemetry of one [n x n] factorization
+      ([lu.factor_complex], [lu.dim_complex], the [Lu_factor] event)
+      without performing it. *)
+  val note_factor : n:int -> unit
+
   val solve : t -> Cvec.t -> Cvec.t
   val solve_dense : Cmat.t -> Cvec.t -> Cvec.t
 end

@@ -58,27 +58,29 @@ let block_mul_into blocks ~src ~dst =
 
 (* out_j = alpha * sum_k d_jk (C_k v_k) + B_j v_j; only the first
    [n1 * n] entries of [v] and [out] are touched, so bordered vectors
-   can be passed directly. *)
+   can be passed directly.  The output rows are independent (each
+   chunk writes a disjoint slice of [out] and only reads [v]/[cu]), so
+   the block rows run on the pool; per-row sums stay sequential, so
+   the result does not depend on the job count. *)
 let apply_into op v out =
   let n = op.n and n1 = op.n1 in
   block_mul_into op.c_blocks ~src:v ~dst:op.cu;
-  for j = 0 to n1 - 1 do
-    let bj = op.b_blocks.(j) in
-    let dj = op.d.(j) in
-    let base = j * n in
-    for i = 0 to n - 1 do
-      let s = ref 0. in
-      for k = 0 to n1 - 1 do
-        s := !s +. (dj.(k) *. op.cu.((k * n) + i))
-      done;
-      let row = bj.(i) in
-      let t = ref (op.alpha *. !s) in
-      for l = 0 to n - 1 do
-        t := !t +. (row.(l) *. v.(base + l))
-      done;
-      out.(base + i) <- !t
-    done
-  done
+  Par.Pool.parallel_for n1 (fun j ->
+      let bj = op.b_blocks.(j) in
+      let dj = op.d.(j) in
+      let base = j * n in
+      for i = 0 to n - 1 do
+        let s = ref 0. in
+        for k = 0 to n1 - 1 do
+          s := !s +. (dj.(k) *. op.cu.((k * n) + i))
+        done;
+        let row = bj.(i) in
+        let t = ref (op.alpha *. !s) in
+        for l = 0 to n - 1 do
+          t := !t +. (row.(l) *. v.(base + l))
+        done;
+        out.(base + i) <- !t
+      done)
 
 let apply op v =
   let out = Array.make (dim op) 0. in
@@ -132,7 +134,12 @@ let to_dense op =
 (* Discrete Fourier transform plumbing                                 *)
 (* ------------------------------------------------------------------ *)
 
-type dft = { fwd : Cx.Cvec.t -> Cx.Cvec.t; inv : Cx.Cvec.t -> Cx.Cvec.t }
+type dft = {
+  fwd : Cx.Cvec.t -> Cx.Cvec.t;
+  inv : Cx.Cvec.t -> Cx.Cvec.t;
+  fwd_pair : (Vec.t -> Vec.t -> unit) option;
+  inv_pair : (Vec.t -> Vec.t -> unit) option;
+}
 
 (* O(n^2) reference transform in the engineering convention
    (forward kernel e^{-2 pi i j k / n}, inverse divides by n): matches
@@ -149,23 +156,63 @@ let naive_dft =
         done;
         Cx.scale s !acc)
   in
-  { fwd = transform (-1.) false; inv = transform 1. true }
+  { fwd = transform (-1.) false; inv = transform 1. true; fwd_pair = None; inv_pair = None }
+
+(* In-place pair views of a [dft]; the boxing fallback keeps the naive
+   transform (and any caller-supplied dft without pair kernels)
+   working, at the old allocation cost. *)
+let fwd_pair_of dft =
+  match dft.fwd_pair with
+  | Some f -> f
+  | None ->
+      fun re im ->
+        let z = dft.fwd (Array.init (Array.length re) (fun k -> Cx.cx re.(k) im.(k))) in
+        for k = 0 to Array.length re - 1 do
+          re.(k) <- Cx.re z.(k);
+          im.(k) <- Cx.im z.(k)
+        done
+
+let inv_pair_of dft =
+  match dft.inv_pair with
+  | Some f -> f
+  | None ->
+      fun re im ->
+        let z = dft.inv (Array.init (Array.length re) (fun k -> Cx.cx re.(k) im.(k))) in
+        for k = 0 to Array.length re - 1 do
+          re.(k) <- Cx.re z.(k);
+          im.(k) <- Cx.im z.(k)
+        done
 
 (* ------------------------------------------------------------------ *)
 (* Averaged-Jacobian block preconditioner                              *)
 (* ------------------------------------------------------------------ *)
 
 (* Factor one small complex block per wavenumber/harmonic:
-   M_l = coeffs_l * cbar + bbar. *)
+   M_l = coeffs_l * cbar + bbar.  Blocks are independent, so they
+   factor in parallel (telemetry hoisted to the calling domain — the
+   Obs metric cells are not synchronized — which also keeps the counts
+   identical for every job count).  A [Cx.Clu.Singular] raised by any
+   block re-surfaces on the calling domain after the pool barrier. *)
 let spectral_blocks ~coeffs ~cbar ~bbar =
   let n = Mat.rows cbar in
-  Array.map
-    (fun a ->
-      Obs.Metrics.incr c_block_factors;
-      Cx.Clu.factor
-        (Cx.Cmat.init n n (fun i j ->
-             Complex.add (Complex.mul a (Cx.cx cbar.(i).(j) 0.)) (Cx.cx bbar.(i).(j) 0.))))
-    coeffs
+  let nb = Array.length coeffs in
+  for _ = 1 to nb do
+    Obs.Metrics.incr c_block_factors;
+    Cx.Clu.note_factor ~n
+  done;
+  let out = Array.make nb None in
+  Par.Pool.parallel_for nb (fun l ->
+      let a = coeffs.(l) in
+      out.(l) <-
+        Some
+          (Cx.Clu.factor_quiet
+             (Cx.Cmat.init n n (fun i j ->
+                  Complex.add (Complex.mul a (Cx.cx cbar.(i).(j) 0.)) (Cx.cx bbar.(i).(j) 0.)))));
+  Array.map (function Some f -> f | None -> assert false) out
+
+(* Per-worker apply scratch: one full-spectrum re/im pair for the
+   transforms, one wavenumber slice for the block solves. *)
+type pc_ws = { w_re : Vec.t; w_im : Vec.t; w_rhs : Cx.Cvec.t }
 
 type precond = {
   pn : int;
@@ -173,10 +220,25 @@ type precond = {
   half : int;  (* n1 / 2: wavenumbers 0..half are represented explicitly *)
   blocks : Cx.Clu.t array;  (* factored M_l for l = 0..half only *)
   transform : dft;
-  hat : Cx.Cvec.t array;  (* scratch: lower-half spectra, n vectors of length half+1 *)
-  rhs : Cx.Cvec.t;  (* scratch: one wavenumber slice, length n *)
-  wbuf : Cx.Cvec.t;  (* scratch: full spectrum for the inverse transform *)
+  hat_re : Vec.t array;  (* lower-half spectra, n rows of length half+1 *)
+  hat_im : Vec.t array;
+  mutable ws : pc_ws array;  (* per-worker workspaces, grown on demand *)
 }
+
+let ensure_ws pc k =
+  if Array.length pc.ws < k then begin
+    let old = pc.ws in
+    pc.ws <-
+      Array.init k (fun w ->
+          if w < Array.length old then old.(w)
+          else
+            {
+              w_re = Array.make pc.pn1 0.;
+              w_im = Array.make pc.pn1 0.;
+              w_rhs = Cx.Cvec.zeros pc.pn;
+            })
+  end;
+  pc.ws
 
 (* The circulant differentiation matrix D (spectral or periodic FD)
    diagonalizes under the DFT across the block index: with c the first
@@ -211,9 +273,9 @@ let make_precond ?(dft = naive_dft) op =
     half;
     blocks = spectral_blocks ~coeffs ~cbar ~bbar;
     transform = dft;
-    hat = Array.init n (fun _ -> Cx.Cvec.zeros (half + 1));
-    rhs = Cx.Cvec.zeros n;
-    wbuf = Cx.Cvec.zeros n1;
+    hat_re = Array.init n (fun _ -> Array.make (half + 1) 0.);
+    hat_im = Array.init n (fun _ -> Array.make (half + 1) 0.);
+    ws = [||];
   }
 
 (* Apply M^{-1}: component-wise DFT across the blocks, one small
@@ -225,73 +287,102 @@ let make_precond ?(dft = naive_dft) op =
 let precond_apply pc v =
   Obs.Metrics.incr c_applies;
   let n = pc.pn and n1 = pc.pn1 and half = pc.half in
-  let i = ref 0 in
-  while !i < n do
-    let ia = !i in
-    if ia + 1 < n then begin
-      (* components ia and ia+1 ride as re/im of one complex series *)
-      let buf = Cx.Cvec.init n1 (fun k -> Cx.cx v.((k * n) + ia) v.((k * n) + ia + 1)) in
-      let z = pc.transform.fwd buf in
-      let ha = pc.hat.(ia) and hb = pc.hat.(ia + 1) in
-      for l = 0 to half do
-        let zl = z.(l) and zm = z.((n1 - l) mod n1) in
-        ha.(l) <- Cx.cx (0.5 *. (Cx.re zl +. Cx.re zm)) (0.5 *. (Cx.im zl -. Cx.im zm));
-        hb.(l) <- Cx.cx (0.5 *. (Cx.im zl +. Cx.im zm)) (0.5 *. (Cx.re zm -. Cx.re zl))
-      done
-    end
-    else begin
-      let buf = Cx.Cvec.init n1 (fun k -> Cx.cx v.((k * n) + ia) 0.) in
-      let z = pc.transform.fwd buf in
-      let ha = pc.hat.(ia) in
-      for l = 0 to half do
-        ha.(l) <- z.(l)
-      done
-    end;
-    i := ia + 2
-  done;
-  for l = 0 to half do
-    for i = 0 to n - 1 do
-      pc.rhs.(i) <- pc.hat.(i).(l)
-    done;
-    let z = Cx.Clu.solve pc.blocks.(l) pc.rhs in
-    for i = 0 to n - 1 do
-      pc.hat.(i).(l) <- z.(i)
-    done
-  done;
+  let fwd_pair = fwd_pair_of pc.transform and inv_pair = inv_pair_of pc.transform in
+  let npairs = (n + 1) / 2 in
+  let ws =
+    ensure_ws pc
+      (max (Par.Pool.chunk_count npairs) (Par.Pool.chunk_count (half + 1)))
+  in
+  (* Each parallel stage writes disjoint slots and performs no
+     cross-chunk reduction, so the result is bitwise identical for
+     every job count. *)
+  Par.Pool.parallel_chunks npairs (fun ~worker ~lo ~hi ->
+      let w = ws.(worker) in
+      for p = lo to hi - 1 do
+        let ia = 2 * p in
+        if ia + 1 < n then begin
+          (* components ia and ia+1 ride as re/im of one complex series *)
+          for k = 0 to n1 - 1 do
+            w.w_re.(k) <- v.((k * n) + ia);
+            w.w_im.(k) <- v.((k * n) + ia + 1)
+          done;
+          fwd_pair w.w_re w.w_im;
+          let ha_re = pc.hat_re.(ia) and ha_im = pc.hat_im.(ia) in
+          let hb_re = pc.hat_re.(ia + 1) and hb_im = pc.hat_im.(ia + 1) in
+          for l = 0 to half do
+            let m = (n1 - l) mod n1 in
+            let zlr = w.w_re.(l) and zli = w.w_im.(l) in
+            let zmr = w.w_re.(m) and zmi = w.w_im.(m) in
+            ha_re.(l) <- 0.5 *. (zlr +. zmr);
+            ha_im.(l) <- 0.5 *. (zli -. zmi);
+            hb_re.(l) <- 0.5 *. (zli +. zmi);
+            hb_im.(l) <- 0.5 *. (zmr -. zlr)
+          done
+        end
+        else begin
+          for k = 0 to n1 - 1 do
+            w.w_re.(k) <- v.((k * n) + ia);
+            w.w_im.(k) <- 0.
+          done;
+          fwd_pair w.w_re w.w_im;
+          let ha_re = pc.hat_re.(ia) and ha_im = pc.hat_im.(ia) in
+          for l = 0 to half do
+            ha_re.(l) <- w.w_re.(l);
+            ha_im.(l) <- w.w_im.(l)
+          done
+        end
+      done);
+  Par.Pool.parallel_chunks (half + 1) (fun ~worker ~lo ~hi ->
+      let w = ws.(worker) in
+      for l = lo to hi - 1 do
+        for i = 0 to n - 1 do
+          w.w_rhs.(i) <- Cx.cx pc.hat_re.(i).(l) pc.hat_im.(i).(l)
+        done;
+        let z = Cx.Clu.solve pc.blocks.(l) w.w_rhs in
+        for i = 0 to n - 1 do
+          pc.hat_re.(i).(l) <- Cx.re z.(i);
+          pc.hat_im.(i).(l) <- Cx.im z.(i)
+        done
+      done);
   let out = Array.make (n1 * n) 0. in
-  let i = ref 0 in
-  while !i < n do
-    let ia = !i in
-    if ia + 1 < n then begin
-      let ha = pc.hat.(ia) and hb = pc.hat.(ia + 1) in
-      for l = 0 to half do
-        pc.wbuf.(l) <- Cx.cx (Cx.re ha.(l) -. Cx.im hb.(l)) (Cx.im ha.(l) +. Cx.re hb.(l))
-      done;
-      for l = half + 1 to n1 - 1 do
-        let m = n1 - l in
-        pc.wbuf.(l) <- Cx.cx (Cx.re ha.(m) +. Cx.im hb.(m)) (Cx.re hb.(m) -. Cx.im ha.(m))
-      done;
-      let w = pc.transform.inv pc.wbuf in
-      for k = 0 to n1 - 1 do
-        out.((k * n) + ia) <- Cx.re w.(k);
-        out.((k * n) + ia + 1) <- Cx.im w.(k)
-      done
-    end
-    else begin
-      let ha = pc.hat.(ia) in
-      for l = 0 to half do
-        pc.wbuf.(l) <- ha.(l)
-      done;
-      for l = half + 1 to n1 - 1 do
-        pc.wbuf.(l) <- Complex.conj ha.(n1 - l)
-      done;
-      let w = pc.transform.inv pc.wbuf in
-      for k = 0 to n1 - 1 do
-        out.((k * n) + ia) <- Cx.re w.(k)
-      done
-    end;
-    i := ia + 2
-  done;
+  Par.Pool.parallel_chunks npairs (fun ~worker ~lo ~hi ->
+      let w = ws.(worker) in
+      for p = lo to hi - 1 do
+        let ia = 2 * p in
+        if ia + 1 < n then begin
+          let ha_re = pc.hat_re.(ia) and ha_im = pc.hat_im.(ia) in
+          let hb_re = pc.hat_re.(ia + 1) and hb_im = pc.hat_im.(ia + 1) in
+          for l = 0 to half do
+            w.w_re.(l) <- ha_re.(l) -. hb_im.(l);
+            w.w_im.(l) <- ha_im.(l) +. hb_re.(l)
+          done;
+          for l = half + 1 to n1 - 1 do
+            let m = n1 - l in
+            w.w_re.(l) <- ha_re.(m) +. hb_im.(m);
+            w.w_im.(l) <- hb_re.(m) -. ha_im.(m)
+          done;
+          inv_pair w.w_re w.w_im;
+          for k = 0 to n1 - 1 do
+            out.((k * n) + ia) <- w.w_re.(k);
+            out.((k * n) + ia + 1) <- w.w_im.(k)
+          done
+        end
+        else begin
+          let ha_re = pc.hat_re.(ia) and ha_im = pc.hat_im.(ia) in
+          for l = 0 to half do
+            w.w_re.(l) <- ha_re.(l);
+            w.w_im.(l) <- ha_im.(l)
+          done;
+          for l = half + 1 to n1 - 1 do
+            w.w_re.(l) <- ha_re.(n1 - l);
+            w.w_im.(l) <- -.ha_im.(n1 - l)
+          done;
+          inv_pair w.w_re w.w_im;
+          for k = 0 to n1 - 1 do
+            out.((k * n) + ia) <- w.w_re.(k)
+          done
+        end
+      done);
   out
 
 (* ------------------------------------------------------------------ *)

@@ -15,7 +15,15 @@
 
     Instrumented via [gmres.precond.builds], [gmres.precond.applies],
     [gmres.precond.block_factors] and [gmres.precond.fallbacks] in
-    {!Wampde_obs.Metrics}. *)
+    {!Wampde_obs.Metrics}.
+
+    The per-block kernels (operator rows in {!apply_into}, the complex
+    factorizations in {!spectral_blocks}, the paired transforms and
+    wavenumber solves in {!precond_apply}) run on the {!Par.Pool}
+    domain pool when [--jobs] exceeds 1.  Every parallel region uses a
+    fixed chunk assignment with disjoint writes and no cross-chunk
+    reductions, so results are bitwise identical for every job
+    count. *)
 
 (** How a caller should solve its collocation Newton systems. *)
 type strategy =
@@ -79,7 +87,16 @@ val to_dense : op -> Mat.t
     engineering convention, forward kernel [e^{-2 pi i jk/n}], inverse
     scaled by [1/n]).  {!naive_dft} is a matching O(n^2) fallback. *)
 
-type dft = { fwd : Cx.Cvec.t -> Cx.Cvec.t; inv : Cx.Cvec.t -> Cx.Cvec.t }
+type dft = {
+  fwd : Cx.Cvec.t -> Cx.Cvec.t;
+  inv : Cx.Cvec.t -> Cx.Cvec.t;
+  fwd_pair : (Vec.t -> Vec.t -> unit) option;
+      (** Optional in-place transform of a re/im pair (same arithmetic
+          as [fwd], no boxed complex allocation); the preconditioner's
+          batched hot path.  Must be safe to call concurrently from
+          pool worker domains.  [None] falls back to [fwd]. *)
+  inv_pair : (Vec.t -> Vec.t -> unit) option;
+}
 
 val naive_dft : dft
 

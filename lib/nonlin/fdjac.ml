@@ -10,36 +10,51 @@ let step ?typical x j base =
   let xh = x.(j) +. h in
   xh -. x.(j)
 
-let jacobian ?typical ?f0 f x =
+(* Columns are independent: column [j] perturbs only slot [j] of its
+   own [xp] copy and writes only column [j] of the output, so chunks
+   of columns run on the domain pool with one [xp] per worker.  Each
+   column's arithmetic (step choice, evaluation point, difference) is
+   the same in every chunking, so the Jacobian is bitwise identical
+   for every job count.  [?parallel] is opt-in: [f] must be re-entrant
+   (pure, no shared scratch, no Obs telemetry). *)
+let jacobian ?(parallel = false) ?typical ?f0 f x =
   let n = Array.length x in
   let f0 = match f0 with Some v -> v | None -> f x in
   let m = Array.length f0 in
   let jac = Mat.zeros m n in
-  let xp = Array.copy x in
-  for j = 0 to n - 1 do
-    let h = step ?typical x j sqrt_eps in
-    xp.(j) <- x.(j) +. h;
-    let fj = f xp in
-    xp.(j) <- x.(j);
-    for i = 0 to m - 1 do
-      jac.(i).(j) <- (fj.(i) -. f0.(i)) /. h
+  let columns xp lo hi =
+    for j = lo to hi - 1 do
+      let h = step ?typical x j sqrt_eps in
+      xp.(j) <- x.(j) +. h;
+      let fj = f xp in
+      xp.(j) <- x.(j);
+      for i = 0 to m - 1 do
+        jac.(i).(j) <- (fj.(i) -. f0.(i)) /. h
+      done
     done
-  done;
+  in
+  if parallel then
+    Par.Pool.parallel_chunks n (fun ~worker:_ ~lo ~hi -> columns (Array.copy x) lo hi)
+  else columns (Array.copy x) 0 n;
   jac
 
-let jacobian_central ?typical f x =
+let jacobian_central ?(parallel = false) ?typical f x =
   let n = Array.length x in
-  let xp = Array.copy x in
-  let cols =
-    Array.init n (fun j ->
-        let h = step ?typical x j cbrt_eps in
-        xp.(j) <- x.(j) +. h;
-        let fp = f xp in
-        xp.(j) <- x.(j) -. h;
-        let fm = f xp in
-        xp.(j) <- x.(j);
-        Array.map2 (fun a b -> (a -. b) /. (2. *. h)) fp fm)
+  let cols = Array.make n [||] in
+  let columns xp lo hi =
+    for j = lo to hi - 1 do
+      let h = step ?typical x j cbrt_eps in
+      xp.(j) <- x.(j) +. h;
+      let fp = f xp in
+      xp.(j) <- x.(j) -. h;
+      let fm = f xp in
+      xp.(j) <- x.(j);
+      cols.(j) <- Array.map2 (fun a b -> (a -. b) /. (2. *. h)) fp fm
+    done
   in
+  if parallel then
+    Par.Pool.parallel_chunks n (fun ~worker:_ ~lo ~hi -> columns (Array.copy x) lo hi)
+  else columns (Array.copy x) 0 n;
   let m = Array.length cols.(0) in
   Mat.init m n (fun i j -> cols.(j).(i))
 

@@ -2,16 +2,24 @@
 
 open Linalg
 
-(** [jacobian ?typical ?f0 f x] approximates the Jacobian of [f] at [x]
-    by one-sided differences.  The step for column [j] is
+(** [jacobian ?parallel ?typical ?f0 f x] approximates the Jacobian of
+    [f] at [x] by one-sided differences.  The step for column [j] is
     [sqrt eps * max |x_j| typical_j] with [typical] defaulting to 1,
     guarding against zero components.  Passing [?f0 = f x] (which most
-    Newton-style callers already hold) saves one evaluation of [f]. *)
-val jacobian : ?typical:Vec.t -> ?f0:Vec.t -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
+    Newton-style callers already hold) saves one evaluation of [f].
 
-(** [jacobian_central ?typical f x] is the 2nd-order central-difference
-    variant (twice the evaluations, more accurate). *)
-val jacobian_central : ?typical:Vec.t -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
+    [?parallel:true] evaluates column chunks on the {!Par.Pool} domain
+    pool (each worker gets its own perturbation scratch; columns write
+    disjoint output slots, so the result is bitwise identical to the
+    serial one for every job count).  Only opt in when [f] is
+    re-entrant: pure, no shared mutable scratch, no
+    {!Wampde_obs} telemetry. *)
+val jacobian : ?parallel:bool -> ?typical:Vec.t -> ?f0:Vec.t -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
+
+(** [jacobian_central ?parallel ?typical f x] is the 2nd-order
+    central-difference variant (twice the evaluations, more accurate).
+    [?parallel] as in {!jacobian}. *)
+val jacobian_central : ?parallel:bool -> ?typical:Vec.t -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
 
 (** [directional ?f0 f x v] approximates the Jacobian–vector product
     [J(x) v] with a single extra evaluation of [f] when [?f0 = f x] is

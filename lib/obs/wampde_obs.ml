@@ -1485,7 +1485,7 @@ module Report = struct
       s.newton_iterations (json_float s.residual) (json_escape s.outcome)
       (match s.reason with Some r -> Printf.sprintf "\"%s\"" (json_escape r) | None -> "null")
 
-  let manifest ?(argv = Sys.argv) ?(subcommand = "") ?git ~wall_s ~steps () =
+  let manifest ?(argv = Sys.argv) ?(subcommand = "") ?git ?(jobs = 1) ~wall_s ~steps () =
     let buf = Buffer.create 4096 in
     let gc = Gc.quick_stat () in
     Buffer.add_char buf '{';
@@ -1494,6 +1494,7 @@ module Report = struct
       (String.concat ","
          (List.map (fun a -> Printf.sprintf "\"%s\"" (json_escape a)) (Array.to_list argv)));
     Printf.bprintf buf "\"subcommand\":\"%s\"," (json_escape subcommand);
+    Printf.bprintf buf "\"jobs\":%d," (max 1 jobs);
     Printf.bprintf buf "\"git\":%s,"
       (match git with Some g -> Printf.sprintf "\"%s\"" (json_escape g) | None -> "null");
     Printf.bprintf buf "\"ocaml\":\"%s\"," (json_escape Sys.ocaml_version);
@@ -1620,6 +1621,9 @@ module Report = struct
         Printf.bprintf buf "| field | value |\n|---|---|\n";
         let row k v = Printf.bprintf buf "| %s | %s |\n" k (md_escape v) in
         (match str_of "subcommand" with Some c when c <> "" -> row "subcommand" c | _ -> ());
+        (match num_of "jobs" with
+         | Some jv when jv > 1. -> row "jobs" (Printf.sprintf "%.0f" jv)
+         | _ -> ());
         (match Json.member "argv" j with
          | Some (Json.Arr args) ->
            row "argv"
@@ -1996,6 +2000,64 @@ module Doctor = struct
         ]
     end
 
+  (* ---------- parallel efficiency ---------- *)
+
+  let parallelism_findings j =
+    let jobs =
+      match Option.bind (Json.member "jobs" j) Json.to_num with
+      | Some v when Float.is_finite v -> int_of_float v
+      | _ -> 1
+    in
+    if jobs <= 1 then []
+    else begin
+      let gauges = metrics_section j "gauges" in
+      let busy = Option.value ~default:0. (gauge gauges "pool.busy_s") in
+      let idle = Option.value ~default:0. (gauge gauges "pool.idle_s") in
+      let span = busy +. idle in
+      if span <= 1e-9 then
+        [
+          {
+            category = "parallelism";
+            severity = Info;
+            summary =
+              Printf.sprintf
+                "--jobs %d requested but the domain pool saw no measurable work" jobs;
+            suggestion = Some "the run's kernels never went parallel; --jobs 1 costs nothing here";
+          };
+        ]
+      else begin
+        let idle_frac = idle /. span in
+        if idle_frac > 0.4 then
+          [
+            {
+              category = "parallelism";
+              severity = Warn;
+              summary =
+                Printf.sprintf
+                  "poor parallel efficiency: %.0f%% of pool worker time idle at --jobs %d"
+                  (100. *. idle_frac) jobs;
+              suggestion =
+                Some
+                  "lower --jobs: the per-block kernels are too small at this size to keep \
+                   every worker busy";
+            };
+          ]
+        else
+          [
+            {
+              category = "parallelism";
+              severity = Info;
+              summary =
+                Printf.sprintf
+                  "parallel efficiency healthy: %.0f%% of pool worker time busy at --jobs %d"
+                  (100. *. (1. -. idle_frac))
+                  jobs;
+              suggestion = None;
+            };
+          ]
+      end
+    end
+
   (* ---------- stream cross-check ---------- *)
 
   let stream_findings lines =
@@ -2069,7 +2131,7 @@ module Doctor = struct
   let diagnose ?stream_lines (j : Json.t) =
     let findings =
       (cost_finding j :: resolution_findings j)
-      @ solver_findings j @ stepping_findings j
+      @ solver_findings j @ stepping_findings j @ parallelism_findings j
       @ (match stream_lines with Some ls -> stream_findings ls | None -> [])
     in
     let warns, infos = List.partition (fun f -> f.severity = Warn) findings in

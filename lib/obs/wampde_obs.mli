@@ -533,11 +533,15 @@ module Report : sig
   val git_describe : unit -> string option
 
   (** Serialize the manifest.  [argv] defaults to [Sys.argv]; the
-      metrics snapshot is taken from the live registry at this call. *)
+      metrics snapshot is taken from the live registry at this call.
+      [jobs] (default 1) records the requested [--jobs] parallelism so
+      a manifest identifies serial and multicore runs; the pool's own
+      counters and gauges ride along in the metrics snapshot. *)
   val manifest :
     ?argv:string array ->
     ?subcommand:string ->
     ?git:string ->
+    ?jobs:int ->
     wall_s:float ->
     steps:step list ->
     unit ->
@@ -566,7 +570,8 @@ module Doctor : sig
 
   type finding = {
     category : string;
-        (** "cost" | "t1_resolution" | "solver_quality" | "stepping" | "stream" *)
+        (** "cost" | "t1_resolution" | "solver_quality" | "stepping" |
+            "parallelism" | "stream" *)
     severity : severity;
     summary : string;
     suggestion : string option;

@@ -1,0 +1,159 @@
+module Obs = Wampde_obs
+
+let c_runs = Obs.Metrics.counter "pool.runs"
+let c_tasks = Obs.Metrics.counter "pool.tasks"
+let c_spawned = Obs.Metrics.counter "pool.spawned"
+let g_jobs = Obs.Metrics.gauge "pool.jobs"
+let g_effective = Obs.Metrics.gauge "pool.effective_jobs"
+let g_busy = Obs.Metrics.gauge "pool.busy_s"
+let g_idle = Obs.Metrics.gauge "pool.idle_s"
+
+(* One mailbox per worker: the caller posts a closure, the worker runs
+   it and waits for the next.  Closures built by [parallel_chunks]
+   never raise (exceptions are captured per chunk and re-raised on the
+   calling domain), so the worker loop stays trivial. *)
+type worker = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable task : (unit -> unit) option;
+  mutable stop : bool;
+  mutable handle : unit Domain.t option;
+}
+
+let requested =
+  let from_env =
+    match Sys.getenv_opt "WAMPDE_JOBS" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some j -> max 1 j | None -> 1)
+    | None -> 1
+  in
+  ref from_env
+
+let set_jobs n = requested := max 1 n
+let jobs () = !requested
+
+(* Set on pool domains so nested parallel regions degrade to serial
+   instead of deadlocking on the (busy) workers. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let workers : worker list ref = ref []
+let workers_m = Mutex.create ()
+
+let worker_loop w =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock w.m;
+    while w.task = None && not w.stop do
+      Condition.wait w.cv w.m
+    done;
+    if w.stop then Mutex.unlock w.m
+    else begin
+      let t = Option.get w.task in
+      w.task <- None;
+      Mutex.unlock w.m;
+      t ();
+      loop ()
+    end
+  in
+  loop ()
+
+let submit w t =
+  Mutex.lock w.m;
+  w.task <- Some t;
+  Condition.signal w.cv;
+  Mutex.unlock w.m
+
+(* Grow the pool to [count] workers; never shrinks (idle workers cost
+   nothing, and [shutdown] reaps them all). *)
+let ensure_workers count =
+  Mutex.lock workers_m;
+  let have = List.length !workers in
+  if have < count then begin
+    for _ = have + 1 to count do
+      let w =
+        { m = Mutex.create (); cv = Condition.create (); task = None; stop = false; handle = None }
+      in
+      w.handle <- Some (Domain.spawn (fun () -> worker_loop w));
+      Obs.Metrics.incr c_spawned;
+      workers := !workers @ [ w ]
+    done
+  end;
+  let ws = !workers in
+  Mutex.unlock workers_m;
+  ws
+
+let shutdown () =
+  Mutex.lock workers_m;
+  let ws = !workers in
+  workers := [];
+  Mutex.unlock workers_m;
+  List.iter
+    (fun w ->
+      Mutex.lock w.m;
+      w.stop <- true;
+      Condition.signal w.cv;
+      Mutex.unlock w.m)
+    ws;
+  List.iter (fun w -> match w.handle with Some d -> Domain.join d | None -> ()) ws
+
+let () = Stdlib.at_exit shutdown
+
+let chunk_count ?jobs:jspec n =
+  let k = match jspec with Some j -> max 1 j | None -> !requested in
+  max 1 (min k n)
+
+let parallel_chunks ?jobs:jspec n body =
+  if n > 0 then begin
+    let k = chunk_count ?jobs:jspec n in
+    if k <= 1 || Domain.DLS.get in_worker then body ~worker:0 ~lo:0 ~hi:n
+    else begin
+      let ws = ensure_workers (k - 1) in
+      let bar = Mutex.create () and bar_cv = Condition.create () in
+      let pending = ref (k - 1) in
+      let exns : (exn * Printexc.raw_backtrace) option array = Array.make k None in
+      let durs = Array.make k 0. in
+      let run_chunk c =
+        let t0 = Unix.gettimeofday () in
+        (try
+           let lo = c * n / k and hi = (c + 1) * n / k in
+           if hi > lo then body ~worker:c ~lo ~hi
+         with e -> exns.(c) <- Some (e, Printexc.get_raw_backtrace ()));
+        durs.(c) <- Unix.gettimeofday () -. t0
+      in
+      let worker_chunk c () =
+        run_chunk c;
+        Mutex.lock bar;
+        decr pending;
+        if !pending = 0 then Condition.signal bar_cv;
+        Mutex.unlock bar
+      in
+      List.iteri (fun i w -> if i < k - 1 then submit w (worker_chunk (i + 1))) ws;
+      run_chunk 0;
+      Mutex.lock bar;
+      while !pending > 0 do
+        Condition.wait bar_cv bar
+      done;
+      Mutex.unlock bar;
+      (* telemetry from the calling domain only: per-region busy/idle
+         against the slowest chunk, cumulative across regions *)
+      Obs.Metrics.incr c_runs;
+      Obs.Metrics.add c_tasks k;
+      Obs.Metrics.set g_jobs (float_of_int !requested);
+      Obs.Metrics.set g_effective (float_of_int k);
+      let slowest = Array.fold_left Float.max 0. durs in
+      let busy = Array.fold_left ( +. ) 0. durs in
+      Obs.Metrics.set g_busy (Obs.Metrics.value g_busy +. busy);
+      Obs.Metrics.set g_idle
+        (Obs.Metrics.value g_idle +. ((float_of_int k *. slowest) -. busy));
+      Array.iter
+        (function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+        exns
+    end
+  end
+
+let parallel_for ?jobs n f =
+  parallel_chunks ?jobs n (fun ~worker:_ ~lo ~hi ->
+      for j = lo to hi - 1 do
+        f j
+      done)

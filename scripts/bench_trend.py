@@ -23,6 +23,7 @@ import os
 import sys
 
 SPEEDUP_PREFIX = "bench.krylov.speedup.n1_"
+PAR_SPEEDUP_PREFIX = "bench.krylov.par_speedup.n1_"
 HISTORY_NAME = "bench-trend.json"
 
 
@@ -40,6 +41,22 @@ def extract_speedups(path):
         for name, value in gauges.items():
             if name.startswith(SPEEDUP_PREFIX):
                 n1 = int(name[len(SPEEDUP_PREFIX):])
+                speedups[n1] = max(value, speedups.get(n1, 0.0))
+    return speedups
+
+
+def extract_par_speedups(path):
+    """Map n1 -> domain-pool strong-scaling speedup (jobs 1 vs --jobs N)
+    from one BENCH_*.json file.  Informational only — CI runners have
+    too few cores to gate on, and a serial run simply has no rows."""
+    with open(path) as f:
+        entries = json.load(f)
+    speedups = {}
+    for entry in entries:
+        gauges = entry.get("metrics", {}).get("gauges", {})
+        for name, value in gauges.items():
+            if name.startswith(PAR_SPEEDUP_PREFIX):
+                n1 = int(name[len(PAR_SPEEDUP_PREFIX):])
                 speedups[n1] = max(value, speedups.get(n1, 0.0))
     return speedups
 
@@ -100,10 +117,16 @@ def main():
         print(f"bench_trend: {exp_id}: {cost['gmres_iterations']} gmres iters, "
               f"{cost['alloc_words'] / 1e6:.1f} Mwords allocated")
 
+    par = extract_par_speedups(fresh_file)
+    for n1, ratio in sorted(par.items()):
+        print(f"bench_trend: n1={n1}: pool strong-scaling speedup "
+              f"{ratio:.2f}x (informational)")
+
     history = load_history(args.prev)
     history.append({
         "source": os.path.basename(fresh_file),
         "speedups": {str(n1): ratio for n1, ratio in sorted(fresh.items())},
+        "par_speedups": {str(n1): ratio for n1, ratio in sorted(par.items())},
         "solver_costs": costs,
     })
     with open(args.history, "w") as f:
@@ -127,6 +150,10 @@ def main():
         if pa or fa:
             print(f"bench_trend: {exp_id}: allocation {pa / 1e6:.1f} -> {fa / 1e6:.1f} "
                   f"Mwords (informational)")
+    prev_par = extract_par_speedups(prev_files[-1])
+    for n1 in sorted(set(par) & set(prev_par)):
+        print(f"bench_trend: n1={n1}: pool speedup {prev_par[n1]:.2f}x -> "
+              f"{par[n1]:.2f}x (informational)")
     common = sorted(set(fresh) & set(prev))
     if not common:
         print("bench_trend: no common n1 sizes with previous run; passing")

@@ -1,0 +1,292 @@
+(* Tests for the domain pool (Par.Pool) and the determinism contract
+   of the parallel kernels: FD Jacobian columns, preconditioner
+   factor/apply, batched pair FFTs.  "Bitwise identical for every job
+   count" is checked with structural equality on float arrays — exact,
+   not within a tolerance. *)
+open Linalg
+
+module Pool = Par.Pool
+module Obs = Wampde_obs
+
+(* Restore the ambient job count (WAMPDE_JOBS in CI) after each test
+   that reconfigures the pool. *)
+let ambient_jobs = Pool.jobs ()
+
+let with_jobs j f =
+  Pool.set_jobs j;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs ambient_jobs) f
+
+exception Boom of int
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let pool_tests =
+  [
+    Alcotest.test_case "parallel_for covers every index exactly once" `Quick (fun () ->
+        List.iter
+          (fun jobs ->
+            List.iter
+              (fun n ->
+                let hits = Array.make n 0 in
+                Pool.parallel_for ~jobs n (fun i -> hits.(i) <- hits.(i) + 1);
+                Alcotest.(check (array int))
+                  (Printf.sprintf "n=%d jobs=%d" n jobs)
+                  (Array.make n 1) hits)
+              [ 1; 2; 3; 7; 100; 1001 ])
+          [ 1; 2; 3; 8 ]);
+    Alcotest.test_case "parallel_chunks partitions [0, n) contiguously" `Quick (fun () ->
+        let n = 103 in
+        let owner = Array.make n (-1) in
+        Pool.parallel_chunks ~jobs:4 n (fun ~worker ~lo ~hi ->
+            for i = lo to hi - 1 do
+              owner.(i) <- worker
+            done);
+        Array.iteri (fun i w -> Alcotest.(check bool) (Printf.sprintf "covered %d" i) true (w >= 0)) owner;
+        (* fixed assignment: chunk boundaries are c*n/k *)
+        for i = 0 to n - 2 do
+          Alcotest.(check bool) "monotone chunks" true (owner.(i) <= owner.(i + 1))
+        done);
+    Alcotest.test_case "chunk_count clamps to n and jobs" `Quick (fun () ->
+        Alcotest.(check int) "jobs cap" 3 (Pool.chunk_count ~jobs:3 100);
+        Alcotest.(check int) "n cap" 2 (Pool.chunk_count ~jobs:8 2);
+        Alcotest.(check int) "at least one" 1 (Pool.chunk_count ~jobs:0 5));
+    Alcotest.test_case "set_jobs clamps below one" `Quick (fun () ->
+        with_jobs 1 (fun () ->
+            Pool.set_jobs (-3);
+            Alcotest.(check int) "clamped" 1 (Pool.jobs ())));
+    Alcotest.test_case "typed error propagates out of a pool task, pool survives" `Quick
+      (fun () ->
+        (* the exception of the lowest-indexed raising chunk surfaces
+           after the barrier; the workers keep serving afterwards *)
+        let raised =
+          try
+            Pool.parallel_for ~jobs:4 100 (fun i -> if i >= 37 then raise (Boom i));
+            None
+          with Boom i -> Some i
+        in
+        (* chunk boundaries for n=100, k=4 are 0,25,50,75: the lowest
+           raising chunk is chunk 1, whose first raising index is 37 *)
+        Alcotest.(check (option int)) "typed error surfaced" (Some 37) raised;
+        (* no wedged workers: the next region completes normally *)
+        let hits = Array.make 1000 0 in
+        Pool.parallel_for ~jobs:4 1000 (fun i -> hits.(i) <- 1);
+        Alcotest.(check int) "pool alive" 1000 (Array.fold_left ( + ) 0 hits));
+    Alcotest.test_case "singular preconditioner block raises through the pool" `Quick (fun () ->
+        with_jobs 4 (fun () ->
+            let cbar = Mat.identity 3 in
+            let bbar = Mat.zeros 3 3 in
+            (* coeff 0 makes M_0 = 0 * I + 0 singular *)
+            let coeffs = Array.init 8 (fun l -> Cx.cx (float_of_int l) 0.) in
+            match Structured.spectral_blocks ~coeffs ~cbar ~bbar with
+            | _ -> Alcotest.fail "expected Singular"
+            | exception Cx.Clu.Singular _ -> ()));
+    Alcotest.test_case "pool metrics accumulate on parallel regions" `Quick (fun () ->
+        Obs.Metrics.with_isolated (fun () ->
+            Obs.set_enabled true;
+            let runs0 = Obs.Metrics.count (Obs.Metrics.counter "pool.runs") in
+            Pool.parallel_for ~jobs:4 64 (fun _ -> ());
+            let runs1 = Obs.Metrics.count (Obs.Metrics.counter "pool.runs") in
+            Alcotest.(check int) "one region" 1 (runs1 - runs0);
+            Alcotest.(check (float 0.))
+              "effective jobs" 4.
+              (Obs.Metrics.value (Obs.Metrics.gauge "pool.effective_jobs"))));
+  ]
+
+(* ---------- determinism: bitwise identity across job counts ---------- *)
+
+let det_tests =
+  let open QCheck in
+  let jobs_gen = Gen.int_range 1 8 in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"parallel FD Jacobian is bitwise identical to serial" ~count:40
+         (make Gen.(pair (int_range 1 24) jobs_gen))
+         (fun (n, jobs) ->
+           let f x =
+             Array.init (n + 1) (fun i ->
+                 let s = ref (float_of_int i) in
+                 for j = 0 to n - 1 do
+                   s := !s +. (sin (x.(j) +. float_of_int (i * j)) *. (1. +. (x.(j) *. x.(j))))
+                 done;
+                 !s)
+           in
+           let x = Array.init n (fun i -> cos (float_of_int (3 * i))) in
+           let serial = Nonlin.Fdjac.jacobian f x in
+           let central_serial = Nonlin.Fdjac.jacobian_central f x in
+           with_jobs jobs (fun () ->
+               let par = Nonlin.Fdjac.jacobian ~parallel:true f x in
+               let central_par = Nonlin.Fdjac.jacobian_central ~parallel:true f x in
+               par = serial && central_par = central_serial)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"parallel precond factor+apply is bitwise identical to serial" ~count:20
+         (make Gen.(triple (int_range 1 11) (int_range 1 5) jobs_gen))
+         (fun (k1, n, jobs) ->
+           let n1 = (2 * k1) + 1 in
+           (* random-ish diagonally dominant linear DAE blocks *)
+           let mk seed =
+             Array.init n1 (fun k ->
+                 Mat.init n n (fun i j ->
+                     (if i = j then 5. else 0.)
+                     +. sin (float_of_int ((seed * 31) + (k * 7) + (i * 3) + j))))
+           in
+           let cs = mk 1 and bs = mk 2 in
+           let d = Fourier.Series.diff_matrix n1 in
+           let op = Structured.make_op ~alpha:0.7 ~d ~c_blocks:cs ~b_blocks:bs in
+           let v = Array.init (n1 * n) (fun i -> cos (0.1 *. float_of_int i)) in
+           let serial =
+             with_jobs 1 (fun () ->
+                 let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft op in
+                 (Structured.precond_apply pc v, Structured.apply op v))
+           in
+           let par =
+             with_jobs jobs (fun () ->
+                 let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft op in
+                 (Structured.precond_apply pc v, Structured.apply op v))
+           in
+           par = serial));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"batched pair FFTs are bitwise identical to boxed serial ffts" ~count:40
+         (make Gen.(triple (int_range 2 48) (int_range 1 16) jobs_gen))
+         (fun (size, batch, jobs) ->
+           let mk b k = sin (float_of_int ((b * 131) + k)) in
+           let boxed =
+             Array.init batch (fun b ->
+                 Fourier.Fft.fft (Cx.Cvec.init size (fun k -> Cx.cx (mk b k) (mk (b + 77) k))))
+           in
+           let res = Array.init batch (fun b -> Array.init size (mk b)) in
+           let ims = Array.init batch (fun b -> Array.init size (mk (b + 77))) in
+           Pool.parallel_for ~jobs batch (fun b ->
+               Fourier.Fft.fft_pair_inplace res.(b) ims.(b));
+           let ok = ref true in
+           Array.iteri
+             (fun b z ->
+               Array.iteri
+                 (fun k c ->
+                   if not (Cx.re c = res.(b).(k) && Cx.im c = ims.(b).(k)) then ok := false)
+                 z)
+             boxed;
+           !ok));
+  ]
+
+let alloc_tests =
+  [
+    Alcotest.test_case "precond apply reuses hoisted scratch (no alloc growth)" `Quick
+      (fun () ->
+        let n1 = 41 and n = 4 in
+        let d = Fourier.Series.diff_matrix n1 in
+        let c = Mat.identity n in
+        let b = Mat.init n n (fun i j -> if i = j then 4. else 0.5) in
+        let op =
+          Structured.make_op ~alpha:0.8 ~d ~c_blocks:(Array.make n1 c)
+            ~b_blocks:(Array.make n1 b)
+        in
+        let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft op in
+        let v = Array.init (n1 * n) (fun i -> sin (0.01 *. float_of_int i)) in
+        let words f =
+          let w0 = Gc.minor_words () in
+          ignore (f ());
+          Gc.minor_words () -. w0
+        in
+        (* first apply warms per-worker workspaces and FFT scratch;
+           steady-state applies must not allocate more than the warm-up *)
+        let first = words (fun () -> Structured.precond_apply pc v) in
+        let second = words (fun () -> Structured.precond_apply pc v) in
+        let third = words (fun () -> Structured.precond_apply pc v) in
+        Alcotest.(check bool)
+          (Printf.sprintf "steady-state alloc (%.0f, %.0f after %.0f warm-up)" second third
+             first)
+          true
+          (second <= first && third <= second +. 1024.));
+  ]
+
+(* ---------- Bluestein plan cache under concurrent first use ---------- *)
+
+let cache_tests =
+  [
+    Alcotest.test_case "plan cache survives concurrent first use" `Quick (fun () ->
+        (* several odd sizes, first touched simultaneously from 8
+           domains: the mutex-guarded double-checked insert must
+           publish exactly one usable plan per size *)
+        let sizes = [| 83; 89; 97; 101; 103; 107; 109; 113 |] in
+        let tasks = 64 in
+        let results = Array.make tasks [||] in
+        Pool.parallel_for ~jobs:8 tasks (fun t ->
+            let n = sizes.(t mod Array.length sizes) in
+            let x = Cx.Cvec.init n (fun k -> Cx.cx (cos (0.3 *. float_of_int (k + t))) 0.) in
+            results.(t) <- Fourier.Fft.fft x);
+        (* serial recomputation (plans now warm) must agree bitwise *)
+        Array.iteri
+          (fun t r ->
+            let n = sizes.(t mod Array.length sizes) in
+            let x = Cx.Cvec.init n (fun k -> Cx.cx (cos (0.3 *. float_of_int (k + t))) 0.) in
+            let s = Fourier.Fft.fft x in
+            Array.iteri
+              (fun k c ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "task %d bin %d" t k)
+                  true
+                  (Cx.re c = Cx.re r.(k) && Cx.im c = Cx.im r.(k)))
+              s)
+          results);
+  ]
+
+(* ---------- manifest + doctor integration ---------- *)
+
+let obs_tests =
+  [
+    Alcotest.test_case "manifest records jobs and validates" `Quick (fun () ->
+        Obs.Metrics.with_isolated (fun () ->
+            let m = Obs.Report.manifest ~jobs:4 ~wall_s:0.5 ~steps:[] () in
+            Alcotest.(check bool) "jobs field" true (contains m "\"jobs\":4");
+            (match Obs.Report.check m with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e)));
+    Alcotest.test_case "doctor flags poor parallel efficiency" `Quick (fun () ->
+        Obs.Metrics.with_isolated (fun () ->
+            Obs.set_enabled true;
+            Obs.Metrics.set (Obs.Metrics.gauge "pool.busy_s") 1.;
+            Obs.Metrics.set (Obs.Metrics.gauge "pool.idle_s") 3.;
+            let m = Obs.Report.manifest ~jobs:8 ~wall_s:1. ~steps:[] () in
+            match Obs.Doctor.diagnose_string m with
+            | Error e -> Alcotest.fail e
+            | Ok findings ->
+              let f =
+                List.find_opt (fun f -> f.Obs.Doctor.category = "parallelism") findings
+              in
+              (match f with
+              | Some f ->
+                Alcotest.(check bool) "warn" true (f.Obs.Doctor.severity = Obs.Doctor.Warn);
+                Alcotest.(check bool) "suggests lower jobs" true
+                  (match f.Obs.Doctor.suggestion with
+                  | Some s -> contains s "jobs"
+                  | None -> false)
+              | None -> Alcotest.fail "no parallelism finding")));
+    Alcotest.test_case "doctor stays quiet on healthy parallel runs" `Quick (fun () ->
+        Obs.Metrics.with_isolated (fun () ->
+            Obs.set_enabled true;
+            Obs.Metrics.set (Obs.Metrics.gauge "pool.busy_s") 3.8;
+            Obs.Metrics.set (Obs.Metrics.gauge "pool.idle_s") 0.2;
+            let m = Obs.Report.manifest ~jobs:4 ~wall_s:1. ~steps:[] () in
+            match Obs.Doctor.diagnose_string m with
+            | Error e -> Alcotest.fail e
+            | Ok findings ->
+              let f =
+                List.find_opt (fun f -> f.Obs.Doctor.category = "parallelism") findings
+              in
+              (match f with
+              | Some f ->
+                Alcotest.(check bool) "info" true (f.Obs.Doctor.severity = Obs.Doctor.Info)
+              | None -> Alcotest.fail "no parallelism finding")));
+  ]
+
+let suites =
+  [
+    ("par.pool", pool_tests);
+    ("par.determinism", det_tests);
+    ("par.alloc", alloc_tests);
+    ("par.plan_cache", cache_tests);
+    ("par.obs", obs_tests);
+  ]
