@@ -692,6 +692,61 @@ let doctor_cmd =
     (Cmd.info "doctor" ~doc)
     Term.(const run $ manifest_pos $ stream_file_arg $ strict_arg $ json_arg)
 
+let serve_cmd =
+  let quantum_arg =
+    let doc =
+      "Scheduling slice: accepted envelope macro steps before a running job is preempted \
+       (checkpointed bit-exactly and requeued) so concurrent jobs advance round-robin."
+    in
+    Arg.(value & opt int 8 & info [ "quantum" ] ~docv:"N" ~doc)
+  in
+  let spool_arg =
+    let doc = "Directory for preemption checkpoints (created if missing)." in
+    Arg.(value & opt string "wampde-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Capacity of the cross-job preconditioner-factorization LRU in entries ($(b,0) \
+       disables it); hits/misses/evictions surface as $(b,cache.precond.*) metrics."
+    in
+    Arg.(value & opt int 32 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let run fault jobs quantum spool cache =
+    (match jobs with Some j -> Par.Pool.set_jobs j | None -> ());
+    (match fault with
+    | Some spec -> (
+      match Fault.arm spec with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "wampde_cli: --fault-inject: %s\n" msg;
+        exit 1)
+    | None -> (
+      try Fault.arm_from_env ()
+      with Invalid_argument msg ->
+        Printf.eprintf "wampde_cli: %s: %s\n" Fault.env_var msg;
+        exit 1));
+    let config = Serve.Server.default_config ~quantum ~spool ~cache () in
+    let write line =
+      print_string line;
+      print_char '\n';
+      flush stdout
+    in
+    let log line =
+      prerr_string line;
+      prerr_char '\n';
+      flush stderr
+    in
+    exit (Serve.Server.run config ~read:(Serve.Server.fd_reader Unix.stdin) ~write ~log)
+  in
+  let doc =
+    "simulation service: accept NDJSON job requests on stdin (envelope and quasiperiodic \
+     solves), time-slice them round-robin via bit-exact preemption checkpoints, and stream \
+     per-job progress, run-report manifests and typed errors as NDJSON on stdout"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ fault_arg $ jobs_arg $ quantum_arg $ spool_arg $ cache_arg)
+
 let () =
   let doc = "multi-time (WaMPDE) simulation of voltage-controlled oscillators" in
   let info = Cmd.info "wampde_cli" ~version:"1.0.0" ~doc in
@@ -700,5 +755,5 @@ let () =
        (Cmd.group info
           [
             orbit_cmd; envelope_cmd; transient_cmd; quasi_cmd; waveform_cmd; deck_cmd; report_cmd;
-            doctor_cmd;
+            doctor_cmd; serve_cmd;
           ]))

@@ -15,10 +15,11 @@ type options = {
   newton : Nonlin.Newton.options;
   solver : Structured.strategy;
   rescue : bool;
+  precond_cache : string option;
 }
 
 let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) ?(solver = Structured.auto)
-    ?(rescue = true) () =
+    ?(rescue = true) ?precond_cache () =
   {
     n1;
     theta = 0.5;
@@ -27,6 +28,7 @@ let default_options ?(n1 = 25) ?(phase = Phase.Derivative 0) ?(solver = Structur
     newton = { Nonlin.Newton.default_options with max_iterations = 30; residual_tol = 1e-9 };
     solver;
     rescue;
+    precond_cache;
   }
 
 type step_failure = {
@@ -54,6 +56,14 @@ let () =
            "Wampde.Envelope.Step_failure: Newton failed at t2 = %.6g (h2 = %.3g, residual %.3e \
             after %d iterations; history ... %s)"
            t2 h2 residual iterations tail)
+    | _ -> None)
+
+exception Preempted of { t2 : float }
+
+let () =
+  Printexc.register_printer (function
+    | Preempted { t2 } ->
+      Some (Printf.sprintf "Wampde.Envelope.Preempted: run yielded at t2 = %.6g" t2)
     | _ -> None)
 
 type result = {
@@ -279,7 +289,22 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
       done
     done;
     match
-      let pc = Structured.make_precond ~dft:Fourier.Fft.structured_dft op in
+      let pc =
+        match options.precond_cache with
+        | None -> Structured.make_precond ~dft:Fourier.Fft.structured_dft op
+        | Some prefix ->
+          (* key determines the operator shape (n1 and, through the
+             circuit prefix, the block size) and buckets the two
+             scalars the averaged blocks depend on; nearby iterates,
+             macro steps and same-circuit jobs then share one factored
+             preconditioner — GMRES still solves the fresh operator *)
+          let key =
+            Printf.sprintf "%s|n1=%d|w=%d|a=%d" prefix n1
+              (Structured.log_bucket omega)
+              (Structured.log_bucket (h2 *. theta))
+          in
+          Structured.make_precond_cached ~dft:Fourier.Fft.structured_dft ~key op
+      in
       try Structured.make_bordered pc ~border_col ~border_row:phase_row
       with Structured.Bordered_singular _ ->
         (* degenerate phase border: regularize the Schur scalar rather
@@ -584,8 +609,8 @@ let checkpoint_sections ~options ~dim ~t2_end ~ctrl ~escalated ~t2 ~omega ~state
       Checkpoint.Tensor (Array.of_list (List.rev_map (Array.map Array.copy) slices)) );
   ]
 
-let simulate_controlled dae ~options ~control ?h2_init ?checkpoint ?resume ?on_accept ~t2_end
-    ~init () =
+let simulate_controlled dae ~options ~control ?h2_init ?checkpoint ?resume ?on_accept ?preempt
+    ~t2_end ~init () =
   check_init options init;
   Obs.Span.span
     ~attrs:
@@ -729,18 +754,34 @@ let simulate_controlled dae ~options ~control ?h2_init ?checkpoint ?resume ?on_a
          t2s := !t2 :: !t2s;
          omegas := om_fine :: !omegas;
          slices := Array.map Array.copy fine :: !slices;
+         let save_checkpoint path =
+           Checkpoint.save ~path
+             (checkpoint_sections ~options ~dim:n ~t2_end ~ctrl ~escalated:!escalated
+                ~t2:!t2 ~omega:!omega ~states:!states ~t2s:!t2s ~omegas:!omegas
+                ~slices:!slices)
+         in
          (match checkpoint with
           | None -> ()
           | Some (path, every) ->
             incr since_ckpt;
             if !since_ckpt >= every then begin
               since_ckpt := 0;
-              Checkpoint.save ~path
-                (checkpoint_sections ~options ~dim:n ~t2_end ~ctrl ~escalated:!escalated
-                   ~t2:!t2 ~omega:!omega ~states:!states ~t2s:!t2s ~omegas:!omegas
-                   ~slices:!slices)
+              save_checkpoint path
             end);
-         (match on_accept with Some f -> f ~t2:!t2 ~omega:om_fine | None -> ()))
+         (match on_accept with Some f -> f ~t2:!t2 ~omega:om_fine | None -> ());
+         (* cooperative preemption: yield only on an accepted-step
+            boundary, after a forced checkpoint write, so the caller
+            can resume bit-compatibly with the uninterrupted run *)
+         (match preempt with
+          | Some should_yield
+            when should_yield ~t2:!t2 && !t2 < t2_end -. (1e-9 *. t2_end) ->
+            (match checkpoint with
+             | Some (path, _) ->
+               since_ckpt := 0;
+               save_checkpoint path
+             | None -> ());
+            raise (Preempted { t2 = !t2 })
+          | _ -> ()))
   done;
   {
     t2 = Array.of_list (List.rev !t2s);

@@ -32,13 +32,27 @@ type options = {
           {!Nonlin.Polyalg} trust-region/PTC cascade on the same step
           system before reporting [Step_failure] (default [true];
           successes bump the [envelope.rescues] counter) *)
+  precond_cache : string option;
+      (** when set (to a circuit-identifying prefix), the Krylov path
+          fetches its block preconditioner through
+          {!Structured.make_precond_cached}, keyed by the prefix, [n1]
+          and log-bucketed [omega]/[h2 theta] — so repeated solves of
+          the same circuit (a job-serving batch) share factorizations.
+          [None] (the default) keeps the uncached per-iterate build. *)
 }
 
 (** [default_options ()] — [n1 = 25], trapezoidal, derivative phase
     condition on component 0, spectral differentiation,
-    [Structured.auto] solver selection, rescue cascade on. *)
+    [Structured.auto] solver selection, rescue cascade on, no
+    preconditioner cache. *)
 val default_options :
-  ?n1:int -> ?phase:Phase.t -> ?solver:Structured.strategy -> ?rescue:bool -> unit -> options
+  ?n1:int ->
+  ?phase:Phase.t ->
+  ?solver:Structured.strategy ->
+  ?rescue:bool ->
+  ?precond_cache:string ->
+  unit ->
+  options
 
 type step_failure = {
   t2 : float;  (** slow time of the failed step *)
@@ -55,6 +69,14 @@ type step_failure = {
     {!simulate_adaptive} catches it internally and retries with a
     smaller step.  Mirrors [Transient.Step_failure]. *)
 exception Step_failure of step_failure
+
+(** Raised by {!simulate_controlled} when its [?preempt] callback asks
+    the march to yield: the run stops on an accepted-step boundary at
+    slow time [t2], {e after} writing a forced checkpoint (when a
+    checkpoint path was given), so [?resume] continues bit-compatibly
+    with the uninterrupted run.  This is the mechanism behind the serve
+    scheduler's round-robin time slicing. *)
+exception Preempted of { t2 : float }
 
 type result = {
   t2 : Vec.t;  (** accepted slow-time points (including [t2 = 0]) *)
@@ -91,7 +113,11 @@ val simulate :
     after every [every] accepted steps; [resume:path] restarts from
     such a file (validating [n1], dimension and theta) and continues
     bit-compatibly with the uninterrupted run.  [on_accept] is called
-    after each accepted step (after any checkpoint write).
+    after each accepted step (after any checkpoint write).  [preempt],
+    queried after each accepted step (and [on_accept]), asks the march
+    to yield: a [true] return forces a checkpoint write (when a path
+    was given) and raises {!Preempted} — never on the final step, which
+    returns normally instead.
 
     Raises [Step_control.Underflow] when error control or failure
     recovery would push the step below [control.h_min], and
@@ -104,6 +130,7 @@ val simulate_controlled :
   ?checkpoint:string * int ->
   ?resume:string ->
   ?on_accept:(t2:float -> omega:float -> unit) ->
+  ?preempt:(t2:float -> bool) ->
   t2_end:float ->
   init:Steady.Oscillator.orbit ->
   unit ->

@@ -122,6 +122,42 @@ val make_precond : ?dft:dft -> op -> precond
     allocated (safe to hand to {!Gmres}). *)
 val precond_apply : precond -> Vec.t -> Vec.t
 
+(** {1 Cross-solve preconditioner cache}
+
+    An LRU of factored block preconditioners shared across solves and
+    jobs, keyed by caller-built strings (circuit id, [n1] and
+    {!log_bucket}ed operator scalars).  A cached [precond] only changes
+    GMRES iteration counts, never solutions: operator products stay
+    fresh and the outer tolerance is unchanged.  Disabled (capacity 0)
+    by default; the serve daemon enables it so repeated-circuit job
+    batches amortize the [n1] complex block factorizations.
+    Instrumented as [cache.precond.hits] / [.misses] / [.evictions]
+    counters and the [cache.precond.entries] gauge.  Not synchronized:
+    factor and look up from one domain only. *)
+
+(** [log_bucket x] buckets a positive scalar on a ~1% relative
+    log-scale grid (stable across runs); [min_int] for zero or
+    non-finite input. *)
+val log_bucket : float -> int
+
+module Precond_cache : sig
+  (** [set_capacity n] bounds the cache to [n] entries ([0] disables
+      and clears it; evicts down when shrinking). *)
+  val set_capacity : int -> unit
+
+  val enabled : unit -> bool
+  val entries : unit -> int
+  val clear : unit -> unit
+end
+
+(** [make_precond_cached ~key op] is {!make_precond} through the
+    {!Precond_cache}: a hit returns the cached factorization without
+    touching [op]'s blocks; a miss factors and stores.  With the cache
+    disabled this is exactly {!make_precond}.  The caller's [key] must
+    determine the operator shape ([n1], block size) — two ops with the
+    same key must be interchangeable as preconditioners. *)
+val make_precond_cached : ?dft:dft -> key:string -> op -> precond
+
 type bordered
 
 exception Bordered_singular of float

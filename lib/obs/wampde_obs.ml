@@ -903,6 +903,7 @@ module Stream = struct
     max_records : int;
     epoch : float;
     eta : Eta.t option;
+    job : string option;  (* multiplexing tag spliced into every record *)
     mutable records : int;
     mutable truncated : bool;
     mutable last_write : float;
@@ -915,6 +916,16 @@ module Stream = struct
 
   let wall s = now () -. s.epoch
 
+  (* Every record is a one-line JSON object starting with '{'; the job
+     tag rides as the first field so interleaved per-job streams on one
+     shared channel stay separable. *)
+  let decorate s line =
+    match s.job with
+    | None -> line
+    | Some j ->
+      Printf.sprintf "{\"job\":\"%s\",%s" (json_escape j)
+        (String.sub line 1 (String.length line - 1))
+
   (* Bounded sink: once [max_records] non-terminal records are written,
      further ones are counted into [stream.dropped] after a single
      "truncated" marker.  The terminal record bypasses the cap (see
@@ -924,7 +935,7 @@ module Stream = struct
       if s.records < s.max_records then begin
         s.records <- s.records + 1;
         s.last_write <- now ();
-        s.write line
+        s.write (decorate s line)
       end
       else begin
         Metrics.incr c_dropped;
@@ -932,8 +943,9 @@ module Stream = struct
           s.truncated <- true;
           s.last_write <- now ();
           s.write
-            (Printf.sprintf "{\"type\":\"truncated\",\"t_s\":%s,\"records\":%d}"
-               (json_float (wall s)) s.records)
+            (decorate s
+               (Printf.sprintf "{\"type\":\"truncated\",\"t_s\":%s,\"records\":%d}"
+                  (json_float (wall s)) s.records))
         end
       end
     end
@@ -981,7 +993,7 @@ module Stream = struct
     end
 
   let start ?(heartbeat_s = 5.) ?(min_progress_s = 0.25) ?(max_records = 100_000) ?total
-      ?(run = "") ~write ~flush () =
+      ?(run = "") ?job ~write ~flush () =
     let t0 = now () in
     let eta =
       match total with
@@ -997,6 +1009,7 @@ module Stream = struct
         max_records = Int.max 2 max_records;
         epoch = t0;
         eta;
+        job;
         records = 0;
         truncated = false;
         last_write = t0;
@@ -1016,6 +1029,20 @@ module Stream = struct
     s.sub <- Some (Events.subscribe (handle s));
     s
 
+  (* Suspend/resume the event subscription without touching the record
+     trail: a scheduler multiplexing several job streams onto one
+     channel keeps exactly one stream subscribed — the job whose
+     quantum is running — so solver events are never attributed to a
+     preempted job.  Both are idempotent. *)
+  let suspend s =
+    match s.sub with
+    | Some id ->
+      Events.unsubscribe id;
+      s.sub <- None
+    | None -> ()
+
+  let resume s = if s.sub = None && not s.finished then s.sub <- Some (Events.subscribe (handle s))
+
   (* Idempotent: the first call writes the terminal record and
      unsubscribes; later calls are no-ops, so an at_exit safety net can
      coexist with the normal shutdown path. *)
@@ -1025,13 +1052,14 @@ module Stream = struct
       s.sub <- None;
       s.records <- s.records + 1;
       s.write
-        (if ok then
-           Printf.sprintf "{\"type\":\"done\",\"t_s\":%s,\"steps\":%d,\"records\":%d}"
-             (json_float (wall s)) s.steps s.records
-         else
-           Printf.sprintf "{\"type\":\"error\",\"error\":\"%s\",\"t_s\":%s,\"steps\":%d}"
-             (json_escape (match error with Some e -> e | None -> "aborted"))
-             (json_float (wall s)) s.steps);
+        (decorate s
+           (if ok then
+              Printf.sprintf "{\"type\":\"done\",\"t_s\":%s,\"steps\":%d,\"records\":%d}"
+                (json_float (wall s)) s.steps s.records
+            else
+              Printf.sprintf "{\"type\":\"error\",\"error\":\"%s\",\"t_s\":%s,\"steps\":%d}"
+                (json_escape (match error with Some e -> e | None -> "aborted"))
+                (json_float (wall s)) s.steps));
       s.flush ();
       s.finished <- true
     end

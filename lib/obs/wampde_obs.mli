@@ -367,17 +367,30 @@ module Stream : sig
       estimator (pass the target slow time [t2_end]).  [heartbeat_s]
       (default 5) bounds the silence between records; [min_progress_s]
       (default 0.25) throttles progress records; [max_records] (default
-      100_000) bounds the stream. *)
+      100_000) bounds the stream.  [job], when given, is spliced into
+      every record as a leading ["job"] field so several per-job
+      streams can share one output channel and stay separable. *)
   val start :
     ?heartbeat_s:float ->
     ?min_progress_s:float ->
     ?max_records:int ->
     ?total:float ->
     ?run:string ->
+    ?job:string ->
     write:(string -> unit) ->
     flush:(unit -> unit) ->
     unit ->
     t
+
+  (** [suspend s] detaches the stream from {!Events} without writing
+      anything; [resume s] re-attaches it.  A scheduler multiplexing
+      several job streams keeps exactly one resumed — the job whose
+      quantum is running — so solver events are never attributed to a
+      preempted job.  Both are idempotent; [resume] after {!finish} is
+      a no-op. *)
+  val suspend : t -> unit
+
+  val resume : t -> unit
 
   (** [finish s ~ok ()] unsubscribes and writes the terminal record —
       [done] when [ok], [error] (with [?error], default "aborted")

@@ -1,0 +1,244 @@
+module Obs = Wampde_obs
+module Json = Obs.Json
+
+let schema = "wampde.serve/1"
+
+type envelope_params = {
+  t_end : float;
+  h2 : float option;
+  rtol : float;
+  n1 : int;
+  solver : Linalg.Structured.strategy;
+}
+
+type quasi_params = {
+  n1 : int;
+  n2 : int;
+  p2 : float;
+  t_warm : float;
+  h2_warm : float;
+  linear_solver : Wampde.Quasiperiodic.linear_solver;
+}
+
+type analysis = Envelope of envelope_params | Quasiperiodic of quasi_params
+
+type job = { id : string; circuit : string; analysis : analysis }
+
+type request =
+  | Submit of job
+  | Cancel of string
+  | Metrics
+  | Shutdown of { drain : bool }
+
+type error = { code : string; message : string }
+
+let analysis_name = function Envelope _ -> "envelope" | Quasiperiodic _ -> "quasiperiodic"
+
+(* ---------- parsing ---------- *)
+
+let ( let* ) = Result.bind
+let err code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
+
+let str_field key j =
+  match Json.member key j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_str v with
+    | Some s -> Ok (Some s)
+    | None -> err "bad-field" "field %S must be a string" key)
+
+let num_field key j =
+  match Json.member key j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_num v with
+    | Some x when Float.is_finite x -> Ok (Some x)
+    | Some _ -> err "bad-value" "field %S must be finite" key
+    | None -> err "bad-field" "field %S must be a number" key)
+
+let required key = function
+  | Some v -> Ok v
+  | None -> err "missing-field" "required field %S is missing" key
+
+let positive key x =
+  if x > 0. then Ok x else err "bad-value" "field %S must be positive (got %g)" key x
+
+let odd_int key lo hi x =
+  if Float.is_integer x && x >= float_of_int lo && x <= float_of_int hi then
+    let n = int_of_float x in
+    if n land 1 = 1 then Ok n
+    else err "bad-value" "field %S must be odd (got %d)" key n
+  else err "bad-value" "field %S must be an odd integer in [%d, %d]" key lo hi
+
+let id_ok s =
+  let n = String.length s in
+  n > 0 && n <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       s
+
+let parse_strategy = function
+  | None | Some "auto" -> Ok Linalg.Structured.auto
+  | Some "dense" -> Ok Linalg.Structured.Dense
+  | Some "krylov" -> Ok Linalg.Structured.Krylov
+  | Some s -> err "bad-value" "unknown solver %S (use dense, krylov or auto)" s
+
+let parse_linear_solver = function
+  | None | Some "dense" -> Ok `Dense
+  | Some "gmres" -> Ok `Gmres
+  | Some "krylov" -> Ok `Krylov
+  | Some s -> err "bad-value" "unknown solver %S (use dense, gmres or krylov)" s
+
+let parse_envelope j =
+  let* t_end = Result.bind (num_field "t_end" j) (required "t_end") in
+  let* t_end = positive "t_end" t_end in
+  let* t_end =
+    if t_end <= 1e6 then Ok t_end else err "bad-value" "field \"t_end\" too large (got %g)" t_end
+  in
+  let* h2 = num_field "h2" j in
+  let* h2 =
+    match h2 with
+    | None -> Ok None
+    | Some x ->
+      let* x = positive "h2" x in
+      Ok (Some x)
+  in
+  let* rtol = num_field "rtol" j in
+  let rtol = Option.value rtol ~default:1e-4 in
+  let* rtol =
+    if rtol >= 1e-12 && rtol <= 0.1 then Ok rtol
+    else err "bad-value" "field \"rtol\" must lie in [1e-12, 0.1] (got %g)" rtol
+  in
+  let* n1 = num_field "n1" j in
+  let* n1 = odd_int "n1" 3 201 (Option.value n1 ~default:25.) in
+  let* solver = Result.bind (str_field "solver" j) parse_strategy in
+  Ok (Envelope { t_end; h2; rtol; n1; solver })
+
+let parse_quasi j =
+  let* n1 = num_field "n1" j in
+  let* n1 = odd_int "n1" 3 201 (Option.value n1 ~default:25.) in
+  let* n2 = num_field "n2" j in
+  let* n2 = odd_int "n2" 3 201 (Option.value n2 ~default:15.) in
+  let* p2 = num_field "p2" j in
+  let* p2 = positive "p2" (Option.value p2 ~default:40.) in
+  let* t_warm = num_field "t_warm" j in
+  let* t_warm = positive "t_warm" (Option.value t_warm ~default:(5. *. p2)) in
+  let* t_warm =
+    if t_warm > p2 then Ok t_warm
+    else err "bad-value" "field \"t_warm\" (%g) must exceed \"p2\" (%g)" t_warm p2
+  in
+  let* h2_warm = num_field "h2_warm" j in
+  let* h2_warm = positive "h2_warm" (Option.value h2_warm ~default:0.5) in
+  let* linear_solver = Result.bind (str_field "solver" j) parse_linear_solver in
+  Ok (Quasiperiodic { n1; n2; p2; t_warm; h2_warm; linear_solver })
+
+let parse_job j =
+  let* id = Result.bind (str_field "id" j) (required "id") in
+  let* id =
+    if id_ok id then Ok id
+    else err "bad-id" "job id must be 1-64 chars of [A-Za-z0-9._-] (got %S)" id
+  in
+  let* circuit = Result.bind (str_field "circuit" j) (required "circuit") in
+  let* circuit =
+    if circuit <> "" then Ok circuit else err "bad-value" "field \"circuit\" must be non-empty"
+  in
+  let* analysis = Result.bind (str_field "analysis" j) (required "analysis") in
+  let* analysis =
+    match analysis with
+    | "envelope" -> parse_envelope j
+    | "quasiperiodic" | "quasi" -> parse_quasi j
+    | s -> err "bad-value" "unknown analysis %S (use envelope or quasiperiodic)" s
+  in
+  Ok (Submit { id; circuit; analysis })
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> err "bad-json" "%s" msg
+  | Ok (Json.Obj _ as j) -> (
+    match Json.member "type" j with
+    | None -> err "missing-type" "request object has no \"type\" field"
+    | Some (Json.Str "job") -> parse_job j
+    | Some (Json.Str "cancel") ->
+      let* id = Result.bind (str_field "id" j) (required "id") in
+      Ok (Cancel id)
+    | Some (Json.Str "metrics") -> Ok Metrics
+    | Some (Json.Str "shutdown") -> (
+      match Json.member "drain" j with
+      | None -> Ok (Shutdown { drain = true })
+      | Some (Json.Bool b) -> Ok (Shutdown { drain = b })
+      | Some _ -> err "bad-field" "field \"drain\" must be a boolean")
+    | Some (Json.Str t) -> err "unknown-type" "unknown request type %S" t
+    | Some _ -> err "bad-field" "field \"type\" must be a string")
+  | Ok _ -> err "not-object" "each request line must be a single JSON object"
+
+(* ---------- response encoders ---------- *)
+
+let esc s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num x = if Float.is_finite x then Printf.sprintf "%.10g" x else "null"
+
+let hello ~quantum ~jobs ~cache =
+  Printf.sprintf "{\"type\":\"hello\",\"schema\":\"%s\",\"quantum\":%d,\"jobs\":%d,\"cache\":%d}"
+    (esc schema) quantum jobs cache
+
+let accepted ~id ~queue_depth =
+  Printf.sprintf "{\"type\":\"accepted\",\"id\":\"%s\",\"queue_depth\":%d}" (esc id) queue_depth
+
+let error_line ?line ?id { code; message } =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"type\":\"error\"";
+  (match id with
+  | Some id -> Buffer.add_string b (Printf.sprintf ",\"id\":\"%s\"" (esc id))
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf ",\"code\":\"%s\",\"message\":\"%s\"" (esc code) (esc message));
+  (match line with
+  | Some n -> Buffer.add_string b (Printf.sprintf ",\"line\":%d" n)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let job_error ~id ~kind ~message ~quanta =
+  Printf.sprintf "{\"type\":\"job-error\",\"id\":\"%s\",\"kind\":\"%s\",\"message\":\"%s\",\"quanta\":%d}"
+    (esc id) (esc kind) (esc message) quanta
+
+type summary = {
+  analysis : string;
+  wall_s : float;
+  steps : int;
+  quanta : int;
+  preemptions : int;
+  restarts : int;
+  t2_end : float;
+  omega_end : float;
+}
+
+let result ~id ~summary:s ~manifest =
+  Printf.sprintf
+    "{\"type\":\"result\",\"id\":\"%s\",\"analysis\":\"%s\",\"wall_s\":%s,\"steps\":%d,\"quanta\":%d,\"preemptions\":%d,\"restarts\":%d,\"t2_end\":%s,\"omega_end\":%s,\"manifest\":%s}"
+    (esc id) (esc s.analysis) (num s.wall_s) s.steps s.quanta s.preemptions s.restarts
+    (num s.t2_end) (num s.omega_end) manifest
+
+let metrics_line ~final ~metrics =
+  Printf.sprintf "{\"type\":\"metrics\",\"final\":%b,\"metrics\":%s}" final metrics
+
+let bye ~submitted ~completed ~failed ~cancelled =
+  Printf.sprintf
+    "{\"type\":\"bye\",\"submitted\":%d,\"completed\":%d,\"failed\":%d,\"cancelled\":%d}" submitted
+    completed failed cancelled

@@ -1,0 +1,109 @@
+(** NDJSON control protocol of [wampde_cli serve].
+
+    Requests arrive one JSON object per line on the daemon's input;
+    every line produces zero or more response lines on its output.
+    Request shapes:
+
+    {v
+    {"type":"job","id":"e1","circuit":"vco-a","analysis":"envelope",
+     "t_end":10,"rtol":1e-4,"n1":15,"h2":0.4,"solver":"auto"}
+    {"type":"job","id":"q1","circuit":"vco-a","analysis":"quasiperiodic",
+     "n1":15,"n2":7,"p2":40,"t_warm":200,"h2_warm":0.5,"solver":"dense"}
+    {"type":"cancel","id":"e1"}
+    {"type":"metrics"}
+    {"type":"shutdown","drain":true}
+    v}
+
+    Responses are [hello], [accepted], [error] (protocol-level, with a
+    stable [code]), per-job {!Wampde_obs.Stream} records (tagged with a
+    leading ["job"] field), [result] (with an embedded
+    ["wampde.run-report/1"] manifest), [job-error] (typed solver
+    failure), [metrics] and [bye].  Parsing is total: any input line
+    maps to [Ok request] or [Error {code; message}] — never an
+    exception — so a malformed line degrades to one [error] response
+    and the daemon keeps serving. *)
+
+(** Protocol schema tag carried by the [hello] record
+    ("wampde.serve/1"). *)
+val schema : string
+
+type envelope_params = {
+  t_end : float;  (** slow-time horizon, microseconds *)
+  h2 : float option;  (** initial slow step ([None]: [t_end / 50]) *)
+  rtol : float;  (** step-controller relative tolerance *)
+  n1 : int;  (** odd fast-time collocation size *)
+  solver : Linalg.Structured.strategy;
+}
+
+type quasi_params = {
+  n1 : int;  (** odd fast-time collocation size *)
+  n2 : int;  (** odd slow-time collocation size *)
+  p2 : float;  (** slow (forcing) period *)
+  t_warm : float;  (** envelope warm-up horizon (must exceed [p2]) *)
+  h2_warm : float;  (** fixed warm-up step *)
+  linear_solver : Wampde.Quasiperiodic.linear_solver;
+}
+
+type analysis = Envelope of envelope_params | Quasiperiodic of quasi_params
+
+type job = {
+  id : string;  (** non-empty, at most 64 chars of [[A-Za-z0-9._-]] *)
+  circuit : string;  (** registry name, e.g. "vco-a" *)
+  analysis : analysis;
+}
+
+type request =
+  | Submit of job
+  | Cancel of string
+  | Metrics
+  | Shutdown of { drain : bool }  (** [drain]: finish queued jobs first *)
+
+(** A protocol-level failure: [code] is a stable machine-readable
+    discriminant ("bad-json", "not-object", "missing-type",
+    "unknown-type", "missing-field", "bad-field", "bad-value",
+    "bad-id", "unknown-circuit", "duplicate-id", "unknown-id"). *)
+type error = { code : string; message : string }
+
+(** Total parser: never raises. *)
+val parse_request : string -> (request, error) result
+
+val analysis_name : analysis -> string
+
+(** {1 Response encoders}
+
+    Each returns one complete JSON line (no trailing newline). *)
+
+val hello : quantum:int -> jobs:int -> cache:int -> string
+
+val accepted : id:string -> queue_depth:int -> string
+
+(** Protocol-level error response; [line] is the 1-based input line
+    number, [id] the offending job id when one was parsed. *)
+val error_line : ?line:int -> ?id:string -> error -> string
+
+(** Typed terminal failure of an accepted job.  [kind] is a stable
+    discriminant ("step-failure", "step-underflow", "solve-failed",
+    "non-finite", "continuation-underflow", "nonphysical",
+    "corrupt-checkpoint", "solver-failure", "cancelled", "aborted",
+    "internal"). *)
+val job_error : id:string -> kind:string -> message:string -> quanta:int -> string
+
+type summary = {
+  analysis : string;
+  wall_s : float;  (** total run time across quanta, seconds *)
+  steps : int;  (** macro-step decisions recorded in the manifest *)
+  quanta : int;
+  preemptions : int;
+  restarts : int;
+  t2_end : float;  (** reached slow time (envelope) or [p2] (quasi) *)
+  omega_end : float;  (** final (envelope) or mean (quasi) frequency *)
+}
+
+(** Terminal success record; [manifest] is an already-serialized
+    ["wampde.run-report/1"] JSON object, embedded verbatim. *)
+val result : id:string -> summary:summary -> manifest:string -> string
+
+(** [metrics] is {!Wampde_obs.Metrics.to_json}, embedded verbatim. *)
+val metrics_line : final:bool -> metrics:string -> string
+
+val bye : submitted:int -> completed:int -> failed:int -> cancelled:int -> string

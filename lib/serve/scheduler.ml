@@ -1,0 +1,379 @@
+module Obs = Wampde_obs
+
+let c_submitted = Obs.Metrics.counter "serve.jobs.submitted"
+let c_completed = Obs.Metrics.counter "serve.jobs.completed"
+let c_failed = Obs.Metrics.counter "serve.jobs.failed"
+let c_cancelled = Obs.Metrics.counter "serve.jobs.cancelled"
+let c_quanta = Obs.Metrics.counter "serve.quanta"
+let c_preemptions = Obs.Metrics.counter "serve.preemptions"
+let c_restarts = Obs.Metrics.counter "serve.restarts"
+let g_depth = Obs.Metrics.gauge "serve.queue_depth"
+let c_orbit_hits = Obs.Metrics.counter "cache.orbit.hits"
+let c_orbit_misses = Obs.Metrics.counter "cache.orbit.misses"
+let g_orbit_entries = Obs.Metrics.gauge "cache.orbit.entries"
+
+(* ---------- circuit registry ---------- *)
+
+type circuit_entry = {
+  dae : unit -> Dae.t;  (* forced system the job simulates *)
+  frozen : unit -> Dae.t * Linalg.Vec.t;  (* autonomous system + x0 for the orbit *)
+}
+
+let registry =
+  [
+    ( "vco-a",
+      {
+        dae = (fun () -> Circuit.Vco.build (Circuit.Vco.vco_a ()));
+        frozen =
+          (fun () ->
+            let p = Circuit.Vco.default_params ~control:(fun _ -> 1.5) () in
+            (Circuit.Vco.build p, Circuit.Vco.initial_state p));
+      } );
+    ( "vco-b",
+      {
+        dae = (fun () -> Circuit.Vco.build (Circuit.Vco.vco_b ()));
+        frozen =
+          (fun () ->
+            let p =
+              Circuit.Vco.default_params ~damping:1.57 ~force0:4.0e-3 ~control:(fun _ -> 1.5) ()
+            in
+            (Circuit.Vco.build p, Circuit.Vco.initial_state p));
+      } );
+  ]
+
+let circuits () = List.map fst registry
+
+(* ---------- job bookkeeping ---------- *)
+
+type status = Queued | Done | Failed | Cancelled
+
+type jobrec = {
+  job : Protocol.job;
+  entry : circuit_entry;
+  ckpt : string;
+  mutable status : status;
+  mutable quanta : int;
+  mutable preemptions : int;
+  mutable restarts : int;
+  mutable steps : Obs.Report.step list;
+  mutable stream : Obs.Stream.t option;
+  mutable wall : float;
+  mutable has_ckpt : bool;
+  mutable cancelled : bool;
+}
+
+type t = {
+  quantum : int;
+  spool : string;
+  emit : string -> unit;
+  log : string -> unit;
+  queue : string Queue.t;
+  jobs : (string, jobrec) Hashtbl.t;
+  orbits : (string, Steady.Oscillator.orbit) Hashtbl.t;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable cancelled_n : int;
+}
+
+type counts = { submitted : int; completed : int; failed : int; cancelled : int }
+
+let counts (t : t) =
+  { submitted = t.submitted; completed = t.completed; failed = t.failed; cancelled = t.cancelled_n }
+
+let create ~quantum ~spool ~emit ~log () =
+  Obs.Metrics.set g_depth 0.;
+  {
+    quantum = max 1 quantum;
+    spool;
+    emit;
+    log;
+    queue = Queue.create ();
+    jobs = Hashtbl.create 32;
+    orbits = Hashtbl.create 8;
+    submitted = 0;
+    completed = 0;
+    failed = 0;
+    cancelled_n = 0;
+  }
+
+let pending t = Queue.length t.queue
+let set_depth t = Obs.Metrics.set g_depth (float_of_int (Queue.length t.queue))
+
+let err code fmt = Printf.ksprintf (fun message -> Error { Protocol.code; message }) fmt
+
+let submit (t : t) (job : Protocol.job) =
+  match List.assoc_opt job.circuit registry with
+  | None ->
+    err "unknown-circuit" "unknown circuit %S (known: %s)" job.circuit
+      (String.concat ", " (circuits ()))
+  | Some entry ->
+    if Hashtbl.mem t.jobs job.id then err "duplicate-id" "job id %S already used" job.id
+    else begin
+      let jr =
+        {
+          job;
+          entry;
+          ckpt = Filename.concat t.spool (job.id ^ ".ckpt");
+          status = Queued;
+          quanta = 0;
+          preemptions = 0;
+          restarts = 0;
+          steps = [];
+          stream = None;
+          wall = 0.;
+          has_ckpt = false;
+          cancelled = false;
+        }
+      in
+      Hashtbl.add t.jobs job.id jr;
+      Queue.add job.id t.queue;
+      t.submitted <- t.submitted + 1;
+      Obs.Metrics.incr c_submitted;
+      set_depth t;
+      t.log
+        (Printf.sprintf "serve: accepted %s (%s on %s), queue depth %d" job.id
+           (Protocol.analysis_name job.analysis) job.circuit (Queue.length t.queue));
+      t.emit (Protocol.accepted ~id:job.id ~queue_depth:(Queue.length t.queue));
+      Ok ()
+    end
+
+let cancel t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some jr when jr.status = Queued ->
+    jr.cancelled <- true;
+    Ok ()
+  | Some _ -> err "unknown-id" "job %S already finished" id
+  | None -> err "unknown-id" "no such job %S" id
+
+(* ---------- shared warm state ---------- *)
+
+let orbit_for t jr ~n1 =
+  let key = Printf.sprintf "%s|n1=%d" jr.job.circuit n1 in
+  match Hashtbl.find_opt t.orbits key with
+  | Some orbit ->
+    Obs.Metrics.incr c_orbit_hits;
+    orbit
+  | None ->
+    Obs.Metrics.incr c_orbit_misses;
+    let dae, x0 = jr.entry.frozen () in
+    let orbit = Steady.Oscillator.find dae ~n1 ~period_hint:(1. /. 0.75) x0 in
+    Hashtbl.replace t.orbits key orbit;
+    Obs.Metrics.set g_orbit_entries (float_of_int (Hashtbl.length t.orbits));
+    orbit
+
+(* ---------- terminal transitions ---------- *)
+
+let remove_ckpt jr =
+  if jr.has_ckpt then (try Sys.remove jr.ckpt with Sys_error _ -> ());
+  jr.has_ckpt <- false
+
+let close_stream jr ~ok ?error () =
+  (match jr.stream with
+  | Some s -> Obs.Stream.finish s ~ok ?error ()
+  | None -> ());
+  jr.stream <- None
+
+let finish_cancelled (t : t) jr ~kind =
+  close_stream jr ~ok:false ~error:kind ();
+  remove_ckpt jr;
+  jr.status <- Cancelled;
+  t.cancelled_n <- t.cancelled_n + 1;
+  Obs.Metrics.incr c_cancelled;
+  t.log (Printf.sprintf "serve: %s %s after %d quanta" kind jr.job.id jr.quanta);
+  t.emit
+    (Protocol.job_error ~id:jr.job.id ~kind
+       ~message:(Printf.sprintf "job %s before completion" kind)
+       ~quanta:jr.quanta)
+
+let finish_failed (t : t) jr ~kind ~message =
+  close_stream jr ~ok:false ~error:kind ();
+  remove_ckpt jr;
+  jr.status <- Failed;
+  t.failed <- t.failed + 1;
+  Obs.Metrics.incr c_failed;
+  t.log (Printf.sprintf "serve: job %s failed (%s): %s" jr.job.id kind message);
+  t.emit (Protocol.job_error ~id:jr.job.id ~kind ~message ~quanta:jr.quanta)
+
+let finish_done (t : t) jr ~t2_end ~omega_end =
+  close_stream jr ~ok:true ();
+  remove_ckpt jr;
+  jr.status <- Done;
+  t.completed <- t.completed + 1;
+  Obs.Metrics.incr c_completed;
+  let analysis = Protocol.analysis_name jr.job.analysis in
+  let manifest =
+    Obs.Report.manifest ~subcommand:("serve:" ^ analysis) ~jobs:(Par.Pool.jobs ()) ~wall_s:jr.wall
+      ~steps:jr.steps ()
+  in
+  let summary =
+    {
+      Protocol.analysis;
+      wall_s = jr.wall;
+      steps = List.length jr.steps;
+      quanta = jr.quanta;
+      preemptions = jr.preemptions;
+      restarts = jr.restarts;
+      t2_end;
+      omega_end;
+    }
+  in
+  t.log
+    (Printf.sprintf "serve: job %s done in %d quanta (%d preemptions, %.3f s)" jr.job.id jr.quanta
+       jr.preemptions jr.wall);
+  t.emit (Protocol.result ~id:jr.job.id ~summary ~manifest)
+
+(* ---------- quantum execution ---------- *)
+
+type outcome =
+  | Complete of { t2_end : float; omega_end : float }
+  | Preempt
+  | Restart of string
+  | Fail of { kind : string; message : string }
+
+let classify = function
+  | Wampde.Envelope.Step_failure { t2; h2; residual; iterations; _ } ->
+    ( "step-failure",
+      Printf.sprintf "envelope Newton failed at t2 = %g (h2 = %g): residual %.3e after %d iterations"
+        t2 h2 residual iterations )
+  | Transient.Step_failure _ as e -> ("step-failure", Printexc.to_string e)
+  | Step_control.Underflow { t; h } ->
+    ("step-underflow", Printf.sprintf "step control drove h2 below minimum at t2 = %g (h2 = %g)" t h)
+  | Checkpoint.Corrupt msg -> ("corrupt-checkpoint", msg)
+  | Nonlin.Polyalg.Solve_failed _ as e -> ("solve-failed", Printexc.to_string e)
+  | Nonlin.Polyalg.Non_finite _ as e -> ("non-finite", Printexc.to_string e)
+  | Nonlin.Continuation.Step_underflow _ as e -> ("continuation-underflow", Printexc.to_string e)
+  | Steady.Oscillator.Nonphysical msg -> ("nonphysical", msg)
+  | Failure msg -> ("solver-failure", msg)
+  | e -> ("internal", Printexc.to_string e)
+
+let last (v : Linalg.Vec.t) = v.(Array.length v - 1)
+
+let stream_for t jr ~total =
+  match jr.stream with
+  | Some s ->
+    Obs.Stream.resume s;
+    s
+  | None ->
+    let s =
+      Obs.Stream.start ~job:jr.job.id
+        ~run:(Protocol.analysis_name jr.job.analysis)
+        ~total ~min_progress_s:0.05 ~write:t.emit
+        ~flush:(fun () -> ())
+        ()
+    in
+    jr.stream <- Some s;
+    s
+
+let exec_envelope t jr (p : Protocol.envelope_params) =
+  let dae = jr.entry.dae () in
+  let orbit = orbit_for t jr ~n1:p.n1 in
+  let options =
+    Wampde.Envelope.default_options ~n1:p.n1 ~solver:p.solver ~precond_cache:jr.job.circuit ()
+  in
+  let control =
+    Step_control.default_options ~rtol:p.rtol ~atol:(p.rtol /. 1000.) ~h_min:1e-9
+      ~h_max:(p.t_end /. 2.) ()
+  in
+  let accepted = ref 0 in
+  let res =
+    Wampde.Envelope.simulate_controlled dae ~options ~control ?h2_init:p.h2
+      ~checkpoint:(jr.ckpt, max_int)
+      ?resume:(if jr.has_ckpt then Some jr.ckpt else None)
+      ~on_accept:(fun ~t2:_ ~omega:_ -> incr accepted)
+      ~preempt:(fun ~t2:_ -> !accepted >= t.quantum)
+      ~t2_end:p.t_end ~init:orbit ()
+  in
+  Complete { t2_end = last res.Wampde.Envelope.t2; omega_end = last res.Wampde.Envelope.omega }
+
+let exec_quasi t jr (p : Protocol.quasi_params) =
+  let dae = jr.entry.dae () in
+  let orbit = orbit_for t jr ~n1:p.n1 in
+  let options = Wampde.Envelope.default_options ~n1:p.n1 ~precond_cache:jr.job.circuit () in
+  let env = Wampde.Envelope.simulate dae ~options ~t2_end:p.t_warm ~h2:p.h2_warm ~init:orbit in
+  let guess =
+    Wampde.Quasiperiodic.guess_from_envelope env ~p2:p.p2 ~n2:p.n2 ~t_from:(p.t_warm -. p.p2)
+  in
+  let sol =
+    Wampde.Quasiperiodic.solve dae ~linear_solver:p.linear_solver ~options ~p2:p.p2 ~n2:p.n2 ~guess
+      ()
+  in
+  Complete { t2_end = p.p2; omega_end = Wampde.Quasiperiodic.mean_frequency sol }
+
+let run_quantum t jr =
+  let total =
+    match jr.job.analysis with
+    | Protocol.Envelope p -> p.t_end
+    | Protocol.Quasiperiodic p -> p.t_warm
+  in
+  ignore (stream_for t jr ~total);
+  let collector = Obs.Report.collect () in
+  let settle () = jr.steps <- jr.steps @ Obs.Report.finish collector in
+  match
+    match jr.job.analysis with
+    | Protocol.Envelope p -> exec_envelope t jr p
+    | Protocol.Quasiperiodic p -> exec_quasi t jr p
+  with
+  | outcome ->
+    settle ();
+    outcome
+  | exception Wampde.Envelope.Preempted _ ->
+    settle ();
+    jr.has_ckpt <- true;
+    Preempt
+  | exception Checkpoint.Corrupt msg when jr.has_ckpt && jr.restarts = 0 ->
+    settle ();
+    Restart msg
+  | exception ((Stack_overflow | Out_of_memory) as e) ->
+    settle ();
+    raise e
+  | exception e ->
+    settle ();
+    let kind, message = classify e in
+    Fail { kind; message }
+
+let run_slice t =
+  match Queue.take_opt t.queue with
+  | None -> false
+  | Some id ->
+    let jr = Hashtbl.find t.jobs id in
+    set_depth t;
+    if jr.cancelled then finish_cancelled t jr ~kind:"cancelled"
+    else begin
+      Obs.Metrics.incr c_quanta;
+      let t0 = Obs.now () in
+      let outcome = run_quantum t jr in
+      jr.wall <- jr.wall +. (Obs.now () -. t0);
+      jr.quanta <- jr.quanta + 1;
+      match outcome with
+      | Preempt ->
+        jr.preemptions <- jr.preemptions + 1;
+        Obs.Metrics.incr c_preemptions;
+        (match jr.stream with Some s -> Obs.Stream.suspend s | None -> ());
+        Queue.add id t.queue;
+        set_depth t
+      | Restart msg ->
+        jr.restarts <- jr.restarts + 1;
+        Obs.Metrics.incr c_restarts;
+        remove_ckpt jr;
+        t.log (Printf.sprintf "serve: job %s checkpoint corrupt (%s); restarting from scratch" id msg);
+        Queue.add id t.queue;
+        set_depth t
+      | Complete { t2_end; omega_end } -> finish_done t jr ~t2_end ~omega_end
+      | Fail { kind; message } -> finish_failed t jr ~kind ~message
+    end;
+    true
+
+let drain t = while run_slice t do () done
+
+let abandon t =
+  let rec go () =
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some id ->
+      let jr = Hashtbl.find t.jobs id in
+      finish_cancelled t jr ~kind:"aborted";
+      go ()
+  in
+  go ();
+  set_depth t

@@ -1,0 +1,61 @@
+(** Cooperative round-robin job scheduler behind [wampde_cli serve].
+
+    Single-threaded: jobs run one scheduling slice (quantum) at a
+    time on the calling domain (inner kernels still fan out on the
+    {!Par.Pool}).  An envelope job's quantum is [quantum] accepted
+    macro steps — the march is then preempted through
+    {!Wampde.Envelope.simulate_controlled}'s [?preempt] hook, which
+    forces a bit-exact checkpoint into the spool directory and raises
+    [Preempted]; the next slice resumes from that file, so a job's
+    final result is bitwise identical to an uninterrupted run.
+    Quasiperiodic jobs are atomic (one slice).
+
+    Warm state shared across jobs: an unforced-orbit cache keyed by
+    [(circuit, n1)] ([cache.orbit.*] metrics; the Bluestein FFT plan
+    cache and the {!Linalg.Structured.Precond_cache} warm up
+    underneath).  Every accepted job terminates in exactly one
+    [result] record (carrying a ["wampde.run-report/1"] manifest) or
+    one typed [job-error] record — solver exceptions, including
+    injected {!Fault} storms, are mapped to stable [kind]s, and a
+    corrupt resume checkpoint restarts the job from scratch once
+    before failing it.  Scheduler traffic is instrumented as
+    [serve.*] counters and the [serve.queue_depth] gauge. *)
+
+type t
+
+(** [create ~quantum ~spool ~emit ~log ()] — [emit] receives every
+    job-related response line (accepted / stream records / result /
+    job-error); [log] receives human-readable lifecycle lines.  The
+    spool directory must exist. *)
+val create : quantum:int -> spool:string -> emit:(string -> unit) -> log:(string -> unit) -> unit -> t
+
+(** Known circuit registry names (currently "vco-a" and "vco-b"). *)
+val circuits : unit -> string list
+
+(** Enqueue a job and emit its [accepted] record.  [Error _] (with
+    code "duplicate-id" or "unknown-circuit") emits nothing. *)
+val submit : t -> Protocol.job -> (unit, Protocol.error) result
+
+(** Mark a queued (or preempted) job cancelled; it terminates with a
+    ["cancelled"] job-error when next dequeued.  [Error _] (code
+    "unknown-id") if the id is unknown or already terminal. *)
+val cancel : t -> string -> (unit, Protocol.error) result
+
+(** Jobs still queued (including preempted ones). *)
+val pending : t -> int
+
+(** Run one scheduling slice of the front job; [false] when the queue
+    is empty.  Never raises on solver failure — the job terminates
+    with a typed [job-error] instead. *)
+val run_slice : t -> bool
+
+(** Run slices until the queue is empty. *)
+val drain : t -> unit
+
+(** Terminate every still-queued job with an ["aborted"] job-error
+    (non-drain shutdown). *)
+val abandon : t -> unit
+
+type counts = { submitted : int; completed : int; failed : int; cancelled : int }
+
+val counts : t -> counts

@@ -1,0 +1,126 @@
+module Obs = Wampde_obs
+
+let c_protocol_errors = Obs.Metrics.counter "serve.protocol_errors"
+let c_requests = Obs.Metrics.counter "serve.requests"
+
+type reader = block:bool -> [ `Line of string | `Eof | `Nothing ]
+
+type config = { quantum : int; spool : string; cache : int }
+
+let default_config ?(quantum = 8) ?(spool = "wampde-spool") ?(cache = 32) () =
+  { quantum; spool; cache }
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let run config ~read ~write ~log =
+  Obs.set_enabled true;
+  Linalg.Structured.Precond_cache.set_capacity config.cache;
+  mkdir_p config.spool;
+  let sch = Scheduler.create ~quantum:config.quantum ~spool:config.spool ~emit:write ~log () in
+  write (Protocol.hello ~quantum:config.quantum ~jobs:(Par.Pool.jobs ()) ~cache:config.cache);
+  let lineno = ref 0 in
+  let stop = ref None in
+  let handle line =
+    incr lineno;
+    if String.trim line <> "" then begin
+      Obs.Metrics.incr c_requests;
+      match Protocol.parse_request line with
+      | Error e ->
+        Obs.Metrics.incr c_protocol_errors;
+        write (Protocol.error_line ~line:!lineno e)
+      | Ok (Protocol.Submit job) -> (
+        match Scheduler.submit sch job with
+        | Ok () -> ()
+        | Error e ->
+          Obs.Metrics.incr c_protocol_errors;
+          write (Protocol.error_line ~line:!lineno ~id:job.id e))
+      | Ok (Protocol.Cancel id) -> (
+        match Scheduler.cancel sch id with
+        | Ok () -> ()
+        | Error e ->
+          Obs.Metrics.incr c_protocol_errors;
+          write (Protocol.error_line ~line:!lineno ~id e))
+      | Ok Protocol.Metrics ->
+        write (Protocol.metrics_line ~final:false ~metrics:(Obs.Metrics.to_json ()))
+      | Ok (Protocol.Shutdown { drain }) -> stop := Some drain
+    end
+  in
+  Fun.protect ~finally:(fun () -> Linalg.Structured.Precond_cache.set_capacity 0) @@ fun () ->
+  while !stop = None do
+    (* drain whatever input is already available, then do one slice *)
+    let reading = ref true in
+    while !reading && !stop = None do
+      match read ~block:false with
+      | `Line l -> handle l
+      | `Eof ->
+        stop := Some true;
+        reading := false
+      | `Nothing -> reading := false
+    done;
+    if !stop = None && not (Scheduler.run_slice sch) then begin
+      match read ~block:true with
+      | `Line l -> handle l
+      | `Eof -> stop := Some true
+      | `Nothing -> ()
+    end
+  done;
+  if !stop = Some true then Scheduler.drain sch;
+  Scheduler.abandon sch;
+  write (Protocol.metrics_line ~final:true ~metrics:(Obs.Metrics.to_json ()));
+  let c = Scheduler.counts sch in
+  write
+    (Protocol.bye ~submitted:c.submitted ~completed:c.completed ~failed:c.failed
+       ~cancelled:c.cancelled);
+  log
+    (Printf.sprintf "serve: shutting down — %d submitted, %d completed, %d failed, %d cancelled"
+       c.submitted c.completed c.failed c.cancelled);
+  0
+
+let fd_reader fd =
+  let pending = Queue.create () in
+  let partial = Buffer.create 256 in
+  let eof = ref false in
+  let chunk = Bytes.create 4096 in
+  let rec pull () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 ->
+      eof := true;
+      if Buffer.length partial > 0 then begin
+        Queue.add (Buffer.contents partial) pending;
+        Buffer.clear partial
+      end
+    | n ->
+      for i = 0 to n - 1 do
+        match Bytes.get chunk i with
+        | '\n' ->
+          Queue.add (Buffer.contents partial) pending;
+          Buffer.clear partial
+        | c -> Buffer.add_char partial c
+      done
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> pull ()
+  in
+  let readable () =
+    match Unix.select [ fd ] [] [] 0. with
+    | r, _, _ -> r <> []
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+  in
+  fun ~block ->
+    let rec next () =
+      match Queue.take_opt pending with
+      | Some l -> `Line l
+      | None ->
+        if !eof then `Eof
+        else if block || readable () then begin
+          pull ();
+          next ()
+        end
+        else `Nothing
+    in
+    next ()

@@ -1,0 +1,38 @@
+(** Session loop of [wampde_cli serve]: NDJSON requests in, NDJSON
+    responses out, jobs time-sliced on the {!Scheduler} between
+    reads.
+
+    The loop alternates draining immediately-available input
+    (non-blocking reads) with running one scheduling slice; it blocks
+    for input only when the queue is idle.  End of input and
+    [{"type":"shutdown","drain":true}] both drain the queue before
+    exiting; [drain:false] aborts still-queued jobs with typed
+    ["aborted"] errors.  Either way every accepted job has produced
+    exactly one terminal record when [run] returns, followed by a
+    final [metrics] record and a [bye]. *)
+
+(** [read ~block] returns the next complete input line (without its
+    newline), [`Eof] at end of input, or [`Nothing] when [block] is
+    [false] and no line is available yet. *)
+type reader = block:bool -> [ `Line of string | `Eof | `Nothing ]
+
+type config = {
+  quantum : int;  (** accepted envelope macro steps per slice *)
+  spool : string;  (** checkpoint directory (created if missing) *)
+  cache : int;  (** {!Linalg.Structured.Precond_cache} capacity *)
+}
+
+(** [quantum] defaults to 8, [spool] to "wampde-spool", [cache] to 32. *)
+val default_config : ?quantum:int -> ?spool:string -> ?cache:int -> unit -> config
+
+(** [run config ~read ~write ~log] serves until shutdown or end of
+    input and returns the process exit code (0 — protocol and job
+    failures are responses, not daemon failures).  [write] receives
+    every response line; [log] receives human-readable lifecycle
+    lines.  Enables telemetry and sets the preconditioner-cache
+    capacity (restoring 0 on exit). *)
+val run : config -> read:reader -> write:(string -> unit) -> log:(string -> unit) -> int
+
+(** Non-blocking line reader over a file descriptor ([select] +
+    internal buffer), for wiring [run] to [Unix.stdin]. *)
+val fd_reader : Unix.file_descr -> reader

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Soak gate for `wampde_cli serve`: drive one daemon process through a
+scripted batch of mixed envelope/quasiperiodic jobs (plus protocol
+garbage, a cancel, and optionally a seeded fault storm) and assert the
+service contract:
+
+  * the daemon exits 0 — a failing job is a response, never a crash;
+  * every submitted job ends in exactly one terminal record: a
+    `result` whose embedded manifest validates under
+    `wampde_cli report --check`, or a typed `job-error`;
+  * protocol garbage produces `error` responses and nothing else;
+  * with repeated-circuit krylov jobs, the warm preconditioner cache
+    reports hits in the final metrics record (skipped under --faults,
+    where jobs may die before reaching the cache).
+
+Outputs land in --out: the raw response stream (responses.ndjson), the
+daemon's stderr log (server.log), and one manifest-<id>.json per
+completed job — CI uploads the directory as the debugging artifact.
+
+Exit codes: 0 ok, 1 contract violation, 2 usage error.
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import shlex
+import subprocess
+import sys
+
+REQUESTS = [
+    # repeated-circuit krylov batch: exercises the preconditioner and
+    # orbit caches and the round-robin preemption path
+    {"type": "job", "id": "env-a1", "circuit": "vco-a", "analysis": "envelope",
+     "t_end": 6, "rtol": 1e-3, "n1": 15, "solver": "krylov"},
+    {"type": "job", "id": "env-a2", "circuit": "vco-a", "analysis": "envelope",
+     "t_end": 6, "rtol": 1e-3, "n1": 15, "solver": "krylov"},
+    {"type": "job", "id": "env-a3", "circuit": "vco-a", "analysis": "envelope",
+     "t_end": 6, "rtol": 1e-3, "n1": 15, "solver": "krylov"},
+    # a second circuit and the dense path
+    {"type": "job", "id": "env-b1", "circuit": "vco-b", "analysis": "envelope",
+     "t_end": 20, "rtol": 1e-3, "n1": 15},
+    # an atomic quasiperiodic job in the same session
+    {"type": "job", "id": "quasi-a1", "circuit": "vco-a",
+     "analysis": "quasiperiodic", "n1": 15, "n2": 7},
+    # protocol garbage between valid jobs: the daemon must answer with
+    # typed errors and keep serving
+    "{this is not json",
+    "[1,2,3]",
+    {"type": "job", "id": "bad n1", "circuit": "vco-a",
+     "analysis": "envelope", "t_end": 1},
+    # a queued job cancelled before it runs (last in the round-robin)
+    {"type": "job", "id": "env-cancel", "circuit": "vco-a",
+     "analysis": "envelope", "t_end": 6, "rtol": 1e-3, "n1": 15},
+    {"type": "cancel", "id": "env-cancel"},
+    {"type": "metrics"},
+    {"type": "shutdown", "drain": True},
+]
+
+SUBMITTED = [r["id"] for r in REQUESTS
+             if isinstance(r, dict) and r.get("type") == "job"
+             and r["id"] != "bad n1"]
+GARBAGE_LINES = 3  # two malformed lines + the rejected "bad n1" job
+
+
+def fail(msg):
+    print(f"serve_soak: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--serve-cmd", required=True,
+                    help="daemon command line, e.g. "
+                         "'dune exec bin/wampde_cli.exe -- serve --quantum 4'")
+    ap.add_argument("--check-cmd", required=True,
+                    help="manifest validator command line; the manifest "
+                         "path is appended, e.g. "
+                         "'dune exec bin/wampde_cli.exe -- report --check'")
+    ap.add_argument("--out", default="soak-out",
+                    help="output directory for logs and manifests")
+    ap.add_argument("--faults", default=None,
+                    help="WAMPDE_FAULTS spec for a seeded storm "
+                         "(relaxes the all-jobs-succeed and cache-hit "
+                         "assertions to typed-termination only)")
+    ap.add_argument("--timeout", type=float, default=600,
+                    help="wall-clock bound on the daemon, seconds")
+    args = ap.parse_args()
+
+    os.makedirs(args.out, exist_ok=True)
+    env = dict(os.environ)
+    if args.faults:
+        env["WAMPDE_FAULTS"] = args.faults
+
+    stdin_text = "\n".join(
+        r if isinstance(r, str) else json.dumps(r) for r in REQUESTS) + "\n"
+
+    log_path = os.path.join(args.out, "server.log")
+    with open(log_path, "w") as log:
+        try:
+            proc = subprocess.run(
+                shlex.split(args.serve_cmd), input=stdin_text, env=env,
+                stdout=subprocess.PIPE, stderr=log, text=True,
+                timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            return fail(f"daemon wedged: no exit within {args.timeout}s")
+
+    with open(os.path.join(args.out, "responses.ndjson"), "w") as f:
+        f.write(proc.stdout)
+
+    if proc.returncode != 0:
+        return fail(f"daemon exited {proc.returncode} (see {log_path})")
+
+    records = []
+    for lineno, line in enumerate(proc.stdout.splitlines(), 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            return fail(f"response line {lineno} is not JSON ({exc}): {line!r}")
+
+    def of_type(t):
+        return [r for r in records if r.get("type") == t]
+
+    # exactly one terminal record per submitted job
+    failures = 0
+    for job_id in SUBMITTED:
+        terminals = [r for r in records
+                     if r.get("type") in ("result", "job-error")
+                     and r.get("id") == job_id]
+        if len(terminals) != 1:
+            return fail(f"{job_id}: {len(terminals)} terminal records")
+        term = terminals[0]
+        if term["type"] == "job-error":
+            if not term.get("kind"):
+                return fail(f"{job_id}: job-error without a typed kind")
+            print(f"serve_soak: {job_id}: job-error kind={term['kind']}")
+            if term["kind"] != "cancelled":
+                failures += 1
+        else:
+            manifest_path = os.path.join(args.out, f"manifest-{job_id}.json")
+            with open(manifest_path, "w") as f:
+                json.dump(term["manifest"], f)
+            check = subprocess.run(
+                shlex.split(args.check_cmd) + [manifest_path],
+                capture_output=True, text=True)
+            if check.returncode != 0:
+                return fail(f"{job_id}: manifest invalid: "
+                            f"{check.stdout}{check.stderr}")
+            print(f"serve_soak: {job_id}: result ok "
+                  f"({term['quanta']} quanta, {term['preemptions']} "
+                  f"preemptions), manifest validated")
+
+    errors = of_type("error")
+    if len(errors) < GARBAGE_LINES:
+        return fail(f"expected >= {GARBAGE_LINES} protocol errors, "
+                    f"got {len(errors)}")
+    if not of_type("bye"):
+        return fail("no bye record: the daemon did not shut down cleanly")
+
+    cancel_terms = [r for r in records if r.get("id") == "env-cancel"
+                    and r.get("type") == "job-error"]
+    if not (cancel_terms and cancel_terms[0].get("kind") == "cancelled"):
+        return fail("env-cancel did not terminate with kind=cancelled")
+
+    metrics_records = of_type("metrics")
+    if not metrics_records:
+        return fail("no metrics records")
+    counters = metrics_records[-1].get("metrics", {}).get("counters", {})
+    print(f"serve_soak: cache.precond hits={counters.get('cache.precond.hits', 0)} "
+          f"misses={counters.get('cache.precond.misses', 0)}; "
+          f"cache.orbit hits={counters.get('cache.orbit.hits', 0)}; "
+          f"preemptions={counters.get('serve.preemptions', 0)}")
+
+    if args.faults:
+        print(f"serve_soak: fault storm: {failures}/{len(SUBMITTED)} jobs "
+              "ended in typed errors, rest in validated manifests")
+    else:
+        if failures:
+            return fail(f"{failures} jobs failed without a fault storm armed")
+        if counters.get("cache.precond.hits", 0) <= 0:
+            return fail("repeated-circuit krylov batch produced no "
+                        "preconditioner cache hits")
+        if counters.get("serve.preemptions", 0) <= 0:
+            return fail("concurrent envelope jobs were never preempted")
+
+    print("serve_soak: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

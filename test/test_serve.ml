@@ -1,0 +1,386 @@
+(* The serve subsystem: NDJSON protocol totality, round-robin
+   scheduling with bit-exact preemption, warm caches, and typed
+   termination of every accepted job — including under fault storms. *)
+
+module Obs = Wampde_obs
+module Json = Obs.Json
+module Protocol = Serve.Protocol
+module Server = Serve.Server
+
+(* ---------- helpers ---------- *)
+
+let spool_counter = ref 0
+
+let fresh_spool () =
+  incr spool_counter;
+  Printf.sprintf "serve-test-spool-%d" !spool_counter
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+(* Run an in-memory server session over [lines]; returns the exit code
+   and every response line.  EOF after the last line triggers the
+   drain path, exactly like a scripted stdin batch. *)
+let run_server ?(quantum = 2) ?(cache = 0) lines =
+  let input = ref lines in
+  let read ~block:_ =
+    match !input with
+    | [] -> `Eof
+    | l :: tl ->
+      input := tl;
+      `Line l
+  in
+  let out = ref [] in
+  let spool = fresh_spool () in
+  let code =
+    Server.run
+      (Server.default_config ~quantum ~spool ~cache ())
+      ~read
+      ~write:(fun l -> out := l :: !out)
+      ~log:(fun _ -> ())
+  in
+  rm_rf spool;
+  (code, List.rev !out)
+
+let records_of lines = List.map Json.parse_exn lines
+
+let typ j = Option.bind (Json.member "type" j) Json.to_str |> Option.value ~default:""
+let str k j = Option.bind (Json.member k j) Json.to_str
+let num k j = Option.bind (Json.member k j) Json.to_num
+
+let terminals_for id records =
+  List.filter
+    (fun j -> (typ j = "result" || typ j = "job-error") && str "id" j = Some id)
+    records
+
+let tiny_envelope ?(id = "e") ?(circuit = "vco-a") ?(solver = "auto") () =
+  Printf.sprintf
+    "{\"type\":\"job\",\"id\":\"%s\",\"circuit\":\"%s\",\"analysis\":\"envelope\",\"t_end\":1.5,\"rtol\":1e-3,\"n1\":15,\"solver\":\"%s\"}"
+    id circuit solver
+
+(* ---------- protocol parsing ---------- *)
+
+let check_error expected line =
+  match Protocol.parse_request line with
+  | Error { code; _ } -> Alcotest.(check string) line expected code
+  | Ok _ -> Alcotest.failf "expected %s error for %s" expected line
+
+let protocol_tests =
+  [
+    Alcotest.test_case "job request parses with defaults" `Quick (fun () ->
+        match Protocol.parse_request (tiny_envelope ~id:"j1" ()) with
+        | Ok (Protocol.Submit { id; circuit; analysis = Protocol.Envelope p }) ->
+          Alcotest.(check string) "id" "j1" id;
+          Alcotest.(check string) "circuit" "vco-a" circuit;
+          Alcotest.(check int) "n1" 15 p.n1;
+          Alcotest.(check bool) "h2 defaulted" true (p.h2 = None);
+          Alcotest.(check (float 1e-12)) "rtol" 1e-3 p.rtol
+        | Ok _ -> Alcotest.fail "wrong request"
+        | Error { message; _ } -> Alcotest.fail message);
+    Alcotest.test_case "quasi request parses with defaults" `Quick (fun () ->
+        match
+          Protocol.parse_request
+            "{\"type\":\"job\",\"id\":\"q\",\"circuit\":\"vco-a\",\"analysis\":\"quasiperiodic\",\"n2\":7}"
+        with
+        | Ok (Protocol.Submit { analysis = Protocol.Quasiperiodic p; _ }) ->
+          Alcotest.(check int) "n2" 7 p.n2;
+          Alcotest.(check (float 1e-12)) "p2 default" 40. p.p2;
+          Alcotest.(check (float 1e-12)) "t_warm default" 200. p.t_warm
+        | Ok _ -> Alcotest.fail "wrong request"
+        | Error { message; _ } -> Alcotest.fail message);
+    Alcotest.test_case "control requests parse" `Quick (fun () ->
+        (match Protocol.parse_request "{\"type\":\"cancel\",\"id\":\"x\"}" with
+        | Ok (Protocol.Cancel "x") -> ()
+        | _ -> Alcotest.fail "cancel");
+        (match Protocol.parse_request "{\"type\":\"metrics\"}" with
+        | Ok Protocol.Metrics -> ()
+        | _ -> Alcotest.fail "metrics");
+        match Protocol.parse_request "{\"type\":\"shutdown\",\"drain\":false}" with
+        | Ok (Protocol.Shutdown { drain = false }) -> ()
+        | _ -> Alcotest.fail "shutdown");
+    Alcotest.test_case "malformed lines give typed codes" `Quick (fun () ->
+        check_error "bad-json" "{not json";
+        check_error "not-object" "[1,2,3]";
+        check_error "missing-type" "{\"id\":\"x\"}";
+        check_error "unknown-type" "{\"type\":\"frobnicate\"}";
+        check_error "missing-field"
+          "{\"type\":\"job\",\"circuit\":\"vco-a\",\"analysis\":\"envelope\",\"t_end\":1}";
+        check_error "bad-id"
+          "{\"type\":\"job\",\"id\":\"a b!\",\"circuit\":\"vco-a\",\"analysis\":\"envelope\",\"t_end\":1}";
+        check_error "bad-value"
+          "{\"type\":\"job\",\"id\":\"x\",\"circuit\":\"vco-a\",\"analysis\":\"envelope\",\"t_end\":1,\"n1\":16}";
+        check_error "bad-value"
+          "{\"type\":\"job\",\"id\":\"x\",\"circuit\":\"vco-a\",\"analysis\":\"envelope\",\"t_end\":-2}";
+        check_error "bad-field"
+          "{\"type\":\"job\",\"id\":\"x\",\"circuit\":\"vco-a\",\"analysis\":\"envelope\",\"t_end\":\"ten\"}");
+  ]
+
+(* ---------- protocol fuzz ---------- *)
+
+let valid_lines =
+  [
+    tiny_envelope ~id:"f.uzz-1" ();
+    "{\"type\":\"job\",\"id\":\"q\",\"circuit\":\"vco-a\",\"analysis\":\"quasiperiodic\",\"n1\":15,\"n2\":7}";
+    "{\"type\":\"cancel\",\"id\":\"f.uzz-1\"}";
+    "{\"type\":\"metrics\"}";
+    "{\"type\":\"shutdown\",\"drain\":true}";
+  ]
+
+(* Garbage that looks almost like protocol traffic: valid requests
+   truncated, spliced together, or peppered with random bytes. *)
+let mangled_gen =
+  QCheck.Gen.(
+    let base = oneofl valid_lines in
+    let mangle =
+      oneof
+        [
+          (* truncate *)
+          (base >>= fun s -> int_bound (String.length s) >|= fun n -> String.sub s 0 n);
+          (* splice two requests on one line *)
+          (base >>= fun a -> base >|= fun b -> a ^ b);
+          (* random byte injection *)
+          ( base >>= fun s ->
+            int_bound (max 0 (String.length s - 1)) >>= fun i ->
+            char >|= fun c ->
+            let b = Bytes.of_string s in
+            Bytes.set b i c;
+            Bytes.to_string b );
+          (* arbitrary printable noise *)
+          string_size ~gen:printable (int_bound 80);
+        ]
+    in
+    mangle)
+
+let fuzz_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500 ~name:"parser is total on mangled input"
+         (QCheck.make mangled_gen) (fun line ->
+           match Protocol.parse_request line with
+           | Ok _ -> true
+           | Error { code; message } -> code <> "" && message <> ""
+           | exception e ->
+             QCheck.Test.fail_reportf "parse_request raised %s on %S" (Printexc.to_string e) line));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:8 ~name:"server survives garbage and keeps serving"
+         (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 5) mangled_gen))
+         (fun garbage ->
+           (* drop mangled lines that still parse as requests — this
+              case wants pure garbage followed by a valid job *)
+           (* blank lines are ignored (no error response), so drop
+              those too *)
+           let garbage =
+             List.filter
+               (fun l -> String.trim l <> "" && Result.is_error (Protocol.parse_request l))
+               garbage
+           in
+           let code, out =
+             run_server (garbage @ [ tiny_envelope ~id:"after-garbage" () ])
+           in
+           let records = records_of out in
+           let errors = List.filter (fun j -> typ j = "error") records in
+           code = 0
+           && List.length errors = List.length garbage
+           && List.exists (fun j -> typ j = "result") (terminals_for "after-garbage" records)));
+  ]
+
+(* ---------- end-to-end scheduling ---------- *)
+
+let scheduling_tests =
+  [
+    Alcotest.test_case "two jobs interleave and both finish valid manifests" `Slow (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let code, out =
+          run_server ~quantum:2
+            [
+              tiny_envelope ~id:"rr1" ();
+              tiny_envelope ~id:"rr2" ();
+              "{\"type\":\"shutdown\",\"drain\":true}";
+            ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        List.iter
+          (fun id ->
+            match terminals_for id records with
+            | [ r ] ->
+              Alcotest.(check string) "terminal kind" "result" (typ r);
+              Alcotest.(check bool) "preempted at least once" true
+                (match num "preemptions" r with Some p -> p >= 1. | None -> false);
+              (* the embedded manifest must be a valid run report *)
+              let m =
+                match Json.member "manifest" r with
+                | Some m -> m
+                | None -> Alcotest.fail "result without manifest"
+              in
+              let schema = Option.bind (Json.member "schema" m) Json.to_str in
+              Alcotest.(check (option string)) "manifest schema"
+                (Some "wampde.run-report/1") schema
+            | l -> Alcotest.failf "%s: %d terminal records" id (List.length l))
+          [ "rr1"; "rr2" ];
+        (* the two jobs' stream records interleave: rr2 starts before
+           rr1 finishes *)
+        let order =
+          List.filter_map
+            (fun j ->
+              match (typ j, str "job" j) with
+              | ("start" | "done"), Some job -> Some (typ j ^ ":" ^ job)
+              | _ -> None)
+            records
+        in
+        let pos x = ref (-1) |> fun r ->
+          List.iteri (fun i e -> if e = x && !r < 0 then r := i) order;
+          !r
+        in
+        Alcotest.(check bool) "rr2 starts before rr1 is done" true
+          (pos "start:rr2" < pos "done:rr1"));
+    Alcotest.test_case "preempted results match an unpreempted run bitwise" `Slow (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let final_omega quantum =
+          let _, out =
+            run_server ~quantum
+              [ tiny_envelope ~id:"bit" (); "{\"type\":\"shutdown\",\"drain\":true}" ]
+          in
+          let records = records_of out in
+          match terminals_for "bit" records with
+          | [ r ] when typ r = "result" -> (num "omega_end" r, num "preemptions" r)
+          | _ -> Alcotest.fail "no result"
+        in
+        let omega_sliced, pre_sliced = final_omega 1 in
+        let omega_whole, pre_whole = final_omega 1_000_000 in
+        Alcotest.(check bool) "sliced run was preempted" true (pre_sliced >= Some 1.);
+        Alcotest.(check (option (float 0.))) "preemption count differs" (Some 0.) pre_whole;
+        (* %.10g round-trips through the protocol: bitwise equality of
+           the printed values is exact equality at that precision *)
+        Alcotest.(check (option (float 0.))) "omega_end identical" omega_whole omega_sliced);
+    Alcotest.test_case "cancel terminates a queued job with a typed error" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let code, out =
+          run_server ~quantum:2
+            [
+              tiny_envelope ~id:"keep" ();
+              tiny_envelope ~id:"drop" ();
+              "{\"type\":\"cancel\",\"id\":\"drop\"}";
+              "{\"type\":\"cancel\",\"id\":\"no-such\"}";
+              "{\"type\":\"shutdown\",\"drain\":true}";
+            ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        (match terminals_for "drop" records with
+        | [ r ] ->
+          Alcotest.(check string) "kind" "job-error" (typ r);
+          Alcotest.(check (option string)) "cancelled" (Some "cancelled") (str "kind" r)
+        | l -> Alcotest.failf "drop: %d terminals" (List.length l));
+        (match terminals_for "keep" records with
+        | [ r ] -> Alcotest.(check string) "keep completes" "result" (typ r)
+        | l -> Alcotest.failf "keep: %d terminals" (List.length l));
+        Alcotest.(check bool) "unknown cancel errors" true
+          (List.exists
+             (fun j -> typ j = "error" && str "code" j = Some "unknown-id")
+             records));
+    Alcotest.test_case "non-drain shutdown aborts queued jobs" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let code, out =
+          run_server ~quantum:2
+            [ tiny_envelope ~id:"ab1" (); "{\"type\":\"shutdown\",\"drain\":false}" ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        match terminals_for "ab1" records with
+        | [ r ] ->
+          Alcotest.(check string) "kind" "job-error" (typ r);
+          Alcotest.(check (option string)) "aborted" (Some "aborted") (str "kind" r)
+        | l -> Alcotest.failf "ab1: %d terminals" (List.length l));
+    Alcotest.test_case "duplicate and unknown submissions are rejected" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let code, out =
+          run_server ~quantum:2
+            [
+              tiny_envelope ~id:"dup" ();
+              tiny_envelope ~id:"dup" ();
+              tiny_envelope ~id:"mars" ~circuit:"vco-mars" ();
+              "{\"type\":\"shutdown\",\"drain\":true}";
+            ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        let code_of c = List.exists (fun j -> typ j = "error" && str "code" j = Some c) records in
+        Alcotest.(check bool) "duplicate-id" true (code_of "duplicate-id");
+        Alcotest.(check bool) "unknown-circuit" true (code_of "unknown-circuit");
+        Alcotest.(check int) "dup ran once" 1 (List.length (terminals_for "dup" records)));
+  ]
+
+(* ---------- warm caches ---------- *)
+
+let cache_tests =
+  [
+    Alcotest.test_case "repeated krylov jobs hit the preconditioner cache" `Slow (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let code, out =
+          run_server ~quantum:4 ~cache:32
+            [
+              tiny_envelope ~id:"warm1" ~solver:"krylov" ();
+              tiny_envelope ~id:"warm2" ~solver:"krylov" ();
+              "{\"type\":\"shutdown\",\"drain\":true}";
+            ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        List.iter
+          (fun id ->
+            match terminals_for id records with
+            | [ r ] -> Alcotest.(check string) (id ^ " result") "result" (typ r)
+            | l -> Alcotest.failf "%s: %d terminals" id (List.length l))
+          [ "warm1"; "warm2" ];
+        let counters = Obs.Metrics.counters () in
+        let count name = Option.value ~default:0 (List.assoc_opt name counters) in
+        Alcotest.(check bool) "precond hits > 0" true (count "cache.precond.hits" > 0);
+        Alcotest.(check bool) "orbit hits > 0" true (count "cache.orbit.hits" > 0);
+        (* capacity restored after the session: golden runs stay uncached *)
+        Alcotest.(check bool) "cache disabled after run" true
+          (not (Linalg.Structured.Precond_cache.enabled ())));
+  ]
+
+(* ---------- fault storms ---------- *)
+
+let fault_tests =
+  [
+    Alcotest.test_case "seeded fault storm: every job ends typed, daemon exits 0" `Slow
+      (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        Fault.with_armed "linsolve%0.05,nan%0.02,ckpt-trunc%0.2,seed=11" @@ fun () ->
+        let ids = [ "s1"; "s2"; "s3" ] in
+        let code, out =
+          run_server ~quantum:2
+            (List.map (fun id -> tiny_envelope ~id ()) ids
+            @ [ "{\"type\":\"shutdown\",\"drain\":true}" ])
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        List.iter
+          (fun id ->
+            match terminals_for id records with
+            | [ r ] ->
+              let t = typ r in
+              Alcotest.(check bool)
+                (id ^ " terminal is result or typed job-error")
+                true
+                (t = "result" || (t = "job-error" && str "kind" r <> None))
+            | l -> Alcotest.failf "%s: %d terminal records" id (List.length l))
+          ids;
+        Alcotest.(check bool) "bye record present" true
+          (List.exists (fun j -> typ j = "bye") records));
+  ]
+
+let suites =
+  [
+    ("serve_protocol", protocol_tests @ fuzz_tests);
+    ("serve_scheduler", scheduling_tests);
+    ("serve_caches", cache_tests);
+    ("serve_faults", fault_tests);
+  ]
