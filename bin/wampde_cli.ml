@@ -78,6 +78,22 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let flight_arg =
+  let doc =
+    "Where to write the flight-recorder dump ($(b,wampde.flightdump/1) JSON) when the run \
+     dies on a typed solver error, a fault-harness trip or SIGINT/SIGTERM.  The recorder is \
+     always armed; render a dump with the $(b,explain) subcommand."
+  in
+  Arg.(value & opt string "wampde-flight.json" & info [ "flight-dump" ] ~docv:"FILE" ~doc)
+
+let history_arg =
+  let doc =
+    "Append this run's manifest to the CRC-guarded history store in $(docv) (created if \
+     missing), keyed by circuit/analysis/n1/jobs/git.  Query it with the $(b,history) \
+     subcommand."
+  in
+  Arg.(value & opt (some string) None & info [ "history" ] ~docv:"DIR" ~doc)
+
 type obs_flags = {
   o_metrics : bool;
   o_trace : string option;
@@ -88,12 +104,14 @@ type obs_flags = {
   o_progress : bool;
   o_prometheus : string option;
   o_jobs : int option;
+  o_flight : string;
+  o_history : string option;
 }
 
 let obs_term =
   Term.(
     const (fun o_metrics o_trace o_perfetto o_report o_faults o_stream o_progress o_prometheus
-               o_jobs ->
+               o_jobs o_flight o_history ->
         {
           o_metrics;
           o_trace;
@@ -104,9 +122,11 @@ let obs_term =
           o_progress;
           o_prometheus;
           o_jobs;
+          o_flight;
+          o_history;
         })
     $ metrics_arg $ trace_arg $ perfetto_arg $ report_arg $ fault_arg $ stream_arg
-    $ progress_arg $ prometheus_arg $ jobs_arg)
+    $ progress_arg $ prometheus_arg $ jobs_arg $ flight_arg $ history_arg)
 
 let open_or_die file =
   try open_out file
@@ -128,9 +148,36 @@ let read_file_or_die file =
     Printf.eprintf "wampde_cli: cannot read %s: %s\n" file msg;
     exit 1
 
+(* Stable discriminant for a typed solver failure, matching the serve
+   protocol's job-error kinds. *)
+let error_kind = function
+  | Wampde.Envelope.Step_failure _ | Transient.Step_failure _ -> "step-failure"
+  | Step_control.Underflow _ -> "step-underflow"
+  | Checkpoint.Corrupt _ -> "corrupt-checkpoint"
+  | Nonlin.Polyalg.Solve_failed _ -> "solve-failed"
+  | Nonlin.Polyalg.Non_finite _ -> "non-finite"
+  | Nonlin.Continuation.Step_underflow _ -> "continuation-underflow"
+  | Mpde.Solve_failure _ -> "solve-failure"
+  | Steady.Oscillator.Nonphysical _ -> "nonphysical"
+  | _ -> "internal"
+
+(* (subcommand, dump path) of the run in flight; set by [with_obs] so
+   failure paths that exit directly can still write the postmortem. *)
+let flight_ctx = ref ("", "wampde-flight.json")
+
+let flight_dump ~kind ~message =
+  let cmd, path = !flight_ctx in
+  match
+    Obs.Flight.write ~subcommand:cmd
+      ?git:(Obs.Report.git_describe ())
+      ~jobs:(Par.Pool.jobs ()) ~path ~kind ~message ()
+  with
+  | Ok p -> Printf.eprintf "wampde_cli: flight dump written to %s (render it with 'wampde_cli explain %s')\n" p p
+  | Error msg -> Printf.eprintf "wampde_cli: flight dump failed: %s\n" msg
+
 (* Every solver failure below is typed and carries a registered
-   printer: surface it as a one-line diagnostic and a nonzero exit, not
-   a backtrace. *)
+   printer: surface it as a one-line diagnostic, a flight dump and a
+   nonzero exit, not a backtrace. *)
 let or_die f =
   try f ()
   with
@@ -139,6 +186,7 @@ let or_die f =
     | Nonlin.Polyalg.Solve_failed _ | Nonlin.Polyalg.Non_finite _
     | Nonlin.Continuation.Step_underflow _ | Mpde.Solve_failure _
     | Steady.Oscillator.Nonphysical _ ) as exn ->
+    flight_dump ~kind:(error_kind exn) ~message:(Printexc.to_string exn);
     Printf.eprintf "wampde_cli: %s\n" (Printexc.to_string exn);
     exit 1
 
@@ -152,7 +200,7 @@ let or_die f =
    [--fault-inject] (or WAMPDE_FAULTS) arms the deterministic fault
    harness for the wrapped run.  [total] is the run's slow-time target,
    powering the ETA estimate of --stream/--progress. *)
-let with_obs ?(cmd = "") ?total obs f =
+let with_obs ?(cmd = "") ?total ?(circuit = "") ?(n1 = 0) obs f =
   (* WAMPDE_JOBS seeded the pool at startup; an explicit --jobs wins *)
   (match obs.o_jobs with Some j -> Par.Pool.set_jobs j | None -> ());
   (match obs.o_faults with
@@ -167,12 +215,27 @@ let with_obs ?(cmd = "") ?total obs f =
      with Invalid_argument msg ->
        Printf.eprintf "wampde_cli: %s: %s\n" Fault.env_var msg;
        exit 1));
+  (* flight recorder: always armed, whatever the telemetry flags, so a
+     typed failure, fault trip or fatal signal can dump a postmortem *)
+  Obs.Flight.arm ();
+  flight_ctx := (cmd, obs.o_flight);
+  List.iter
+    (fun (signo, name, code) ->
+      try
+        Sys.set_signal signo
+          (Sys.Signal_handle
+             (fun _ ->
+               Obs.Flight.note ~kind:"signal" (name ^ " received");
+               flight_dump ~kind:"signal" ~message:(name ^ " received");
+               exit code))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ (Sys.sigint, "SIGINT", 130); (Sys.sigterm, "SIGTERM", 143) ];
   let { o_metrics = metrics; o_trace = trace; o_perfetto = perfetto; o_report = report; _ } =
     obs
   in
   let any =
     metrics || trace <> None || perfetto <> None || report <> None || obs.o_stream <> None
-    || obs.o_progress || obs.o_prometheus <> None
+    || obs.o_progress || obs.o_prometheus <> None || obs.o_history <> None
   in
   if not any then or_die f
   else begin
@@ -188,7 +251,9 @@ let with_obs ?(cmd = "") ?total obs f =
       if perfetto <> None then Some (Obs.Events.subscribe Obs.Trace_event.record_event)
       else None
     in
-    let collector = if report <> None then Some (Obs.Report.collect ()) else None in
+    let collector =
+      if report <> None || obs.o_history <> None then Some (Obs.Report.collect ()) else None
+    in
     let cleanup_trace =
       match trace with
       | None -> fun () -> ()
@@ -297,16 +362,33 @@ let with_obs ?(cmd = "") ?total obs f =
            | None -> ());
           if trace <> None then prerr_string (Obs.Span.tree_summary spans)
         end;
-        (match (collector, report) with
-         | Some c, Some file ->
+        (match collector with
+         | Some c ->
            let steps = Obs.Report.finish c in
-           write_file_or_die file
-             (Obs.Report.manifest ~subcommand:cmd
-                ?git:(Obs.Report.git_describe ())
-                ~jobs:(Par.Pool.jobs ())
-                ~wall_s:(Obs.now () -. t_run0)
-                ~steps ())
-         | _ -> ());
+           let git = Obs.Report.git_describe () in
+           let manifest =
+             Obs.Report.manifest ~subcommand:cmd ?git
+               ~jobs:(Par.Pool.jobs ())
+               ~wall_s:(Obs.now () -. t_run0)
+               ~steps ()
+           in
+           (match report with Some file -> write_file_or_die file manifest | None -> ());
+           (match obs.o_history with
+            | Some dir when !ran_ok ->
+              let key =
+                {
+                  Obs.History.circuit;
+                  analysis = cmd;
+                  n1;
+                  jobs = Par.Pool.jobs ();
+                  git = Option.value git ~default:"";
+                }
+              in
+              (match Obs.History.append ~dir ~key ~manifest () with
+               | Ok () -> ()
+               | Error msg -> Printf.eprintf "wampde_cli: --history: %s\n" msg)
+            | _ -> ())
+         | None -> ());
         (match obs.o_prometheus with
          | Some file -> write_file_or_die file (Obs.Metrics.to_prometheus ())
          | None -> ());
@@ -330,6 +412,8 @@ let which_conv =
 let params_of = function
   | A -> Circuit.Vco.vco_a ()
   | B -> Circuit.Vco.vco_b ()
+
+let circuit_name = function A -> "vco-a" | B -> "vco-b"
 
 let frozen_of = function
   | A -> Circuit.Vco.default_params ~control:(fun _ -> 1.5) ()
@@ -361,7 +445,7 @@ let h2_arg =
 
 let orbit_cmd =
   let run obs which n1 =
-    with_obs ~cmd:"orbit" obs @@ fun () ->
+    with_obs ~cmd:"orbit" ~circuit:(circuit_name which) ~n1 obs @@ fun () ->
     let orbit = find_orbit ~n1 which in
     Printf.printf "frequency: %.6f MHz\nperiod:    %.6f us\namplitude: %.4f V\n"
       orbit.Steady.Oscillator.omega
@@ -427,7 +511,7 @@ let resume_arg =
 let envelope_cmd =
   let run obs which n1 t_end h2 solver rtol atol h2min h2max ckpt ckpt_every resume =
     let t_end = Option.value t_end ~default:(default_t_end which) in
-    with_obs ~cmd:"envelope" ~total:t_end obs @@ fun () ->
+    with_obs ~cmd:"envelope" ~total:t_end ~circuit:(circuit_name which) ~n1 obs @@ fun () ->
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
     let dae = Circuit.Vco.build (params_of which) in
@@ -454,6 +538,11 @@ let envelope_cmd =
         else Wampde.Envelope.simulate dae ~options ~t2_end:t_end ~h2 ~init:orbit
       with
       | Wampde.Envelope.Step_failure { t2; h2; residual; iterations; residual_history } ->
+        flight_dump ~kind:"step-failure"
+          ~message:
+            (Printf.sprintf
+               "envelope Newton failed at t2 = %g (h2 = %g): residual %.3e after %d iterations"
+               t2 h2 residual iterations);
         Printf.eprintf
           "wampde_cli: envelope step failed at t2 = %.6g us (h2 = %.3g): Newton residual \
            %.3e after %d iterations\n"
@@ -465,12 +554,16 @@ let envelope_cmd =
         end;
         exit 1
       | Step_control.Underflow { t; h } ->
+        flight_dump ~kind:"step-underflow"
+          ~message:
+            (Printf.sprintf "step control drove h2 below minimum at t2 = %g (h2 = %g)" t h);
         Printf.eprintf
           "wampde_cli: adaptive step control drove h2 below the minimum at t2 = %.6g us (h2 \
            = %.3g); relax --rtol or lower --h2min\n"
           t h;
         exit 1
       | Checkpoint.Corrupt msg ->
+        flight_dump ~kind:"corrupt-checkpoint" ~message:msg;
         Printf.eprintf "wampde_cli: cannot resume: %s\n" msg;
         exit 1
     in
@@ -504,7 +597,7 @@ let transient_cmd =
   in
   let run obs which t_end pts stride =
     let t_end = Option.value t_end ~default:(default_t_end which) in
-    with_obs ~cmd:"transient" ~total:t_end obs @@ fun () ->
+    with_obs ~cmd:"transient" ~total:t_end ~circuit:(circuit_name which) obs @@ fun () ->
     let orbit = find_orbit which in
     let dae = Circuit.Vco.build (params_of which) in
     let x0 = Array.init dae.Dae.dim (fun i -> orbit.Steady.Oscillator.grid.(0).(i)) in
@@ -537,7 +630,7 @@ let quasi_cmd =
   in
   let run obs n1 n2 gmres =
     (* the embedded envelope warmup integrates to t2 = 200 *)
-    with_obs ~cmd:"quasi" ~total:200. obs @@ fun () ->
+    with_obs ~cmd:"quasi" ~total:200. ~circuit:"vco-a" ~n1 obs @@ fun () ->
     let dae = Circuit.Vco.build (Circuit.Vco.vco_a ()) in
     let orbit = find_orbit ~n1 A in
     let options = Wampde.Envelope.default_options ~n1 () in
@@ -563,7 +656,7 @@ let waveform_cmd =
   in
   let run obs which n1 t_end h2 per_cycle =
     let t_end = Option.value t_end ~default:(default_t_end which) in
-    with_obs ~cmd:"waveform" ~total:t_end obs @@ fun () ->
+    with_obs ~cmd:"waveform" ~total:t_end ~circuit:(circuit_name which) ~n1 obs @@ fun () ->
     let h2 = Option.value h2 ~default:(default_h2 which) in
     let orbit = find_orbit ~n1 which in
     let dae = Circuit.Vco.build (params_of which) in
@@ -594,7 +687,7 @@ let deck_cmd =
     Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"N" ~doc)
   in
   let run obs deck t_end steps =
-    with_obs ~cmd:"deck" ~total:t_end obs @@ fun () ->
+    with_obs ~cmd:"deck" ~total:t_end ~circuit:(Filename.basename deck) obs @@ fun () ->
     match Circuit.Parser.parse_file deck with
     | exception Circuit.Parser.Parse_error { line; message } ->
       Printf.eprintf "%s:%d: %s\n" deck line message;
@@ -692,6 +785,330 @@ let doctor_cmd =
     (Cmd.info "doctor" ~doc)
     Term.(const run $ manifest_pos $ stream_file_arg $ strict_arg $ json_arg)
 
+let explain_cmd =
+  let dump_pos =
+    let doc =
+      "Flight dump to render: the file written through $(b,--flight-dump) on a failing run, \
+       or the $(b,flight) path attached to a $(b,serve) job-error record."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DUMP" ~doc)
+  in
+  let run file =
+    match Obs.Flight.to_postmortem (read_file_or_die file) with
+    | Ok text -> print_string text
+    | Error msg ->
+      Printf.eprintf "explain: %s: %s\n" file msg;
+      exit 1
+  in
+  let doc =
+    "render a $(b,wampde.flightdump/1) postmortem: the failure reason, run provenance, the \
+     recorded event timeline (failing event last) and doctor findings from the embedded \
+     metrics snapshot"
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ dump_pos)
+
+(* ---------- run-history analytics ---------- *)
+
+let history_dir_arg =
+  let doc = "History store directory (as passed to $(b,--history) on a run)." in
+  Arg.(value & opt string "wampde-history" & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let key_filter_arg =
+  let doc = "Only consider entries whose key contains $(docv) (substring match)." in
+  Arg.(value & opt (some string) None & info [ "key" ] ~docv:"SUBSTR" ~doc)
+
+let last_arg =
+  let doc = "Window size: the newest $(docv) runs per key feed the robust statistics." in
+  Arg.(value & opt int 8 & info [ "last" ] ~docv:"K" ~doc)
+
+let nsigma_arg =
+  let doc = "MAD-based outlier threshold in (scaled) sigmas." in
+  Arg.(value & opt float 4.0 & info [ "nsigma" ] ~docv:"S" ~doc)
+
+(* Load the store, surfacing (but not dying on) corrupt lines: a
+   mangled history degrades to a partial one. *)
+let load_history dir =
+  let entries, warnings = Obs.History.load ~dir in
+  List.iter (fun w -> Printf.eprintf "wampde_cli: history: warning: %s\n" w) warnings;
+  entries
+
+let matches_filter filter key =
+  match filter with
+  | None -> true
+  | Some sub ->
+    let ks = Obs.History.key_string key and n = String.length sub in
+    let rec scan i = i + n <= String.length ks && (String.sub ks i n = sub || scan (i + 1)) in
+    n = 0 || scan 0
+
+let iso_time t =
+  if Float.is_nan t then "-"
+  else
+    let tm = Unix.gmtime t in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* Entries grouped by key string, insertion (= chronological) order
+   preserved within and across groups. *)
+let group_by_key entries =
+  let order = ref [] in
+  let tbl : (string, Obs.History.entry list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Obs.History.entry) ->
+      let k = Obs.History.key_string e.key in
+      if not (Hashtbl.mem tbl k) then order := k :: !order;
+      Hashtbl.replace tbl k (e :: (try Hashtbl.find tbl k with Not_found -> [])))
+    entries;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let history_list_cmd =
+  let run dir =
+    let entries = load_history dir in
+    if entries = [] then print_endline "history: no entries"
+    else
+      List.iteri
+        (fun i (e : Obs.History.entry) ->
+          Printf.printf "#%-3d %-52s wall %8.3f s  %s\n" (i + 1)
+            (Obs.History.key_string e.key) e.wall_s (iso_time e.unix_time))
+        entries
+  in
+  let doc = "list every stored run (oldest first) with its key, wall time and timestamp" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ history_dir_arg)
+
+let nth_entry entries n =
+  if n < 1 || n > List.length entries then begin
+    Printf.eprintf "history: no entry #%d (store has %d; see 'history list')\n" n
+      (List.length entries);
+    exit 2
+  end
+  else List.nth entries (n - 1)
+
+let history_show_cmd =
+  let n_pos =
+    let doc = "Entry number as printed by $(b,history list)." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
+  in
+  let run dir n =
+    let e = nth_entry (load_history dir) n in
+    let manifest = Obs.Json.to_string e.Obs.History.manifest in
+    match Obs.Report.to_markdown manifest with
+    | Ok md -> print_string md
+    | Error _ -> print_endline manifest
+  in
+  let doc = "render one stored run manifest as markdown (raw JSON when it fails to render)" in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ history_dir_arg $ n_pos)
+
+(* counters and gauges of a run-report manifest, as assoc lists *)
+let manifest_metrics j =
+  let obj k v = match Obs.Json.member k v with Some (Obs.Json.Obj l) -> l | _ -> [] in
+  match Obs.Json.member "metrics" j with
+  | Some m -> (obj "counters" m, obj "gauges" m)
+  | None -> ([], [])
+
+let history_compare_cmd =
+  let a_pos =
+    let doc = "Baseline entry number (see $(b,history list))." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"A" ~doc)
+  in
+  let b_pos =
+    let doc = "Entry number to compare against the baseline." in
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"B" ~doc)
+  in
+  let run dir a b =
+    let entries = load_history dir in
+    let ea = nth_entry entries a and eb = nth_entry entries b in
+    let num j = Option.value (Obs.Json.to_num j) ~default:nan in
+    Printf.printf "# history compare #%d vs #%d\n\n" a b;
+    Printf.printf "| | #%d | #%d |\n|---|---|---|\n" a b;
+    Printf.printf "| key | %s | %s |\n"
+      (Obs.History.key_string ea.Obs.History.key)
+      (Obs.History.key_string eb.Obs.History.key);
+    Printf.printf "| recorded | %s | %s |\n" (iso_time ea.unix_time) (iso_time eb.unix_time);
+    let rel x y = if Float.is_finite x && x <> 0. && Float.is_finite y then Printf.sprintf " (%+.1f%%)" (100. *. (y -. x) /. Float.abs x) else "" in
+    Printf.printf "| wall_s | %.3f | %.3f%s |\n\n" ea.wall_s eb.wall_s (rel ea.wall_s eb.wall_s);
+    let ca, ga = manifest_metrics ea.manifest and cb, gb = manifest_metrics eb.manifest in
+    let changed =
+      List.filter_map
+        (fun (k, va) ->
+          match List.assoc_opt k cb with
+          | Some vb when num va <> num vb -> Some (k, num va, num vb)
+          | _ -> None)
+        ca
+      @ List.filter_map
+          (fun (k, vb) -> if List.mem_assoc k ca then None else Some (k, 0., num vb))
+          cb
+    in
+    if changed <> [] then begin
+      Printf.printf "## counters\n\n| counter | #%d | #%d | delta |\n|---|---|---|---|\n" a b;
+      List.iter
+        (fun (k, va, vb) -> Printf.printf "| %s | %.0f | %.0f | %+.0f |\n" k va vb (vb -. va))
+        changed;
+      print_newline ()
+    end;
+    let gchanged =
+      List.filter_map
+        (fun (k, va) ->
+          match List.assoc_opt k gb with
+          | Some vb when num va <> num vb -> Some (k, num va, num vb)
+          | _ -> None)
+        ga
+    in
+    if gchanged <> [] then begin
+      Printf.printf "## gauges\n\n| gauge | #%d | #%d | change |\n|---|---|---|---|\n" a b;
+      List.iter
+        (fun (k, va, vb) -> Printf.printf "| %s | %.6g | %.6g | %s |\n" k va vb
+            (let r = rel va vb in if r = "" then Printf.sprintf "%+.6g" (vb -. va) else String.trim r))
+        gchanged;
+      print_newline ()
+    end
+  in
+  let doc = "markdown delta of two stored runs: wall time, changed counters and gauges" in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ history_dir_arg $ a_pos $ b_pos)
+
+let history_trend_cmd =
+  let run dir filter last nsigma =
+    let entries = List.filter (fun (e : Obs.History.entry) -> matches_filter filter e.key) (load_history dir) in
+    if entries = [] then print_endline "history: no matching entries"
+    else
+      List.iter
+        (fun (ks, es) ->
+          let walls =
+            List.filter Float.is_finite (List.map (fun (e : Obs.History.entry) -> e.wall_s) es)
+          in
+          let window =
+            let n = List.length walls in
+            if n <= last then walls else List.filteri (fun i _ -> i >= n - last) walls
+          in
+          match List.rev window with
+          | [] -> Printf.printf "%-52s runs=%d (no finite wall times)\n" ks (List.length es)
+          | latest :: _ ->
+            let med = Obs.History.median window and mad = Obs.History.mad window in
+            let flag =
+              if List.length window >= 3 && Obs.History.is_outlier ~nsigma ~median:med ~mad latest
+              then
+                if latest > med then "  << SLOWER than trend" else "  << faster than trend"
+              else ""
+            in
+            Printf.printf "%-52s runs=%d  median %.3f s  mad %.3f  latest %.3f s%s\n" ks
+              (List.length es) med mad latest flag)
+        (group_by_key entries)
+  in
+  let doc =
+    "per-key robust trend over the newest $(b,--last) runs: median and MAD of wall time, \
+     flagging a latest run that falls outside $(b,--nsigma) scaled MADs"
+  in
+  Cmd.v (Cmd.info "trend" ~doc)
+    Term.(const run $ history_dir_arg $ key_filter_arg $ last_arg $ nsigma_arg)
+
+(* Resolve a --prev/--fresh operand to a bench manifest file: a file is
+   itself, a directory contributes its lexicographically newest
+   BENCH_*.json (the file names embed the date). *)
+let resolve_bench path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6 && String.sub f 0 6 = "BENCH_" && Filename.check_suffix f ".json")
+    |> List.sort compare |> List.rev
+    |> function
+    | f :: _ -> Some (Filename.concat path f)
+    | [] -> None
+  else if Sys.file_exists path then Some path
+  else None
+
+let history_gate_cmd =
+  let prev_arg =
+    let doc = "Baseline bench manifest: a BENCH_*.json file or a directory holding one." in
+    Arg.(value & opt (some string) None & info [ "prev" ] ~docv:"PATH" ~doc)
+  in
+  let fresh_arg =
+    let doc = "Fresh bench manifest (file or directory).  Enables bench-gate mode." in
+    Arg.(value & opt (some string) None & info [ "fresh" ] ~docv:"PATH" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Regression threshold on the fresh/baseline speedup ratio." in
+    Arg.(value & opt float 0.75 & info [ "threshold" ] ~docv:"R" ~doc)
+  in
+  let run dir filter last nsigma prev fresh threshold =
+    match fresh with
+    | Some fresh_path -> (
+      (* bench-gate mode: the scripts/bench_trend.py decision, natively *)
+      match resolve_bench fresh_path with
+      | None ->
+        Printf.eprintf "history gate: no BENCH_*.json at %s\n" fresh_path;
+        exit 2
+      | Some fresh_file -> (
+        match Obs.Json.parse (read_file_or_die fresh_file) with
+        | Error msg ->
+          Printf.eprintf "history gate: %s: %s\n" fresh_file msg;
+          exit 2
+        | Ok fresh_j -> (
+          let prev_j =
+            match Option.bind prev resolve_bench with
+            | None -> None
+            | Some f -> (
+              match Obs.Json.parse (read_file_or_die f) with Ok j -> Some j | Error _ -> None)
+          in
+          match Obs.History.speedup_gate ~threshold ~prev:prev_j ~fresh:fresh_j () with
+          | Obs.History.Gate_pass msg ->
+            Printf.printf "history gate: PASS: %s\n" msg
+          | Obs.History.Gate_no_baseline msg ->
+            Printf.printf "history gate: PASS (no baseline): %s\n" msg
+          | Obs.History.Gate_regression msg ->
+            Printf.eprintf "history gate: REGRESSION: %s\n" msg;
+            exit 1
+          | Obs.History.Gate_data_error msg ->
+            Printf.eprintf "history gate: DATA ERROR: %s\n" msg;
+            exit 2)))
+    | None ->
+      (* store mode: gate the newest run of each key against its own
+         median-of-last-K wall time *)
+      let entries =
+        List.filter (fun (e : Obs.History.entry) -> matches_filter filter e.key) (load_history dir)
+      in
+      if entries = [] then print_endline "history gate: PASS (no history)"
+      else begin
+        let regressions = ref 0 in
+        List.iter
+          (fun (ks, es) ->
+            let walls =
+              List.filter Float.is_finite (List.map (fun (e : Obs.History.entry) -> e.wall_s) es)
+            in
+            let n = List.length walls in
+            let window = if n <= last then walls else List.filteri (fun i _ -> i >= n - last) walls in
+            match List.rev window with
+            | latest :: (_ :: _ :: _ as rest) ->
+              let base = List.rev rest in
+              let med = Obs.History.median base and mad = Obs.History.mad base in
+              if Obs.History.is_outlier ~nsigma ~median:med ~mad latest && latest > med then begin
+                incr regressions;
+                Printf.eprintf
+                  "history gate: REGRESSION: %s: latest wall %.3f s vs median %.3f s (mad %.3f)\n"
+                  ks latest med mad
+              end
+              else Printf.printf "history gate: ok: %s: latest %.3f s, median %.3f s\n" ks latest med
+            | _ -> Printf.printf "history gate: ok: %s: too few runs to judge\n" ks)
+          (group_by_key entries);
+        if !regressions > 0 then exit 1
+      end
+  in
+  let doc =
+    "CI regression gate with a typed exit code: 0 pass (or no usable baseline), 1 regression, \
+     2 unusable fresh data.  With $(b,--fresh) (and optionally $(b,--prev)) it reproduces the \
+     bench_trend.py krylov-speedup check over BENCH_*.json manifests; without it, it gates \
+     each key's newest wall time against the median of its own history."
+  in
+  Cmd.v (Cmd.info "gate" ~doc)
+    Term.(
+      const run $ history_dir_arg $ key_filter_arg $ last_arg $ nsigma_arg $ prev_arg $ fresh_arg
+      $ threshold_arg)
+
+let history_cmd =
+  let doc =
+    "query the CRC-guarded run-history store written by $(b,--history): list and render stored \
+     manifests, diff two runs, trend wall times and gate CI on regressions"
+  in
+  Cmd.group (Cmd.info "history" ~doc)
+    [ history_list_cmd; history_show_cmd; history_compare_cmd; history_trend_cmd; history_gate_cmd ]
+
 let serve_cmd =
   let quantum_arg =
     let doc =
@@ -755,5 +1172,5 @@ let () =
        (Cmd.group info
           [
             orbit_cmd; envelope_cmd; transient_cmd; quasi_cmd; waveform_cmd; deck_cmd; report_cmd;
-            doctor_cmd; serve_cmd;
+            doctor_cmd; explain_cmd; history_cmd; serve_cmd;
           ]))

@@ -134,7 +134,13 @@ let fire kind =
     in
     if hit then begin
       s.injected.(i) <- s.injected.(i) + 1;
-      Obs.Metrics.incr c_injected.(i)
+      Obs.Metrics.incr c_injected.(i);
+      (* every harness trip lands on the flight-recorder timeline, so a
+         dump triggered by the resulting failure shows the injection
+         that caused it *)
+      Obs.Flight.note ~kind:"fault"
+        (Printf.sprintf "injected %s (call %d, injection %d)" (kind_name kind) s.calls.(i)
+           s.injected.(i))
     end;
     hit
 

@@ -226,6 +226,18 @@ module Json = struct
   let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
   let to_num = function Num v -> Some v | _ -> None
   let to_str = function Str v -> Some v | _ -> None
+
+  let rec to_string = function
+    | Null -> "null"
+    | Bool b -> string_of_bool b
+    | Num v -> json_float v
+    | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+    | Arr l -> "[" ^ String.concat "," (List.map to_string l) ^ "]"
+    | Obj kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (to_string v)) kvs)
+      ^ "}"
 end
 
 module Metrics = struct
@@ -523,22 +535,49 @@ module Metrics = struct
     else if v = Float.neg_infinity then "-Inf"
     else Printf.sprintf "%.12g" v
 
+  (* Label values per the exposition format escape exactly backslash,
+     double-quote and line feed — nothing else.  JSON escaping would
+     additionally mangle tabs and control bytes into \uXXXX sequences
+     Prometheus renders literally, so it cannot be reused here. *)
   let prom_label s =
-    (* label values share JSON's escaping rules for backslash, quote
-       and newline *)
-    json_escape s
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* HELP text escapes only backslash and line feed (no quote: HELP is
+     not quoted).  The original dotted metric name rides in the HELP
+     line so a scraper can invert the name sanitization. *)
+  let prom_help s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
 
   let to_prometheus () =
     let buf = Buffer.create 1024 in
     List.iter
       (fun (name, n) ->
         let p = prom_name name in
-        Printf.bprintf buf "# TYPE %s counter\n%s %d\n" p p n)
+        Printf.bprintf buf "# HELP %s wampde counter %s\n# TYPE %s counter\n%s %d\n" p
+          (prom_help name) p p n)
       (counters ());
     List.iter
       (fun (name, scopes) ->
         let p = prom_name name ^ "_scoped" in
-        Printf.bprintf buf "# TYPE %s counter\n" p;
+        Printf.bprintf buf "# HELP %s wampde counter %s by scope\n# TYPE %s counter\n" p
+          (prom_help name) p;
         List.iter
           (fun (scope, n) ->
             Printf.bprintf buf "%s{scope=\"%s\"} %d\n" p
@@ -549,12 +588,14 @@ module Metrics = struct
     List.iter
       (fun (name, v) ->
         let p = prom_name name in
-        Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" p p (prom_float v))
+        Printf.bprintf buf "# HELP %s wampde gauge %s\n# TYPE %s gauge\n%s %s\n" p
+          (prom_help name) p p (prom_float v))
       (gauges ());
     List.iter
       (fun (name, s) ->
         let p = prom_name name in
-        Printf.bprintf buf "# TYPE %s histogram\n" p;
+        Printf.bprintf buf "# HELP %s wampde histogram %s\n# TYPE %s histogram\n" p
+          (prom_help name) p;
         let cum = ref 0 in
         List.iter
           (fun (_, hi, n) ->
@@ -1087,6 +1128,10 @@ module Span = struct
     t_start : float;
     t_stop : float;
     gc : gc_delta option;
+    tid : int;
+        (* trace track: 1 = the calling domain, 1+w for pool worker w.
+           Spans opened by [span] always carry 1; worker-side work is
+           reported post-barrier through [emit_external]. *)
   }
 
   type instant = { i_name : string; i_attrs : (string * attr) list; i_t : float }
@@ -1200,7 +1245,37 @@ module Span = struct
                   id (json_escape name) (json_float t1) (json_float (t1 -. t0)) gc_field)
            | None -> ());
           if !recording then
-            completed := { id; parent; name; attrs; t_start = t0; t_stop = t1; gc } :: !completed)
+            completed :=
+              { id; parent; name; attrs; t_start = t0; t_stop = t1; gc; tid = 1 } :: !completed)
+    end
+
+  (* Report a span that ran on another domain.  Pool workers must not
+     touch this module's global state (plain refs, no synchronization),
+     so they only write wall-clock readings into caller-owned arrays;
+     the calling domain turns them into records here, after the
+     barrier.  [t_start]/[t_stop] are absolute [Unix.gettimeofday]
+     readings; [tid] picks the trace track (1 = the calling domain,
+     1+w for worker w). *)
+  let emit_external ?(attrs = []) ~tid ~name ~t_start ~t_stop () =
+    if tracing () then begin
+      let id = !next_id in
+      incr next_id;
+      let t0 = t_start -. !epoch and t1 = t_stop -. !epoch in
+      (match !writer with
+       | Some w ->
+         w
+           (Printf.sprintf
+              "{\"type\":\"span_start\",\"id\":%d,\"parent\":null,\"name\":\"%s\",\"t_s\":%s,\"tid\":%d,\"attrs\":%s}"
+              id (json_escape name) (json_float t0) tid (attrs_json attrs));
+         w
+           (Printf.sprintf
+              "{\"type\":\"span_stop\",\"id\":%d,\"name\":\"%s\",\"t_s\":%s,\"dur_s\":%s,\"tid\":%d}"
+              id (json_escape name) (json_float t1) (json_float (t1 -. t0)) tid)
+       | None -> ());
+      if !recording then
+        completed :=
+          { id; parent = None; name; attrs; t_start = t0; t_stop = t1; gc = None; tid }
+          :: !completed
     end
 
   (* Aggregate completed spans into a tree keyed by the name path from
@@ -1303,6 +1378,20 @@ module Trace_event = struct
     Printf.bprintf buf
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
       pid tid (json_escape process_name);
+    (* one named track per domain seen in the spans: tid 1 is the main
+       domain, 1+w is pool worker w — multicore spans land on separate
+       Perfetto tracks instead of overlapping on one *)
+    let tids =
+      List.sort_uniq compare (tid :: List.map (fun (r : Span.record) -> r.Span.tid) spans)
+    in
+    List.iter
+      (fun t ->
+        sep ();
+        Printf.bprintf buf
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+          pid t
+          (if t = tid then "main" else Printf.sprintf "worker-%d" (t - tid)))
+      tids;
     (* span tree: children by parent id, roots in start order *)
     let ids = Hashtbl.create 64 in
     List.iter (fun (r : Span.record) -> Hashtbl.replace ids r.Span.id ()) spans;
@@ -1324,7 +1413,7 @@ module Trace_event = struct
       Printf.bprintf buf "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
         (json_escape r.Span.name)
         (json_float (us r.Span.t_start))
-        pid tid;
+        pid r.Span.tid;
       buf_args buf (span_args r);
       Buffer.add_char buf '}';
       List.iter emit
@@ -1333,7 +1422,7 @@ module Trace_event = struct
       Printf.bprintf buf "{\"name\":\"%s\",\"ph\":\"E\",\"ts\":%s,\"pid\":%d,\"tid\":%d}"
         (json_escape r.Span.name)
         (json_float (us r.Span.t_stop))
-        pid tid
+        pid r.Span.tid
     in
     List.iter emit (sort_spans !roots);
     (* A run that opened zero spans and recorded zero instants would
@@ -1418,6 +1507,20 @@ end
 (* ------------------------------------------------------------------ *)
 (* Run report: self-contained JSON manifest + markdown rendering       *)
 (* ------------------------------------------------------------------ *)
+
+(* Provenance block shared by run manifests and flight dumps: both
+   kinds of evidence identify the producing run the same way, so a
+   postmortem can be matched to its run report field-for-field. *)
+let provenance_fields buf ~argv ~subcommand ~git ~jobs =
+  Printf.bprintf buf "\"argv\":[%s],"
+    (String.concat ","
+       (List.map (fun a -> Printf.sprintf "\"%s\"" (json_escape a)) (Array.to_list argv)));
+  Printf.bprintf buf "\"subcommand\":\"%s\"," (json_escape subcommand);
+  Printf.bprintf buf "\"jobs\":%d," (max 1 jobs);
+  Printf.bprintf buf "\"git\":%s,"
+    (match git with Some g -> Printf.sprintf "\"%s\"" (json_escape g) | None -> "null");
+  Printf.bprintf buf "\"ocaml\":\"%s\"," (json_escape Sys.ocaml_version);
+  Printf.bprintf buf "\"unix_time\":%s," (json_float (Unix.time ()))
 
 module Report = struct
   let schema = "wampde.run-report/1"
@@ -1518,15 +1621,7 @@ module Report = struct
     let gc = Gc.quick_stat () in
     Buffer.add_char buf '{';
     Printf.bprintf buf "\"schema\":\"%s\"," (json_escape schema);
-    Printf.bprintf buf "\"argv\":[%s],"
-      (String.concat ","
-         (List.map (fun a -> Printf.sprintf "\"%s\"" (json_escape a)) (Array.to_list argv)));
-    Printf.bprintf buf "\"subcommand\":\"%s\"," (json_escape subcommand);
-    Printf.bprintf buf "\"jobs\":%d," (max 1 jobs);
-    Printf.bprintf buf "\"git\":%s,"
-      (match git with Some g -> Printf.sprintf "\"%s\"" (json_escape g) | None -> "null");
-    Printf.bprintf buf "\"ocaml\":\"%s\"," (json_escape Sys.ocaml_version);
-    Printf.bprintf buf "\"unix_time\":%s," (json_float (Unix.time ()));
+    provenance_fields buf ~argv ~subcommand ~git ~jobs;
     Printf.bprintf buf "\"wall_s\":%s," (json_float wall_s);
     Printf.bprintf buf
       "\"gc\":{\"minor_words\":%s,\"promoted_words\":%s,\"major_words\":%s,\"minor_collections\":%d,\"major_collections\":%d,\"heap_words\":%d},"
@@ -2197,4 +2292,530 @@ module Doctor = struct
     in
     Printf.sprintf "{\"schema\":\"wampde.doctor/1\",\"findings\":[%s]}"
       (String.concat "," (List.map one findings))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: bounded ring of recent telemetry for postmortems   *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = struct
+  let schema = "wampde.flightdump/1"
+
+  (* small metric snapshot taken at macro-step boundaries; reading a
+     pre-looked-up counter is one field access, so a snapshot costs
+     only its own cell *)
+  type snap = {
+    s_accepted : int;
+    s_rejected : int;
+    s_retried : int;
+    s_newton : int;
+    s_gmres : int;
+    s_warnings : int;
+  }
+
+  type cell =
+    | Event of float * Events.t
+    | Note of float * string * string  (* wall time, kind, message *)
+    | Snapshot of float * snap
+
+  (* dummy filler so the ring can be a plain preallocated [cell array] *)
+  let filler = Note (0., "", "")
+
+  type state = {
+    mutable ring : cell array;  (* fixed capacity, allocated at [arm] *)
+    mutable head : int;  (* next write position *)
+    mutable count : int;  (* valid cells, <= capacity *)
+    mutable dropped : int;  (* cells overwritten after the ring filled *)
+    mutable sub : Events.subscription option;
+  }
+
+  let st = { ring = [||]; head = 0; count = 0; dropped = 0; sub = None }
+
+  let c_accepted = Metrics.counter "step.accepted"
+  let c_rejected = Metrics.counter "step.rejected"
+  let c_retried = Metrics.counter "step.retried"
+  let c_newton = Metrics.counter "newton.iterations"
+  let c_gmres = Metrics.counter "gmres.iterations"
+  let c_warn = Metrics.counter "health.warnings"
+
+  (* O(1), no allocation beyond the cell the caller built: an overwrite
+     of the oldest cell is a store plus two index updates *)
+  let push cell =
+    let cap = Array.length st.ring in
+    if cap > 0 then begin
+      if st.count = cap then st.dropped <- st.dropped + 1 else st.count <- st.count + 1;
+      st.ring.(st.head) <- cell;
+      st.head <- (st.head + 1) mod cap
+    end
+
+  let handle e =
+    push (Event (now (), e));
+    match e with
+    | Events.Step_accept _ | Events.Step_reject _ | Events.Step_retry _ ->
+      push
+        (Snapshot
+           ( now (),
+             {
+               s_accepted = Metrics.count c_accepted;
+               s_rejected = Metrics.count c_rejected;
+               s_retried = Metrics.count c_retried;
+               s_newton = Metrics.count c_newton;
+               s_gmres = Metrics.count c_gmres;
+               s_warnings = Metrics.count c_warn;
+             } ))
+    | _ -> ()
+
+  let armed () = st.sub <> None
+
+  let arm ?(capacity = 512) () =
+    if not (armed ()) then begin
+      let capacity = Int.max 16 capacity in
+      if Array.length st.ring <> capacity then st.ring <- Array.make capacity filler;
+      st.head <- 0;
+      st.count <- 0;
+      st.dropped <- 0;
+      st.sub <- Some (Events.subscribe handle)
+    end
+
+  let disarm () =
+    (match st.sub with Some id -> Events.unsubscribe id | None -> ());
+    st.sub <- None
+
+  let clear () =
+    st.head <- 0;
+    st.count <- 0;
+    st.dropped <- 0;
+    if Array.length st.ring > 0 then Array.fill st.ring 0 (Array.length st.ring) filler
+
+  (* out-of-band marker (fault-harness trips, scheduler decisions);
+     recorded even while telemetry is disabled so an injected fault is
+     always on the timeline of the dump it caused *)
+  let note ~kind message = push (Note (now (), kind, message))
+
+  let recorded () = st.count
+  let dropped () = st.dropped
+
+  let cells () =
+    let cap = Array.length st.ring in
+    if cap = 0 || st.count = 0 then []
+    else begin
+      let start = (st.head - st.count + (2 * cap)) mod cap in
+      List.init st.count (fun i -> st.ring.((start + i) mod cap))
+    end
+
+  let cell_time = function Event (t, _) | Note (t, _, _) | Snapshot (t, _) -> t
+
+  let cell_json ~t0 c =
+    let rel t = json_float (t -. t0) in
+    match c with
+    | Event (t, e) ->
+      (* splice the timestamp in as the leading field of the event's
+         own JSON object *)
+      let j = Events.to_json e in
+      Printf.sprintf "{\"t_s\":%s,%s" (rel t) (String.sub j 1 (String.length j - 1))
+    | Note (t, kind, message) ->
+      Printf.sprintf "{\"t_s\":%s,\"type\":\"note\",\"kind\":\"%s\",\"message\":\"%s\"}" (rel t)
+        (json_escape kind) (json_escape message)
+    | Snapshot (t, s) ->
+      Printf.sprintf
+        "{\"t_s\":%s,\"type\":\"snapshot\",\"accepted\":%d,\"rejected\":%d,\"retried\":%d,\"newton_iterations\":%d,\"gmres_iterations\":%d,\"health_warnings\":%d}"
+        (rel t) s.s_accepted s.s_rejected s.s_retried s.s_newton s.s_gmres s.s_warnings
+
+  let dump ?(argv = Sys.argv) ?(subcommand = "") ?git ?(jobs = 1) ~kind ~message () =
+    let cs = cells () in
+    let t_now = now () in
+    let t0 = match cs with [] -> t_now | c :: _ -> cell_time c in
+    let buf = Buffer.create 4096 in
+    Buffer.add_char buf '{';
+    Printf.bprintf buf "\"schema\":\"%s\"," (json_escape schema);
+    provenance_fields buf ~argv ~subcommand ~git ~jobs;
+    Printf.bprintf buf "\"reason\":{\"kind\":\"%s\",\"message\":\"%s\"}," (json_escape kind)
+      (json_escape message);
+    Printf.bprintf buf "\"capacity\":%d,\"recorded\":%d,\"dropped\":%d," (Array.length st.ring)
+      st.count st.dropped;
+    Printf.bprintf buf "\"metrics\":%s," (Metrics.to_json ());
+    Buffer.add_string buf "\"timeline\":[";
+    List.iter
+      (fun c ->
+        Buffer.add_string buf (cell_json ~t0 c);
+        Buffer.add_char buf ',')
+      cs;
+    (* the triggering failure is always the final timeline entry *)
+    Buffer.add_string buf (cell_json ~t0 (Note (t_now, kind, message)));
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+
+  let write ?argv ?subcommand ?git ?jobs ~path ~kind ~message () =
+    try
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (dump ?argv ?subcommand ?git ?jobs ~kind ~message ());
+          output_char oc '\n');
+      Ok path
+    with Sys_error m -> Result.Error m
+
+  (* ---------- postmortem rendering ---------- *)
+
+  let render_value = function
+    | Json.Num v -> Printf.sprintf "%.6g" v
+    | Json.Str s -> s
+    | Json.Bool b -> string_of_bool b
+    | Json.Null -> "null"
+    | Json.Arr _ | Json.Obj _ -> "..."
+
+  let render_entry buf entry =
+    match entry with
+    | Json.Obj kvs ->
+      let t_s =
+        match Option.bind (List.assoc_opt "t_s" kvs) Json.to_num with Some v -> v | None -> nan
+      in
+      let label =
+        match List.assoc_opt "type" kvs with
+        | Some (Json.Str "event") -> (
+          match Option.bind (List.assoc_opt "event" kvs) Json.to_str with
+          | Some e -> e
+          | None -> "event")
+        | Some (Json.Str t) -> t
+        | _ -> "?"
+      in
+      Printf.bprintf buf "  %+10.3fs  %-16s" t_s label;
+      List.iter
+        (fun (k, v) ->
+          match k with
+          | "t_s" | "type" | "event" -> ()
+          | _ -> Printf.bprintf buf " %s=%s" k (render_value v))
+        kvs;
+      Buffer.add_char buf '\n'
+    | _ -> Buffer.add_string buf "  (malformed timeline entry)\n"
+
+  let to_postmortem contents =
+    match Json.parse contents with
+    | Result.Error m -> Result.Error (Printf.sprintf "malformed flight dump: %s" m)
+    | Ok j ->
+      let str k = Option.bind (Json.member k j) Json.to_str in
+      let num k = Option.bind (Json.member k j) Json.to_num in
+      (match str "schema" with
+       | Some s when String.length s >= 16 && String.sub s 0 16 = "wampde.flightdum" ->
+         let buf = Buffer.create 2048 in
+         Buffer.add_string buf "== flight postmortem ==\n";
+         (match Json.member "reason" j with
+          | Some r ->
+            Printf.bprintf buf "reason: %s: %s\n"
+              (Option.value ~default:"?" (Option.bind (Json.member "kind" r) Json.to_str))
+              (Option.value ~default:"?" (Option.bind (Json.member "message" r) Json.to_str))
+          | None -> Buffer.add_string buf "reason: (missing)\n");
+         (match str "subcommand" with
+          | Some c when c <> "" -> Printf.bprintf buf "subcommand: %s\n" c
+          | _ -> ());
+         (match Json.member "argv" j with
+          | Some (Json.Arr args) ->
+            Printf.bprintf buf "argv: %s\n"
+              (String.concat " " (List.filter_map Json.to_str args))
+          | _ -> ());
+         (match str "git" with Some g -> Printf.bprintf buf "git: %s\n" g | None -> ());
+         (match num "jobs" with
+          | Some jv when jv > 1. -> Printf.bprintf buf "jobs: %.0f\n" jv
+          | _ -> ());
+         (match (num "recorded", num "dropped") with
+          | Some r, Some d ->
+            Printf.bprintf buf "ring: %.0f cell(s) recorded, %.0f dropped\n" r d
+          | _ -> ());
+         (match Json.member "timeline" j with
+          | Some (Json.Arr entries) when entries <> [] ->
+            Printf.bprintf buf "\ntimeline (%d entries, oldest first):\n" (List.length entries);
+            List.iter (render_entry buf) entries
+          | _ -> Buffer.add_string buf "\ntimeline: empty\n");
+         (* the dump embeds a full metrics snapshot, so the doctor can
+            diagnose the dump exactly as it would a run manifest *)
+         let findings = Doctor.diagnose j in
+         Buffer.add_char buf '\n';
+         Buffer.add_string buf (Doctor.render findings);
+         Ok (Buffer.contents buf)
+       | Some s -> Result.Error (Printf.sprintf "not a flight dump: schema %S" s)
+       | None -> Result.Error "not a flight dump: no schema field")
+end
+
+(* ------------------------------------------------------------------ *)
+(* Run-history store: append-only CRC-guarded NDJSON of run manifests  *)
+(* ------------------------------------------------------------------ *)
+
+module History = struct
+  exception Corrupt of string
+
+  let file_name = "history.ndjson"
+  let path ~dir = Filename.concat dir file_name
+
+  type key = { circuit : string; analysis : string; n1 : int; jobs : int; git : string }
+
+  type entry = { key : key; unix_time : float; wall_s : float; manifest : Json.t }
+
+  let key_string k =
+    Printf.sprintf "%s/%s n1=%d jobs=%d git=%s"
+      (if k.circuit = "" then "?" else k.circuit)
+      (if k.analysis = "" then "?" else k.analysis)
+      k.n1 k.jobs
+      (if k.git = "" then "?" else k.git)
+
+  (* CRC-32 (IEEE 802.3), table-driven; guards every line against
+     truncation and byte mangling *)
+  let crc_table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
+
+  let crc32 s =
+    let tbl = Lazy.force crc_table in
+    let c = ref 0xFFFFFFFF in
+    String.iter (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+    !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+  let key_json k =
+    Printf.sprintf
+      "{\"circuit\":\"%s\",\"analysis\":\"%s\",\"n1\":%d,\"jobs\":%d,\"git\":\"%s\"}"
+      (json_escape k.circuit) (json_escape k.analysis) k.n1 k.jobs (json_escape k.git)
+
+  (* one line: 8 hex CRC digits, a space, then the JSON payload.  The
+     manifest serializer emits single-line JSON, so the payload never
+     contains a newline. *)
+  let encode_line ~key ~manifest =
+    let payload = Printf.sprintf "{\"key\":%s,\"manifest\":%s}" (key_json key) manifest in
+    Printf.sprintf "%08x %s" (crc32 payload) payload
+
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+  let decode_line line =
+    let n = String.length line in
+    if n < 10 || line.[8] <> ' ' then corrupt "unframed history line (no CRC prefix)";
+    let crc =
+      match int_of_string_opt ("0x" ^ String.sub line 0 8) with
+      | Some v -> v
+      | None -> corrupt "bad CRC field %S" (String.sub line 0 8)
+    in
+    let payload = String.sub line 9 (n - 9) in
+    if crc <> crc32 payload then corrupt "CRC mismatch: line is truncated or byte-mangled";
+    match Json.parse payload with
+    | Result.Error m -> corrupt "CRC valid but payload malformed: %s" m
+    | Ok j ->
+      let kj = match Json.member "key" j with Some k -> k | None -> corrupt "missing key" in
+      let str f =
+        match Option.bind (Json.member f kj) Json.to_str with
+        | Some s -> s
+        | None -> corrupt "key.%s missing or not a string" f
+      in
+      let int f =
+        match Option.bind (Json.member f kj) Json.to_num with
+        | Some v when Float.is_finite v -> int_of_float v
+        | _ -> corrupt "key.%s missing or not a number" f
+      in
+      let manifest =
+        match Json.member "manifest" j with Some m -> m | None -> corrupt "missing manifest"
+      in
+      let mnum f =
+        match Option.bind (Json.member f manifest) Json.to_num with Some v -> v | None -> nan
+      in
+      {
+        key =
+          { circuit = str "circuit"; analysis = str "analysis"; n1 = int "n1"; jobs = int "jobs";
+            git = str "git" };
+        unix_time = mnum "unix_time";
+        wall_s = mnum "wall_s";
+        manifest;
+      }
+
+  (* Load every decodable entry (oldest first) plus one warning per
+     undecodable line.  Never raises: a mangled store must degrade to
+     a partial history, not break the analytics that read it. *)
+  let load ~dir =
+    let p = path ~dir in
+    if not (Sys.file_exists p) then ([], [])
+    else begin
+      match open_in_bin p with
+      | exception Sys_error m -> ([], [ m ])
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let entries = ref [] and warnings = ref [] and lineno = ref 0 in
+            (try
+               while true do
+                 let line = input_line ic in
+                 incr lineno;
+                 if String.trim line <> "" then
+                   match decode_line line with
+                   | e -> entries := e :: !entries
+                   | exception Corrupt m ->
+                     warnings := Printf.sprintf "%s:%d: %s" p !lineno m :: !warnings
+               done
+             with End_of_file -> ());
+            (List.rev !entries, List.rev !warnings))
+    end
+
+  let default_max_bytes = 1 lsl 22 (* 4 MiB *)
+  let default_keep = 32
+
+  let rec mkdir_p dir =
+    if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  (* Atomic rewrite keeping the newest [keep] entries per key (and
+     silently shedding undecodable lines).  Returns how many decodable
+     entries were dropped. *)
+  let compact ?(keep = default_keep) ~dir () =
+    let keep = Int.max 1 keep in
+    let entries, _warnings = load ~dir in
+    let seen : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    (* count newest-first so the latest [keep] per key survive *)
+    let kept_rev =
+      List.fold_left
+        (fun acc e ->
+          let k = key_string e.key in
+          let n = match Hashtbl.find_opt seen k with Some n -> n | None -> 0 in
+          if n < keep then begin
+            Hashtbl.replace seen k (n + 1);
+            e :: acc
+          end
+          else acc)
+        [] (List.rev entries)
+    in
+    let dropped = List.length entries - List.length kept_rev in
+    let p = path ~dir in
+    let tmp = p ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            (* re-encode from the parsed manifest: payload bytes differ
+               from the original line only if the original was already
+               rewritten, and the CRC is recomputed either way *)
+            output_string oc (encode_line ~key:e.key ~manifest:(Json.to_string e.manifest));
+            output_char oc '\n')
+          kept_rev);
+    Sys.rename tmp p;
+    dropped
+
+  (* Append one manifest under [key]; compacts when the store outgrows
+     [max_bytes].  Returns [Error] on I/O failure instead of raising —
+     history recording is best-effort and must never kill the run that
+     produced the manifest. *)
+  let append ?(max_bytes = default_max_bytes) ?(keep = default_keep) ~dir ~key ~manifest () =
+    try
+      mkdir_p dir;
+      let p = path ~dir in
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 p in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (encode_line ~key ~manifest);
+          output_char oc '\n');
+      let size = (Unix.stat p).Unix.st_size in
+      if size > max_bytes then ignore (compact ~keep ~dir ());
+      Ok ()
+    with
+    | Sys_error m -> Result.Error m
+    | Unix.Unix_error (e, fn, arg) ->
+      Result.Error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+
+  (* ---------- robust statistics for cross-run trend analysis ---------- *)
+
+  let median xs =
+    match List.sort compare (List.filter Float.is_finite xs) with
+    | [] -> nan
+    | s ->
+      let a = Array.of_list s in
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+  let mad xs =
+    let m = median xs in
+    if Float.is_nan m then nan
+    else median (List.map (fun x -> Float.abs (x -. m)) (List.filter Float.is_finite xs))
+
+  (* MAD-based outlier test: |value - median| > nsigma * 1.4826 * MAD,
+     with an absolute floor so a run of identical samples (MAD = 0)
+     only flags genuinely different values *)
+  let is_outlier ?(nsigma = 4.) ?(floor = 1e-9) ~median:m ~mad:d v =
+    Float.is_finite m && Float.is_finite v
+    && Float.abs (v -. m) > Float.max floor (nsigma *. 1.4826 *. d)
+
+  (* ---------- bench speedup gate (see scripts/bench_trend.py) ---------- *)
+
+  let speedup_prefix = "bench.krylov.speedup.n1_"
+
+  (* BENCH_*.json is a JSON array of {"id","wall_s","metrics"} entries;
+     collect n1 -> max speedup over entries, as bench_trend.py does *)
+  let bench_speedups (j : Json.t) =
+    match j with
+    | Json.Arr entries ->
+      let tbl : (int, float) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          match Option.bind (Json.member "metrics" e) (Json.member "gauges") with
+          | Some (Json.Obj gauges) ->
+            List.iter
+              (fun (name, v) ->
+                let pl = String.length speedup_prefix in
+                if String.length name > pl && String.sub name 0 pl = speedup_prefix then
+                  match
+                    ( int_of_string_opt (String.sub name pl (String.length name - pl)),
+                      Json.to_num v )
+                  with
+                  | Some n1, Some r ->
+                    let prev =
+                      match Hashtbl.find_opt tbl n1 with Some p -> p | None -> 0.
+                    in
+                    Hashtbl.replace tbl n1 (Float.max prev r)
+                  | _ -> ())
+              gauges
+          | _ -> ())
+        entries;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+    | _ -> []
+
+  type verdict =
+    | Gate_pass of string
+    | Gate_no_baseline of string
+    | Gate_regression of string
+    | Gate_data_error of string
+
+  (* Decision quantity: the speedup at the largest n1 common to both
+     runs — the size the paper's scaling claim rests on.  Baseline
+     problems (absent, empty, schema drift) degrade to an
+     informational pass, exactly like bench_trend.py. *)
+  let speedup_gate ?(threshold = 0.75) ~prev ~fresh () =
+    match bench_speedups fresh with
+    | [] -> Gate_data_error (Printf.sprintf "no %s* gauges in the fresh bench data" speedup_prefix)
+    | fresh_s -> (
+      match prev with
+      | None -> Gate_no_baseline "no previous artifact; recording baseline and passing"
+      | Some prev_j -> (
+        match bench_speedups prev_j with
+        | [] ->
+          Gate_no_baseline
+            "previous artifact has no speedup gauges; recording baseline and passing"
+        | prev_s -> (
+          match List.rev (List.filter (fun (n1, _) -> List.mem_assoc n1 prev_s) fresh_s) with
+          | [] -> Gate_no_baseline "no common n1 sizes with the previous run; passing"
+          | (n1, f) :: _ ->
+            let p = List.assoc n1 prev_s in
+            let ratio = if p > 0. then f /. p else infinity in
+            let msg =
+              Printf.sprintf "n1=%d: previous speedup %.2fx, fresh %.2fx (%.2f of previous)" n1
+                p f ratio
+            in
+            if ratio < threshold then
+              Gate_regression
+                (Printf.sprintf
+                   "%s — krylov-vs-dense speedup regressed by more than %.0f%%" msg
+                   (100. *. (1. -. threshold)))
+            else Gate_pass msg)))
 end

@@ -52,6 +52,10 @@ module Json : sig
 
   val to_num : t -> float option
   val to_str : t -> string option
+
+  (** Compact single-line serialization (inverse of {!parse} up to
+      number formatting and object-key order, which are preserved). *)
+  val to_string : t -> string
 end
 
 (** Named counters, gauges and log-scale histograms with O(1) updates.
@@ -134,9 +138,12 @@ module Metrics : sig
   (** Prometheus text exposition (format 0.0.4) of the live registry:
       counters (with per-scope buckets as a [_scoped{scope="..."}]
       companion series), gauges, and histograms with cumulative
-      [_bucket{le="..."}] series plus [_sum]/[_count].  Metric names are
-      prefixed with ["wampde_"] and sanitized to the Prometheus
-      alphabet. *)
+      [_bucket{le="..."}] series plus [_sum]/[_count].  Every series is
+      preceded by [# HELP] (carrying the original dotted metric name)
+      and [# TYPE] comment lines.  Metric names are prefixed with
+      ["wampde_"] and sanitized to the Prometheus alphabet; label
+      values escape exactly backslash, double-quote and line feed per
+      the exposition format. *)
   val to_prometheus : unit -> string
 end
 
@@ -434,6 +441,10 @@ module Span : sig
     t_start : float;  (** seconds since tracing began *)
     t_stop : float;
     gc : gc_delta option;  (** present when GC attribution was on *)
+    tid : int;
+        (** trace track: 1 for spans opened on the calling domain by
+            {!span}, [1 + w] for pool worker [w] reported through
+            {!emit_external} *)
   }
 
   (** A point event on the span timeline (see {!instant}). *)
@@ -457,6 +468,23 @@ module Span : sig
   (** [span ?attrs name f] runs [f] inside a span.  Exceptions
       propagate; the span is closed either way. *)
   val span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+
+  (** [emit_external ~tid ~name ~t_start ~t_stop ()] records a span
+      that ran on another domain.  Pool workers must not touch this
+      module's (unsynchronized) global state, so they only write
+      wall-clock readings into caller-owned arrays; the calling domain
+      turns them into records here, after the barrier.
+      [t_start]/[t_stop] are absolute {!now}-style readings; [tid]
+      picks the trace track (1 = the calling domain, [1 + w] for
+      worker [w]).  A no-op when no sink is active. *)
+  val emit_external :
+    ?attrs:(string * attr) list ->
+    tid:int ->
+    name:string ->
+    t_start:float ->
+    t_stop:float ->
+    unit ->
+    unit
 
   (** [instant ?attrs name] records a zero-duration point event at the
       current trace time — written to the JSON-lines sink and buffered
@@ -610,4 +638,178 @@ module Doctor : sig
 
   (** JSON rendering ({["wampde.doctor/1"]} schema). *)
   val to_json : finding list -> string
+end
+
+(** Flight recorder: a bounded ring buffer of recent telemetry —
+    typed solver events (including per-iteration Newton residual
+    traces), out-of-band notes (fault-harness trips, scheduler
+    decisions) and small metric snapshots at macro-step boundaries —
+    kept so that a failure can dump the run's last moments as a
+    ["wampde.flightdump/1"] JSON file for postmortem analysis.
+
+    The hot path is allocation-free beyond the recorded cell: an
+    overwrite of the oldest cell is a store plus two index updates.
+    The ring is preallocated at {!arm}. *)
+module Flight : sig
+  (** Dump schema tag ("wampde.flightdump/1"). *)
+  val schema : string
+
+  (** [arm ?capacity ()] preallocates the ring ([capacity] cells,
+      default 512, minimum 16), clears it, and subscribes to {!Events}
+      (telemetry must be enabled for events to flow; {!note} records
+      regardless).  Idempotent while armed. *)
+  val arm : ?capacity:int -> unit -> unit
+
+  (** Unsubscribe from {!Events}; the recorded cells stay available
+      for {!dump}. *)
+  val disarm : unit -> unit
+
+  val armed : unit -> bool
+
+  (** Drop every recorded cell (the ring stays allocated).  A
+      scheduler running jobs back-to-back clears between jobs so a
+      dump never carries a previous job's tail. *)
+  val clear : unit -> unit
+
+  (** [note ~kind msg] records an out-of-band timeline marker (e.g.
+      [~kind:"fault"] on a fault-harness trip).  Unlike events, notes
+      are recorded even while telemetry is disabled, so an injected
+      fault is always on the timeline of the dump it caused. *)
+  val note : kind:string -> string -> unit
+
+  (** Valid cells currently in the ring. *)
+  val recorded : unit -> int
+
+  (** Cells overwritten since the ring last filled. *)
+  val dropped : unit -> int
+
+  (** Serialize the ring as a ["wampde.flightdump/1"] JSON object:
+      the shared provenance block (argv, subcommand, jobs, git, OCaml,
+      unix time — identical to the run-manifest block), the failure
+      [reason], ring occupancy, a full metrics snapshot (so {!Doctor}
+      can diagnose the dump like a manifest), and the timeline oldest
+      first — with the failure reason appended as the final entry. *)
+  val dump :
+    ?argv:string array ->
+    ?subcommand:string ->
+    ?git:string ->
+    ?jobs:int ->
+    kind:string ->
+    message:string ->
+    unit ->
+    string
+
+  (** [write ~path ~kind ~message ()] dumps to [path]; [Error] on I/O
+      failure (a failing dump must never mask the failure it records). *)
+  val write :
+    ?argv:string array ->
+    ?subcommand:string ->
+    ?git:string ->
+    ?jobs:int ->
+    path:string ->
+    kind:string ->
+    message:string ->
+    unit ->
+    (string, string) result
+
+  (** Render a dump file's contents as a human postmortem: the failure
+      reason, provenance, the timeline (oldest first, the failing
+      event last), and {!Doctor} findings computed from the embedded
+      metrics snapshot.  [Error] on malformed input or a non-flightdump
+      schema. *)
+  val to_postmortem : string -> (string, string) result
+end
+
+(** Run-history store: an append-only, CRC-guarded NDJSON store of
+    ["wampde.run-report/1"] manifests keyed by (circuit, analysis, n1,
+    jobs, git rev), with bounded size via per-key compaction.  The
+    durable substrate for cross-run regression analytics
+    ([wampde_cli history]). *)
+module History : sig
+  (** Raised by {!decode_line} on a truncated, byte-mangled or
+      malformed history line. *)
+  exception Corrupt of string
+
+  (** Store file name inside the history directory ("history.ndjson"). *)
+  val file_name : string
+
+  val path : dir:string -> string
+
+  type key = { circuit : string; analysis : string; n1 : int; jobs : int; git : string }
+
+  type entry = {
+    key : key;
+    unix_time : float;  (** from the manifest; nan when absent *)
+    wall_s : float;  (** from the manifest; nan when absent *)
+    manifest : Json.t;
+  }
+
+  (** Human-readable key ("circuit/analysis n1=.. jobs=.. git=.."). *)
+  val key_string : key -> string
+
+  (** CRC-32 (IEEE 802.3) of a byte string. *)
+  val crc32 : string -> int
+
+  (** One store line: 8 hex CRC digits, a space, then a single-line
+      JSON payload [{"key":...,"manifest":...}]. *)
+  val encode_line : key:key -> manifest:string -> string
+
+  (** Parse one store line, verifying the CRC.  @raise Corrupt on any
+      framing, CRC or shape violation. *)
+  val decode_line : string -> entry
+
+  (** Load every decodable entry (oldest first) plus one warning per
+      undecodable line.  Never raises: a mangled store degrades to a
+      partial history. *)
+  val load : dir:string -> entry list * string list
+
+  (** [append ~dir ~key ~manifest ()] creates [dir] as needed and
+      appends one line; when the store exceeds [max_bytes] (default
+      4 MiB) it is compacted to the newest [keep] (default 32) entries
+      per key.  [Error] on I/O failure — history recording is
+      best-effort and must never kill the run that produced the
+      manifest. *)
+  val append :
+    ?max_bytes:int ->
+    ?keep:int ->
+    dir:string ->
+    key:key ->
+    manifest:string ->
+    unit ->
+    (unit, string) result
+
+  (** Atomic rewrite keeping the newest [keep] entries per key;
+      returns how many decodable entries were dropped. *)
+  val compact : ?keep:int -> dir:string -> unit -> int
+
+  (** Median of the finite values; nan when none. *)
+  val median : float list -> float
+
+  (** Median absolute deviation of the finite values; nan when none. *)
+  val mad : float list -> float
+
+  (** MAD-based outlier test: |v - median| > nsigma * 1.4826 * MAD,
+      with an absolute [floor] (default 1e-9) so a run of identical
+      samples only flags genuinely different values. *)
+  val is_outlier : ?nsigma:float -> ?floor:float -> median:float -> mad:float -> float -> bool
+
+  (** Gauge-name prefix carrying the krylov-vs-dense speedup in
+      BENCH_*.json files ("bench.krylov.speedup.n1_"). *)
+  val speedup_prefix : string
+
+  (** [n1 -> max speedup] pairs (sorted by n1) extracted from a parsed
+      BENCH_*.json array; empty when the shape is wrong. *)
+  val bench_speedups : Json.t -> (int * float) list
+
+  type verdict =
+    | Gate_pass of string
+    | Gate_no_baseline of string  (** missing/unusable baseline: informational pass *)
+    | Gate_regression of string
+    | Gate_data_error of string  (** the fresh data itself is unusable *)
+
+  (** The bench_trend.py decision, natively: compare fresh vs previous
+      krylov-vs-dense speedup at the largest common n1 and regress when
+      the ratio drops below [threshold] (default 0.75).  Baseline
+      problems degrade to {!Gate_no_baseline}. *)
+  val speedup_gate : ?threshold:float -> prev:Json.t option -> fresh:Json.t -> unit -> verdict
 end

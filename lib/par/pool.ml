@@ -111,8 +111,13 @@ let parallel_chunks ?jobs:jspec n body =
       let pending = ref (k - 1) in
       let exns : (exn * Printexc.raw_backtrace) option array = Array.make k None in
       let durs = Array.make k 0. in
+      (* per-chunk wall-clock start times: workers only write plain
+         floats here; the calling domain turns them into trace spans
+         after the barrier (workers must not touch Wampde_obs state) *)
+      let starts = Array.make k 0. in
       let run_chunk c =
         let t0 = Unix.gettimeofday () in
+        starts.(c) <- t0;
         (try
            let lo = c * n / k and hi = (c + 1) * n / k in
            if hi > lo then body ~worker:c ~lo ~hi
@@ -144,6 +149,21 @@ let parallel_chunks ?jobs:jspec n body =
       Obs.Metrics.set g_busy (Obs.Metrics.value g_busy +. busy);
       Obs.Metrics.set g_idle
         (Obs.Metrics.value g_idle +. ((float_of_int k *. slowest) -. busy));
+      (* one span per chunk, on the emitting domain's own trace track:
+         tid 1 is the calling domain (chunk 0), tid 1+c is worker c *)
+      if Obs.Span.tracing () then
+        for c = 0 to k - 1 do
+          Obs.Span.emit_external
+            ~attrs:
+              [
+                ("chunk", Obs.Span.Int c);
+                ("lo", Obs.Span.Int (c * n / k));
+                ("hi", Obs.Span.Int ((c + 1) * n / k));
+              ]
+            ~tid:(c + 1) ~name:"pool.chunk" ~t_start:starts.(c)
+            ~t_stop:(starts.(c) +. durs.(c))
+            ()
+        done;
       Array.iter
         (function
           | Some (e, bt) -> Printexc.raise_with_backtrace e bt

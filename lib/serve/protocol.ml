@@ -28,6 +28,7 @@ type request =
   | Submit of job
   | Cancel of string
   | Metrics
+  | Stats
   | Shutdown of { drain : bool }
 
 type error = { code : string; message : string }
@@ -166,6 +167,7 @@ let parse_request line =
       let* id = Result.bind (str_field "id" j) (required "id") in
       Ok (Cancel id)
     | Some (Json.Str "metrics") -> Ok Metrics
+    | Some (Json.Str "stats") -> Ok Stats
     | Some (Json.Str "shutdown") -> (
       match Json.member "drain" j with
       | None -> Ok (Shutdown { drain = true })
@@ -214,9 +216,15 @@ let error_line ?line ?id { code; message } =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let job_error ~id ~kind ~message ~quanta =
-  Printf.sprintf "{\"type\":\"job-error\",\"id\":\"%s\",\"kind\":\"%s\",\"message\":\"%s\",\"quanta\":%d}"
-    (esc id) (esc kind) (esc message) quanta
+let job_error ?flight ~id ~kind ~message ~quanta () =
+  let b = Buffer.create 160 in
+  Printf.bprintf b "{\"type\":\"job-error\",\"id\":\"%s\",\"kind\":\"%s\",\"message\":\"%s\",\"quanta\":%d"
+    (esc id) (esc kind) (esc message) quanta;
+  (match flight with
+  | Some path -> Printf.bprintf b ",\"flight\":\"%s\"" (esc path)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
 
 type summary = {
   analysis : string;
@@ -237,6 +245,37 @@ let result ~id ~summary:s ~manifest =
 
 let metrics_line ~final ~metrics =
   Printf.sprintf "{\"type\":\"metrics\",\"final\":%b,\"metrics\":%s}" final metrics
+
+(* Daemon-wide operational stats as one grouped response: warm-cache
+   hit rates, domain-pool utilization, health-warning counts and the
+   scheduler's own counters — the numbers an operator polls without
+   wanting the full metrics snapshot. *)
+let stats_line ~counters ~gauges =
+  let with_prefix p l =
+    let pl = String.length p in
+    List.filter_map
+      (fun (n, v) ->
+        if String.length n > pl && String.sub n 0 pl = p then
+          Some (String.sub n pl (String.length n - pl), v)
+        else None)
+      l
+  in
+  let obj l =
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (esc k) v) l)
+    ^ "}"
+  in
+  let int_obj p = obj (List.map (fun (k, v) -> (k, string_of_int v)) (with_prefix p counters)) in
+  let mixed p =
+    obj
+      (List.map (fun (k, v) -> (k, string_of_int v)) (with_prefix p counters)
+      @ List.map (fun (k, v) -> (k, num v)) (with_prefix p gauges))
+  in
+  let warnings = match List.assoc_opt "health.warnings" counters with Some n -> n | None -> 0 in
+  Printf.sprintf
+    "{\"type\":\"stats\",\"cache\":{\"orbit\":%s,\"precond\":%s},\"pool\":%s,\"health\":{\"warnings\":%d,\"monitors\":%s},\"serve\":%s}"
+    (int_obj "cache.orbit.") (int_obj "cache.precond.") (mixed "pool.") warnings
+    (int_obj "health.warnings.") (mixed "serve.")
 
 let bye ~submitted ~completed ~failed ~cancelled =
   Printf.sprintf

@@ -11,6 +11,7 @@
      "n1":15,"n2":7,"p2":40,"t_warm":200,"h2_warm":0.5,"solver":"dense"}
     {"type":"cancel","id":"e1"}
     {"type":"metrics"}
+    {"type":"stats"}
     {"type":"shutdown","drain":true}
     v}
 
@@ -56,6 +57,7 @@ type request =
   | Submit of job
   | Cancel of string
   | Metrics
+  | Stats  (** grouped daemon-wide cache/pool/health counters *)
   | Shutdown of { drain : bool }  (** [drain]: finish queued jobs first *)
 
 (** A protocol-level failure: [code] is a stable machine-readable
@@ -85,8 +87,10 @@ val error_line : ?line:int -> ?id:string -> error -> string
     discriminant ("step-failure", "step-underflow", "solve-failed",
     "non-finite", "continuation-underflow", "nonphysical",
     "corrupt-checkpoint", "solver-failure", "cancelled", "aborted",
-    "internal"). *)
-val job_error : id:string -> kind:string -> message:string -> quanta:int -> string
+    "internal").  [flight], when present, is the path of the
+    ["wampde.flightdump/1"] postmortem written for this failure. *)
+val job_error :
+  ?flight:string -> id:string -> kind:string -> message:string -> quanta:int -> unit -> string
 
 type summary = {
   analysis : string;
@@ -105,5 +109,23 @@ val result : id:string -> summary:summary -> manifest:string -> string
 
 (** [metrics] is {!Wampde_obs.Metrics.to_json}, embedded verbatim. *)
 val metrics_line : final:bool -> metrics:string -> string
+
+(** Response to a ["stats"] request: one JSON object grouping the
+    daemon-wide operational numbers by subsystem,
+
+    {v
+    {"type":"stats",
+     "cache":{"orbit":{"hits":3,...},"precond":{...}},
+     "pool":{"runs":12,"busy_s":0.8,...},
+     "health":{"warnings":2,"monitors":{"newton.stall":1,...}},
+     "serve":{"jobs.submitted":4,...}}
+    v}
+
+    built from the {!Wampde_obs.Metrics.counters} / [gauges]
+    snapshots: counters and gauges whose names start with
+    ["cache.orbit."], ["cache.precond."], ["pool."],
+    ["health.warnings."] and ["serve."] land in the matching group
+    with the prefix stripped. *)
+val stats_line : counters:(string * int) list -> gauges:(string * float) list -> string
 
 val bye : submitted:int -> completed:int -> failed:int -> cancelled:int -> string

@@ -184,7 +184,24 @@ let finish_cancelled (t : t) jr ~kind =
   t.emit
     (Protocol.job_error ~id:jr.job.id ~kind
        ~message:(Printf.sprintf "job %s before completion" kind)
-       ~quanta:jr.quanta)
+       ~quanta:jr.quanta ())
+
+(* Every typed job failure gets a flight dump next to its checkpoint in
+   the spool; the dump path rides on the job-error record so a client
+   can fetch the postmortem.  A dump that itself fails to write is
+   logged and dropped — it must never mask the job failure. *)
+let write_flight (t : t) jr ~kind ~message =
+  let path = Filename.concat t.spool (jr.job.id ^ ".flight.json") in
+  let subcommand = "serve:" ^ Protocol.analysis_name jr.job.analysis in
+  match
+    Obs.Flight.write ~subcommand
+      ?git:(Obs.Report.git_describe ())
+      ~jobs:(Par.Pool.jobs ()) ~path ~kind ~message ()
+  with
+  | Ok path -> Some path
+  | Error msg ->
+    t.log (Printf.sprintf "serve: job %s flight dump failed: %s" jr.job.id msg);
+    None
 
 let finish_failed (t : t) jr ~kind ~message =
   close_stream jr ~ok:false ~error:kind ();
@@ -192,8 +209,11 @@ let finish_failed (t : t) jr ~kind ~message =
   jr.status <- Failed;
   t.failed <- t.failed + 1;
   Obs.Metrics.incr c_failed;
-  t.log (Printf.sprintf "serve: job %s failed (%s): %s" jr.job.id kind message);
-  t.emit (Protocol.job_error ~id:jr.job.id ~kind ~message ~quanta:jr.quanta)
+  let flight = write_flight t jr ~kind ~message in
+  t.log
+    (Printf.sprintf "serve: job %s failed (%s): %s%s" jr.job.id kind message
+       (match flight with Some p -> " [flight: " ^ p ^ "]" | None -> ""));
+  t.emit (Protocol.job_error ?flight ~id:jr.job.id ~kind ~message ~quanta:jr.quanta ())
 
 let finish_done (t : t) jr ~t2_end ~omega_end =
   close_stream jr ~ok:true ();
@@ -307,6 +327,10 @@ let run_quantum t jr =
     | Protocol.Quasiperiodic p -> p.t_warm
   in
   ignore (stream_for t jr ~total);
+  (* fresh timeline per quantum: a dump for this job must not carry a
+     previous job's (or previous quantum's) tail *)
+  Obs.Flight.arm ();
+  Obs.Flight.clear ();
   let collector = Obs.Report.collect () in
   let settle () = jr.steps <- jr.steps @ Obs.Report.finish collector in
   match

@@ -49,6 +49,8 @@ let run config ~read ~write ~log =
           write (Protocol.error_line ~line:!lineno ~id e))
       | Ok Protocol.Metrics ->
         write (Protocol.metrics_line ~final:false ~metrics:(Obs.Metrics.to_json ()))
+      | Ok Protocol.Stats ->
+        write (Protocol.stats_line ~counters:(Obs.Metrics.counters ()) ~gauges:(Obs.Metrics.gauges ()))
       | Ok (Protocol.Shutdown { drain }) -> stop := Some drain
     end
   in

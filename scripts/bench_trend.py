@@ -1,6 +1,14 @@
 #!/usr/bin/env python3
-"""Bench trend gate: compare the fresh krylov-vs-dense speedup against
-the previous CI run's artifact and fail on a >25% regression.
+"""Bench trend trajectory (and legacy gate): compare the fresh
+krylov-vs-dense speedup against the previous CI run's artifact.
+
+The pass/fail decision now lives in the solver binary itself —
+`wampde_cli history gate --prev DIR --fresh DIR` implements the same
+comparison with the same exit codes, and CI gates on that.  This
+script remains for the artifact chain: it merges the speedup
+trajectory (bench-trend.json) and prints the informational cost
+comparisons.  Run with --no-gate (as CI does) to skip the redundant
+gate; without it the legacy gating behaviour is unchanged.
 
 Inputs are BENCH_*.json files as written by `bench/main.exe --json`:
 a list of {"id", "wall_s", "metrics"} entries whose metrics.gauges
@@ -100,6 +108,9 @@ def main():
                     help="output path for the merged trend trajectory")
     ap.add_argument("--threshold", type=float, default=0.75,
                     help="fail when fresh speedup < threshold * previous (default 0.75)")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="trajectory and informational output only; the "
+                         "regression verdict is left to 'wampde_cli history gate'")
     args = ap.parse_args()
 
     fresh_files = find_bench_files(args.fresh)
@@ -178,6 +189,9 @@ def main():
     ratio = fresh[n1] / prev[n1] if prev[n1] > 0 else float("inf")
     print(f"bench_trend: n1={n1}: previous speedup {prev[n1]:.2f}x, "
           f"fresh {fresh[n1]:.2f}x ({ratio:.2f} of previous)")
+    if args.no_gate:
+        print("bench_trend: --no-gate: verdict deferred to 'wampde_cli history gate'")
+        return 0
     if ratio < args.threshold:
         print(f"bench_trend: FAIL: krylov-vs-dense speedup regressed by more than "
               f"{100 * (1 - args.threshold):.0f}% at n1={n1}", file=sys.stderr)

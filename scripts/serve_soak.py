@@ -11,7 +11,12 @@ service contract:
   * protocol garbage produces `error` responses and nothing else;
   * with repeated-circuit krylov jobs, the warm preconditioner cache
     reports hits in the final metrics record (skipped under --faults,
-    where jobs may die before reaching the cache).
+    where jobs may die before reaching the cache);
+  * the `stats` request is answered with the grouped operational
+    snapshot (cache / pool / health / serve);
+  * every typed job-error (other than a cancellation) carries a
+    `flight` path to a per-job flight dump, and that dump exists on
+    disk — it is copied into --out for the CI artifact.
 
 Outputs land in --out: the raw response stream (responses.ndjson), the
 daemon's stderr log (server.log), and one manifest-<id>.json per
@@ -25,6 +30,7 @@ import argparse
 import json
 import os
 import shlex
+import shutil
 import subprocess
 import sys
 
@@ -54,6 +60,7 @@ REQUESTS = [
      "analysis": "envelope", "t_end": 6, "rtol": 1e-3, "n1": 15},
     {"type": "cancel", "id": "env-cancel"},
     {"type": "metrics"},
+    {"type": "stats"},
     {"type": "shutdown", "drain": True},
 ]
 
@@ -136,6 +143,16 @@ def main():
             print(f"serve_soak: {job_id}: job-error kind={term['kind']}")
             if term["kind"] != "cancelled":
                 failures += 1
+                # every solver failure must leave a postmortem flight
+                # dump next to the job in the spool
+                flight = term.get("flight")
+                if not flight:
+                    return fail(f"{job_id}: job-error without a flight dump path")
+                if not os.path.exists(flight):
+                    return fail(f"{job_id}: flight dump {flight} does not exist")
+                shutil.copy(flight, os.path.join(
+                    args.out, f"flight-{job_id}.json"))
+                print(f"serve_soak: {job_id}: flight dump captured ({flight})")
         else:
             manifest_path = os.path.join(args.out, f"manifest-{job_id}.json")
             with open(manifest_path, "w") as f:
@@ -161,6 +178,16 @@ def main():
                     and r.get("type") == "job-error"]
     if not (cancel_terms and cancel_terms[0].get("kind") == "cancelled"):
         return fail("env-cancel did not terminate with kind=cancelled")
+
+    stats_records = of_type("stats")
+    if len(stats_records) != 1:
+        return fail(f"expected exactly one stats record, got {len(stats_records)}")
+    stats = stats_records[0]
+    for group in ("cache", "pool", "health", "serve"):
+        if not isinstance(stats.get(group), dict):
+            return fail(f"stats record lacks the {group!r} group: {stats}")
+    print(f"serve_soak: stats: serve={stats['serve']} "
+          f"health.warnings={stats['health'].get('warnings')}")
 
     metrics_records = of_type("metrics")
     if not metrics_records:

@@ -198,8 +198,9 @@ let unit_tests =
            let trace = check_ok "trace parses" (Obs.Json.parse out) in
            assert_valid_trace trace;
            let entries = match trace with Obs.Json.Arr l -> l | _ -> [] in
-           Alcotest.(check int) "4 spans -> 4 B/E pairs + metadata + 2 instants"
-             (1 + (2 * 4) + 2)
+           (* process_name + thread_name (single tid) + B/E pairs + instants *)
+           Alcotest.(check int) "4 spans -> 4 B/E pairs + 2 metadata + 2 instants"
+             (2 + (2 * 4) + 2)
              (List.length entries)));
     Alcotest.test_case "report manifest validates and renders" `Quick
       (with_isolated (fun () ->
@@ -360,6 +361,7 @@ let prop_tests =
                  t_start = 0.;
                  t_stop = 1.;
                  gc = None;
+                 tid = 1;
                };
              ]
            in

@@ -421,6 +421,49 @@ let prometheus_tests =
                    (Str.string_match
                       (Str.regexp "^wampde_[A-Za-z0-9_:]+\\({[^}]*}\\)? [^ ]+$") line 0))
              (String.split_on_char '\n' body)));
+    Alcotest.test_case "HELP lines precede TYPE lines and escape metadata" `Quick
+      (with_clean (fun () ->
+           Obs.set_enabled true;
+           Obs.Metrics.add (Obs.Metrics.counter "esc.counter") 1;
+           Obs.Metrics.set (Obs.Metrics.gauge "esc.gauge") 1.5;
+           Obs.Scope.with_scope "we\"ird\\scope\nline" (fun () ->
+               Obs.Metrics.incr (Obs.Metrics.counter "esc.counter"));
+           let body = Obs.Metrics.to_prometheus () in
+           let has s =
+             Alcotest.(check bool) (Printf.sprintf "contains %S" s) true
+               (let re = Str.regexp_string s in
+                try ignore (Str.search_forward re body 0); true with Not_found -> false)
+           in
+           has "# HELP wampde_esc_counter wampde counter esc.counter";
+           has "# HELP wampde_esc_gauge wampde gauge esc.gauge";
+           has "# HELP wampde_esc_counter_scoped wampde counter esc.counter by scope";
+           (* label values escape backslash, quote and newline per the
+              exposition format *)
+           has "scope=\"we\\\"ird\\\\scope\\nline\"";
+           (* each HELP is immediately followed by its TYPE for the
+              same family *)
+           let lines = String.split_on_char '\n' body in
+           let rec check_pairs = function
+             | h :: t :: rest when String.length h > 7 && String.sub h 0 7 = "# HELP " ->
+               let fam s =
+                 match String.split_on_char ' ' s with _ :: _ :: f :: _ -> f | _ -> ""
+               in
+               Alcotest.(check bool) (Printf.sprintf "%S followed by TYPE" h) true
+                 (String.length t > 7 && String.sub t 0 7 = "# TYPE " && fam t = fam h);
+               check_pairs (t :: rest)
+             | _ :: rest -> check_pairs rest
+             | [] -> ()
+           in
+           check_pairs lines;
+           (* the hostile scope still leaves every sample line
+              well-formed: the newline is escaped, not literal *)
+           List.iter
+             (fun line ->
+               if line <> "" && line.[0] <> '#' then
+                 Alcotest.(check bool) (Printf.sprintf "line %S well-formed" line) true
+                   (Str.string_match
+                      (Str.regexp "^wampde_[A-Za-z0-9_:]+\\({[^}]*}\\)? [^ ]+$") line 0))
+             lines));
   ]
 
 let doctor_tests =

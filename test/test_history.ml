@@ -1,0 +1,240 @@
+(* The run-history store: CRC-guarded round trips, typed corruption
+   errors, degraded loads that never raise, compaction bounds and the
+   bench speedup gate. *)
+
+module Obs = Wampde_obs
+module Json = Obs.Json
+module History = Obs.History
+
+let dir_counter = ref 0
+
+let with_dir f () =
+  incr dir_counter;
+  let dir = Printf.sprintf "history-test-%d" !dir_counter in
+  let rm_rf () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun x -> try Sys.remove (Filename.concat dir x) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ()
+    end
+  in
+  rm_rf ();
+  Fun.protect ~finally:rm_rf (fun () -> f dir)
+
+let key ?(n1 = 15) ?(circuit = "vco-a") () =
+  { History.circuit; analysis = "envelope"; n1; jobs = 1; git = "abc123" }
+
+let manifest ?(wall = 1.5) ?(t = 1000.) () =
+  Printf.sprintf "{\"schema\":\"wampde.run-report/1\",\"unix_time\":%g,\"wall_s\":%g}" t wall
+
+let append_ok ?max_bytes ?keep ~dir ~key ~manifest () =
+  match History.append ?max_bytes ?keep ~dir ~key ~manifest () with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "append failed: %s" m
+
+let store_tests =
+  [
+    Alcotest.test_case "append/load round trip preserves keys and manifests" `Quick
+      (with_dir (fun dir ->
+           append_ok ~dir ~key:(key ()) ~manifest:(manifest ~wall:1.5 ()) ();
+           append_ok ~dir ~key:(key ~n1:25 ()) ~manifest:(manifest ~wall:2.5 ()) ();
+           let entries, warnings = History.load ~dir in
+           Alcotest.(check int) "no warnings" 0 (List.length warnings);
+           Alcotest.(check int) "two entries" 2 (List.length entries);
+           let e1 = List.hd entries and e2 = List.nth entries 1 in
+           Alcotest.(check int) "oldest first" 15 e1.History.key.n1;
+           Alcotest.(check int) "newest last" 25 e2.History.key.n1;
+           Alcotest.(check (float 1e-9)) "wall_s decoded" 1.5 e1.History.wall_s;
+           Alcotest.(check (float 1e-9)) "unix_time decoded" 1000. e1.History.unix_time));
+    Alcotest.test_case "encode/decode round trip, CRC catches byte mangling" `Quick (fun () ->
+        let line = History.encode_line ~key:(key ()) ~manifest:(manifest ()) in
+        let e = History.decode_line line in
+        Alcotest.(check string) "circuit survives" "vco-a" e.History.key.circuit;
+        (* flip one payload byte: framing is intact, CRC must trip *)
+        let b = Bytes.of_string line in
+        Bytes.set b (String.length line - 3) 'X';
+        (match History.decode_line (Bytes.to_string b) with
+         | exception History.Corrupt msg ->
+           Alcotest.(check bool) "CRC error names the cause" true
+             (String.length msg > 0)
+         | _ -> Alcotest.fail "mangled line decoded");
+        (* truncation: too short for the CRC prefix *)
+        match History.decode_line (String.sub line 0 6) with
+        | exception History.Corrupt _ -> ()
+        | _ -> Alcotest.fail "truncated line decoded");
+    Alcotest.test_case "load skips corrupt lines with warnings, never raises" `Quick
+      (with_dir (fun dir ->
+           append_ok ~dir ~key:(key ()) ~manifest:(manifest ~wall:1. ()) ();
+           append_ok ~dir ~key:(key ()) ~manifest:(manifest ~wall:2. ()) ();
+           (* mangle the first line's payload in place *)
+           let p = History.path ~dir in
+           let ic = open_in_bin p in
+           let contents =
+             Fun.protect
+               ~finally:(fun () -> close_in_noerr ic)
+               (fun () -> really_input_string ic (in_channel_length ic))
+           in
+           let b = Bytes.of_string contents in
+           Bytes.set b 20 '!';
+           let oc = open_out_bin p in
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () -> output_bytes oc b);
+           let entries, warnings = History.load ~dir in
+           Alcotest.(check int) "one survivor" 1 (List.length entries);
+           Alcotest.(check int) "one warning" 1 (List.length warnings);
+           Alcotest.(check (float 1e-9)) "the intact entry survived" 2.
+             (List.hd entries).History.wall_s));
+    Alcotest.test_case "compaction keeps the newest K per key" `Quick
+      (with_dir (fun dir ->
+           for i = 1 to 10 do
+             append_ok ~dir ~key:(key ()) ~manifest:(manifest ~wall:(float_of_int i) ()) ()
+           done;
+           append_ok ~dir ~key:(key ~circuit:"vco-b" ()) ~manifest:(manifest ~wall:99. ()) ();
+           let dropped = History.compact ~keep:3 ~dir () in
+           Alcotest.(check int) "dropped the old majority" 7 dropped;
+           let entries, warnings = History.load ~dir in
+           Alcotest.(check int) "no warnings after rewrite" 0 (List.length warnings);
+           Alcotest.(check int) "3 + 1 entries kept" 4 (List.length entries);
+           let walls =
+             List.filter_map
+               (fun (e : History.entry) ->
+                 if e.key.circuit = "vco-a" then Some e.wall_s else None)
+               entries
+           in
+           Alcotest.(check (list (float 1e-9))) "newest three, oldest first" [ 8.; 9.; 10. ]
+             walls));
+    Alcotest.test_case "append auto-compacts once the store outgrows max_bytes" `Quick
+      (with_dir (fun dir ->
+           for i = 1 to 50 do
+             append_ok ~max_bytes:2048 ~keep:4 ~dir ~key:(key ())
+               ~manifest:(manifest ~wall:(float_of_int i) ())
+               ()
+           done;
+           let entries, _ = History.load ~dir in
+           Alcotest.(check bool)
+             (Printf.sprintf "entry count stays bounded (got %d)" (List.length entries))
+             true
+             (List.length entries <= 8)));
+  ]
+
+let fuzz_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~count:300 ~name:"decode_line is total (Corrupt or entry, never other raises)"
+         (make
+            Gen.(
+              oneof
+                [
+                  string_size (int_range 0 80);
+                  (* valid line with a few random byte flips *)
+                  (let* flips = list_size (int_range 1 4) (pair small_nat char) in
+                   let line =
+                     History.encode_line ~key:(key ()) ~manifest:(manifest ())
+                   in
+                   let b = Bytes.of_string line in
+                   List.iter
+                     (fun (pos, c) ->
+                       if Bytes.length b > 0 then Bytes.set b (pos mod Bytes.length b) c)
+                     flips;
+                   return (Bytes.to_string b));
+                ]))
+         (fun line ->
+           match History.decode_line line with
+           | _ -> true
+           | exception History.Corrupt _ -> true
+           | exception e ->
+             Test.fail_reportf "decode_line raised %s on %S" (Printexc.to_string e) line));
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "median and MAD are robust to one outlier" `Quick (fun () ->
+        let samples = [ 1.0; 1.1; 0.9; 1.05; 50.0 ] in
+        let med = History.median samples in
+        let mad = History.mad samples in
+        Alcotest.(check (float 1e-9)) "median ignores the spike" 1.05 med;
+        Alcotest.(check bool) "spike is an outlier" true
+          (History.is_outlier ~median:med ~mad 50.0);
+        Alcotest.(check bool) "typical value is not" false
+          (History.is_outlier ~median:med ~mad 1.1));
+    Alcotest.test_case "identical samples flag nothing (floor)" `Quick (fun () ->
+        let samples = [ 2.0; 2.0; 2.0; 2.0 ] in
+        let med = History.median samples in
+        let mad = History.mad samples in
+        Alcotest.(check bool) "equal value passes" false
+          (History.is_outlier ~median:med ~mad 2.0));
+  ]
+
+(* a minimal BENCH_*.json shape: an array of per-case records whose
+   metrics.gauges carry the krylov speedup gauges *)
+let bench ~speedups =
+  let entries =
+    List.map
+      (fun (n1, s) ->
+        Printf.sprintf "{\"metrics\":{\"gauges\":{\"%s%d\":%g}}}" History.speedup_prefix n1 s)
+      speedups
+  in
+  Json.parse_exn ("[" ^ String.concat "," entries ^ "]")
+
+let gate_tests =
+  [
+    Alcotest.test_case "the checked-in manifests reproduce the bench_trend verdict" `Quick
+      (fun () ->
+        (* BENCH_2026-08-07 n1=161: 4.891; BENCH_2026-08-09: 4.161 —
+           ratio 0.85 is above the 0.75 gate *)
+        let prev = bench ~speedups:[ (81, 3.2); (161, 4.891) ] in
+        let fresh = bench ~speedups:[ (81, 3.0); (161, 4.161) ] in
+        match History.speedup_gate ~prev:(Some prev) ~fresh () with
+        | History.Gate_pass _ -> ()
+        | v ->
+          Alcotest.failf "expected pass, got %s"
+            (match v with
+             | History.Gate_pass m
+             | History.Gate_no_baseline m
+             | History.Gate_regression m
+             | History.Gate_data_error m -> m));
+    Alcotest.test_case "a speedup collapse below threshold regresses" `Quick (fun () ->
+        let prev = bench ~speedups:[ (161, 4.9) ] in
+        let fresh = bench ~speedups:[ (161, 2.0) ] in
+        match History.speedup_gate ~prev:(Some prev) ~fresh () with
+        | History.Gate_regression msg ->
+          Alcotest.(check bool) "message names the sizes" true (String.length msg > 0)
+        | _ -> Alcotest.fail "expected regression");
+    Alcotest.test_case "missing or unusable baseline degrades to informational pass" `Quick
+      (fun () ->
+        (match History.speedup_gate ~prev:None ~fresh:(bench ~speedups:[ (161, 4.0) ]) () with
+         | History.Gate_no_baseline _ -> ()
+         | _ -> Alcotest.fail "expected no-baseline");
+        (* baseline without speedup gauges *)
+        match
+          History.speedup_gate
+            ~prev:(Some (Json.parse_exn "[{}]"))
+            ~fresh:(bench ~speedups:[ (161, 4.0) ])
+            ()
+        with
+        | History.Gate_no_baseline _ -> ()
+        | _ -> Alcotest.fail "expected no-baseline for gauge-free prev");
+    Alcotest.test_case "unusable fresh data is a data error" `Quick (fun () ->
+        match
+          History.speedup_gate
+            ~prev:(Some (bench ~speedups:[ (161, 4.0) ]))
+            ~fresh:(Json.parse_exn "{\"not\":\"an array\"}")
+            ()
+        with
+        | History.Gate_data_error _ -> ()
+        | _ -> Alcotest.fail "expected data error");
+    Alcotest.test_case "no common n1 degrades to no-baseline" `Quick (fun () ->
+        match
+          History.speedup_gate
+            ~prev:(Some (bench ~speedups:[ (81, 3.0) ]))
+            ~fresh:(bench ~speedups:[ (161, 4.0) ])
+            ()
+        with
+        | History.Gate_no_baseline _ -> ()
+        | _ -> Alcotest.fail "expected no-baseline for disjoint sizes");
+  ]
+
+let suites = [ ("history", store_tests @ fuzz_tests @ stats_tests @ gate_tests) ]

@@ -280,6 +280,42 @@ let obs_tests =
               | Some f ->
                 Alcotest.(check bool) "info" true (f.Obs.Doctor.severity = Obs.Doctor.Info)
               | None -> Alcotest.fail "no parallelism finding")));
+    Alcotest.test_case "jobs-2 trace tags pool chunks with per-worker tracks" `Quick (fun () ->
+        Obs.Metrics.with_isolated (fun () ->
+            with_jobs 2 (fun () ->
+                Obs.set_enabled true;
+                Obs.Span.start_recording ();
+                let acc = Array.make 64 0. in
+                Pool.parallel_for 64 (fun i -> acc.(i) <- sqrt (float_of_int (i + 1)));
+                let spans = Obs.Span.stop_recording () in
+                let chunks =
+                  List.filter (fun (s : Obs.Span.record) -> s.name = "pool.chunk") spans
+                in
+                Alcotest.(check bool) "pool.chunk spans recorded" true (chunks <> []);
+                let tids =
+                  List.sort_uniq compare
+                    (List.map (fun (s : Obs.Span.record) -> s.tid) chunks)
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "chunks land on >= 2 worker tracks (got %d)"
+                     (List.length tids))
+                  true
+                  (List.length tids >= 2);
+                List.iter
+                  (fun t -> Alcotest.(check bool) "worker track ids start at 1" true (t >= 1))
+                  tids;
+                let trace = Obs.Trace_event.to_string ~spans ~instants:[] () in
+                match Obs.Json.parse_exn trace with
+                | Obs.Json.Arr evs ->
+                  let str k e = Option.bind (Obs.Json.member k e) Obs.Json.to_str in
+                  let thread_names =
+                    List.filter (fun e -> str "name" e = Some "thread_name") evs
+                  in
+                  Alcotest.(check bool) "one thread_name metadata per track" true
+                    (List.length thread_names >= List.length tids);
+                  let count ph = List.length (List.filter (fun e -> str "ph" e = Some ph) evs) in
+                  Alcotest.(check int) "B/E events balance" (count "B") (count "E")
+                | _ -> Alcotest.fail "trace is not a JSON array")));
   ]
 
 let suites =

@@ -99,6 +99,9 @@ let protocol_tests =
         (match Protocol.parse_request "{\"type\":\"metrics\"}" with
         | Ok Protocol.Metrics -> ()
         | _ -> Alcotest.fail "metrics");
+        (match Protocol.parse_request "{\"type\":\"stats\"}" with
+        | Ok Protocol.Stats -> ()
+        | _ -> Alcotest.fail "stats");
         match Protocol.parse_request "{\"type\":\"shutdown\",\"drain\":false}" with
         | Ok (Protocol.Shutdown { drain = false }) -> ()
         | _ -> Alcotest.fail "shutdown");
@@ -117,6 +120,80 @@ let protocol_tests =
           "{\"type\":\"job\",\"id\":\"x\",\"circuit\":\"vco-a\",\"analysis\":\"envelope\",\"t_end\":-2}";
         check_error "bad-field"
           "{\"type\":\"job\",\"id\":\"x\",\"circuit\":\"vco-a\",\"analysis\":\"envelope\",\"t_end\":\"ten\"}");
+  ]
+
+(* ---------- stats ---------- *)
+
+let member_path path j =
+  List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+
+let stats_tests =
+  [
+    Alcotest.test_case "job_error carries the flight dump path only when given" `Quick
+      (fun () ->
+        let with_dump =
+          Json.parse_exn
+            (Protocol.job_error ~flight:"spool/x.flight.json" ~id:"x" ~kind:"step-failure"
+               ~message:"m" ~quanta:3 ())
+        in
+        Alcotest.(check (option string)) "flight path embedded" (Some "spool/x.flight.json")
+          (str "flight" with_dump);
+        let plain = Json.parse_exn (Protocol.job_error ~id:"x" ~kind:"k" ~message:"m" ~quanta:1 ()) in
+        Alcotest.(check (option string)) "absent without a dump" None (str "flight" plain));
+    Alcotest.test_case "stats_line groups counters by subsystem" `Quick (fun () ->
+        let j =
+          Json.parse_exn
+            (Protocol.stats_line
+               ~counters:
+                 [
+                   ("cache.orbit.hits", 3);
+                   ("cache.precond.misses", 2);
+                   ("health.warnings", 2);
+                   ("health.warnings.newton_stall", 2);
+                   ("pool.chunks", 5);
+                   ("serve.jobs.completed", 4);
+                   ("unrelated.counter", 9);
+                 ]
+               ~gauges:[ ("pool.balance", 0.75) ])
+        in
+        Alcotest.(check string) "type" "stats" (typ j);
+        let n path = Option.bind (member_path path j) Json.to_num in
+        Alcotest.(check (option (float 0.))) "orbit hits" (Some 3.) (n [ "cache"; "orbit"; "hits" ]);
+        Alcotest.(check (option (float 0.))) "precond misses" (Some 2.)
+          (n [ "cache"; "precond"; "misses" ]);
+        Alcotest.(check (option (float 0.))) "pool counter" (Some 5.) (n [ "pool"; "chunks" ]);
+        Alcotest.(check (option (float 1e-12))) "pool gauge" (Some 0.75) (n [ "pool"; "balance" ]);
+        Alcotest.(check (option (float 0.))) "health total" (Some 2.) (n [ "health"; "warnings" ]);
+        Alcotest.(check (option (float 0.))) "per-monitor breakdown" (Some 2.)
+          (n [ "health"; "monitors"; "newton_stall" ]);
+        Alcotest.(check (option (float 0.))) "scheduler counters" (Some 4.)
+          (n [ "serve"; "jobs.completed" ]);
+        Alcotest.(check (option (float 0.))) "ungrouped counters stay out" None
+          (n [ "unrelated"; "counter" ]));
+    Alcotest.test_case "server answers stats with the grouped snapshot" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let code, out =
+          run_server ~quantum:2
+            [
+              tiny_envelope ~id:"st" ();
+              "{\"type\":\"stats\"}";
+              "{\"type\":\"shutdown\",\"drain\":true}";
+            ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        match List.filter (fun j -> typ j = "stats") records with
+        | [ s ] ->
+          List.iter
+            (fun group ->
+              Alcotest.(check bool) (group ^ " group present") true
+                (Json.member group s <> None))
+            [ "cache"; "pool"; "health"; "serve" ];
+          Alcotest.(check bool) "serve group saw the submission" true
+            (match member_path [ "serve"; "jobs.submitted" ] s with
+             | Some _ -> true
+             | None -> false)
+        | l -> Alcotest.failf "expected one stats record, got %d" (List.length l));
   ]
 
 (* ---------- protocol fuzz ---------- *)
@@ -375,11 +452,63 @@ let fault_tests =
           ids;
         Alcotest.(check bool) "bye record present" true
           (List.exists (fun j -> typ j = "bye") records));
+    Alcotest.test_case "failing job attaches a flight dump in the spool" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        Fault.with_armed "nan%1,seed=3" @@ fun () ->
+        (* keep the spool alive until the dump has been inspected, so
+           run the session inline instead of via run_server *)
+        let input =
+          ref [ tiny_envelope ~id:"fd1" (); "{\"type\":\"shutdown\",\"drain\":true}" ]
+        in
+        let read ~block:_ =
+          match !input with
+          | [] -> `Eof
+          | l :: tl ->
+            input := tl;
+            `Line l
+        in
+        let out = ref [] in
+        let spool = fresh_spool () in
+        Fun.protect ~finally:(fun () -> rm_rf spool) @@ fun () ->
+        let code =
+          Server.run
+            (Server.default_config ~quantum:2 ~spool ~cache:0 ())
+            ~read
+            ~write:(fun l -> out := l :: !out)
+            ~log:(fun _ -> ())
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of (List.rev !out) in
+        match terminals_for "fd1" records with
+        | [ r ] ->
+          Alcotest.(check string) "typed failure" "job-error" (typ r);
+          (match str "flight" r with
+          | Some p ->
+            Alcotest.(check bool) "per-job dump name" true (Filename.check_suffix p ".flight.json");
+            Alcotest.(check bool) "dump file exists" true (Sys.file_exists p);
+            let ic = open_in_bin p in
+            let contents =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            (match Obs.Flight.to_postmortem contents with
+            | Ok text ->
+              Alcotest.(check bool) "postmortem names the serve analysis" true
+                (let sub = "serve:envelope" in
+                 let n = String.length sub in
+                 let rec go i =
+                   i + n <= String.length text && (String.sub text i n = sub || go (i + 1))
+                 in
+                 go 0)
+            | Error m -> Alcotest.failf "postmortem failed: %s" m)
+          | None -> Alcotest.fail "job-error without a flight path")
+        | l -> Alcotest.failf "fd1: %d terminal records" (List.length l));
   ]
 
 let suites =
   [
-    ("serve_protocol", protocol_tests @ fuzz_tests);
+    ("serve_protocol", protocol_tests @ stats_tests @ fuzz_tests);
     ("serve_scheduler", scheduling_tests);
     ("serve_caches", cache_tests);
     ("serve_faults", fault_tests);
