@@ -1128,7 +1128,41 @@ let serve_cmd =
     in
     Arg.(value & opt int 32 & info [ "cache" ] ~docv:"N" ~doc)
   in
-  let run fault jobs quantum spool cache =
+  let stall_timeout_arg =
+    let doc =
+      "Stall watchdog: fail a running job with a typed $(b,stalled) error when no solver \
+       progress (macro step, Newton/GMRES iteration) is observed for $(docv) seconds \
+       ($(b,0) disables)."
+    in
+    Arg.(value & opt float 0. & info [ "stall-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_retries_arg =
+    let doc =
+      "Retry a job that failed with a transient typed error up to $(docv) times, resuming \
+       from its last bit-exact checkpoint after a seeded exponential backoff."
+    in
+    Arg.(value & opt int 0 & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let retry_base_arg =
+    let doc = "Base delay of the seeded exponential retry backoff, seconds." in
+    Arg.(value & opt float 0.1 & info [ "retry-base" ] ~docv:"SECONDS" ~doc)
+  in
+  let breaker_threshold_arg =
+    let doc =
+      "Consecutive permanent failures of one (circuit, analysis) pair before its circuit \
+       breaker opens and further jobs fast-fail with $(b,breaker-open)."
+    in
+    Arg.(value & opt int 5 & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+  in
+  let breaker_cooldown_arg =
+    let doc =
+      "Seconds an open circuit breaker fast-fails before letting one half-open probe \
+       through; the probe's outcome closes or re-opens it."
+    in
+    Arg.(value & opt float 5. & info [ "breaker-cooldown" ] ~docv:"SECONDS" ~doc)
+  in
+  let run fault jobs quantum spool cache stall_timeout max_retries retry_base breaker_threshold
+      breaker_cooldown =
     (match jobs with Some j -> Par.Pool.set_jobs j | None -> ());
     (match fault with
     | Some spec -> (
@@ -1142,7 +1176,17 @@ let serve_cmd =
       with Invalid_argument msg ->
         Printf.eprintf "wampde_cli: %s: %s\n" Fault.env_var msg;
         exit 1));
-    let config = Serve.Server.default_config ~quantum ~spool ~cache () in
+    (* SIGTERM = graceful park: the handler only flips a flag (it may
+       interrupt a blocking read, which surfaces as `Nothing); the
+       server loop polls it and journals queued jobs as preempted. *)
+    let term_requested = ref false in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> term_requested := true));
+    let config =
+      Serve.Server.default_config ~quantum ~spool ~cache ~max_retries ~retry_base_s:retry_base
+        ~stall_timeout_s:stall_timeout ~breaker_threshold ~breaker_cooldown_s:breaker_cooldown
+        ~stop_requested:(fun () -> !term_requested)
+        ()
+    in
     let write line =
       print_string line;
       print_char '\n';
@@ -1157,12 +1201,15 @@ let serve_cmd =
   in
   let doc =
     "simulation service: accept NDJSON job requests on stdin (envelope and quasiperiodic \
-     solves), time-slice them round-robin via bit-exact preemption checkpoints, and stream \
-     per-job progress, run-report manifests and typed errors as NDJSON on stdout"
+     solves), time-slice them round-robin via bit-exact preemption checkpoints, journal every \
+     job transition for crash recovery, and stream per-job progress, run-report manifests and \
+     typed errors as NDJSON on stdout"
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
-    Term.(const run $ fault_arg $ jobs_arg $ quantum_arg $ spool_arg $ cache_arg)
+    Term.(
+      const run $ fault_arg $ jobs_arg $ quantum_arg $ spool_arg $ cache_arg $ stall_timeout_arg
+      $ max_retries_arg $ retry_base_arg $ breaker_threshold_arg $ breaker_cooldown_arg)
 
 let () =
   let doc = "multi-time (WaMPDE) simulation of voltage-controlled oscillators" in

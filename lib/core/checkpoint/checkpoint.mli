@@ -45,6 +45,25 @@ val save : path:string -> t -> unit
 
 val load : path:string -> t
 
+(** {1 Raw framing}
+
+    The section codec and CRC used by {!save}/{!load}, exposed so
+    other durable formats (e.g. the serve job journal) can reuse the
+    bit-preserving encoding and corruption detection without
+    reimplementing them. *)
+
+(** [encode t] is the binary payload of [t] (no header, no CRC);
+    floats keep their IEEE-754 bit patterns. *)
+val encode : t -> Bytes.t
+
+(** [decode payload] inverts {!encode}.  @raise Corrupt on truncated,
+    trailing or otherwise malformed bytes. *)
+val decode : Bytes.t -> t
+
+(** CRC32 (IEEE 802.3, reflected) of a byte string — the checksum
+    {!save} stores and {!load} verifies. *)
+val crc32 : Bytes.t -> int32
+
 (** {1 Typed accessors} (all raise {!Corrupt} with the section name on
     a missing or differently-typed section) *)
 

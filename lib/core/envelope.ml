@@ -198,7 +198,10 @@ let step dae ~options ~cache ~scratch ~d ~phase_row ~t2_new ~h2 ~states0 ~g0 ~om
       s := !s +. (phase_row.(idx) *. y.(idx))
     done;
     dst.(nd) <- !s;
-    if Fault.armed () && Fault.fire Fault.Nan_residual then dst.(0) <- Float.nan
+    if Fault.armed () then begin
+      Fault.maybe_stall ();
+      if Fault.fire Fault.Nan_residual then dst.(0) <- Float.nan
+    end
   in
   let jacobian y =
     let omega = unpack_scratch y in

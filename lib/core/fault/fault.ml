@@ -1,20 +1,31 @@
 module Obs = Wampde_obs
 
-type kind = Linear_solve | Newton_diverge | Nan_residual | Checkpoint_trunc
+type kind =
+  | Linear_solve
+  | Newton_diverge
+  | Nan_residual
+  | Checkpoint_trunc
+  | Solver_stall
+  | Journal_trunc
 
-let kinds = [ Linear_solve; Newton_diverge; Nan_residual; Checkpoint_trunc ]
+let kinds =
+  [ Linear_solve; Newton_diverge; Nan_residual; Checkpoint_trunc; Solver_stall; Journal_trunc ]
 
 let kind_name = function
   | Linear_solve -> "linsolve"
   | Newton_diverge -> "diverge"
   | Nan_residual -> "nan"
   | Checkpoint_trunc -> "ckpt-trunc"
+  | Solver_stall -> "stall"
+  | Journal_trunc -> "journal-trunc"
 
 let kind_of_name = function
   | "linsolve" -> Some Linear_solve
   | "diverge" -> Some Newton_diverge
   | "nan" -> Some Nan_residual
   | "ckpt-trunc" -> Some Checkpoint_trunc
+  | "stall" -> Some Solver_stall
+  | "journal-trunc" -> Some Journal_trunc
   | _ -> None
 
 let index = function
@@ -22,16 +33,21 @@ let index = function
   | Newton_diverge -> 1
   | Nan_residual -> 2
   | Checkpoint_trunc -> 3
+  | Solver_stall -> 4
+  | Journal_trunc -> 5
 
 let env_var = "WAMPDE_FAULTS"
 
 type rule = At of int  (** single shot on the n-th call *) | Prob of float
+
+let default_stall_s = 0.25
 
 type schedule = {
   rules : rule list array; (* indexed by [index kind] *)
   mutable lcg : int64;
   calls : int array;
   injected : int array;
+  stall_s : float; (* sleep injected by a [Solver_stall] trip *)
 }
 
 let state : schedule option ref = ref None
@@ -52,12 +68,14 @@ let parse spec =
     |> List.filter (fun s -> s <> "")
   in
   let seed = ref 1L in
+  let stall = ref default_stall_s in
   let rules = Array.make (List.length kinds) [] in
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let rec go = function
     | [] ->
       let rules = Array.map List.rev rules in
       let seed = !seed in
+      let stall_s = !stall in
       Ok
         (fun () ->
           state :=
@@ -67,6 +85,7 @@ let parse spec =
                 lcg = seed;
                 calls = Array.make (Array.length rules) 0;
                 injected = Array.make (Array.length rules) 0;
+                stall_s;
               })
     | entry :: rest -> (
       match String.index_opt entry '=' with
@@ -77,6 +96,13 @@ let parse spec =
           seed := s;
           go rest
         | None -> err "Fault.parse: bad seed %S" v)
+      | Some i when String.sub entry 0 i = "stall" -> (
+        let v = String.sub entry (i + 1) (String.length entry - i - 1) in
+        match float_of_string_opt v with
+        | Some s when s >= 0. && Float.is_finite s ->
+          stall := s;
+          go rest
+        | Some _ | None -> err "Fault.parse: bad stall duration %S" v)
       | Some _ -> err "Fault.parse: unknown assignment %S" entry
       | None -> (
         let split c =
@@ -148,6 +174,20 @@ let calls kind = match !state with None -> 0 | Some s -> s.calls.(index kind)
 
 let injected kind =
   match !state with None -> 0 | Some s -> s.injected.(index kind)
+
+let stall_seconds () =
+  match !state with None -> default_stall_s | Some s -> s.stall_s
+
+(* Probe site helper for [Solver_stall]: when the schedule says so,
+   wedge the caller by sleeping past the serve watchdog's stall
+   threshold.  The sleep is interruptible — a SIGALRM-driven watchdog
+   raising from its handler propagates out of [sleepf], exactly like a
+   genuinely stuck solver being cancelled. *)
+let maybe_stall () =
+  if armed () && fire Solver_stall then begin
+    let s = stall_seconds () in
+    if s > 0. then try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  end
 
 let with_armed spec f =
   let saved = !state in

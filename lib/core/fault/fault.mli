@@ -10,9 +10,11 @@
       (1-based, single shot);
     - [kind%P]  — fire on each call with probability [P] (in [0,1]),
       drawn from a seeded LCG so runs are reproducible;
-    - [seed=S]  — set the LCG seed (default 1).
+    - [seed=S]  — set the LCG seed (default 1);
+    - [stall=S] — seconds a [Solver_stall] trip sleeps (default 0.25).
 
-    Kind names: [linsolve], [diverge], [nan], [ckpt-trunc].
+    Kind names: [linsolve], [diverge], [nan], [ckpt-trunc], [stall],
+    [journal-trunc].
     Example: ["linsolve@3,nan%0.05,seed=42"]. *)
 
 type kind =
@@ -20,6 +22,10 @@ type kind =
   | Newton_diverge  (** corrupt the Newton step so the iterate diverges *)
   | Nan_residual  (** contaminate a residual evaluation with NaN *)
   | Checkpoint_trunc  (** truncate a checkpoint payload before writing *)
+  | Solver_stall
+      (** wedge the solver: sleep past the serve watchdog's stall
+          threshold inside a residual evaluation *)
+  | Journal_trunc  (** truncate a serve job-journal record mid-write *)
 
 val kind_name : kind -> string
 (** Short stable name used in specs and metrics ([linsolve], ...). *)
@@ -58,6 +64,16 @@ val calls : kind -> int
 
 val injected : kind -> int
 (** Faults injected for [kind] since the last {!arm}. *)
+
+val stall_seconds : unit -> float
+(** The armed schedule's [stall=S] duration (the default when
+    disarmed). *)
+
+val maybe_stall : unit -> unit
+(** Probe site hook for {!Solver_stall}: when armed and fired, sleep
+    for {!stall_seconds} — emulating a wedged solver so watchdog
+    cancellation paths are exercisable.  The sleep is interruptible by
+    signal-driven cancellation. *)
 
 val with_armed : string -> (unit -> 'a) -> 'a
 (** [with_armed spec f] arms, runs [f], and restores the previous

@@ -42,6 +42,7 @@ let h_iters = Obs.Metrics.histogram "newton.iterations_per_solve"
    harness is disarmed; the wrappers are only installed when armed so
    the production path keeps its direct calls. *)
 let fault_residual residual x =
+  Fault.maybe_stall ();
   let r = residual x in
   if Fault.fire Fault.Nan_residual && Array.length r > 0 then begin
     let r = Array.copy r in

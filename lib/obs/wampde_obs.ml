@@ -2181,6 +2181,44 @@ module Doctor = struct
       end
     end
 
+  (* ---------- serve supervision ---------- *)
+
+  (* Retry-storm detector for daemon manifests/metric snapshots: when
+     retries rival submissions the spool is churning — jobs fail, are
+     resumed, and fail again — which usually means a persistent fault
+     is being misclassified as transient. *)
+  let serve_findings j =
+    let counters = metrics_section j "counters" in
+    let attempts = counter counters "serve.retry.attempts" in
+    let submitted = counter counters "serve.jobs.submitted" in
+    let exhausted = counter counters "serve.retry.exhausted" in
+    if attempts <= 0. then []
+    else if attempts >= 3. && attempts >= submitted then
+      [
+        {
+          category = "serve";
+          severity = Warn;
+          summary =
+            Printf.sprintf
+              "retry storm: %.0f retry attempt(s) against %.0f submitted job(s)%s"
+              attempts submitted
+              (if exhausted > 0. then Printf.sprintf " (%.0f exhausted)" exhausted else "");
+          suggestion =
+            Some
+              "failures classified as transient are recurring; inspect flight dumps and \
+               consider lowering --max-retries or fixing the underlying fault";
+        };
+      ]
+    else
+      [
+        {
+          category = "serve";
+          severity = Info;
+          summary = Printf.sprintf "%.0f transient failure(s) were retried from checkpoint" attempts;
+          suggestion = None;
+        };
+      ]
+
   (* ---------- stream cross-check ---------- *)
 
   let stream_findings lines =
@@ -2255,6 +2293,7 @@ module Doctor = struct
     let findings =
       (cost_finding j :: resolution_findings j)
       @ solver_findings j @ stepping_findings j @ parallelism_findings j
+      @ serve_findings j
       @ (match stream_lines with Some ls -> stream_findings ls | None -> [])
     in
     let warns, infos = List.partition (fun f -> f.severity = Warn) findings in
@@ -2665,10 +2704,32 @@ module History = struct
       try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
     end
 
+  let lock_name = "history.lock"
+
+  (* Advisory exclusive lock serializing cross-process compactions (an
+     appender checking the size threshold takes it too, so a rewrite
+     never races another writer's rewrite).  In-process concurrent
+     writers are instead protected by the O_APPEND single-write append
+     below — POSIX record locks do not exclude within one process. *)
+  let with_file_lock ~dir f =
+    mkdir_p dir;
+    let fd =
+      Unix.openfile (Filename.concat dir lock_name) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.lockf fd Unix.F_LOCK 0;
+        Fun.protect
+          ~finally:(fun () -> try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+          f)
+
   (* Atomic rewrite keeping the newest [keep] entries per key (and
      silently shedding undecodable lines).  Returns how many decodable
-     entries were dropped. *)
+     entries were dropped.  Holds the store's advisory lock for the
+     whole read-rewrite-rename cycle. *)
   let compact ?(keep = default_keep) ~dir () =
+    with_file_lock ~dir @@ fun () ->
     let keep = Int.max 1 keep in
     let entries, _warnings = load ~dir in
     let seen : (string, int) Hashtbl.t = Hashtbl.create 8 in
@@ -2706,17 +2767,32 @@ module History = struct
   (* Append one manifest under [key]; compacts when the store outgrows
      [max_bytes].  Returns [Error] on I/O failure instead of raising —
      history recording is best-effort and must never kill the run that
-     produced the manifest. *)
+     produced the manifest.
+
+     Concurrent-writer safety: the whole record (line + newline) goes
+     out as ONE write(2) on an O_APPEND descriptor, so records from a
+     serve daemon and a parallel CLI run appending to the same
+     [--history DIR] land whole — the kernel serializes O_APPEND
+     writes; buffered-channel appends could interleave partial lines.
+     A rare short write is completed by a follow-up write: its line
+     could interleave, but the CRC framing downgrades that to one
+     warned-and-skipped line on load, never a wrong entry. *)
   let append ?(max_bytes = default_max_bytes) ?(keep = default_keep) ~dir ~key ~manifest () =
     try
       mkdir_p dir;
       let p = path ~dir in
-      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 p in
+      let fd =
+        Unix.openfile p [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+      in
       Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
-          output_string oc (encode_line ~key ~manifest);
-          output_char oc '\n');
+          let line = encode_line ~key ~manifest ^ "\n" in
+          let n = String.length line in
+          let written = ref (Unix.single_write_substring fd line 0 n) in
+          while !written < n do
+            written := !written + Unix.single_write_substring fd line !written (n - !written)
+          done);
       let size = (Unix.stat p).Unix.st_size in
       if size > max_bytes then ignore (compact ~keep ~dir ());
       Ok ()

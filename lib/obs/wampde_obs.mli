@@ -612,7 +612,7 @@ module Doctor : sig
   type finding = {
     category : string;
         (** "cost" | "t1_resolution" | "solver_quality" | "stepping" |
-            "parallelism" | "stream" *)
+            "parallelism" | "serve" | "stream" *)
     severity : severity;
     summary : string;
     suggestion : string option;
@@ -768,7 +768,12 @@ module History : sig
       4 MiB) it is compacted to the newest [keep] (default 32) entries
       per key.  [Error] on I/O failure — history recording is
       best-effort and must never kill the run that produced the
-      manifest. *)
+      manifest.
+
+      Concurrent-writer safe: each record goes out as a single
+      [write(2)] on an [O_APPEND] descriptor, so simultaneous
+      appenders (a serve daemon plus parallel CLI runs sharing one
+      [--history] directory) never interleave partial lines. *)
   val append :
     ?max_bytes:int ->
     ?keep:int ->
@@ -779,7 +784,10 @@ module History : sig
     (unit, string) result
 
   (** Atomic rewrite keeping the newest [keep] entries per key;
-      returns how many decodable entries were dropped. *)
+      returns how many decodable entries were dropped.  Serialized
+      against other compactors via an advisory POSIX lock on
+      "history.lock" inside [dir], so cross-process compactions never
+      clobber each other's rewrite. *)
   val compact : ?keep:int -> dir:string -> unit -> int
 
   (** Median of the finite values; nan when none. *)

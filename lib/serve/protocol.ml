@@ -22,7 +22,7 @@ type quasi_params = {
 
 type analysis = Envelope of envelope_params | Quasiperiodic of quasi_params
 
-type job = { id : string; circuit : string; analysis : analysis }
+type job = { id : string; circuit : string; analysis : analysis; deadline_ms : float option }
 
 type request =
   | Submit of job
@@ -154,7 +154,15 @@ let parse_job j =
     | "quasiperiodic" | "quasi" -> parse_quasi j
     | s -> err "bad-value" "unknown analysis %S (use envelope or quasiperiodic)" s
   in
-  Ok (Submit { id; circuit; analysis })
+  let* deadline_ms = num_field "deadline_ms" j in
+  let* deadline_ms =
+    match deadline_ms with
+    | None -> Ok None
+    | Some x ->
+      let* x = positive "deadline_ms" x in
+      Ok (Some x)
+  in
+  Ok (Submit { id; circuit; analysis; deadline_ms })
 
 let parse_request line =
   match Json.parse line with
@@ -203,6 +211,11 @@ let hello ~quantum ~jobs ~cache =
 let accepted ~id ~queue_depth =
   Printf.sprintf "{\"type\":\"accepted\",\"id\":\"%s\",\"queue_depth\":%d}" (esc id) queue_depth
 
+let recovered ~id ~resumed ~attempt ~queue_depth =
+  Printf.sprintf
+    "{\"type\":\"recovered\",\"id\":\"%s\",\"resumed\":%b,\"attempt\":%d,\"queue_depth\":%d}"
+    (esc id) resumed attempt queue_depth
+
 let error_line ?line ?id { code; message } =
   let b = Buffer.create 128 in
   Buffer.add_string b "{\"type\":\"error\"";
@@ -250,7 +263,7 @@ let metrics_line ~final ~metrics =
    hit rates, domain-pool utilization, health-warning counts and the
    scheduler's own counters — the numbers an operator polls without
    wanting the full metrics snapshot. *)
-let stats_line ~counters ~gauges =
+let stats_line ?(breakers = []) ~counters ~gauges () =
   let with_prefix p l =
     let pl = String.length p in
     List.filter_map
@@ -272,12 +285,13 @@ let stats_line ~counters ~gauges =
       @ List.map (fun (k, v) -> (k, num v)) (with_prefix p gauges))
   in
   let warnings = match List.assoc_opt "health.warnings" counters with Some n -> n | None -> 0 in
+  let breakers_obj = obj (List.map (fun (k, v) -> (k, "\"" ^ esc v ^ "\"")) breakers) in
   Printf.sprintf
-    "{\"type\":\"stats\",\"cache\":{\"orbit\":%s,\"precond\":%s},\"pool\":%s,\"health\":{\"warnings\":%d,\"monitors\":%s},\"serve\":%s}"
+    "{\"type\":\"stats\",\"cache\":{\"orbit\":%s,\"precond\":%s},\"pool\":%s,\"health\":{\"warnings\":%d,\"monitors\":%s},\"serve\":%s,\"breakers\":%s}"
     (int_obj "cache.orbit.") (int_obj "cache.precond.") (mixed "pool.") warnings
-    (int_obj "health.warnings.") (mixed "serve.")
+    (int_obj "health.warnings.") (mixed "serve.") breakers_obj
 
-let bye ~submitted ~completed ~failed ~cancelled =
+let bye ~submitted ~completed ~failed ~cancelled ~preempted =
   Printf.sprintf
-    "{\"type\":\"bye\",\"submitted\":%d,\"completed\":%d,\"failed\":%d,\"cancelled\":%d}" submitted
-    completed failed cancelled
+    "{\"type\":\"bye\",\"submitted\":%d,\"completed\":%d,\"failed\":%d,\"cancelled\":%d,\"preempted\":%d}"
+    submitted completed failed cancelled preempted

@@ -6,7 +6,8 @@
 
     {v
     {"type":"job","id":"e1","circuit":"vco-a","analysis":"envelope",
-     "t_end":10,"rtol":1e-4,"n1":15,"h2":0.4,"solver":"auto"}
+     "t_end":10,"rtol":1e-4,"n1":15,"h2":0.4,"solver":"auto",
+     "deadline_ms":60000}
     {"type":"job","id":"q1","circuit":"vco-a","analysis":"quasiperiodic",
      "n1":15,"n2":7,"p2":40,"t_warm":200,"h2_warm":0.5,"solver":"dense"}
     {"type":"cancel","id":"e1"}
@@ -51,6 +52,10 @@ type job = {
   id : string;  (** non-empty, at most 64 chars of [[A-Za-z0-9._-]] *)
   circuit : string;  (** registry name, e.g. "vco-a" *)
   analysis : analysis;
+  deadline_ms : float option;
+      (** wall-clock budget from acceptance, milliseconds; the
+          watchdog fails the job with a ["deadline-exceeded"] error
+          past it *)
 }
 
 type request =
@@ -79,6 +84,11 @@ val hello : quantum:int -> jobs:int -> cache:int -> string
 
 val accepted : id:string -> queue_depth:int -> string
 
+(** Emitted (instead of [accepted]) for each orphaned job a restarted
+    daemon re-enqueued from the {!Journal}; [resumed] reports whether
+    a bit-exact checkpoint was found to continue from. *)
+val recovered : id:string -> resumed:bool -> attempt:int -> queue_depth:int -> string
+
 (** Protocol-level error response; [line] is the 1-based input line
     number, [id] the offending job id when one was parsed. *)
 val error_line : ?line:int -> ?id:string -> error -> string
@@ -87,6 +97,7 @@ val error_line : ?line:int -> ?id:string -> error -> string
     discriminant ("step-failure", "step-underflow", "solve-failed",
     "non-finite", "continuation-underflow", "nonphysical",
     "corrupt-checkpoint", "solver-failure", "cancelled", "aborted",
+    "deadline-exceeded", "stalled", "breaker-open", "preempted",
     "internal").  [flight], when present, is the path of the
     ["wampde.flightdump/1"] postmortem written for this failure. *)
 val job_error :
@@ -125,7 +136,17 @@ val metrics_line : final:bool -> metrics:string -> string
     snapshots: counters and gauges whose names start with
     ["cache.orbit."], ["cache.precond."], ["pool."],
     ["health.warnings."] and ["serve."] land in the matching group
-    with the prefix stripped. *)
-val stats_line : counters:(string * int) list -> gauges:(string * float) list -> string
+    with the prefix stripped (journal and supervision counters ride
+    in the ["serve"] group as [journal.*], [watchdog.*], [retry.*],
+    [breaker.*]).  [breakers] adds a ["breakers"] object mapping
+    ["circuit/analysis"] keys to their phase ("closed", "open",
+    "half-open"). *)
+val stats_line :
+  ?breakers:(string * string) list ->
+  counters:(string * int) list ->
+  gauges:(string * float) list ->
+  unit ->
+  string
 
-val bye : submitted:int -> completed:int -> failed:int -> cancelled:int -> string
+val bye :
+  submitted:int -> completed:int -> failed:int -> cancelled:int -> preempted:int -> string

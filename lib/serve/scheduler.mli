@@ -10,6 +10,17 @@
     final result is bitwise identical to an uninterrupted run.
     Quasiperiodic jobs are atomic (one slice).
 
+    Supervision: every lifecycle transition is journaled
+    (see {!Journal}), so {!recover} on a restarted daemon re-enqueues
+    the jobs a crash orphaned and resumes them from their surviving
+    checkpoints.  Quanta run under the {!Supervisor} watchdog
+    ([deadline_ms] per job, [stall_timeout_s] daemon-wide); transient
+    solver failures are retried up to [max_retries] times with seeded
+    exponential backoff from [retry_base_s]; repeated permanent
+    failures trip a per-(circuit, analysis) circuit breaker that
+    fast-fails with ["breaker-open"] until a half-open probe
+    succeeds.
+
     Warm state shared across jobs: an unforced-orbit cache keyed by
     [(circuit, n1)] ([cache.orbit.*] metrics; the Bluestein FFT plan
     cache and the {!Linalg.Structured.Precond_cache} warm up
@@ -26,15 +37,39 @@ type t
 (** [create ~quantum ~spool ~emit ~log ()] — [emit] receives every
     job-related response line (accepted / stream records / result /
     job-error); [log] receives human-readable lifecycle lines.  The
-    spool directory must exist. *)
-val create : quantum:int -> spool:string -> emit:(string -> unit) -> log:(string -> unit) -> unit -> t
+    spool directory must exist (the journal is opened inside it).
+    [max_retries] (default 0) bounds per-job transient retries;
+    [retry_base_s] (default 0.1) seeds their exponential backoff;
+    [stall_timeout_s] (default off) arms the stall watchdog;
+    [breaker_threshold] (default 5) consecutive permanent failures
+    open a breaker for [breaker_cooldown_s] (default 5) seconds. *)
+val create :
+  ?max_retries:int ->
+  ?retry_base_s:float ->
+  ?stall_timeout_s:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  quantum:int ->
+  spool:string ->
+  emit:(string -> unit) ->
+  log:(string -> unit) ->
+  unit ->
+  t
 
 (** Known circuit registry names (currently "vco-a" and "vco-b"). *)
 val circuits : unit -> string list
 
-(** Enqueue a job and emit its [accepted] record.  [Error _] (with
-    code "duplicate-id" or "unknown-circuit") emits nothing. *)
-val submit : t -> Protocol.job -> (unit, Protocol.error) result
+(** Enqueue a job and emit its [accepted] record.  [request] is the
+    raw request line, journaled so a crash-recovered daemon can
+    re-parse and re-run the job.  [Error _] (with code "duplicate-id"
+    or "unknown-circuit") emits nothing. *)
+val submit : t -> ?request:string -> Protocol.job -> (unit, Protocol.error) result
+
+(** Replay the spool's journal and re-enqueue every orphaned
+    (non-terminal) job, emitting one [recovered] record each; jobs
+    whose checkpoint survived resume from it bit-exactly.  Call once,
+    right after {!create}, before serving input. *)
+val recover : t -> unit
 
 (** Mark a queued (or preempted) job cancelled; it terminates with a
     ["cancelled"] job-error when next dequeued.  [Error _] (code
@@ -44,18 +79,41 @@ val cancel : t -> string -> (unit, Protocol.error) result
 (** Jobs still queued (including preempted ones). *)
 val pending : t -> int
 
-(** Run one scheduling slice of the front job; [false] when the queue
-    is empty.  Never raises on solver failure — the job terminates
-    with a typed [job-error] instead. *)
-val run_slice : t -> bool
+type slice =
+  | Ran  (** a job ran one slice (or took a terminal transition) *)
+  | Idle  (** queue empty *)
+  | Wait of float  (** every queued job is in retry backoff; seconds until the soonest *)
 
-(** Run slices until the queue is empty. *)
+(** Run one scheduling slice.  Never raises on solver failure — the
+    job terminates with a typed [job-error] (or retries) instead. *)
+val run_slice : t -> slice
+
+(** Run slices (sleeping through backoff windows) until the queue is
+    empty. *)
 val drain : t -> unit
 
 (** Terminate every still-queued job with an ["aborted"] job-error
     (non-drain shutdown). *)
 val abandon : t -> unit
 
-type counts = { submitted : int; completed : int; failed : int; cancelled : int }
+(** Park every still-queued job for a restarted daemon (graceful
+    SIGTERM drain): journal [Preempted], keep its checkpoint, emit a
+    terminal ["preempted"] job-error and close its stream. *)
+val preempt_all : t -> unit
+
+(** Close the journal.  The scheduler must not be used afterwards. *)
+val shutdown : t -> unit
+
+(** Breaker phases for the [stats] reply (["circuit/analysis"] →
+    "closed" / "open" / "half-open"). *)
+val breaker_states : t -> (string * string) list
+
+type counts = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  preempted : int;
+}
 
 val counts : t -> counts

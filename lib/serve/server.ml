@@ -5,10 +5,32 @@ let c_requests = Obs.Metrics.counter "serve.requests"
 
 type reader = block:bool -> [ `Line of string | `Eof | `Nothing ]
 
-type config = { quantum : int; spool : string; cache : int }
+type config = {
+  quantum : int;
+  spool : string;
+  cache : int;
+  max_retries : int;
+  retry_base_s : float;
+  stall_timeout_s : float;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  stop_requested : unit -> bool;
+}
 
-let default_config ?(quantum = 8) ?(spool = "wampde-spool") ?(cache = 32) () =
-  { quantum; spool; cache }
+let default_config ?(quantum = 8) ?(spool = "wampde-spool") ?(cache = 32) ?(max_retries = 0)
+    ?(retry_base_s = 0.1) ?(stall_timeout_s = 0.) ?(breaker_threshold = 5)
+    ?(breaker_cooldown_s = 5.) ?(stop_requested = fun () -> false) () =
+  {
+    quantum;
+    spool;
+    cache;
+    max_retries;
+    retry_base_s;
+    stall_timeout_s;
+    breaker_threshold;
+    breaker_cooldown_s;
+    stop_requested;
+  }
 
 let mkdir_p dir =
   let rec go d =
@@ -19,14 +41,32 @@ let mkdir_p dir =
   in
   go dir
 
+(* How the loop ends: [Drain] finishes the queue (shutdown drain:true
+   or end of input), [Abort] kills it (drain:false), [Preempt] parks
+   it for a restarted daemon (SIGTERM via [stop_requested]). *)
+type stop = Drain | Abort | Preempt
+
 let run config ~read ~write ~log =
   Obs.set_enabled true;
   Linalg.Structured.Precond_cache.set_capacity config.cache;
   mkdir_p config.spool;
-  let sch = Scheduler.create ~quantum:config.quantum ~spool:config.spool ~emit:write ~log () in
+  let sch =
+    Scheduler.create ~max_retries:config.max_retries ~retry_base_s:config.retry_base_s
+      ~stall_timeout_s:
+        (if config.stall_timeout_s > 0. then config.stall_timeout_s else Float.infinity)
+      ~breaker_threshold:config.breaker_threshold ~breaker_cooldown_s:config.breaker_cooldown_s
+      ~quantum:config.quantum ~spool:config.spool ~emit:write ~log ()
+  in
   write (Protocol.hello ~quantum:config.quantum ~jobs:(Par.Pool.jobs ()) ~cache:config.cache);
+  Scheduler.recover sch;
   let lineno = ref 0 in
   let stop = ref None in
+  let check_signal () =
+    if !stop = None && config.stop_requested () then begin
+      log "serve: termination requested; parking queued jobs";
+      stop := Some Preempt
+    end
+  in
   let handle line =
     incr lineno;
     if String.trim line <> "" then begin
@@ -36,7 +76,7 @@ let run config ~read ~write ~log =
         Obs.Metrics.incr c_protocol_errors;
         write (Protocol.error_line ~line:!lineno e)
       | Ok (Protocol.Submit job) -> (
-        match Scheduler.submit sch job with
+        match Scheduler.submit sch ~request:line job with
         | Ok () -> ()
         | Error e ->
           Obs.Metrics.incr c_protocol_errors;
@@ -50,39 +90,57 @@ let run config ~read ~write ~log =
       | Ok Protocol.Metrics ->
         write (Protocol.metrics_line ~final:false ~metrics:(Obs.Metrics.to_json ()))
       | Ok Protocol.Stats ->
-        write (Protocol.stats_line ~counters:(Obs.Metrics.counters ()) ~gauges:(Obs.Metrics.gauges ()))
-      | Ok (Protocol.Shutdown { drain }) -> stop := Some drain
+        write
+          (Protocol.stats_line
+             ~breakers:(Scheduler.breaker_states sch)
+             ~counters:(Obs.Metrics.counters ())
+             ~gauges:(Obs.Metrics.gauges ()) ())
+      | Ok (Protocol.Shutdown { drain }) -> stop := Some (if drain then Drain else Abort)
     end
   in
   Fun.protect ~finally:(fun () -> Linalg.Structured.Precond_cache.set_capacity 0) @@ fun () ->
   while !stop = None do
+    check_signal ();
     (* drain whatever input is already available, then do one slice *)
     let reading = ref true in
     while !reading && !stop = None do
       match read ~block:false with
       | `Line l -> handle l
       | `Eof ->
-        stop := Some true;
+        stop := Some Drain;
         reading := false
       | `Nothing -> reading := false
     done;
-    if !stop = None && not (Scheduler.run_slice sch) then begin
-      match read ~block:true with
-      | `Line l -> handle l
-      | `Eof -> stop := Some true
-      | `Nothing -> ()
+    check_signal ();
+    if !stop = None then begin
+      match Scheduler.run_slice sch with
+      | Scheduler.Ran -> ()
+      | Scheduler.Wait s ->
+        (* every queued job is backing off: nap briefly so input and
+           the signal flag stay responsive *)
+        (try Unix.sleepf (Float.min s 0.02) with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | Scheduler.Idle -> (
+        match read ~block:true with
+        | `Line l -> handle l
+        | `Eof -> stop := Some Drain
+        | `Nothing -> ())
     end
   done;
-  if !stop = Some true then Scheduler.drain sch;
+  (match !stop with
+  | Some Drain -> Scheduler.drain sch
+  | Some Preempt -> Scheduler.preempt_all sch
+  | Some Abort | None -> ());
   Scheduler.abandon sch;
+  Scheduler.shutdown sch;
   write (Protocol.metrics_line ~final:true ~metrics:(Obs.Metrics.to_json ()));
   let c = Scheduler.counts sch in
   write
     (Protocol.bye ~submitted:c.submitted ~completed:c.completed ~failed:c.failed
-       ~cancelled:c.cancelled);
+       ~cancelled:c.cancelled ~preempted:c.preempted);
   log
-    (Printf.sprintf "serve: shutting down — %d submitted, %d completed, %d failed, %d cancelled"
-       c.submitted c.completed c.failed c.cancelled);
+    (Printf.sprintf
+       "serve: shutting down — %d submitted, %d completed, %d failed, %d cancelled, %d preempted"
+       c.submitted c.completed c.failed c.cancelled c.preempted);
   0
 
 let fd_reader fd =
@@ -90,14 +148,18 @@ let fd_reader fd =
   let partial = Buffer.create 256 in
   let eof = ref false in
   let chunk = Bytes.create 4096 in
-  let rec pull () =
+  (* [false] when a signal interrupted the read: the caller must get
+     control back (to notice a termination request) instead of being
+     wedged in a retry loop around a blocking read. *)
+  let pull () =
     match Unix.read fd chunk 0 (Bytes.length chunk) with
     | 0 ->
       eof := true;
       if Buffer.length partial > 0 then begin
         Queue.add (Buffer.contents partial) pending;
         Buffer.clear partial
-      end
+      end;
+      true
     | n ->
       for i = 0 to n - 1 do
         match Bytes.get chunk i with
@@ -105,8 +167,9 @@ let fd_reader fd =
           Queue.add (Buffer.contents partial) pending;
           Buffer.clear partial
         | c -> Buffer.add_char partial c
-      done
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> pull ()
+      done;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
   in
   let readable () =
     match Unix.select [ fd ] [] [] 0. with
@@ -120,8 +183,7 @@ let fd_reader fd =
       | None ->
         if !eof then `Eof
         else if block || readable () then begin
-          pull ();
-          next ()
+          if pull () then next () else `Nothing
         end
         else `Nothing
     in

@@ -4,26 +4,57 @@
 
     The loop alternates draining immediately-available input
     (non-blocking reads) with running one scheduling slice; it blocks
-    for input only when the queue is idle.  End of input and
-    [{"type":"shutdown","drain":true}] both drain the queue before
-    exiting; [drain:false] aborts still-queued jobs with typed
-    ["aborted"] errors.  Either way every accepted job has produced
-    exactly one terminal record when [run] returns, followed by a
-    final [metrics] record and a [bye]. *)
+    for input only when the queue is idle and naps briefly when every
+    queued job is inside a retry-backoff window.  On startup the
+    spool's {!Journal} is replayed: jobs orphaned by a crashed daemon
+    are re-enqueued (one [recovered] record each) and resume from
+    their surviving checkpoints bit-exactly.
+
+    Shutdown paths: end of input and
+    [{"type":"shutdown","drain":true}] drain the queue;
+    [drain:false] aborts still-queued jobs with typed ["aborted"]
+    errors; a [stop_requested] poll returning [true] (the CLI wires
+    SIGTERM to it) parks queued jobs — journal [Preempted],
+    checkpoints kept — so a restarted daemon on the same spool picks
+    them up.  Either way every accepted job has produced exactly one
+    terminal record when [run] returns, followed by a final [metrics]
+    record and a [bye]. *)
 
 (** [read ~block] returns the next complete input line (without its
-    newline), [`Eof] at end of input, or [`Nothing] when [block] is
-    [false] and no line is available yet. *)
+    newline), [`Eof] at end of input, or [`Nothing] when no line is
+    available yet — because [block] is [false], or because a signal
+    interrupted the blocking read (so the loop can notice a
+    termination request). *)
 type reader = block:bool -> [ `Line of string | `Eof | `Nothing ]
 
 type config = {
   quantum : int;  (** accepted envelope macro steps per slice *)
-  spool : string;  (** checkpoint directory (created if missing) *)
+  spool : string;  (** checkpoint + journal directory (created if missing) *)
   cache : int;  (** {!Linalg.Structured.Precond_cache} capacity *)
+  max_retries : int;  (** transient-failure retries per job *)
+  retry_base_s : float;  (** backoff base for retry delays *)
+  stall_timeout_s : float;  (** stall watchdog; [0.] disables *)
+  breaker_threshold : int;  (** permanent failures before a breaker opens *)
+  breaker_cooldown_s : float;  (** open-breaker cooldown before a probe *)
+  stop_requested : unit -> bool;  (** polled each loop turn; [true] = graceful park *)
 }
 
-(** [quantum] defaults to 8, [spool] to "wampde-spool", [cache] to 32. *)
-val default_config : ?quantum:int -> ?spool:string -> ?cache:int -> unit -> config
+(** [quantum] defaults to 8, [spool] to "wampde-spool", [cache] to
+    32, [max_retries] to 0, [retry_base_s] to 0.1, [stall_timeout_s]
+    to 0 (off), [breaker_threshold] to 5, [breaker_cooldown_s] to 5,
+    [stop_requested] to never. *)
+val default_config :
+  ?quantum:int ->
+  ?spool:string ->
+  ?cache:int ->
+  ?max_retries:int ->
+  ?retry_base_s:float ->
+  ?stall_timeout_s:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  ?stop_requested:(unit -> bool) ->
+  unit ->
+  config
 
 (** [run config ~read ~write ~log] serves until shutdown or end of
     input and returns the process exit code (0 — protocol and job
@@ -34,5 +65,7 @@ val default_config : ?quantum:int -> ?spool:string -> ?cache:int -> unit -> conf
 val run : config -> read:reader -> write:(string -> unit) -> log:(string -> unit) -> int
 
 (** Non-blocking line reader over a file descriptor ([select] +
-    internal buffer), for wiring [run] to [Unix.stdin]. *)
+    internal buffer), for wiring [run] to [Unix.stdin].  A signal
+    arriving during a blocking read yields [`Nothing] instead of
+    retrying, so the server loop can poll [stop_requested]. *)
 val fd_reader : Unix.file_descr -> reader

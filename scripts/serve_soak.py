@@ -18,6 +18,17 @@ service contract:
     `flight` path to a per-job flight dump, and that dump exists on
     disk — it is copied into --out for the CI artifact.
 
+With --crash (requires --spool pointing at the daemon's spool
+directory) the script instead runs the crash-recovery gate: it starts
+the daemon, submits a batch, SIGKILLs the process the moment the first
+checkpoint lands in the spool, restarts the same command on the same
+spool, and asserts that the restarted daemon replays its journal,
+emits a `recovered` record for every unfinished job, and that every
+job of the batch ends in exactly one terminal record across both
+lives — a `report --check`-valid manifest or a typed `job-error`.  On
+any violation the spool's journal is copied into --out for the CI
+artifact.
+
 Outputs land in --out: the raw response stream (responses.ndjson), the
 daemon's stderr log (server.log), and one manifest-<id>.json per
 completed job — CI uploads the directory as the debugging artifact.
@@ -27,12 +38,15 @@ Only the Python standard library is used.
 """
 
 import argparse
+import glob
 import json
 import os
 import shlex
 import shutil
 import subprocess
 import sys
+import threading
+import time
 
 REQUESTS = [
     # repeated-circuit krylov batch: exercises the preconditioner and
@@ -75,6 +89,147 @@ def fail(msg):
     return 1
 
 
+CRASH_JOBS = [
+    {"type": "job", "id": "cr-1", "circuit": "vco-a", "analysis": "envelope",
+     "t_end": 6, "rtol": 1e-3, "n1": 15, "solver": "krylov"},
+    {"type": "job", "id": "cr-2", "circuit": "vco-a", "analysis": "envelope",
+     "t_end": 6, "rtol": 1e-3, "n1": 15, "solver": "krylov"},
+    {"type": "job", "id": "cr-3", "circuit": "vco-b", "analysis": "envelope",
+     "t_end": 20, "rtol": 1e-3, "n1": 15},
+]
+
+
+def run_crash(args):
+    if not args.spool:
+        print("serve_soak: usage error: --crash requires --spool", file=sys.stderr)
+        return 2
+    os.makedirs(args.out, exist_ok=True)
+    shutil.rmtree(args.spool, ignore_errors=True)
+
+    def upload_journal():
+        j = os.path.join(args.spool, "journal.wj")
+        if os.path.exists(j):
+            dst = os.path.join(args.out, "journal.wj")
+            shutil.copy(j, dst)
+            print(f"serve_soak: journal uploaded to {dst}", file=sys.stderr)
+
+    def crash_fail(msg):
+        upload_journal()
+        return fail(msg)
+
+    # ---- life one: submit the batch, SIGKILL at the first checkpoint
+    stdin_text = "\n".join(json.dumps(j) for j in CRASH_JOBS) + "\n"
+    log1_path = os.path.join(args.out, "crash-server-1.log")
+    lines1 = []
+    with open(log1_path, "w") as log1:
+        proc = subprocess.Popen(
+            shlex.split(args.serve_cmd), stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE, stderr=log1, text=True)
+
+        # reader thread: the daemon must never block on a full pipe
+        def pump():
+            for line in proc.stdout:
+                lines1.append(line)
+
+        pump_thread = threading.Thread(target=pump, daemon=True)
+        pump_thread.start()
+        try:
+            proc.stdin.write(stdin_text)
+            proc.stdin.flush()
+        except BrokenPipeError:
+            return crash_fail("daemon died while the batch was being submitted")
+        deadline = time.time() + args.timeout
+        killed = False
+        while time.time() < deadline:
+            if glob.glob(os.path.join(args.spool, "*.ckpt")):
+                proc.kill()  # SIGKILL: no chance to journal a clean stop
+                killed = True
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        if not killed:
+            proc.kill()
+            proc.wait(timeout=30)
+            return crash_fail("no checkpoint ever appeared in the spool to crash on")
+        proc.wait(timeout=30)
+        pump_thread.join(timeout=10)
+    with open(os.path.join(args.out, "crash-responses-1.ndjson"), "w") as f:
+        f.writelines(lines1)
+    print(f"serve_soak: SIGKILL delivered mid-batch "
+          f"({len(lines1)} response lines before the crash)")
+
+    records1 = []
+    for line in lines1:
+        try:
+            records1.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass  # the kill can tear the final line mid-write
+
+    # ---- life two: same command, same spool; recovery finishes the batch
+    restart_input = json.dumps({"type": "shutdown", "drain": True}) + "\n"
+    log2_path = os.path.join(args.out, "crash-server-2.log")
+    with open(log2_path, "w") as log2:
+        try:
+            proc2 = subprocess.run(
+                shlex.split(args.serve_cmd), input=restart_input,
+                stdout=subprocess.PIPE, stderr=log2, text=True,
+                timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            return crash_fail(
+                f"restarted daemon wedged: no exit within {args.timeout}s")
+    with open(os.path.join(args.out, "crash-responses-2.ndjson"), "w") as f:
+        f.write(proc2.stdout)
+    if proc2.returncode != 0:
+        return crash_fail(
+            f"restarted daemon exited {proc2.returncode} (see {log2_path})")
+    records2 = []
+    for lineno, line in enumerate(proc2.stdout.splitlines(), 1):
+        try:
+            records2.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            return crash_fail(
+                f"restart response line {lineno} is not JSON ({exc}): {line!r}")
+
+    recovered = {r.get("id") for r in records2 if r.get("type") == "recovered"}
+    for job in CRASH_JOBS:
+        jid = job["id"]
+        t1 = [r for r in records1
+              if r.get("type") in ("result", "job-error") and r.get("id") == jid]
+        t2 = [r for r in records2
+              if r.get("type") in ("result", "job-error") and r.get("id") == jid]
+        if len(t1) + len(t2) != 1:
+            return crash_fail(f"{jid}: {len(t1)}+{len(t2)} terminal records "
+                              "across crash and restart")
+        if not t1 and jid not in recovered:
+            return crash_fail(f"{jid}: unfinished at the crash but never recovered")
+        term = (t1 + t2)[0]
+        if term["type"] == "job-error":
+            if not term.get("kind"):
+                return crash_fail(f"{jid}: job-error without a typed kind")
+            print(f"serve_soak: {jid}: job-error kind={term['kind']}")
+        else:
+            manifest_path = os.path.join(args.out, f"manifest-{jid}.json")
+            with open(manifest_path, "w") as f:
+                json.dump(term["manifest"], f)
+            check = subprocess.run(
+                shlex.split(args.check_cmd) + [manifest_path],
+                capture_output=True, text=True)
+            if check.returncode != 0:
+                return crash_fail(f"{jid}: manifest invalid: "
+                                  f"{check.stdout}{check.stderr}")
+            where = "before the crash" if t1 else "after recovery"
+            print(f"serve_soak: {jid}: result ok ({where}), manifest validated")
+    if not recovered:
+        return crash_fail("restart recovered nothing: the batch finished before "
+                          "the kill, so the gate never exercised recovery")
+    if not any(r.get("type") == "bye" for r in records2):
+        return crash_fail("restarted daemon produced no bye record")
+    print(f"serve_soak: crash recovery ok — {sorted(recovered)} "
+          "resumed after SIGKILL")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--serve-cmd", required=True,
@@ -92,7 +247,17 @@ def main():
                          "assertions to typed-termination only)")
     ap.add_argument("--timeout", type=float, default=600,
                     help="wall-clock bound on the daemon, seconds")
+    ap.add_argument("--crash", action="store_true",
+                    help="run the crash-recovery gate: SIGKILL the daemon "
+                         "at the first checkpoint, restart it on the same "
+                         "spool, assert journal recovery finishes the batch")
+    ap.add_argument("--spool", default=None,
+                    help="the daemon's spool directory (required with "
+                         "--crash; must match the --spool in --serve-cmd)")
     args = ap.parse_args()
+
+    if args.crash:
+        return run_crash(args)
 
     os.makedirs(args.out, exist_ok=True)
     env = dict(os.environ)

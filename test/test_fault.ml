@@ -13,14 +13,23 @@ let spec_tests =
             match Fault.parse spec with
             | Ok _ -> ()
             | Error msg -> Alcotest.fail (spec ^ ": " ^ msg))
-          [ "linsolve@3"; "nan%0.05"; "diverge@1,ckpt-trunc@2"; "seed=42,linsolve%0.5"; "" ]);
+          [
+            "linsolve@3";
+            "nan%0.05";
+            "diverge@1,ckpt-trunc@2";
+            "seed=42,linsolve%0.5";
+            "stall@1,stall=0.5";
+            "stall%0.2";
+            "journal-trunc@1";
+            "";
+          ]);
     Alcotest.test_case "malformed specs are rejected" `Quick (fun () ->
         List.iter
           (fun spec ->
             match Fault.parse spec with
             | Ok _ -> Alcotest.fail (spec ^ ": expected Error")
             | Error _ -> ())
-          [ "bogus@1"; "linsolve@x"; "nan%1.5"; "nan%-0.1"; "seed=abc"; "linsolve" ];
+          [ "bogus@1"; "linsolve@x"; "nan%1.5"; "nan%-0.1"; "seed=abc"; "linsolve"; "stall=-1"; "stall=abc" ];
         Alcotest.(check bool) "arm_exn raises" true
           (try
              Fault.arm_exn "bogus@1";
@@ -67,6 +76,25 @@ let spec_tests =
             (* back to the outer schedule with its own counters *)
             Alcotest.(check bool) "outer" true (Fault.fire Fault.Nan_residual));
         Alcotest.(check bool) "ambient restored" was_armed (Fault.armed ()));
+    Alcotest.test_case "stall=S wedges maybe_stall for S seconds when fired" `Quick (fun () ->
+        Fault.with_armed "stall@1,stall=0.05" (fun () ->
+            Alcotest.(check (float 1e-9)) "configured duration" 0.05 (Fault.stall_seconds ());
+            let t0 = Unix.gettimeofday () in
+            Fault.maybe_stall ();
+            let slept = Unix.gettimeofday () -. t0 in
+            Alcotest.(check bool) "first probe sleeps" true (slept >= 0.04);
+            let t1 = Unix.gettimeofday () in
+            Fault.maybe_stall ();
+            Alcotest.(check bool) "single-shot: second probe is free" true
+              (Unix.gettimeofday () -. t1 < 0.04);
+            Alcotest.(check int) "injected" 1 (Fault.injected Fault.Solver_stall)));
+    Alcotest.test_case "stall duration defaults sanely when unset" `Quick (fun () ->
+        Fault.with_armed "nan@1" (fun () ->
+            Alcotest.(check bool) "positive default" true (Fault.stall_seconds () > 0.);
+            (* no stall scheduled: the probe must not sleep *)
+            let t0 = Unix.gettimeofday () in
+            Fault.maybe_stall ();
+            Alcotest.(check bool) "no sleep" true (Unix.gettimeofday () -. t0 < 0.04)));
   ]
 
 (* -- end-to-end: faults against the adaptive envelope integrator -- *)

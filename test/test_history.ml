@@ -119,6 +119,47 @@ let store_tests =
              (List.length entries <= 8)));
   ]
 
+let concurrency_tests =
+  [
+    Alcotest.test_case "concurrent writers never tear or lose a record" `Slow
+      (with_dir (fun dir ->
+           (* O_APPEND single-write appends: racing writers may
+              interleave whole lines but must never interleave bytes.
+              Every record must survive intact and decodable. *)
+           let domains = 4 and per_domain = 25 in
+           let spawned =
+             List.init domains (fun d ->
+                 Domain.spawn (fun () ->
+                     for i = 1 to per_domain do
+                       append_ok ~dir
+                         ~key:(key ~n1:(15 + (2 * d)) ())
+                         ~manifest:(manifest ~wall:(float_of_int ((d * 100) + i)) ())
+                         ()
+                     done))
+           in
+           List.iter Domain.join spawned;
+           let entries, warnings = History.load ~dir in
+           Alcotest.(check (list string)) "no corrupt lines" [] warnings;
+           Alcotest.(check int) "every append survived" (domains * per_domain)
+             (List.length entries);
+           (* each writer's records are all present exactly once *)
+           List.iter
+             (fun d ->
+               let mine =
+                 List.filter (fun e -> e.History.key.n1 = 15 + (2 * d)) entries
+               in
+               Alcotest.(check int)
+                 (Printf.sprintf "writer %d records" d)
+                 per_domain (List.length mine);
+               let walls =
+                 List.map (fun e -> e.History.wall_s) mine |> List.sort_uniq compare
+               in
+               Alcotest.(check int)
+                 (Printf.sprintf "writer %d distinct manifests" d)
+                 per_domain (List.length walls))
+             (List.init domains Fun.id)));
+  ]
+
 let fuzz_tests =
   let open QCheck in
   [
@@ -237,4 +278,5 @@ let gate_tests =
         | _ -> Alcotest.fail "expected no-baseline for disjoint sizes");
   ]
 
-let suites = [ ("history", store_tests @ fuzz_tests @ stats_tests @ gate_tests) ]
+let suites =
+  [ ("history", store_tests @ concurrency_tests @ fuzz_tests @ stats_tests @ gate_tests) ]

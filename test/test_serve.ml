@@ -6,6 +6,9 @@ module Obs = Wampde_obs
 module Json = Obs.Json
 module Protocol = Serve.Protocol
 module Server = Serve.Server
+module Scheduler = Serve.Scheduler
+module Journal = Serve.Journal
+module Supervisor = Serve.Supervisor
 
 (* ---------- helpers ---------- *)
 
@@ -24,8 +27,11 @@ let rm_rf dir =
 
 (* Run an in-memory server session over [lines]; returns the exit code
    and every response line.  EOF after the last line triggers the
-   drain path, exactly like a scripted stdin batch. *)
-let run_server ?(quantum = 2) ?(cache = 0) lines =
+   drain path, exactly like a scripted stdin batch.  [spool] keeps the
+   session on an existing spool (and skips its cleanup) so tests can
+   chain crashed and restarted daemons. *)
+let run_server ?(quantum = 2) ?(cache = 0) ?max_retries ?retry_base_s ?stall_timeout_s
+    ?breaker_threshold ?breaker_cooldown_s ?stop_requested ?spool ?(log = fun _ -> ()) lines =
   let input = ref lines in
   let read ~block:_ =
     match !input with
@@ -35,15 +41,16 @@ let run_server ?(quantum = 2) ?(cache = 0) lines =
       `Line l
   in
   let out = ref [] in
-  let spool = fresh_spool () in
+  let spool, cleanup = match spool with Some s -> (s, false) | None -> (fresh_spool (), true) in
   let code =
     Server.run
-      (Server.default_config ~quantum ~spool ~cache ())
+      (Server.default_config ~quantum ~spool ~cache ?max_retries ?retry_base_s ?stall_timeout_s
+         ?breaker_threshold ?breaker_cooldown_s ?stop_requested ())
       ~read
       ~write:(fun l -> out := l :: !out)
-      ~log:(fun _ -> ())
+      ~log
   in
-  rm_rf spool;
+  if cleanup then rm_rf spool;
   (code, List.rev !out)
 
 let records_of lines = List.map Json.parse_exn lines
@@ -57,10 +64,15 @@ let terminals_for id records =
     (fun j -> (typ j = "result" || typ j = "job-error") && str "id" j = Some id)
     records
 
-let tiny_envelope ?(id = "e") ?(circuit = "vco-a") ?(solver = "auto") () =
+let tiny_envelope ?(id = "e") ?(circuit = "vco-a") ?(solver = "auto") ?deadline_ms () =
+  let deadline =
+    match deadline_ms with
+    | None -> ""
+    | Some ms -> Printf.sprintf ",\"deadline_ms\":%g" ms
+  in
   Printf.sprintf
-    "{\"type\":\"job\",\"id\":\"%s\",\"circuit\":\"%s\",\"analysis\":\"envelope\",\"t_end\":1.5,\"rtol\":1e-3,\"n1\":15,\"solver\":\"%s\"}"
-    id circuit solver
+    "{\"type\":\"job\",\"id\":\"%s\",\"circuit\":\"%s\",\"analysis\":\"envelope\",\"t_end\":1.5,\"rtol\":1e-3,\"n1\":15,\"solver\":\"%s\"%s}"
+    id circuit solver deadline
 
 (* ---------- protocol parsing ---------- *)
 
@@ -73,7 +85,7 @@ let protocol_tests =
   [
     Alcotest.test_case "job request parses with defaults" `Quick (fun () ->
         match Protocol.parse_request (tiny_envelope ~id:"j1" ()) with
-        | Ok (Protocol.Submit { id; circuit; analysis = Protocol.Envelope p }) ->
+        | Ok (Protocol.Submit { id; circuit; analysis = Protocol.Envelope p; deadline_ms = None }) ->
           Alcotest.(check string) "id" "j1" id;
           Alcotest.(check string) "circuit" "vco-a" circuit;
           Alcotest.(check int) "n1" 15 p.n1;
@@ -154,7 +166,9 @@ let stats_tests =
                    ("serve.jobs.completed", 4);
                    ("unrelated.counter", 9);
                  ]
-               ~gauges:[ ("pool.balance", 0.75) ])
+               ~gauges:[ ("pool.balance", 0.75) ]
+               ~breakers:[ ("vco-a/envelope", "open") ]
+               ())
         in
         Alcotest.(check string) "type" "stats" (typ j);
         let n path = Option.bind (member_path path j) Json.to_num in
@@ -506,10 +520,418 @@ let fault_tests =
         | l -> Alcotest.failf "fd1: %d terminal records" (List.length l));
   ]
 
+(* ---------- job journal ---------- *)
+
+let with_spool f =
+  let spool = fresh_spool () in
+  Unix.mkdir spool 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf spool) (fun () -> f spool)
+
+let contains_sub sub text =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length text && (String.sub text i n = sub || go (i + 1)) in
+  go 0
+
+let journal_tests =
+  [
+    Alcotest.test_case "journal round-trips transitions and finds orphans" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        with_spool @@ fun spool ->
+        let j = Journal.open_ ~spool in
+        let put id state attempt = Journal.append j { Journal.id; state; attempt } in
+        put "j1" (Journal.Accepted { request = "{\"r\":1}" }) 1;
+        put "j2" (Journal.Accepted { request = "{\"r\":2}" }) 1;
+        put "j1" Journal.Running 1;
+        put "j1" Journal.Checkpointed 1;
+        put "j2" Journal.Running 1;
+        put "j2" Journal.Done 1;
+        put "j3" (Journal.Accepted { request = "{\"r\":3}" }) 1;
+        put "j3" Journal.Running 1;
+        put "j3" (Journal.Error { kind = "nan" }) 2;
+        Journal.close j;
+        let records, warnings = Journal.replay ~spool in
+        Alcotest.(check int) "no warnings" 0 (List.length warnings);
+        Alcotest.(check int) "all frames replayed" 9 (List.length records);
+        match Journal.orphans records with
+        | [ o ] ->
+          Alcotest.(check string) "orphan id" "j1" o.Journal.id;
+          Alcotest.(check string) "request preserved verbatim" "{\"r\":1}" o.Journal.request;
+          Alcotest.(check string) "last state" "checkpointed" (Journal.state_name o.Journal.last)
+        | l -> Alcotest.failf "%d orphans" (List.length l));
+    Alcotest.test_case "a torn tail frame is dropped with a warning" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        with_spool @@ fun spool ->
+        let j = Journal.open_ ~spool in
+        Journal.append j { Journal.id = "a"; state = Journal.Accepted { request = "{}" }; attempt = 1 };
+        Journal.append j { Journal.id = "a"; state = Journal.Running; attempt = 1 };
+        Journal.close j;
+        let p = Journal.path ~spool in
+        Unix.truncate p ((Unix.stat p).Unix.st_size - 3);
+        let records, warnings = Journal.replay ~spool in
+        Alcotest.(check int) "one surviving record" 1 (List.length records);
+        Alcotest.(check bool) "tail warning" true (warnings <> []);
+        (* the torn transition is gone but the job is still recoverable *)
+        match Journal.orphans records with
+        | [ o ] -> Alcotest.(check string) "orphan survives" "a" o.Journal.id
+        | l -> Alcotest.failf "%d orphans" (List.length l));
+    Alcotest.test_case "a corrupted tail frame fails its CRC and is dropped" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        with_spool @@ fun spool ->
+        let j = Journal.open_ ~spool in
+        Journal.append j { Journal.id = "a"; state = Journal.Accepted { request = "{}" }; attempt = 1 };
+        Journal.append j { Journal.id = "a"; state = Journal.Done; attempt = 1 };
+        Journal.close j;
+        let p = Journal.path ~spool in
+        let ic = open_in_bin p in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let b = Bytes.of_string s in
+        let last = Bytes.length b - 1 in
+        Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0xff));
+        let oc = open_out_bin p in
+        output_bytes oc b;
+        close_out oc;
+        let records, warnings = Journal.replay ~spool in
+        Alcotest.(check int) "only the intact frame" 1 (List.length records);
+        Alcotest.(check bool) "CRC warning" true (warnings <> []));
+    Alcotest.test_case "journal-trunc fault tears an append like a crash" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        Fault.with_armed "journal-trunc@2" @@ fun () ->
+        with_spool @@ fun spool ->
+        let j = Journal.open_ ~spool in
+        Journal.append j { Journal.id = "k"; state = Journal.Accepted { request = "{}" }; attempt = 1 };
+        Journal.append j { Journal.id = "k"; state = Journal.Running; attempt = 1 };
+        (* lands behind the torn frame: unreachable, like post-crash garbage *)
+        Journal.append j { Journal.id = "k"; state = Journal.Done; attempt = 1 };
+        Journal.close j;
+        let records, warnings = Journal.replay ~spool in
+        Alcotest.(check int) "only the pre-fault frame" 1 (List.length records);
+        Alcotest.(check bool) "torn-tail warning" true (warnings <> []);
+        match Journal.orphans records with
+        | [ o ] -> Alcotest.(check string) "job still recoverable" "k" o.Journal.id
+        | l -> Alcotest.failf "%d orphans" (List.length l));
+  ]
+
+(* ---------- supervision: recovery, watchdog, retry, breaker ---------- *)
+
+let supervision_tests =
+  [
+    Alcotest.test_case "kill-9 recovery resumes bitwise from journal + checkpoint" `Slow
+      (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let omega_ref =
+          let _, out =
+            run_server ~quantum:1_000_000
+              [ tiny_envelope ~id:"cr" (); "{\"type\":\"shutdown\",\"drain\":true}" ]
+          in
+          match terminals_for "cr" (records_of out) with
+          | [ r ] when typ r = "result" -> num "omega_end" r
+          | _ -> Alcotest.fail "no reference result"
+        in
+        with_spool @@ fun spool ->
+        (* "crashed" daemon: drive the scheduler directly, then drop it
+           mid-job with no terminal transition — exactly the state
+           SIGKILL leaves behind (journal fd never closed, checkpoint
+           and journal on disk) *)
+        Obs.set_enabled true;
+        let sch = Scheduler.create ~quantum:1 ~spool ~emit:(fun _ -> ()) ~log:(fun _ -> ()) () in
+        let line = tiny_envelope ~id:"cr" () in
+        (match Protocol.parse_request line with
+        | Ok (Protocol.Submit job) -> (
+          match Scheduler.submit sch ~request:line job with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e.Protocol.message)
+        | _ -> Alcotest.fail "parse");
+        for _ = 1 to 3 do
+          ignore (Scheduler.run_slice sch)
+        done;
+        Alcotest.(check bool) "checkpoint on disk" true
+          (Sys.file_exists (Filename.concat spool "cr.ckpt"));
+        (* restarted daemon on the same spool replays the journal *)
+        let code, out = run_server ~spool [ "{\"type\":\"shutdown\",\"drain\":true}" ] in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        (match List.find_opt (fun j -> typ j = "recovered") records with
+        | Some r ->
+          Alcotest.(check (option string)) "recovered id" (Some "cr") (str "id" r);
+          Alcotest.(check bool) "resumed from checkpoint" true
+            (match Json.member "resumed" r with Some (Json.Bool b) -> b | _ -> false)
+        | None -> Alcotest.fail "no recovered record");
+        (match terminals_for "cr" records with
+        | [ r ] when typ r = "result" ->
+          (* %.10g round-trips through the protocol: printed equality
+             is exact equality at that precision *)
+          Alcotest.(check (option (float 0.))) "omega_end identical to uninterrupted run"
+            omega_ref (num "omega_end" r)
+        | l -> Alcotest.failf "cr after restart: %d terminals" (List.length l));
+        let count name = Option.value ~default:0 (List.assoc_opt name (Obs.Metrics.counters ())) in
+        Alcotest.(check int) "serve.journal.recovered" 1 (count "serve.journal.recovered");
+        Alcotest.(check int) "serve.journal.resumed" 1 (count "serve.journal.resumed");
+        Alcotest.(check bool) "serve.journal.replayed > 0" true
+          (count "serve.journal.replayed" > 0));
+    Alcotest.test_case "SIGTERM parks in-flight jobs; a restart resumes them" `Slow (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        with_spool @@ fun spool ->
+        let term = ref false in
+        let prev = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> term := true)) in
+        Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigterm prev) @@ fun () ->
+        let sent = ref false in
+        let input = ref [ tiny_envelope ~id:"pk" () ] in
+        let ckpt = Filename.concat spool "pk.ckpt" in
+        let read ~block:_ =
+          match !input with
+          | l :: tl ->
+            input := tl;
+            `Line l
+          | [] ->
+            (* fire the signal only once the job has demonstrably run a
+               quantum (its checkpoint exists), so there is something
+               in flight to park *)
+            if (not !sent) && Sys.file_exists ckpt then begin
+              sent := true;
+              Unix.kill (Unix.getpid ()) Sys.sigterm
+            end;
+            `Nothing
+        in
+        let out = ref [] in
+        let code =
+          Server.run
+            (Server.default_config ~quantum:1 ~spool ~cache:0 ~stop_requested:(fun () -> !term) ())
+            ~read
+            ~write:(fun l -> out := l :: !out)
+            ~log:(fun _ -> ())
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of (List.rev !out) in
+        (match terminals_for "pk" records with
+        | [ r ] ->
+          Alcotest.(check string) "typed terminal" "job-error" (typ r);
+          Alcotest.(check (option string)) "parked" (Some "preempted") (str "kind" r)
+        | l -> Alcotest.failf "pk: %d terminals" (List.length l));
+        Alcotest.(check bool) "stream ended in a terminal error record" true
+          (List.exists (fun j -> typ j = "error" && str "job" j = Some "pk") records);
+        (match List.find_opt (fun j -> typ j = "bye") records with
+        | Some b -> Alcotest.(check (option (float 0.))) "bye preempted" (Some 1.) (num "preempted" b)
+        | None -> Alcotest.fail "no bye");
+        Alcotest.(check bool) "checkpoint kept for the next daemon" true (Sys.file_exists ckpt);
+        (* a restarted daemon on the same spool picks the job back up *)
+        let code2, out2 = run_server ~spool [ "{\"type\":\"shutdown\",\"drain\":true}" ] in
+        Alcotest.(check int) "restart exit code" 0 code2;
+        let records2 = records_of out2 in
+        Alcotest.(check bool) "recovered record" true
+          (List.exists (fun j -> typ j = "recovered") records2);
+        match terminals_for "pk" records2 with
+        | [ r ] -> Alcotest.(check string) "resumed to completion" "result" (typ r)
+        | l -> Alcotest.failf "pk after restart: %d terminals" (List.length l));
+    Alcotest.test_case "deadline: watchdog cancels a running job, queued jobs expire" `Slow
+      (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        Fault.with_armed "stall@1,stall=0.4,seed=7" @@ fun () ->
+        let code, out =
+          run_server ~quantum:4
+            [
+              tiny_envelope ~id:"dl1" ~deadline_ms:100. ();
+              tiny_envelope ~id:"dl2" ~deadline_ms:40. ();
+              "{\"type\":\"shutdown\",\"drain\":true}";
+            ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        List.iter
+          (fun id ->
+            match terminals_for id records with
+            | [ r ] ->
+              Alcotest.(check string) (id ^ " typed terminal") "job-error" (typ r);
+              Alcotest.(check (option string)) (id ^ " kind") (Some "deadline-exceeded")
+                (str "kind" r)
+            | l -> Alcotest.failf "%s: %d terminals" id (List.length l))
+          [ "dl1"; "dl2" ];
+        let count name = Option.value ~default:0 (List.assoc_opt name (Obs.Metrics.counters ())) in
+        Alcotest.(check bool) "serve.watchdog.deadline_exceeded >= 2" true
+          (count "serve.watchdog.deadline_exceeded" >= 2));
+    Alcotest.test_case "stall watchdog cancels a wedged solver" `Slow (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        Fault.with_armed "stall@1,stall=0.6,seed=7" @@ fun () ->
+        let code, out =
+          run_server ~quantum:4 ~stall_timeout_s:0.15
+            [ tiny_envelope ~id:"wd" (); "{\"type\":\"shutdown\",\"drain\":true}" ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        (match terminals_for "wd" records with
+        | [ r ] ->
+          Alcotest.(check string) "typed terminal" "job-error" (typ r);
+          Alcotest.(check (option string)) "kind" (Some "stalled") (str "kind" r)
+        | l -> Alcotest.failf "wd: %d terminals" (List.length l));
+        let count name = Option.value ~default:0 (List.assoc_opt name (Obs.Metrics.counters ())) in
+        Alcotest.(check bool) "serve.watchdog.stalled >= 1" true
+          (count "serve.watchdog.stalled" >= 1));
+    Alcotest.test_case "transient failure retries with backoff and succeeds" `Slow (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        Fault.with_armed "nan%1,seed=5" @@ fun () ->
+        (* the NaN storm sinks attempt one with a retryable
+           step-failure; the scheduler's retry log line disarms it, so
+           the backoff attempt runs clean and must produce a result *)
+        let stage = ref 0 in
+        let out = ref [] in
+        let retried = ref false in
+        let saw_terminal id =
+          List.exists
+            (fun l ->
+              let j = Json.parse_exn l in
+              (typ j = "result" || typ j = "job-error") && str "id" j = Some id)
+            !out
+        in
+        let read ~block:_ =
+          match !stage with
+          | 0 ->
+            stage := 1;
+            `Line (tiny_envelope ~id:"rt" ())
+          | 1 ->
+            if saw_terminal "rt" then begin
+              stage := 2;
+              `Line "{\"type\":\"shutdown\",\"drain\":true}"
+            end
+            else `Nothing
+          | _ -> `Eof
+        in
+        let spool = fresh_spool () in
+        Fun.protect ~finally:(fun () -> rm_rf spool) @@ fun () ->
+        let code =
+          Server.run
+            (Server.default_config ~quantum:4 ~spool ~cache:0 ~max_retries:2 ~retry_base_s:0.01 ())
+            ~read
+            ~write:(fun l -> out := l :: !out)
+            ~log:(fun m ->
+              if contains_sub "retry" m then begin
+                retried := true;
+                Fault.disarm ()
+              end)
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        Alcotest.(check bool) "a retry was scheduled" true !retried;
+        let records = records_of (List.rev !out) in
+        (match terminals_for "rt" records with
+        | [ r ] -> Alcotest.(check string) "retried job completes" "result" (typ r)
+        | l -> Alcotest.failf "rt: %d terminals" (List.length l));
+        let count name = Option.value ~default:0 (List.assoc_opt name (Obs.Metrics.counters ())) in
+        Alcotest.(check bool) "serve.retry.attempts >= 1" true (count "serve.retry.attempts" >= 1);
+        Alcotest.(check bool) "serve.retry.recovered >= 1" true
+          (count "serve.retry.recovered" >= 1);
+        Alcotest.(check int) "serve.retry.exhausted" 0 (count "serve.retry.exhausted"));
+    Alcotest.test_case "exhausted retries end in the underlying typed error" `Slow (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        Fault.with_armed "nan%1,seed=3" @@ fun () ->
+        let code, out =
+          run_server ~quantum:2 ~max_retries:1 ~retry_base_s:0.01
+            [ tiny_envelope ~id:"rx" (); "{\"type\":\"shutdown\",\"drain\":true}" ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        (match terminals_for "rx" records with
+        | [ r ] ->
+          Alcotest.(check string) "typed terminal" "job-error" (typ r);
+          Alcotest.(check bool) "not a breaker/watchdog kind" true
+            (match str "kind" r with
+            | Some ("breaker-open" | "deadline-exceeded" | "stalled") | None -> false
+            | Some _ -> true)
+        | l -> Alcotest.failf "rx: %d terminals" (List.length l));
+        let count name = Option.value ~default:0 (List.assoc_opt name (Obs.Metrics.counters ())) in
+        Alcotest.(check bool) "serve.retry.attempts >= 1" true (count "serve.retry.attempts" >= 1);
+        Alcotest.(check bool) "serve.retry.exhausted >= 1" true
+          (count "serve.retry.exhausted" >= 1));
+    Alcotest.test_case "breaker opens after repeated failures and fast-fails" `Slow (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        Fault.with_armed "nan%1,seed=3" @@ fun () ->
+        let code, out =
+          run_server ~quantum:2 ~breaker_threshold:2 ~breaker_cooldown_s:60.
+            [
+              tiny_envelope ~id:"b1" ();
+              tiny_envelope ~id:"b2" ();
+              tiny_envelope ~id:"b3" ();
+              "{\"type\":\"shutdown\",\"drain\":true}";
+            ]
+        in
+        Alcotest.(check int) "exit code" 0 code;
+        let records = records_of out in
+        (match terminals_for "b3" records with
+        | [ r ] ->
+          Alcotest.(check string) "typed terminal" "job-error" (typ r);
+          Alcotest.(check (option string)) "fast-failed" (Some "breaker-open") (str "kind" r);
+          Alcotest.(check bool) "no flight dump for a fast-fail" true (str "flight" r = None)
+        | l -> Alcotest.failf "b3: %d terminals" (List.length l));
+        List.iter
+          (fun id ->
+            match terminals_for id records with
+            | [ r ] ->
+              Alcotest.(check bool) (id ^ " failed on the solver, not the breaker") true
+                (typ r = "job-error" && str "kind" r <> Some "breaker-open")
+            | l -> Alcotest.failf "%s: %d terminals" id (List.length l))
+          [ "b1"; "b2" ];
+        let count name = Option.value ~default:0 (List.assoc_opt name (Obs.Metrics.counters ())) in
+        Alcotest.(check bool) "serve.breaker.trips >= 1" true (count "serve.breaker.trips" >= 1);
+        Alcotest.(check bool) "serve.breaker.fast_fails >= 1" true
+          (count "serve.breaker.fast_fails" >= 1));
+    Alcotest.test_case "breaker unit: trip, probe, close, reopen, release" `Quick (fun () ->
+        Obs.Metrics.with_isolated @@ fun () ->
+        let module B = Supervisor.Breaker in
+        let b = B.create ~threshold:2 ~cooldown_s:0.05 in
+        let key = "vco-a/envelope" in
+        Alcotest.(check bool) "clean key proceeds" true (B.decide b ~key ~now:0. = B.Proceed);
+        B.failure b ~key ~now:0.;
+        Alcotest.(check bool) "below threshold still proceeds" true
+          (B.decide b ~key ~now:0. = B.Proceed);
+        B.failure b ~key ~now:0.;
+        (match B.decide b ~key ~now:0.01 with
+        | B.Fast_fail { retry_after_s } ->
+          Alcotest.(check bool) "retry hint positive" true (retry_after_s > 0.)
+        | _ -> Alcotest.fail "expected Fast_fail after trip");
+        Alcotest.(check (list (pair string string))) "open in stats" [ (key, "open") ] (B.states b);
+        (* past the cooldown exactly one caller carries the probe *)
+        Alcotest.(check bool) "probe" true (B.decide b ~key ~now:0.1 = B.Probe);
+        Alcotest.(check bool) "second caller fast-fails during the probe" true
+          (match B.decide b ~key ~now:0.1 with B.Fast_fail _ -> true | _ -> false);
+        Alcotest.(check (list (pair string string))) "half-open in stats" [ (key, "half-open") ]
+          (B.states b);
+        (* failed probe snaps straight back open *)
+        B.failure b ~key ~now:0.1;
+        Alcotest.(check bool) "reopened" true
+          (match B.decide b ~key ~now:0.11 with B.Fast_fail _ -> true | _ -> false);
+        (* successful probe closes *)
+        Alcotest.(check bool) "re-probe" true (B.decide b ~key ~now:0.2 = B.Probe);
+        B.success b ~key;
+        Alcotest.(check bool) "closed again" true (B.decide b ~key ~now:0.2 = B.Proceed);
+        Alcotest.(check (list (pair string string))) "clean key leaves stats" [] (B.states b);
+        (* an abandoned probe is released back to open *)
+        B.failure b ~key ~now:1.0;
+        B.failure b ~key ~now:1.0;
+        Alcotest.(check bool) "probe after cooldown" true (B.decide b ~key ~now:1.1 = B.Probe);
+        B.release b ~key ~now:1.1;
+        Alcotest.(check bool) "released probe reopens" true
+          (match B.decide b ~key ~now:1.11 with B.Fast_fail _ -> true | _ -> false);
+        Alcotest.(check bool) "re-probes after another cooldown" true
+          (B.decide b ~key ~now:1.2 = B.Probe));
+    Alcotest.test_case "backoff is deterministic, jittered, exponential, saturating" `Quick
+      (fun () ->
+        let d1 = Supervisor.backoff_s ~base:0.1 ~attempt:1 ~seed:42 in
+        Alcotest.(check (float 0.)) "deterministic" d1
+          (Supervisor.backoff_s ~base:0.1 ~attempt:1 ~seed:42);
+        Alcotest.(check bool) "attempt 1 in [base, 1.5*base)" true (d1 >= 0.1 && d1 < 0.15);
+        let d3 = Supervisor.backoff_s ~base:0.1 ~attempt:3 ~seed:42 in
+        Alcotest.(check bool) "attempt 3 in [4*base, 6*base)" true (d3 >= 0.4 && d3 < 0.6);
+        Alcotest.(check bool) "seeds decorrelate" true
+          (Supervisor.backoff_s ~base:0.1 ~attempt:1 ~seed:43 <> d1);
+        let big = Supervisor.backoff_s ~base:0.1 ~attempt:1000 ~seed:1 in
+        Alcotest.(check bool) "exponent saturates" true
+          (Float.is_finite big && big <= 0.1 *. 65536. *. 1.5));
+  ]
+
 let suites =
   [
     ("serve_protocol", protocol_tests @ stats_tests @ fuzz_tests);
     ("serve_scheduler", scheduling_tests);
     ("serve_caches", cache_tests);
     ("serve_faults", fault_tests);
+    ("serve_journal", journal_tests);
+    ("serve_supervision", supervision_tests);
   ]
